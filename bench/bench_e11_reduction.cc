@@ -1,0 +1,127 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Experiment E11 (Theorem 1.8 / Section 3.3): the white-box-to-deterministic
+// reduction as a measurable object. For Equality and GapEquality at small n
+// we execute the exact derandomization and tabulate: whether a universally
+// correct seed exists, the per-seed success mass (the p of Section 3.3's
+// communication matrix), and the communication (= shipped state bits).
+
+#include "bench/bench_util.h"
+#include "commlb/problems.h"
+#include "commlb/reduction.h"
+#include "commlb/toy_sketch.h"
+#include "common/bits.h"
+#include "common/random.h"
+#include "counter/branching.h"
+#include "counter/morris.h"
+
+namespace wbs {
+namespace {
+
+void GapEqReduction() {
+  bench::Banner(
+      "E11a: exact derandomization for GapEquality (Def 3.1)",
+      "Thm 1.8: robust alg with S bits -> deterministic protocol with S "
+      "bits of communication; det GapEq = Omega(n) [Thm 3.2]");
+  bench::Table t({"n", "rows", "bob_inputs", "found", "p(seed)",
+                  "comm_bits"});
+  for (size_t n : {6u, 8u, 10u, 12u}) {
+    for (size_t rows : {8u, 24u, 48u}) {
+      wbs::RandomTape tape(n * 100 + rows);
+      commlb::BitString x = commlb::RandomBalanced(n, &tape);
+      std::vector<commlb::BitString> ys = {x};
+      for (const auto& y : commlb::AllBalancedStrings(n)) {
+        if (commlb::Ham(x, y) * 2 >= n && !(y == x)) ys.push_back(y);
+      }
+      auto outcome = commlb::DerandomizeOneWay<commlb::GapEqF2Sketch, bool>(
+          x, ys,
+          [&](uint64_t seed) {
+            return commlb::GapEqF2Sketch::Make(seed, rows, n);
+          },
+          [](commlb::GapEqF2Sketch* a, const commlb::BitString& ax) {
+            a->Feed(ax);
+          },
+          [](commlb::GapEqF2Sketch* a, const commlb::BitString& by) {
+            a->Feed(by);
+          },
+          [](const commlb::GapEqF2Sketch& a) { return a.DecidesEqual(); },
+          [](const bool& says_equal, const commlb::BitString& ax,
+             const commlb::BitString& by) {
+            return says_equal == (ax == by);
+          },
+          [](const commlb::GapEqF2Sketch& a) { return a.StateBits(); },
+          /*max_seeds=*/64);
+      t.Row()
+          .Cell(uint64_t(n))
+          .Cell(uint64_t(rows))
+          .Cell(uint64_t(ys.size()))
+          .Cell(outcome.found)
+          .Cell(outcome.per_seed_success, 3)
+          .Cell(outcome.communication_bits);
+    }
+  }
+  std::printf(
+      "reading: wider sketches push p(seed) -> 1 and a universal seed "
+      "appears; its state (comm_bits) is what Thm 3.2 lower-bounds by "
+      "Omega(n).\n");
+}
+
+void ExactEqualityStates() {
+  bench::Banner(
+      "E11b: plain Equality needs one state per input (det. Omega(n))",
+      "Sec 1.1.2: det. Equality complexity Theta(n) vs randomized "
+      "Theta(log n) — white-box robustness forces the deterministic rate");
+  bench::Table t({"n", "inputs", "states_exact", "bits=log2(states)"});
+  for (size_t n : {6u, 8u, 10u, 12u, 14u}) {
+    auto xs = commlb::AllBalancedStrings(n);
+    struct ExactAlg {
+      commlb::BitString stored;
+    };
+    uint64_t states = commlb::CountDistinctStates<ExactAlg>(
+        xs, 0, [](uint64_t) { return ExactAlg{}; },
+        [](ExactAlg* a, const commlb::BitString& x) { a->stored = x; },
+        [](const ExactAlg& a) {
+          std::vector<uint64_t> w;
+          for (uint8_t b : a.stored) w.push_back(b);
+          return w;
+        });
+    t.Row()
+        .Cell(uint64_t(n))
+        .Cell(uint64_t(xs.size()))
+        .Cell(states)
+        .Cell(wbs::CeilLog2(states));
+  }
+  std::printf("expected: states == inputs; bits ~ n - O(log n).\n");
+}
+
+void MultiplayerCounterexample() {
+  bench::Banner(
+      "E11c: why the reduction stops at two players (Thm 1.11)",
+      "n-player counting: max per-player deterministic communication is "
+      "Omega(log n), yet the white-box Morris counter uses O(log log n) — "
+      "so Thm 1.8 cannot generalize to multiplayer games");
+  bench::Table t({"log2(n)", "det_player_bits(LB)", "morris_bits"});
+  for (int logn = 10; logn <= 22; logn += 4) {
+    const uint64_t n = uint64_t{1} << logn;
+    auto det = counter::TheoreticalStateLowerBound(
+        n, counter::MultiplicativeError(1.0));
+    wbs::RandomTape tape{uint64_t(logn)};
+    tape.set_logging(false);
+    counter::MorrisCounter morris(0.9, 0.25, &tape);
+    for (uint64_t i = 0; i < n; ++i) (void)morris.Update({1});
+    t.Row().Cell(logn).Cell(det.min_bits).Cell(morris.SpaceBits());
+  }
+  std::printf(
+      "expected: det_player_bits grows with log n while morris_bits stays "
+      "~log log n — the separation that kills the multiplayer extension.\n");
+}
+
+}  // namespace
+}  // namespace wbs
+
+int main() {
+  wbs::GapEqReduction();
+  wbs::ExactEqualityStates();
+  wbs::MultiplayerCounterexample();
+  return 0;
+}

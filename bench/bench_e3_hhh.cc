@@ -1,0 +1,135 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Experiment E3 (Theorem 2.14 / Algorithm 4 vs Theorem 2.11 / TMS12):
+// hierarchical heavy hitters on IP-style traffic. Reports (a) detection of
+// planted heavy prefixes by both algorithms, (b) the space-vs-m growth
+// separation: TMS12 pays O(h/eps log m), Algorithm 4 is flat in m.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "hhh/hhh.h"
+#include "stream/frequency_oracle.h"
+
+namespace wbs {
+namespace {
+
+uint64_t TrafficItem(uint64_t i) {
+  // 40% of traffic under the /8 prefix 0xAB, spread over 16 /16 leaves;
+  // the rest uniform-ish.
+  if (i % 5 < 2) return 0xAB00 + (i % 16);
+  return (i * 2654435761ULL) % 0x8000;
+}
+
+void Detection() {
+  bench::Banner(
+      "E3a: planted heavy-prefix detection (byte hierarchy, h = 2)",
+      "Thm 2.14 / Thm 2.11: both report the 40%-heavy /8 prefix; leaves at "
+      "2.5% each are below the gamma = 0.2 threshold");
+  bench::Table t({"algorithm", "m", "found_prefix", "reports", "space_bits"});
+  const hhh::Hierarchy h = hhh::Hierarchy::Bytes(16);
+  const uint64_t m = 50000;
+  {
+    hhh::Tms12Hhh det(h, 0.05);
+    for (uint64_t i = 0; i < m; ++i) det.Add(TrafficItem(i));
+    auto out = det.Query(0.2);
+    bool found = false;
+    for (const auto& e : out) {
+      found |= e.prefix.level == 1 && e.prefix.value == 0xAB;
+    }
+    t.Row()
+        .Cell(std::string("TMS12 (det.)"))
+        .Cell(m)
+        .Cell(found)
+        .Cell(uint64_t(out.size()))
+        .Cell(det.SpaceBits());
+  }
+  {
+    wbs::RandomTape tape(1);
+    hhh::RobustHhh robust(h, 1 << 16, 0.05, 0.2, 0.25, &tape);
+    tape.set_logging(false);
+    for (uint64_t i = 0; i < m; ++i) (void)robust.Update({TrafficItem(i)});
+    auto out = robust.Query();
+    bool found = false;
+    for (const auto& e : out) {
+      found |= e.prefix.level == 1 && e.prefix.value == 0xAB;
+    }
+    t.Row()
+        .Cell(std::string("Alg 4 (robust)"))
+        .Cell(m)
+        .Cell(found)
+        .Cell(uint64_t(out.size()))
+        .Cell(robust.SpaceBits());
+  }
+}
+
+void SpaceGrowth() {
+  bench::Banner(
+      "E3b: space vs m on a concentrated stream",
+      "Thm 2.14: O(h/eps(log n + log 1/eps + ...) + log log m) — flat in m; "
+      "TMS12 pays O(h/eps(log m + log n))");
+  bench::Table t({"log2(m)", "tms12_bits", "robust_bits"});
+  const hhh::Hierarchy h = hhh::Hierarchy::Bytes(16);
+  const double eps = 0.1;
+  for (int logm = 10; logm <= 20; logm += 2) {
+    const uint64_t m = uint64_t{1} << logm;
+    hhh::Tms12Hhh det(h, eps);
+    wbs::RandomTape tape{uint64_t(logm)};
+    hhh::RobustHhh robust(h, 1 << 16, eps, 0.25, 0.25, &tape);
+    tape.set_logging(false);
+    for (uint64_t i = 0; i < m; ++i) {
+      det.Add(i % 5);
+      (void)robust.Update({i % 5});
+    }
+    t.Row().Cell(logm).Cell(det.SpaceBits()).Cell(robust.SpaceBits());
+  }
+  std::printf(
+      "expected shape: tms12_bits grows ~(h+1)*counters bits per doubling; "
+      "robust_bits levels off.\n");
+}
+
+void HeightSweep() {
+  bench::Banner(
+      "E3c: space vs hierarchy height h (m = 2^16)",
+      "Thm 2.14: space linear in h (one summary level per hierarchy level)");
+  bench::Table t({"hierarchy", "height", "robust_bits", "tms12_bits"});
+  struct Config {
+    const char* name;
+    hhh::Hierarchy h;
+    uint64_t universe;
+  };
+  const Config configs[] = {
+      {"bytes/16", hhh::Hierarchy::Bytes(16), uint64_t{1} << 16},
+      {"bytes/32", hhh::Hierarchy::Bytes(32), uint64_t{1} << 32},
+      {"binary/2^10", hhh::Hierarchy::Binary(1 << 10), uint64_t{1} << 10},
+      {"binary/2^16", hhh::Hierarchy::Binary(1 << 16), uint64_t{1} << 16},
+  };
+  for (const auto& cfg : configs) {
+    wbs::RandomTape tape{uint64_t(cfg.h.height())};
+    hhh::RobustHhh robust(cfg.h, cfg.universe, 0.1, 0.25, 0.25, &tape);
+    tape.set_logging(false);
+    hhh::Tms12Hhh det(cfg.h, 0.1);
+    const uint64_t m = 1 << 16;
+    for (uint64_t i = 0; i < m; ++i) {
+      uint64_t item = (i * 2654435761ULL) % cfg.universe;
+      (void)robust.Update({item});
+      det.Add(item % cfg.universe);
+    }
+    t.Row()
+        .Cell(std::string(cfg.name))
+        .Cell(cfg.h.height())
+        .Cell(robust.SpaceBits())
+        .Cell(det.SpaceBits());
+  }
+}
+
+}  // namespace
+}  // namespace wbs
+
+int main() {
+  wbs::Detection();
+  wbs::SpaceGrowth();
+  wbs::HeightSweep();
+  return 0;
+}

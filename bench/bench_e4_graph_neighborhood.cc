@@ -1,0 +1,138 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Experiment E4 (Theorem 1.3 vs Theorem 1.4): vertex neighborhood
+// identification. (a) O(n log n) bits for the CRHF algorithm vs Theta(n^2)
+// for the deterministic baseline — the randomized-vs-deterministic
+// separation; (b) exact agreement of the two on random graphs; (c) the
+// OR-Equality reduction instances of the Omega(n^2/log n) lower bound.
+
+#include "bench/bench_util.h"
+#include "common/bits.h"
+#include "common/random.h"
+#include "graph/neighborhood.h"
+
+namespace wbs {
+namespace {
+
+void SpaceSeparation() {
+  bench::Banner(
+      "E4a: space vs n",
+      "Thm 1.3: O(n log nT) bits randomized; Thm 1.4: Omega(n^2/log n) "
+      "deterministic — quadratic separation");
+  bench::Table t({"n", "crhf_bits", "exact_bits", "n^2", "exact/crhf"});
+  for (int logn = 6; logn <= 11; ++logn) {
+    const uint64_t n = uint64_t{1} << logn;
+    wbs::RandomTape tape{uint64_t(logn)};
+    graph::CrhfNeighborhoodId crhf_alg(n, 1 << 20, &tape);
+    tape.set_logging(false);
+    graph::ExactNeighborhoodId exact_alg(n);
+    for (uint64_t v = 0; v < n; ++v) {
+      std::vector<uint64_t> nbrs;
+      uint64_t s = (v % 7 == 0 ? 0 : v) * 0x9e3779b97f4a7c15ULL + 5;
+      for (int d = 0; d < 8; ++d) nbrs.push_back(wbs::SplitMix64(&s) % n);
+      (void)crhf_alg.Update({v, nbrs});
+      (void)exact_alg.Update({v, nbrs});
+    }
+    t.Row()
+        .Cell(n)
+        .Cell(crhf_alg.SpaceBits())
+        .Cell(exact_alg.SpaceBits())
+        .Cell(n * n)
+        .Cell(double(exact_alg.SpaceBits()) / double(crhf_alg.SpaceBits()),
+              1);
+  }
+  std::printf(
+      "expected shape: exact/crhf ratio grows ~n/log n (factor ~2x per "
+      "doubling of n).\n");
+}
+
+void Agreement() {
+  bench::Banner(
+      "E4b: grouping agreement (CRHF vs exact)",
+      "Thm 1.3: all identical-neighborhood groups reported w.p. >= 3/4 "
+      "(here: exact agreement on every trial)");
+  bench::Table t({"n", "trials", "agreements", "groups_found"});
+  for (uint64_t n : {64u, 256u, 1024u}) {
+    int agreements = 0;
+    uint64_t groups = 0;
+    const int trials = 5;
+    for (int trial = 0; trial < trials; ++trial) {
+      wbs::RandomTape tape(n + uint64_t(trial));
+      graph::CrhfNeighborhoodId crhf_alg(n, 1 << 20, &tape);
+      graph::ExactNeighborhoodId exact_alg(n);
+      for (uint64_t v = 0; v < n; ++v) {
+        std::vector<uint64_t> nbrs;
+        uint64_t pattern = v % 5 == 0 ? 0 : v;
+        uint64_t s = pattern * 0x9e3779b97f4a7c15ULL + uint64_t(trial);
+        for (int d = 0; d < 6; ++d) nbrs.push_back(wbs::SplitMix64(&s) % n);
+        (void)crhf_alg.Update({v, nbrs});
+        (void)exact_alg.Update({v, nbrs});
+      }
+      auto a = crhf_alg.Query();
+      auto b = exact_alg.Query();
+      agreements += (a == b) ? 1 : 0;
+      groups += a.size();
+    }
+    t.Row().Cell(n).Cell(trials).Cell(agreements).Cell(groups);
+  }
+}
+
+void OrEqReduction() {
+  bench::Banner(
+      "E4c: the Theorem 1.4 OR-Equality reduction instance",
+      "k = n/log n parallel equalities embed into one neighborhood-id "
+      "instance; deterministic algorithms must pay Omega(nk) = "
+      "Omega(n^2/log n)");
+  bench::Table t({"n", "k", "pairs_equal", "pairs_reported", "correct"});
+  for (uint64_t n : {32u, 64u, 128u}) {
+    const size_t k = size_t(n / wbs::CeilLog2(n));
+    wbs::RandomTape tape(n);
+    // Build an instance with exactly one equal pair (the hard regime).
+    std::vector<std::vector<uint8_t>> x, y;
+    for (size_t i = 0; i < k; ++i) {
+      std::vector<uint8_t> xi(n);
+      for (auto& b : xi) b = uint8_t(tape.NextWord() & 1);
+      std::vector<uint8_t> yi = xi;
+      if (i != 0) yi[tape.UniformInt(n)] ^= 1;  // only pair 0 equal
+      x.push_back(xi);
+      y.push_back(yi);
+    }
+    auto updates = graph::BuildOrEqualityGraph(x, y, n);
+    graph::CrhfNeighborhoodId alg(3 * n, 1 << 20, &tape);
+    tape.set_logging(false);
+    for (const auto& u : updates) (void)alg.Update(u);
+    auto groups = alg.Query();
+    // Count reported (u_i, v_i) pairs.
+    int reported = 0;
+    bool correct = true;
+    for (const auto& g : groups) {
+      for (uint64_t a : g) {
+        if (a < n) {
+          for (uint64_t b : g) {
+            if (b == a + n) {
+              ++reported;
+              if (a != 0) correct = false;  // only pair 0 is equal
+            }
+          }
+        }
+      }
+    }
+    if (reported != 1) correct = false;
+    t.Row()
+        .Cell(n)
+        .Cell(uint64_t(k))
+        .Cell(1)
+        .Cell(reported)
+        .Cell(correct);
+  }
+}
+
+}  // namespace
+}  // namespace wbs
+
+int main() {
+  wbs::SpaceSeparation();
+  wbs::Agreement();
+  wbs::OrEqReduction();
+  return 0;
+}

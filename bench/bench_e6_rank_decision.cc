@@ -1,0 +1,136 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Experiment E6 (Theorem 1.6): the streaming rank decision problem.
+// (a) correctness across (n, k, true rank) in the random-oracle model;
+// (b) space ~O(n k log q) vs the dense Theta(n^2 log q) baseline;
+// (c) the streaming linearly-independent-basis corollary.
+
+#include "bench/bench_util.h"
+#include "common/bits.h"
+#include "common/random.h"
+#include "crypto/random_oracle.h"
+#include "linalg/matrix_zq.h"
+#include "linalg/rank_sketch.h"
+
+namespace wbs {
+namespace {
+
+constexpr uint64_t kQ = 1000003;
+
+linalg::MatrixZq KnownRank(size_t n, size_t r, wbs::RandomTape* tape) {
+  linalg::MatrixZq a(n, r, kQ), b(r, n, kQ);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < r; ++j) a.At(i, j) = tape->UniformInt(kQ);
+  }
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < n; ++j) b.At(i, j) = tape->UniformInt(kQ);
+  }
+  return a.Multiply(b);
+}
+
+void Correctness() {
+  bench::Banner(
+      "E6a: rank decision correctness (random oracle model)",
+      "Thm 1.6: 'rank >= k?' decided exactly against a bounded adversary");
+  bench::Table t({"n", "k", "true_rank", "trials", "correct"});
+  crypto::RandomOracle oracle(1);
+  for (size_t n : {16u, 32u, 64u}) {
+    for (size_t k : {2u, 4u, 8u}) {
+      for (long dr : {-1, 0, +3}) {
+        size_t true_rank = size_t(long(k) + dr);
+        if (true_rank < 1 || true_rank > n) continue;
+        int correct = 0;
+        const int trials = 5;
+        for (int trial = 0; trial < trials; ++trial) {
+          wbs::RandomTape tape(n * 1000 + k * 10 + uint64_t(trial));
+          linalg::RankDecisionSketch alg(n, k, kQ, oracle,
+                                         n * 100 + k + true_rank * 7 +
+                                             uint64_t(trial));
+          linalg::MatrixZq a = KnownRank(n, true_rank, &tape);
+          for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              if (a.At(i, j) != 0) {
+                (void)alg.Update({i, j, int64_t(a.At(i, j))});
+              }
+            }
+          }
+          if (alg.Query() == (true_rank >= k)) ++correct;
+        }
+        t.Row()
+            .Cell(uint64_t(n))
+            .Cell(uint64_t(k))
+            .Cell(uint64_t(true_rank))
+            .Cell(trials)
+            .Cell(correct);
+      }
+    }
+  }
+  std::printf("expected: correct == trials everywhere.\n");
+}
+
+void Space() {
+  bench::Banner("E6b: sketch space vs dense storage",
+                "Thm 1.6: ~O(n k^2) bits (with log q ~ k) vs n^2 log q");
+  bench::Table t({"n", "k", "sketch_bits", "dense_bits", "ratio"});
+  crypto::RandomOracle oracle(2);
+  for (size_t n : {64u, 128u, 256u}) {
+    for (size_t k : {2u, 4u, 8u, 16u}) {
+      linalg::RankDecisionSketch alg(n, k, kQ, oracle, 1);
+      uint64_t dense = n * n * wbs::BitsForUniverse(kQ);
+      t.Row()
+          .Cell(uint64_t(n))
+          .Cell(uint64_t(k))
+          .Cell(alg.SpaceBits())
+          .Cell(dense)
+          .Cell(double(dense) / double(alg.SpaceBits()), 1);
+    }
+  }
+  std::printf("expected shape: ratio ~ n/k.\n");
+}
+
+void BasisTracking() {
+  bench::Banner(
+      "E6c: streaming linearly-independent basis (corollary of Thm 1.6)",
+      "compressed rows of d = 2k+2 field elements recover the true rank");
+  bench::Table t({"n", "true_rank", "tracked_rank", "space_bits",
+                  "dense_bits"});
+  crypto::RandomOracle oracle(3);
+  wbs::RandomTape tape(4);
+  for (size_t n : {32u, 128u}) {
+    for (size_t r : {2u, 5u, 8u}) {
+      linalg::StreamingBasisTracker tracker(n, r + 2, kQ, oracle,
+                                            n * 10 + r);
+      // Stream 3r rows from a rank-r row space.
+      std::vector<std::vector<int64_t>> basis(r, std::vector<int64_t>(n));
+      for (auto& row : basis) {
+        for (auto& v : row) v = int64_t(tape.UniformInt(9)) - 4;
+      }
+      for (size_t rows = 0; rows < 3 * r; ++rows) {
+        std::vector<int64_t> row(n, 0);
+        for (size_t b = 0; b < r; ++b) {
+          int64_t coef = int64_t(tape.UniformInt(7)) - 3;
+          for (size_t j = 0; j < n; ++j) row[j] += coef * basis[b][j];
+        }
+        tracker.OfferRow(row);
+      }
+      t.Row()
+          .Cell(uint64_t(n))
+          .Cell(uint64_t(r))
+          .Cell(uint64_t(tracker.rank()))
+          .Cell(tracker.SpaceBits())
+          .Cell(uint64_t(tracker.rank()) * n * wbs::BitsForUniverse(kQ));
+    }
+  }
+  std::printf("expected: tracked_rank == true_rank (w.h.p.), compressed "
+              "space << dense basis storage.\n");
+}
+
+}  // namespace
+}  // namespace wbs
+
+int main() {
+  wbs::Correctness();
+  wbs::Space();
+  wbs::BasisTracking();
+  return 0;
+}

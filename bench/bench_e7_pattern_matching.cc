@@ -1,0 +1,112 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Experiment E7 (Theorem 1.7 / Lemmas 2.24, 2.26 and the Section 2.6
+// Karp-Rabin break): (a) the Fermat attack fools Karp-Rabin at every
+// poly-size modulus while the discrete-log fingerprint resists; (b) the
+// streaming pattern matcher agrees with the exact matcher on adversarial
+// and random texts; (c) fingerprint space grows with log T (the group
+// modulus), not with the text length.
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "stream/workload.h"
+#include "strings/fingerprint.h"
+#include "strings/pattern_match.h"
+
+namespace wbs {
+namespace {
+
+void FermatAttack() {
+  bench::Banner(
+      "E7a: the Fermat attack (Section 2.6)",
+      "KR fingerprint is fooled by x^{p-1} = 1; the dlog fingerprint of "
+      "Thm 2.5 is not");
+  bench::Table t({"kr_mod_bits", "stream_len", "kr_fooled", "dlog_fooled"});
+  for (int bits : {8, 10, 12, 14, 16}) {
+    wbs::RandomTape tape{uint64_t(bits)};
+    strings::KarpRabinParams kr =
+        strings::KarpRabinParams::Generate(bits, &tape);
+    const size_t len = size_t(kr.p) + 8;
+    auto [u, v] = strings::FermatCollision(kr, len);
+    strings::KarpRabin fu(kr), fv(kr);
+    for (char c : u) fu.Append(uint64_t(uint8_t(c)));
+    for (char c : v) fv.Append(uint64_t(uint8_t(c)));
+    crypto::DlogParams g = crypto::DlogParams::Generate(40, &tape);
+    crypto::DlogFingerprint du(g), dv(g);
+    for (char c : u) du.AppendChar(uint64_t(uint8_t(c)), 1);
+    for (char c : v) dv.AppendChar(uint64_t(uint8_t(c)), 1);
+    t.Row()
+        .Cell(bits)
+        .Cell(uint64_t(len))
+        .Cell(fu.value() == fv.value())
+        .Cell(du.value() == dv.value());
+  }
+  std::printf("expected: kr_fooled always, dlog_fooled never.\n");
+}
+
+void MatcherAccuracy() {
+  bench::Banner(
+      "E7b: Algorithm 6 vs exact matching",
+      "Lemma 2.26: all occurrences found w.p. 1 - 1/poly(n)");
+  bench::Table t({"pat_len", "period", "text_len", "trials", "exact_match"});
+  for (auto [plen, period] : std::vector<std::pair<size_t, size_t>>{
+           {4, 2}, {8, 4}, {9, 3}, {12, 6}, {16, 16}}) {
+    int agree = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      wbs::RandomTape tape(plen * 131 + period * 7 + uint64_t(trial));
+      std::string pattern = stream::PeriodicString(plen, period, 2, &tape);
+      size_t true_period = strings::SmallestPeriod(pattern);
+      std::vector<size_t> planted;
+      for (size_t pos = trial % 3; pos + plen <= 400; pos += plen + 5) {
+        planted.push_back(pos);
+      }
+      std::string text =
+          stream::TextWithPlantedOccurrences(400, pattern, planted, 2, &tape);
+      crypto::DlogParams g = crypto::DlogParams::Generate(40, &tape);
+      strings::PeriodicPatternMatcher alg(pattern, true_period, g, 8);
+      for (char c : text) (void)alg.Update({uint64_t(uint8_t(c)), 8});
+      auto naive = strings::NaiveFindAll(text, pattern);
+      std::vector<uint64_t> expect(naive.begin(), naive.end());
+      agree += alg.Query() == expect ? 1 : 0;
+    }
+    t.Row()
+        .Cell(uint64_t(plen))
+        .Cell(uint64_t(period))
+        .Cell(400)
+        .Cell(trials)
+        .Cell(agree);
+  }
+  std::printf("expected: exact_match == trials everywhere.\n");
+}
+
+void SpaceVsBudget() {
+  bench::Banner(
+      "E7c: fingerprint space vs security parameter (log T)",
+      "Thm 1.7: O(log T) bits per fingerprint; independent of text length");
+  bench::Table t({"group_bits", "text_len", "matcher_bits"});
+  for (int gbits : {24, 32, 40, 48}) {
+    for (size_t text_len : {1000UL, 100000UL}) {
+      wbs::RandomTape tape{uint64_t(gbits)};
+      crypto::DlogParams g = crypto::DlogParams::Generate(gbits, &tape);
+      strings::PeriodicPatternMatcher alg("abcabcabc", 3, g, 8);
+      for (size_t i = 0; i < text_len; ++i) {
+        (void)alg.Update({uint64_t('a' + (i % 3)), 8});
+      }
+      t.Row().Cell(gbits).Cell(uint64_t(text_len)).Cell(alg.SpaceBits());
+    }
+  }
+  std::printf(
+      "expected shape: bits scale with group_bits (the log T knob), and "
+      "only additively with text length via pending anchors.\n");
+}
+
+}  // namespace
+}  // namespace wbs
+
+int main() {
+  wbs::FermatAttack();
+  wbs::MatcherAccuracy();
+  wbs::SpaceVsBudget();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Adversarial showdown: three classic sketches vs their white-box attacks,
+// side by side with the paper's robust replacements.
+//
+//   $ ./examples/adversarial_showdown
+//
+//   round 1 — Karp-Rabin fingerprints vs the Fermat attack (Section 2.6),
+//             and the discrete-log fingerprint that resists it (Thm 2.5);
+//   round 2 — the AMS F2 sketch vs the kernel attack (the Theorem 1.9
+//             phenomenon), and the Omega(n) exact baseline that survives;
+//   round 3 — KMV distinct-counting vs hash-blinding, and Algorithm 5's
+//             SIS sketch that keeps its n^eps guarantee on the same stream.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/game.h"
+#include "crypto/random_oracle.h"
+#include "distinct/l0_estimator.h"
+#include "moments/ams.h"
+#include "stream/frequency_oracle.h"
+#include "strings/fingerprint.h"
+
+namespace {
+
+void Round1Fingerprints() {
+  std::printf("== round 1: string fingerprints =========================\n");
+  wbs::RandomTape tape(1);
+  auto kr = wbs::strings::KarpRabinParams::Generate(12, &tape);
+  auto [u, v] = wbs::strings::FermatCollision(kr, size_t(kr.p) + 16);
+  wbs::strings::KarpRabin fu(kr), fv(kr);
+  for (char c : u) fu.Append(uint64_t(uint8_t(c)));
+  for (char c : v) fv.Append(uint64_t(uint8_t(c)));
+  std::printf("Karp-Rabin (p = %llu): distinct strings, fingerprints %s\n",
+              (unsigned long long)kr.p,
+              fu.value() == fv.value() ? "COLLIDE — broken" : "differ");
+
+  auto g = wbs::crypto::DlogParams::Generate(48, &tape);
+  wbs::crypto::DlogFingerprint du(g), dv(g);
+  for (char c : u) du.AppendChar(uint64_t(uint8_t(c)), 1);
+  for (char c : v) dv.AppendChar(uint64_t(uint8_t(c)), 1);
+  std::printf("dlog fingerprint (48-bit group): same attack, fingerprints "
+              "%s\n\n",
+              du.value() == dv.value() ? "collide" : "DIFFER — robust");
+}
+
+void Round2Moments() {
+  std::printf("== round 2: F2 moment estimation ========================\n");
+  wbs::RandomTape tape(2);
+  wbs::moments::AmsF2Sketch ams(1 << 16, 18, &tape);
+  wbs::moments::AmsKernelAdversary adversary(&ams);
+  wbs::stream::FrequencyOracle truth(1 << 16);
+  auto result = wbs::core::RunGame<wbs::stream::TurnstileUpdate, double>(
+      &ams, &adversary, 10000,
+      [&](const wbs::stream::TurnstileUpdate& up) {
+        truth.Add(up.item, up.delta);
+      },
+      [&](uint64_t, const double& answer) {
+        double f2 = truth.Fp(2);
+        return f2 == 0 || (answer >= f2 / 3 && answer <= 3 * f2);
+      },
+      /*stop_at_first_failure=*/false);
+  std::printf("AMS sketch (18 rows, %llu bits): kernel attack -> estimate "
+              "%.0f, true F2 %.0f -> %s\n",
+              (unsigned long long)ams.SpaceBits(), ams.Query(),
+              truth.Fp(2), result.algorithm_survived ? "survived" : "BROKEN");
+
+  wbs::moments::AmsF2Sketch victim2(1 << 16, 18, &tape);
+  wbs::moments::AmsKernelAdversary adversary2(&victim2);
+  wbs::moments::ExactF2Stream exact(1 << 16);
+  wbs::stream::FrequencyOracle truth2(1 << 16);
+  auto exact_result =
+      wbs::core::RunGame<wbs::stream::TurnstileUpdate, double>(
+          &exact, &adversary2, 10000,
+          [&](const wbs::stream::TurnstileUpdate& up) {
+            truth2.Add(up.item, up.delta);
+          },
+          [&](uint64_t, const double& answer) {
+            return answer == truth2.Fp(2);
+          });
+  std::printf("exact F2 (%llu bits, Omega(n)): same attack -> %s\n\n",
+              (unsigned long long)exact.SpaceBits(),
+              exact_result.algorithm_survived ? "SURVIVED — matches Thm 1.9"
+                                              : "broken");
+}
+
+void Round3Distinct() {
+  std::printf("== round 3: distinct elements ===========================\n");
+  const uint64_t universe = uint64_t{1} << 22;
+  wbs::RandomTape tape(3);
+  wbs::distinct::KmvDistinct kmv(32, &tape);
+  for (uint64_t i = 0; i < 32; ++i) (void)kmv.Update({universe - 1 - i});
+  wbs::distinct::KmvBlindingAdversary adversary(&kmv, universe);
+
+  wbs::crypto::RandomOracle oracle(9);
+  auto params = wbs::distinct::SisL0Params::Derive(universe, 0.5, 0.25, 64);
+  wbs::distinct::SisL0Estimator sis(params, oracle, 1);
+  for (uint64_t i = 0; i < 32; ++i) (void)sis.Update({universe - 1 - i, 1});
+
+  wbs::stream::FrequencyOracle truth(universe);
+  for (uint64_t i = 0; i < 32; ++i) truth.Add(universe - 1 - i);
+  auto result = wbs::core::RunGame<wbs::stream::ItemUpdate, double>(
+      &kmv, &adversary, 4000,
+      [&](const wbs::stream::ItemUpdate& up) {
+        truth.Add(up.item);
+        (void)sis.Update({up.item, 1});
+      },
+      [&](uint64_t round, const double& answer) {
+        if (round < 2000) return true;
+        return answer >= double(truth.L0()) / 4;
+      });
+  std::printf("KMV (k = 32): blinding adversary -> estimate %.0f with true "
+              "L0 = %llu -> %s\n",
+              kmv.Query(), (unsigned long long)truth.L0(),
+              result.algorithm_survived ? "survived" : "BROKEN");
+  std::printf("Algorithm 5 (SIS, %llu bits): same stream -> answer %.0f in "
+              "[L0/n^eps, L0] = [%.0f, %llu] -> %s\n",
+              (unsigned long long)sis.SpaceBits(), sis.Query(),
+              std::ceil(double(truth.L0()) / double(params.chunk_width)),
+              (unsigned long long)truth.L0(),
+              sis.Query() <= double(truth.L0()) &&
+                      sis.Query() * double(params.chunk_width) >=
+                          double(truth.L0())
+                  ? "SANDWICHED — robust"
+                  : "violated");
+}
+
+}  // namespace
+
+int main() {
+  Round1Fingerprints();
+  Round2Moments();
+  Round3Distinct();
+  return 0;
+}

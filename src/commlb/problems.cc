@@ -1,0 +1,112 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "commlb/problems.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wbs::commlb {
+
+size_t Ham(const BitString& a, const BitString& b) {
+  assert(a.size() == b.size());
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+size_t Weight(const BitString& a) {
+  size_t w = 0;
+  for (uint8_t b : a) w += b ? 1 : 0;
+  return w;
+}
+
+BitString RandomBalanced(size_t n, wbs::RandomTape* tape) {
+  assert(n % 2 == 0);
+  BitString s(n, 0);
+  std::fill(s.begin(), s.begin() + n / 2, uint8_t{1});
+  for (size_t i = n; i > 1; --i) {
+    size_t j = tape->UniformInt(i);
+    std::swap(s[i - 1], s[j]);
+  }
+  return s;
+}
+
+GapEqInstance MakeGapEqInstance(size_t n, bool equal, wbs::RandomTape* tape) {
+  assert(n % 2 == 0 && n >= 10);
+  GapEqInstance inst;
+  inst.x = RandomBalanced(n, tape);
+  inst.equal = equal;
+  if (equal) {
+    inst.y = inst.x;
+    return inst;
+  }
+  // Swap >= n/20 one-positions with zero-positions: each swap changes two
+  // coordinates, preserving balance, so HAM >= n/10.
+  inst.y = inst.x;
+  std::vector<size_t> ones, zeros;
+  for (size_t i = 0; i < n; ++i) {
+    (inst.y[i] ? ones : zeros).push_back(i);
+  }
+  for (size_t i = ones.size(); i > 1; --i) {
+    std::swap(ones[i - 1], ones[tape->UniformInt(i)]);
+  }
+  for (size_t i = zeros.size(); i > 1; --i) {
+    std::swap(zeros[i - 1], zeros[tape->UniformInt(i)]);
+  }
+  const size_t swaps = std::max<size_t>(1, (n + 19) / 20);
+  for (size_t s = 0; s < swaps && s < ones.size() && s < zeros.size(); ++s) {
+    inst.y[ones[s]] = 0;
+    inst.y[zeros[s]] = 1;
+  }
+  assert(Ham(inst.x, inst.y) * 10 >= n);
+  return inst;
+}
+
+namespace {
+
+void EnumerateBalancedRec(size_t n, size_t pos, size_t ones, BitString* cur,
+                          std::vector<BitString>* out) {
+  if (ones > n / 2) return;                 // too many ones already
+  if (n / 2 - ones > n - pos) return;       // cannot reach n/2 ones
+  if (pos == n) {
+    out->push_back(*cur);
+    return;
+  }
+  (*cur)[pos] = 1;
+  EnumerateBalancedRec(n, pos + 1, ones + 1, cur, out);
+  (*cur)[pos] = 0;
+  EnumerateBalancedRec(n, pos + 1, ones, cur, out);
+}
+
+}  // namespace
+
+std::vector<BitString> AllBalancedStrings(size_t n) {
+  assert(n % 2 == 0 && n <= 20 && "exponential enumeration; keep n small");
+  std::vector<BitString> out;
+  BitString cur(n, 0);
+  EnumerateBalancedRec(n, 0, 0, &cur, &out);
+  return out;
+}
+
+OrEqInstance MakeOrEqInstance(size_t n, size_t k, int equal_index,
+                              wbs::RandomTape* tape) {
+  OrEqInstance inst;
+  inst.equal_index = equal_index;
+  for (size_t i = 0; i < k; ++i) {
+    BitString xi(n);
+    for (size_t j = 0; j < n; ++j) xi[j] = uint8_t(tape->NextWord() & 1);
+    BitString yi;
+    if (int(i) == equal_index) {
+      yi = xi;
+    } else {
+      // Ensure y_i != x_i by flipping a random position.
+      yi = xi;
+      yi[tape->UniformInt(n)] ^= 1;
+    }
+    inst.x.push_back(std::move(xi));
+    inst.y.push_back(std::move(yi));
+  }
+  return inst;
+}
+
+}  // namespace wbs::commlb

@@ -1,0 +1,58 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Two-player communication problems used by the Section 3 lower bounds:
+//   * Equality           — det. complexity Theta(n), randomized Theta(log n);
+//   * Gap Equality       — Definition 3.1: promise x = y or HAM(x,y) >= n/10,
+//                          deterministic complexity Omega(n) (Theorem 3.2);
+//   * OR-Equality        — Definition 2.20: k parallel equalities,
+//                          deterministic complexity Omega(nk) (Theorem 2.21).
+// Instance generators are deterministic given the tape.
+
+#ifndef WBS_COMMLB_PROBLEMS_H_
+#define WBS_COMMLB_PROBLEMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace wbs::commlb {
+
+using BitString = std::vector<uint8_t>;
+
+/// Hamming distance.
+size_t Ham(const BitString& a, const BitString& b);
+
+/// Hamming weight.
+size_t Weight(const BitString& a);
+
+/// A balanced string (|x| = n/2) of length n (n even).
+BitString RandomBalanced(size_t n, wbs::RandomTape* tape);
+
+/// A Gap Equality instance (Definition 3.1): returns (x, y) with
+/// |x| = |y| = n/2 and either y == x (if `equal`) or HAM(x, y) >= n/10.
+struct GapEqInstance {
+  BitString x;
+  BitString y;
+  bool equal = false;
+};
+GapEqInstance MakeGapEqInstance(size_t n, bool equal, wbs::RandomTape* tape);
+
+/// All balanced strings of (small, even) length n — used to *exactly*
+/// enumerate Bob's inputs in the Theorem 1.8 derandomization at small n.
+std::vector<BitString> AllBalancedStrings(size_t n);
+
+/// An OR-Equality instance (Definition 2.20) with at most one equal index
+/// (the hard regime of Theorem 2.21). equal_index = -1 for "none equal".
+struct OrEqInstance {
+  std::vector<BitString> x;
+  std::vector<BitString> y;
+  int equal_index = -1;
+};
+OrEqInstance MakeOrEqInstance(size_t n, size_t k, int equal_index,
+                              wbs::RandomTape* tape);
+
+}  // namespace wbs::commlb
+
+#endif  // WBS_COMMLB_PROBLEMS_H_

@@ -1,0 +1,109 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The Theorem 1.8 reduction engine: a white-box adversarially robust
+// streaming algorithm with S(n, eps) bits of state yields a *deterministic*
+// one-way protocol with S(n, eps) bits of communication.
+//
+// The constructive step the paper describes — Alice enumerates random seeds
+// and all of Bob's inputs, selects a seed for which the algorithm succeeds
+// on every continuation, runs the algorithm deterministically with that
+// seed, and ships the state — is executed here *exactly*, at small n where
+// the enumeration is feasible. Combined with the deterministic communication
+// lower bounds (Theorem 3.2 for GapEquality, Theorem 2.21 for OR-Equality)
+// this machinery turns any small-state robust algorithm into a
+// contradiction, which is how Theorems 1.9 and 1.10 are obtained.
+//
+// Requirements on Alg: copyable value type; constructed by the caller's
+// factory from a seed; Update(u), Query(), SpaceBits(). Randomness must be
+// a deterministic function of the seed (no hidden entropy), which is true of
+// every StreamAlg in this library once the tape seed is fixed.
+
+#ifndef WBS_COMMLB_REDUCTION_H_
+#define WBS_COMMLB_REDUCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "commlb/problems.h"
+
+namespace wbs::commlb {
+
+/// Outcome of the derandomization search for one Alice input x.
+struct DerandomizationOutcome {
+  bool found = false;             ///< a seed correct for ALL Bob inputs exists
+  uint64_t chosen_seed = 0;
+  uint64_t seeds_tried = 0;
+  double per_seed_success = 0;    ///< fraction of (seed, y) pairs correct
+  uint64_t communication_bits = 0;///< state bits Alice ships with chosen seed
+};
+
+/// Runs the Theorem 1.8 derandomization for Alice's input `x` against every
+/// Bob input in `all_y`.
+///
+///  * `make_alg(seed)`       — constructs the streaming algorithm;
+///  * `run_alice(alg, x)`    — feeds Alice's stream;
+///  * `run_bob(alg, y)`      — feeds Bob's continuation (on a COPY);
+///  * `judge(answer, x, y)`  — exact correctness;
+///  * `state_bits(alg)`      — S(n, eps) after Alice's stream.
+template <typename Alg, typename AnswerT>
+DerandomizationOutcome DerandomizeOneWay(
+    const BitString& x, const std::vector<BitString>& all_y,
+    const std::function<Alg(uint64_t seed)>& make_alg,
+    const std::function<void(Alg*, const BitString&)>& run_alice,
+    const std::function<void(Alg*, const BitString&)>& run_bob,
+    const std::function<AnswerT(const Alg&)>& query,
+    const std::function<bool(const AnswerT&, const BitString&,
+                             const BitString&)>& judge,
+    const std::function<uint64_t(const Alg&)>& state_bits,
+    uint64_t max_seeds) {
+  DerandomizationOutcome out;
+  uint64_t total_checks = 0, total_correct = 0;
+  for (uint64_t seed = 0; seed < max_seeds; ++seed) {
+    Alg alice = make_alg(seed);
+    run_alice(&alice, x);
+    bool all_correct = true;
+    for (const BitString& y : all_y) {
+      Alg bob = alice;  // the shipped state
+      run_bob(&bob, y);
+      const bool ok = judge(query(bob), x, y);
+      ++total_checks;
+      total_correct += ok ? 1 : 0;
+      if (!ok) all_correct = false;
+    }
+    ++out.seeds_tried;
+    if (all_correct && !out.found) {
+      out.found = true;
+      out.chosen_seed = seed;
+      out.communication_bits = state_bits(alice);
+    }
+  }
+  out.per_seed_success =
+      total_checks == 0 ? 0 : double(total_correct) / double(total_checks);
+  return out;
+}
+
+/// Counts distinct serialized states over a family of Alice inputs with a
+/// fixed seed. For a protocol correct on a problem whose communication
+/// matrix has `|X|` distinct rows (e.g. Equality), the count must be >= |X|,
+/// certifying >= log2(count) bits of communication — the other direction of
+/// Theorem 1.8 made measurable.
+template <typename Alg>
+uint64_t CountDistinctStates(
+    const std::vector<BitString>& xs, uint64_t seed,
+    const std::function<Alg(uint64_t)>& make_alg,
+    const std::function<void(Alg*, const BitString&)>& run_alice,
+    const std::function<std::vector<uint64_t>(const Alg&)>& serialize) {
+  std::set<std::vector<uint64_t>> states;
+  for (const BitString& x : xs) {
+    Alg alg = make_alg(seed);
+    run_alice(&alg, x);
+    states.insert(serialize(alg));
+  }
+  return states.size();
+}
+
+}  // namespace wbs::commlb
+
+#endif  // WBS_COMMLB_REDUCTION_H_

@@ -1,0 +1,148 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "common/modmath.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace wbs {
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  if (m == 1) return 0;
+  uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+int64_t ExtGcd(int64_t a, int64_t b, int64_t* x, int64_t* y) {
+  if (b == 0) {
+    *x = 1;
+    *y = 0;
+    return a;
+  }
+  int64_t x1 = 0, y1 = 0;
+  int64_t g = ExtGcd(b, a % b, &x1, &y1);
+  *x = y1;
+  *y = x1 - (a / b) * y1;
+  return g;
+}
+
+uint64_t InvMod(uint64_t a, uint64_t m) {
+  a %= m;
+  if (a == 0) return 0;
+  // Use the iterative extended Euclid over unsigned to support m > 2^63.
+  uint64_t r0 = m, r1 = a;
+  // Track coefficients of a only, mod m, using signed accumulation in 128-bit.
+  __int128 t0 = 0, t1 = 1;
+  while (r1 != 0) {
+    uint64_t q = r0 / r1;
+    uint64_t r2 = r0 - q * r1;
+    __int128 t2 = t0 - (__int128)q * t1;
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t1 = t2;
+  }
+  if (r0 != 1) return 0;  // not invertible
+  __int128 t = t0 % (__int128)m;
+  if (t < 0) t += m;
+  return static_cast<uint64_t>(t);
+}
+
+namespace {
+
+// Miller-Rabin witness check; returns true if n is definitely composite.
+bool IsCompositeWitness(uint64_t n, uint64_t a, uint64_t d, int r) {
+  uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;
+}
+
+uint64_t PollardRho(uint64_t n) {
+  if (n % 2 == 0) return 2;
+  uint64_t x = 2, y = 2, c = 1, d = 1;
+  auto f = [&](uint64_t v) { return AddMod(MulMod(v, v, n), c, n); };
+  while (true) {
+    x = 2;
+    y = 2;
+    d = 1;
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      uint64_t diff = x > y ? x - y : y - x;
+      d = std::gcd(diff, n);
+    }
+    if (d != n) return d;
+    ++c;  // cycle detected without a factor; retry with a new constant
+  }
+}
+
+void Factor(uint64_t n, std::vector<uint64_t>* out) {
+  if (n == 1) return;
+  if (IsPrime(n)) {
+    out->push_back(n);
+    return;
+  }
+  uint64_t d = PollardRho(n);
+  Factor(d, out);
+  Factor(n / d, out);
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (IsCompositeWitness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  if (n <= 2) return 2;
+  uint64_t c = n | 1;
+  while (!IsPrime(c)) {
+    assert(c < ~uint64_t{0} - 2);
+    c += 2;
+  }
+  return c;
+}
+
+std::vector<uint64_t> DistinctPrimeFactors(uint64_t n) {
+  std::vector<uint64_t> all;
+  // Strip small factors first to keep Pollard rho fast.
+  for (uint64_t p = 2; p < 100 && p * p <= n; p == 2 ? p = 3 : p += 2) {
+    while (n % p == 0) {
+      all.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) Factor(n, &all);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace wbs

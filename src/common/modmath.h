@@ -1,0 +1,119 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Modular arithmetic over 64-bit moduli (via unsigned __int128), primality
+// testing, prime/safe-prime search, and generator finding. These primitives
+// back the discrete-log CRHF (Theorem 2.5 of the paper), Karp-Rabin
+// fingerprints, and the Z_q linear algebra used by the SIS sketches.
+
+#ifndef WBS_COMMON_MODMATH_H_
+#define WBS_COMMON_MODMATH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wbs {
+
+using u128 = unsigned __int128;
+
+/// (a * b) mod m without overflow for any 64-bit operands.
+inline uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>((u128)a * b % m);
+}
+
+/// (a + b) mod m without overflow.
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m) {
+  a %= m;
+  b %= m;
+  uint64_t s = a + b;
+  if (s < a || s >= m) s -= m;
+  return s;
+}
+
+/// (a - b) mod m, result in [0, m).
+inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
+  a %= m;
+  b %= m;
+  return a >= b ? a - b : a + (m - b);
+}
+
+/// (base ^ exp) mod m. PowMod(x, 0, m) == 1 % m.
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
+
+/// Extended GCD: returns g = gcd(a, b) and sets x, y with a*x + b*y = g.
+int64_t ExtGcd(int64_t a, int64_t b, int64_t* x, int64_t* y);
+
+/// Multiplicative inverse of a mod m. Requires gcd(a, m) == 1; returns 0 if
+/// the inverse does not exist.
+uint64_t InvMod(uint64_t a, uint64_t m);
+
+/// Deterministic Miller-Rabin, correct for all 64-bit inputs.
+bool IsPrime(uint64_t n);
+
+/// Smallest prime >= n (n >= 2). Saturates near 2^64 (asserts in debug).
+uint64_t NextPrime(uint64_t n);
+
+/// A random prime with exactly `bits` bits (2 <= bits <= 62), using the
+/// caller-supplied word source for candidates.
+template <typename Rng>
+uint64_t RandomPrime(int bits, Rng&& rng) {
+  const uint64_t lo = bits <= 1 ? 2 : (uint64_t{1} << (bits - 1));
+  const uint64_t span = bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << (bits - 1));
+  for (;;) {
+    uint64_t cand = lo + rng() % span;
+    cand |= 1;  // odd
+    if (cand >= lo && IsPrime(cand)) return cand;
+  }
+}
+
+/// A safe prime p = 2q + 1 (q prime) with exactly `bits` bits. Used as the
+/// modulus of the discrete-log hash so that the subgroup of quadratic
+/// residues has prime order q.
+template <typename Rng>
+uint64_t RandomSafePrime(int bits, Rng&& rng) {
+  const uint64_t lo = uint64_t{1} << (bits - 1);
+  const uint64_t span = uint64_t{1} << (bits - 1);
+  for (;;) {
+    uint64_t q = (lo >> 1) + rng() % (span >> 1);
+    q |= 1;
+    if (!IsPrime(q)) continue;
+    uint64_t p = 2 * q + 1;
+    if (p >= lo && p < lo + span && IsPrime(p)) return p;
+  }
+}
+
+/// Factorizes n by trial division + Pollard rho; returns the distinct prime
+/// factors. Intended for the (small) group orders used in generator search.
+std::vector<uint64_t> DistinctPrimeFactors(uint64_t n);
+
+/// Finds a generator of the multiplicative group Z_p^* for prime p.
+template <typename Rng>
+uint64_t FindGenerator(uint64_t p, Rng&& rng) {
+  const uint64_t order = p - 1;
+  const std::vector<uint64_t> factors = DistinctPrimeFactors(order);
+  for (;;) {
+    uint64_t g = 2 + rng() % (p - 3);
+    bool is_gen = true;
+    for (uint64_t f : factors) {
+      if (PowMod(g, order / f, p) == 1) {
+        is_gen = false;
+        break;
+      }
+    }
+    if (is_gen) return g;
+  }
+}
+
+/// Finds a generator of the order-q subgroup of quadratic residues of Z_p^*
+/// where p = 2q + 1 is a safe prime: any square g^2 != 1 works.
+template <typename Rng>
+uint64_t FindQuadraticResidueGenerator(uint64_t p, Rng&& rng) {
+  for (;;) {
+    uint64_t h = 2 + rng() % (p - 3);
+    uint64_t g = MulMod(h, h, p);
+    if (g != 1) return g;
+  }
+}
+
+}  // namespace wbs
+
+#endif  // WBS_COMMON_MODMATH_H_

@@ -1,0 +1,112 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Randomness with white-box exposure.
+//
+// In the white-box adversarial model (Section 1 of the paper) the adversary
+// observes *all randomness the algorithm has ever drawn*. To make that
+// observable in code, algorithms draw random bits only through a RandomTape:
+// every word handed out can be recorded on a log that the GameRunner exposes
+// to the adversary as part of the StateView. The seed itself is also exposed
+// (the algorithm has no secret key in this model).
+
+#ifndef WBS_COMMON_RANDOM_H_
+#define WBS_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace wbs {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with an optional consumption log (the white-box tape).
+class RandomTape {
+ public:
+  explicit RandomTape(uint64_t seed) : seed_(seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(&sm);
+  }
+
+  /// Next 64 random bits; appended to the log if logging is enabled.
+  uint64_t NextWord() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    ++words_consumed_;
+    if (logging_) log_.push_back(result);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling so the distribution is exactly uniform.
+  uint64_t UniformInt(uint64_t bound) {
+    assert(bound > 0);
+    if (bound == 1) return 0;
+    const uint64_t limit = ~uint64_t{0} - ~uint64_t{0} % bound;
+    uint64_t w;
+    do {
+      w = NextWord();
+    } while (w >= limit);
+    return w % bound;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(NextWord() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0) {
+      NextWord();  // still consume: the tape's draw schedule is data-independent
+      return false;
+    }
+    if (p >= 1) {
+      NextWord();
+      return true;
+    }
+    return UniformDouble() < p;
+  }
+
+  /// Uniform signed choice in {-1, +1}.
+  int SignBit() { return (NextWord() & 1) ? 1 : -1; }
+
+  uint64_t seed() const { return seed_; }
+  uint64_t words_consumed() const { return words_consumed_; }
+
+  /// The full log of words handed out while logging was enabled. This is
+  /// the "previous randomness used by StreamAlg" the adversary observes.
+  const std::vector<uint64_t>& log() const { return log_; }
+
+  /// Enables/disables logging. Disabling is used by space/throughput benches
+  /// where the adversary is not consulted; the game runner keeps it on.
+  void set_logging(bool on) { logging_ = on; }
+  bool logging() const { return logging_; }
+
+  void ClearLog() { log_.clear(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t seed_;
+  uint64_t s_[4];
+  uint64_t words_consumed_ = 0;
+  bool logging_ = true;
+  std::vector<uint64_t> log_;
+};
+
+}  // namespace wbs
+
+#endif  // WBS_COMMON_RANDOM_H_

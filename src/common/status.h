@@ -1,0 +1,123 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// RocksDB-style Status / Result error handling. Library code never throws
+// across module boundaries; fallible operations return Status or Result<T>.
+
+#ifndef WBS_COMMON_STATUS_H_
+#define WBS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wbs {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kInternal,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kNotFound: return "NotFound";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kResourceExhausted: return "ResourceExhausted";
+      case Code::kInternal: return "Internal";
+      case Code::kUnimplemented: return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `value()` asserts on error in debug builds;
+/// callers are expected to check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}      // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace wbs
+
+#endif  // WBS_COMMON_STATUS_H_

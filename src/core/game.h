@@ -1,0 +1,158 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The two-player white-box adversarial game of Section 1:
+//
+//   round t:  (1) Adversary computes update u_t from all previous updates,
+//                 states, and randomness;
+//             (2) StreamAlg applies u_t, draws fresh randomness, answers the
+//                 fixed query Q;
+//             (3) Adversary observes the answer, the internal state, and the
+//                 randomness.
+//
+// The GameRunner referees: a caller-supplied correctness predicate (backed by
+// exact ground truth) is evaluated every round; the adversary wins if any
+// round's answer is wrong.
+
+#ifndef WBS_CORE_GAME_H_
+#define WBS_CORE_GAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/state_view.h"
+
+namespace wbs::core {
+
+/// Interface every white-box-playable streaming algorithm implements.
+/// UpdateT is the stream update type; AnswerT the query-response type.
+template <typename UpdateT, typename AnswerT>
+class StreamAlg {
+ public:
+  virtual ~StreamAlg() = default;
+
+  /// Applies one stream update.
+  virtual Status Update(const UpdateT& u) = 0;
+
+  /// Answers the fixed query Q on the stream so far.
+  virtual AnswerT Query() const = 0;
+
+  /// Serializes the complete internal state D_t (everything that influences
+  /// future behaviour except the tape, which is exposed separately).
+  virtual void SerializeState(StateWriter* w) const = 0;
+
+  /// Information-theoretic size of the current state, in bits.
+  virtual uint64_t SpaceBits() const = 0;
+
+  /// The algorithm's randomness source; nullptr for deterministic
+  /// algorithms. The game runner exposes its log to the adversary.
+  virtual wbs::RandomTape* MutableTape() { return nullptr; }
+};
+
+/// Interface of the adversary. It may keep arbitrary state of its own and is
+/// handed the full StateView of the algorithm after every round.
+template <typename UpdateT, typename AnswerT>
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Chooses update u_{t+1} given the view after round t (for t = 0 the view
+  /// is the algorithm's initial state). Returning nullopt ends the stream.
+  virtual std::optional<UpdateT> NextUpdate(const StateView& view,
+                                            const AnswerT& last_answer) = 0;
+};
+
+/// Verdict of one adversarial game.
+struct GameResult {
+  bool algorithm_survived = true;   ///< correct at every round
+  uint64_t rounds_played = 0;
+  uint64_t first_failure_round = 0; ///< 1-based; 0 if none
+  uint64_t max_space_bits = 0;      ///< peak space the algorithm charged
+};
+
+/// Runs the game for at most `max_rounds` rounds.
+///
+/// `check` is the referee: called after every round with (round, answer);
+/// it must consult exact ground truth (the caller updates its own oracle
+/// from `on_update`, which fires before the algorithm sees the update).
+template <typename UpdateT, typename AnswerT>
+GameResult RunGame(StreamAlg<UpdateT, AnswerT>* alg,
+                   Adversary<UpdateT, AnswerT>* adversary, uint64_t max_rounds,
+                   const std::function<void(const UpdateT&)>& on_update,
+                   const std::function<bool(uint64_t round,
+                                            const AnswerT&)>& check,
+                   bool stop_at_first_failure = true) {
+  GameResult result;
+  AnswerT last_answer{};
+  StateWriter writer;
+
+  auto make_view = [&](uint64_t round) {
+    StateView view;
+    view.round = round;
+    writer.Clear();
+    alg->SerializeState(&writer);
+    view.state_words = writer.words();
+    wbs::RandomTape* tape = alg->MutableTape();
+    if (tape != nullptr) {
+      view.rng_seed = tape->seed();
+      view.randomness_log = &tape->log();
+    }
+    view.space_bits = alg->SpaceBits();
+    return view;
+  };
+
+  for (uint64_t t = 1; t <= max_rounds; ++t) {
+    // (1) Adversary picks u_t from the white-box view after round t-1.
+    StateView view = make_view(t - 1);
+    std::optional<UpdateT> u = adversary->NextUpdate(view, last_answer);
+    if (!u.has_value()) break;
+
+    // (2) StreamAlg processes the update and answers the query.
+    on_update(*u);
+    Status s = alg->Update(*u);
+    if (!s.ok()) {
+      // An update the algorithm cannot process counts as a loss: the model
+      // requires correctness at all times.
+      result.algorithm_survived = false;
+      result.first_failure_round = t;
+      result.rounds_played = t;
+      return result;
+    }
+    last_answer = alg->Query();
+    result.rounds_played = t;
+    result.max_space_bits = std::max(result.max_space_bits, alg->SpaceBits());
+
+    // (3) Referee: the answer must be correct at every time step.
+    if (!check(t, last_answer)) {
+      result.algorithm_survived = false;
+      if (result.first_failure_round == 0) result.first_failure_round = t;
+      if (stop_at_first_failure) return result;
+    }
+  }
+  return result;
+}
+
+/// Adapter: replays a fixed (oblivious) stream as an "adversary", so the
+/// same game harness covers oblivious and adaptive experiments.
+template <typename UpdateT, typename AnswerT>
+class ScriptedAdversary : public Adversary<UpdateT, AnswerT> {
+ public:
+  explicit ScriptedAdversary(std::vector<UpdateT> script)
+      : script_(std::move(script)) {}
+
+  std::optional<UpdateT> NextUpdate(const StateView&, const AnswerT&) override {
+    if (pos_ >= script_.size()) return std::nullopt;
+    return script_[pos_++];
+  }
+
+ private:
+  std::vector<UpdateT> script_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wbs::core
+
+#endif  // WBS_CORE_GAME_H_

@@ -1,0 +1,68 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The white-box exposure surface. After every round the adversary observes
+// (Section 1, step (3)): the response A_t, the internal state D_t, and the
+// random bits R_t. StateView packages exactly that. There is no secret key:
+// the RNG seed and the full randomness log are part of the view.
+
+#ifndef WBS_CORE_STATE_VIEW_H_
+#define WBS_CORE_STATE_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbs::core {
+
+/// Sink an algorithm serializes its *entire* internal state into. The word
+/// stream is what the adversary parses; tests assert that two algorithms
+/// with equal serialized state behave identically on equal future inputs
+/// (the defining property of "internal state").
+class StateWriter {
+ public:
+  void PutU64(uint64_t v) { words_.push_back(v); }
+  void PutI64(int64_t v) { words_.push_back(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    words_.push_back(bits);
+  }
+  void PutBytes(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    words_.push_back(len);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < len; ++i) {
+      acc = (acc << 8) | p[i];
+      if (i % 8 == 7) {
+        words_.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (len % 8 != 0) words_.push_back(acc);
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  void Clear() { words_.clear(); }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+/// Everything the adversary sees at the end of round t.
+struct StateView {
+  uint64_t round = 0;
+  /// D_t: the algorithm's complete serialized internal state.
+  std::vector<uint64_t> state_words;
+  /// Seed of the algorithm's tape (no secret key in this model).
+  uint64_t rng_seed = 0;
+  /// R_1, ..., R_t: every random word the algorithm has drawn so far.
+  /// Null when the algorithm is deterministic.
+  const std::vector<uint64_t>* randomness_log = nullptr;
+  /// Space the algorithm currently charges itself, in bits.
+  uint64_t space_bits = 0;
+};
+
+}  // namespace wbs::core
+
+#endif  // WBS_CORE_STATE_VIEW_H_

@@ -1,0 +1,142 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "counter/branching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbs::counter {
+
+ErrorFn MultiplicativeError(double delta) {
+  return [delta](uint64_t k) { return uint64_t(std::floor(delta * double(k))); };
+}
+
+ErrorFn AdditiveError(uint64_t c) {
+  return [c](uint64_t) { return c; };
+}
+
+namespace {
+
+struct Interval {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+// Merges sorted, possibly-overlapping intervals into the minimal eps-bound
+// cover: greedily extend each cover interval as far right as the eps-bound
+// for its left endpoint allows.
+std::vector<Interval> MinimalCover(const std::vector<Interval>& forced,
+                                   const ErrorFn& eps) {
+  std::vector<Interval> out;
+  size_t i = 0;
+  while (i < forced.size()) {
+    uint64_t lo = forced[i].lo;
+    uint64_t cap = lo + eps(lo);  // largest right endpoint allowed from lo
+    uint64_t hi = forced[i].hi;
+    // Absorb subsequent forced intervals while they fit under the cap and
+    // remain contiguous/overlapping with the running cover.
+    size_t j = i + 1;
+    while (j < forced.size() && forced[j].lo <= hi + 1 &&
+           forced[j].hi <= cap) {
+      hi = std::max(hi, forced[j].hi);
+      ++j;
+    }
+    out.push_back({lo, std::min(hi, cap)});
+    // If the current forced interval itself exceeded the cap (cannot happen
+    // when forced intervals were eps-bound at the previous step and grow by
+    // one), we would need a split; assert-level invariant kept by caller.
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+IntervalFamilyResult SimulateMinimalIntervalFamily(uint64_t n,
+                                                   const ErrorFn& eps) {
+  IntervalFamilyResult result;
+  // I(1) = {[1,1]} (Lemma 3.5).
+  std::vector<Interval> family = {{1, 1}};
+  result.family_sizes.push_back(family.size());
+  result.peak_states = 1;
+
+  for (uint64_t t = 1; t <= n; ++t) {
+    // Forced intervals at time t+1 (Lemmas 3.6, 3.7): for each [k, l] both
+    // [k, l] and [k+1, l+1] must be covered, i.e. the union [k, l+1] must be
+    // covered (possibly by several intervals).
+    std::vector<Interval> forced;
+    forced.reserve(family.size() * 2);
+    for (const Interval& iv : family) {
+      uint64_t k = iv.lo, l = iv.hi;
+      uint64_t cap = k + eps(k);
+      if (l + 1 <= cap) {
+        forced.push_back({k, l + 1});
+      } else {
+        // Cannot stretch: keep [k, l] and spawn [k+1, l+1] separately.
+        forced.push_back({k, l});
+        forced.push_back({k + 1, l + 1});
+      }
+    }
+    std::sort(forced.begin(), forced.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.lo != b.lo ? a.lo < b.lo : a.hi > b.hi;
+              });
+    // Deduplicate nested intervals.
+    std::vector<Interval> pruned;
+    uint64_t covered_hi = 0;
+    bool first = true;
+    for (const Interval& iv : forced) {
+      if (!first && iv.hi <= covered_hi) continue;
+      pruned.push_back(iv);
+      covered_hi = iv.hi;
+      first = false;
+    }
+    family = MinimalCover(pruned, eps);
+    result.family_sizes.push_back(family.size());
+    result.peak_states = std::max(result.peak_states, family.size());
+  }
+  result.bits_lower_bound = wbs::CeilLog2(result.peak_states);
+  return result;
+}
+
+TheoreticalBound TheoreticalStateLowerBound(uint64_t n, const ErrorFn& eps) {
+  TheoreticalBound b;
+  // Largest h with (1 + sum_{k=1..h} eps(k)) * h <= n, found by linear scan
+  // with a running prefix sum (h <= n so this is at most n steps; callers
+  // use it for n up to ~2^24).
+  uint64_t prefix = 0;
+  uint64_t h = 0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    prefix += eps(k);
+    // Overflow-safe check of (1 + prefix) * k <= n.
+    if (prefix + 1 > n / k) break;
+    if ((prefix + 1) * k <= n) h = k;
+  }
+  b.h = h;
+  b.min_states = h + 1;
+  b.min_bits = wbs::CeilLog2(b.min_states);
+  return b;
+}
+
+TruncatedCounter::TruncatedCounter(int mantissa_bits)
+    : mantissa_bits_(mantissa_bits) {}
+
+Status TruncatedCounter::Update(const stream::BitUpdate& u) {
+  if (u.bit == 0) return Status::OK();
+  const uint64_t mantissa_cap = uint64_t{1} << mantissa_bits_;
+  if (exponent_ == 0) {
+    ++mantissa_;
+    if (mantissa_ == mantissa_cap) {
+      mantissa_ >>= 1;
+      ++exponent_;
+    }
+    return Status::OK();
+  }
+  // Value is mantissa * 2^exponent; adding 1 and truncating back into the
+  // representation floors the sub-ULP part away: the counter stalls. This is
+  // precisely the behaviour Theorem 1.11 says *every* deterministic small
+  // counter must eventually exhibit.
+  return Status::OK();
+}
+
+}  // namespace wbs::counter

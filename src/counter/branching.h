@@ -1,0 +1,107 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The machinery behind Theorem 1.11: any *deterministic* algorithm that
+// (1+eps)-approximates the number of 1s in a length-n bit stream needs
+// Omega(log n) bits, even with a timer.
+//
+// A deterministic streaming counter is a read-once branching program (OBDD).
+// Section 3.2 associates with every OBDD node u the interval
+// J_u = [min C_u, max C_u] of true counts reaching u, and proves (Lemmas
+// 3.5-3.7) that the family I(t) of maximal intervals obeys forced-transition
+// rules. This header provides:
+//
+//  * SimulateMinimalIntervalFamily — the *cheapest possible* deterministic
+//    program: a greedy family evolution that merges intervals whenever the
+//    eps-bound allows. Its peak family size is a lower bound on the number
+//    of states of ANY correct deterministic counter (with timer), so
+//    ceil(log2(peak)) lower-bounds the bits.
+//  * TheoreticalStateLowerBound — the closed-form h from Lemma 3.9/3.10:
+//    the largest h with (1 + sum_{k<=h} eps(k)) * h <= n gives >= h+1 states.
+//  * TruncatedCounter — a concrete deterministic b-bit "floating point"
+//    counter (mantissa+exponent) exhibiting the failure: it stalls once the
+//    increment falls below one unit in the last place, so at n >> 2^b it
+//    violates any constant-factor approximation. This is the matching
+//    upper-bound intuition: to survive length n you need b = Omega(log n).
+
+#ifndef WBS_COUNTER_BRANCHING_H_
+#define WBS_COUNTER_BRANCHING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "core/game.h"
+#include "stream/updates.h"
+
+namespace wbs::counter {
+
+/// eps(k): permitted deviation of an interval's right endpoint from k when
+/// the interval's left endpoint is k (Section 3.2's error function).
+using ErrorFn = std::function<uint64_t(uint64_t)>;
+
+/// eps(k) = floor(delta * k): (1 + delta)-multiplicative approximation.
+ErrorFn MultiplicativeError(double delta);
+
+/// eps(k) = additive constant c.
+ErrorFn AdditiveError(uint64_t c);
+
+/// Result of evolving the minimal interval family for n steps.
+struct IntervalFamilyResult {
+  /// |I(t)| for t = 1..n+1 (index 0 is t=1).
+  std::vector<size_t> family_sizes;
+  /// max_t |I(t)| — a lower bound on the states of any correct program.
+  size_t peak_states = 0;
+  /// ceil(log2(peak_states)) — the bits lower bound.
+  uint64_t bits_lower_bound = 0;
+};
+
+/// Greedy evolution of I(t) under Lemmas 3.5-3.7 with maximal merging.
+/// Every correct deterministic (timer-aware) counter's state count at time t
+/// is >= |I(t)| produced here.
+IntervalFamilyResult SimulateMinimalIntervalFamily(uint64_t n,
+                                                   const ErrorFn& eps);
+
+/// The Lemma 3.9/3.10 closed form: largest h such that
+/// (1 + sum_{k=1..h} eps(k)) * h <= n; any correct program has >= h+1 states
+/// at some time t0 <= n+1, hence >= ceil(log2(h+1)) bits.
+struct TheoreticalBound {
+  uint64_t h = 0;
+  uint64_t min_states = 0;
+  uint64_t min_bits = 0;
+};
+TheoreticalBound TheoreticalStateLowerBound(uint64_t n, const ErrorFn& eps);
+
+/// Deterministic approximate counter with a b-bit mantissa and an exponent:
+/// stores m * 2^e with m < 2^b; increments round down into the
+/// representation. Stalls (m * 2^e stops changing on +1) once 2^e > 1 would
+/// be needed... i.e. once m hits 2^b - 1 at e chosen so increments round to
+/// zero, demonstrating the Omega(log n) necessity concretely.
+class TruncatedCounter final
+    : public core::StreamAlg<stream::BitUpdate, double> {
+ public:
+  explicit TruncatedCounter(int mantissa_bits);
+
+  Status Update(const stream::BitUpdate& u) override;
+  double Query() const override { return double(mantissa_) * double(uint64_t{1} << exponent_); }
+  void SerializeState(core::StateWriter* w) const override {
+    w->PutU64(mantissa_);
+    w->PutU64(uint64_t(exponent_));
+  }
+  /// mantissa bits + exponent register bits.
+  uint64_t SpaceBits() const override {
+    return uint64_t(mantissa_bits_) + wbs::BitsForValue(uint64_t(exponent_));
+  }
+
+  int mantissa_bits() const { return mantissa_bits_; }
+
+ private:
+  int mantissa_bits_;
+  uint64_t mantissa_ = 0;  // < 2^mantissa_bits
+  int exponent_ = 0;
+};
+
+}  // namespace wbs::counter
+
+#endif  // WBS_COUNTER_BRANCHING_H_

@@ -1,0 +1,60 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "counter/morris.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace wbs::counter {
+
+MedianMorrisCounter::MedianMorrisCounter(double eps, double delta,
+                                         wbs::RandomTape* tape)
+    : tape_(tape) {
+  // Means of b registers with a = eps^2/6 give Pr[err > eps n] <= 1/3 per
+  // group (Chebyshev); the median over r = ceil(24 ln(1/delta)) groups fails
+  // with probability <= delta (Chernoff).
+  groups_ = std::max(1, int(std::ceil(24.0 * std::log(1.0 / delta))));
+  if (groups_ % 2 == 0) ++groups_;
+  per_group_ = 3;
+  const double a = eps * eps / 6.0;
+  regs_.reserve(size_t(groups_) * per_group_);
+  for (int i = 0; i < groups_ * per_group_; ++i) {
+    regs_.emplace_back(a, tape);
+  }
+}
+
+Status MedianMorrisCounter::Update(const stream::BitUpdate& u) {
+  if (u.bit != 0) {
+    for (auto& r : regs_) r.Increment();
+  }
+  return Status::OK();
+}
+
+double MedianMorrisCounter::Query() const {
+  std::vector<double> means;
+  means.reserve(groups_);
+  for (int g = 0; g < groups_; ++g) {
+    double s = 0;
+    for (int j = 0; j < per_group_; ++j) {
+      s += regs_[size_t(g) * per_group_ + j].Estimate();
+    }
+    means.push_back(s / per_group_);
+  }
+  std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                   means.end());
+  return means[means.size() / 2];
+}
+
+void MedianMorrisCounter::SerializeState(core::StateWriter* w) const {
+  w->PutU64(uint64_t(groups_));
+  w->PutU64(uint64_t(per_group_));
+  for (const auto& r : regs_) w->PutU64(r.register_value());
+}
+
+uint64_t MedianMorrisCounter::SpaceBits() const {
+  uint64_t bits = 0;
+  for (const auto& r : regs_) bits += r.SpaceBits();
+  return bits;
+}
+
+}  // namespace wbs::counter

@@ -1,0 +1,137 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "crypto/crhf.h"
+
+#include <cassert>
+
+#include "common/bits.h"
+#include "crypto/sha256.h"
+
+namespace wbs::crypto {
+
+DlogParams DlogParams::Generate(int bits, wbs::RandomTape* tape) {
+  assert(bits >= 17 && bits <= 62);
+  DlogParams out;
+  auto rng = [tape]() { return tape->NextWord(); };
+  out.p = wbs::RandomSafePrime(bits, rng);
+  out.q = (out.p - 1) / 2;
+  out.g = wbs::FindQuadraticResidueGenerator(out.p, rng);
+  return out;
+}
+
+uint64_t DlogParams::ElementBits() const { return wbs::BitsForValue(p); }
+
+void DlogFingerprint::AppendBit(int b) {
+  value_ = MulMod(value_, value_, params_.p);
+  if (b) value_ = MulMod(value_, params_.g, params_.p);
+  ++length_bits_;
+}
+
+void DlogFingerprint::AppendChar(uint64_t c, int char_bits) {
+  assert(char_bits >= 1 && char_bits <= 63);
+  assert(char_bits == 63 || c < (uint64_t{1} << char_bits));
+  for (int i = char_bits - 1; i >= 0; --i) {
+    AppendBit(static_cast<int>((c >> i) & 1));
+  }
+}
+
+uint64_t DlogFingerprint::Concat(const DlogParams& params, uint64_t h_u,
+                                 uint64_t h_v, uint64_t v_bits) {
+  // Exponents live in Z_q (g has order exactly q), so 2^|V| is reduced mod q
+  // before the outer power.
+  uint64_t shift = PowMod(2, v_bits, params.q);
+  uint64_t lifted = PowMod(h_u, shift, params.p);
+  return MulMod(lifted, h_v, params.p);
+}
+
+uint64_t DlogFingerprint::RemovePrefix(const DlogParams& params, uint64_t h_pw,
+                                       uint64_t h_p, uint64_t w_bits) {
+  uint64_t shift = PowMod(2, w_bits, params.q);
+  uint64_t lifted = PowMod(h_p, shift, params.p);
+  uint64_t inv = InvMod(lifted, params.p);
+  return MulMod(h_pw, inv, params.p);
+}
+
+uint64_t DlogFingerprint::SpaceBits() const {
+  return params_.ElementBits() + wbs::BitsForValue(length_bits_);
+}
+
+PedersenHash PedersenHash::Generate(const DlogParams& params,
+                                    wbs::RandomTape* tape) {
+  // h = g^s for a uniformly random public exponent s in [1, q). There is no
+  // secret: in the white-box model the adversary sees s; collision resistance
+  // rests on the *hardness of computing* log_g(h), not on hiding it.
+  uint64_t s = 1 + tape->UniformInt(params.q - 1);
+  return PedersenHash(params, PowMod(params.g, s, params.p));
+}
+
+uint64_t PedersenHash::Hash(uint64_t x, uint64_t y) const {
+  uint64_t gx = PowMod(params_.g, x % params_.q, params_.p);
+  uint64_t hy = PowMod(h_, y % params_.q, params_.p);
+  return MulMod(gx, hy, params_.p);
+}
+
+uint64_t PedersenHash::CompressToField(uint64_t group_element) const {
+  // For a safe prime p = 2q+1 the map x -> min(x, p-x) sends QR(p) (and any
+  // element) into [1, q], a set of size q; subtract 1 to land in [0, q).
+  uint64_t folded = std::min(group_element, params_.p - group_element);
+  return folded - 1;
+}
+
+uint64_t PedersenHash::HashVector(const std::vector<uint64_t>& xs) const {
+  // Merkle-Damgard chain over the 2-to-1 Pedersen compression. The initial
+  // chaining value encodes the length to prevent extension-style collisions.
+  uint64_t state = CompressToField(Hash(0x6c656e, xs.size()));
+  for (uint64_t x : xs) {
+    state = CompressToField(Hash(state, x));
+  }
+  return state;
+}
+
+Sha256Crhf::Sha256Crhf(uint64_t salt, int output_bits)
+    : salt_(salt), output_bits_(output_bits) {
+  assert(output_bits >= 8 && output_bits <= 64);
+}
+
+uint64_t Sha256Crhf::Hash(const void* data, size_t len) const {
+  Sha256 h;
+  h.UpdateU64(salt_);
+  h.Update(data, len);
+  Digest256 d = h.Finalize();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return output_bits_ == 64 ? v : (v >> (64 - output_bits_));
+}
+
+uint64_t Sha256Crhf::HashU64s(const std::vector<uint64_t>& items) const {
+  Sha256 h;
+  h.UpdateU64(salt_);
+  h.UpdateU64(items.size());
+  for (uint64_t x : items) h.UpdateU64(x);
+  Digest256 d = h.Finalize();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return output_bits_ == 64 ? v : (v >> (64 - output_bits_));
+}
+
+uint64_t Sha256Crhf::HashU64(uint64_t item) const {
+  uint8_t buf[8];
+  uint64_t x = item;
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = uint8_t(x & 0xff);
+    x >>= 8;
+  }
+  return Hash(buf, 8);
+}
+
+int Sha256Crhf::OutputBitsForBudget(uint64_t time_budget_t, uint64_t items,
+                                    int slack_bits) {
+  int bits = static_cast<int>(2 * wbs::CeilLog2(time_budget_t) +
+                              wbs::CeilLog2(items)) +
+             slack_bits;
+  if (bits < 8) bits = 8;
+  if (bits > 64) bits = 64;
+  return bits;
+}
+
+}  // namespace wbs::crypto

@@ -1,0 +1,173 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Collision-resistant hash functions (Definition 2.4 of the paper) and the
+// discrete-log streaming fingerprint of Theorem 2.5 / Section 2.6.
+//
+// Three constructions:
+//
+//  * DlogFingerprint — the paper's streaming fingerprint h(U) = g^U mod p,
+//    computed incrementally as characters of U arrive. It supports the two
+//    algebraic identities Algorithm 6 (pattern matching) relies on:
+//       concat:        h(U ∘ V) from h(U), h(V), |V|
+//       remove-prefix: h(W) from h(P ∘ W), h(P), |W|
+//    Collisions require either computing a discrete log or exhibiting two
+//    streams whose integer encodings differ by a multiple of the group order
+//    q. Since encodings grow by one bit per stream bit, the latter needs
+//    streams of length >= log2(q) bits, so instantiating log2(q) ~ security
+//    parameter kappa > log(stream length) + margin makes the fingerprint
+//    collision-resistant against T-bounded adversaries — this is exactly the
+//    O(log min(T, n)) space dependence of Lemma 2.24.
+//
+//  * PedersenHash — h(x, y) = g^x * h^y mod p. A collision yields
+//    log_g(h), so collision-resistance reduces cleanly to discrete log.
+//    Used where a strict compressing CRHF on fixed-size inputs is needed.
+//
+//  * Sha256Crhf — truncated SHA-256, the random-oracle-model CRHF used to
+//    compress identities into a universe of size poly(log n, 1/eps, T)
+//    (Theorem 1.2) and neighborhoods into poly(n, T) (Theorem 1.3). The
+//    output width is chosen as 2*log2(T) + slack so a T-time (birthday)
+//    adversary finds a collision with negligible probability.
+//
+// SECURITY SCALE-DOWN (documented in DESIGN.md): group moduli here are
+// <= 62 bits so experiments run quickly; a production deployment would use a
+// 2048-bit group. All interfaces are parameterized by the security parameter
+// so the scale-down is a constant choice, not a structural one.
+
+#ifndef WBS_CRYPTO_CRHF_H_
+#define WBS_CRYPTO_CRHF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/modmath.h"
+#include "common/random.h"
+
+namespace wbs::crypto {
+
+/// Public parameters of the discrete-log group: a safe prime p = 2q + 1 and
+/// a generator g of the order-q subgroup of quadratic residues.
+struct DlogParams {
+  uint64_t p = 0;  ///< safe prime modulus
+  uint64_t q = 0;  ///< (p - 1) / 2, prime order of the QR subgroup
+  uint64_t g = 0;  ///< generator of the QR subgroup
+
+  /// Generates parameters with a `bits`-bit modulus (17 <= bits <= 62) from
+  /// the given tape. Parameters are public; in the white-box model the
+  /// adversary sees them anyway.
+  static DlogParams Generate(int bits, wbs::RandomTape* tape);
+
+  /// Bits to store one group element (= bits of p).
+  uint64_t ElementBits() const;
+};
+
+/// The paper's incremental streaming fingerprint h(U) = g^U mod p (Section
+/// 2.6), where the bit string U is read as a big-endian integer with exponent
+/// arithmetic modulo the group order q.
+class DlogFingerprint {
+ public:
+  explicit DlogFingerprint(const DlogParams& params)
+      : params_(params), value_(1), length_bits_(0) {}
+
+  /// Appends one bit b: U' = 2U + b, so h' = h^2 * g^b.
+  void AppendBit(int b);
+
+  /// Appends a character of `char_bits` bits (0 <= c < 2^char_bits).
+  void AppendChar(uint64_t c, int char_bits);
+
+  /// Current fingerprint value g^U mod p.
+  uint64_t value() const { return value_; }
+
+  /// Number of bits appended so far.
+  uint64_t length_bits() const { return length_bits_; }
+
+  /// Fingerprint of the concatenation U ∘ V given h(U), h(V) and |V| in bits:
+  /// g^(U * 2^|V| + V) = h(U)^(2^|V| mod q) * h(V).
+  static uint64_t Concat(const DlogParams& params, uint64_t h_u, uint64_t h_v,
+                         uint64_t v_bits);
+
+  /// Fingerprint of the suffix W given h(P ∘ W), h(P) and |W| in bits:
+  /// g^W = h(P∘W) * (h(P)^(2^|W| mod q))^-1.
+  static uint64_t RemovePrefix(const DlogParams& params, uint64_t h_pw,
+                               uint64_t h_p, uint64_t w_bits);
+
+  /// Space of the running fingerprint state (one group element + bit length
+  /// tracker), in bits.
+  uint64_t SpaceBits() const;
+
+  const DlogParams& params() const { return params_; }
+
+ private:
+  DlogParams params_;
+  uint64_t value_;
+  uint64_t length_bits_;
+};
+
+/// Pedersen commitment-style CRHF h(x, y) = g^x * h^y mod p with x, y in Z_q.
+/// Finding a collision yields log_g(h) (see PedersenHash::CollisionToDlog in
+/// the tests), so this is collision-resistant under the discrete-log
+/// assumption in the scaled group.
+class PedersenHash {
+ public:
+  PedersenHash(const DlogParams& params, uint64_t h)
+      : params_(params), h_(h) {}
+
+  /// Generates the second base h = g^s for random secretless public s.
+  static PedersenHash Generate(const DlogParams& params, wbs::RandomTape* tape);
+
+  /// h(x, y) = g^x * h^y mod p (x, y reduced mod q).
+  uint64_t Hash(uint64_t x, uint64_t y) const;
+
+  /// Hashes a vector of field elements by Merkle-Damgard chaining of the
+  /// two-to-one compression (group elements are mapped back into Z_q via the
+  /// bijection x -> min(x, p - x) - 1 available for safe primes).
+  uint64_t HashVector(const std::vector<uint64_t>& xs) const;
+
+  const DlogParams& params() const { return params_; }
+  uint64_t base_h() const { return h_; }
+
+ private:
+  uint64_t CompressToField(uint64_t group_element) const;
+
+  DlogParams params_;
+  uint64_t h_;
+};
+
+/// Truncated-SHA-256 CRHF: maps arbitrary byte strings into a `output_bits`-
+/// bit universe. With output_bits = 2*log2(T) + slack, a T-time adversary's
+/// collision probability is negligible (birthday bound) — the instrument of
+/// Theorems 1.2 and 1.3.
+class Sha256Crhf {
+ public:
+  /// `salt` is the public function index (Gen(1^kappa) output); output_bits
+  /// in [8, 64] for the integer interface.
+  Sha256Crhf(uint64_t salt, int output_bits);
+
+  /// Hash of an arbitrary byte string, truncated to output_bits.
+  uint64_t Hash(const void* data, size_t len) const;
+  uint64_t Hash(const std::string& s) const { return Hash(s.data(), s.size()); }
+
+  /// Hash of a sequence of 64-bit items (e.g. a sampled-identity list or an
+  /// adjacency row).
+  uint64_t HashU64s(const std::vector<uint64_t>& items) const;
+
+  /// Hash of a single 64-bit item.
+  uint64_t HashU64(uint64_t item) const;
+
+  int output_bits() const { return output_bits_; }
+  uint64_t salt() const { return salt_; }
+
+  /// Output-width rule from Theorem 1.2: enough bits that a T-bounded
+  /// adversary cannot find a collision among `items` candidates:
+  /// 2*log2(T) + log2(items) + slack, clamped to [8, 64].
+  static int OutputBitsForBudget(uint64_t time_budget_t, uint64_t items,
+                                 int slack_bits = 10);
+
+ private:
+  uint64_t salt_;
+  int output_bits_;
+};
+
+}  // namespace wbs::crypto
+
+#endif  // WBS_CRYPTO_CRHF_H_

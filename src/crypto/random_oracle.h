@@ -1,0 +1,75 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Random oracle (Bellare-Rogaway model), instantiated with SHA-256 in
+// counter mode as the paper itself suggests (Section 2.3). The oracle is
+// *public*: both the streaming algorithm and the adversary may query it, and
+// repeated queries return consistent answers. Algorithms that generate
+// sketch entries through the oracle (Algorithm 5, Theorem 1.6) pay no space
+// for the sketching matrix.
+
+#ifndef WBS_CRYPTO_RANDOM_ORACLE_H_
+#define WBS_CRYPTO_RANDOM_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace wbs::crypto {
+
+/// A stateless, publicly accessible random function H: (domain, index) -> U64.
+/// Distinct (domain, index) pairs give independent uniform values; repeated
+/// queries are consistent. Domain separation keeps different data structures
+/// from sharing randomness.
+class RandomOracle {
+ public:
+  /// `instance_id` distinguishes independent oracle instantiations (it plays
+  /// the role of the public common random string).
+  explicit RandomOracle(uint64_t instance_id = 0) : instance_id_(instance_id) {}
+
+  /// 64 uniform bits for (domain, index).
+  uint64_t Query(uint64_t domain, uint64_t index) const {
+    Sha256 h;
+    h.UpdateU64(kTag);
+    h.UpdateU64(instance_id_);
+    h.UpdateU64(domain);
+    h.UpdateU64(index);
+    Digest256 d = h.Finalize();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+    return v;
+  }
+
+  /// Uniform element of Z_q for (domain, index). Uses rejection sampling over
+  /// the 256-bit digest so the output is (statistically) uniform mod q.
+  uint64_t FieldElement(uint64_t domain, uint64_t index, uint64_t q) const {
+    // Draw successive 64-bit lanes from counter-extended digests until one
+    // lands below the largest multiple of q (rejection sampling).
+    const uint64_t limit = ~uint64_t{0} - ~uint64_t{0} % q;
+    for (uint64_t ctr = 0;; ++ctr) {
+      Sha256 h;
+      h.UpdateU64(kTag);
+      h.UpdateU64(instance_id_);
+      h.UpdateU64(domain);
+      h.UpdateU64(index);
+      h.UpdateU64(ctr);
+      Digest256 d = h.Finalize();
+      for (int lane = 0; lane < 4; ++lane) {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v = (v << 8) | d[8 * lane + i];
+        if (v < limit) return v % q;
+      }
+    }
+  }
+
+  uint64_t instance_id() const { return instance_id_; }
+
+ private:
+  static constexpr uint64_t kTag = 0x77627352414e444fULL;  // "wbsRANDO"
+
+  uint64_t instance_id_;
+};
+
+}  // namespace wbs::crypto
+
+#endif  // WBS_CRYPTO_RANDOM_ORACLE_H_

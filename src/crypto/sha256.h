@@ -1,0 +1,67 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// A from-scratch SHA-256 implementation (FIPS 180-4). The paper's
+// random-oracle-model algorithms suggest "in practice, one can use SHA256 as
+// the random oracle" (Section 2.3); this is that primitive. No external
+// crypto library is used anywhere in wbstream.
+
+#ifndef WBS_CRYPTO_SHA256_H_
+#define WBS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wbs::crypto {
+
+/// 32-byte SHA-256 digest.
+using Digest256 = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.Update(data, len);
+///   Digest256 d = h.Finalize();
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state so the object can be reused.
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(const std::string& s) { Update(s.data(), s.size()); }
+  void Update(const std::vector<uint8_t>& v) { Update(v.data(), v.size()); }
+
+  /// Absorbs a 64-bit value in big-endian byte order.
+  void UpdateU64(uint64_t v);
+
+  /// Completes the hash. The object must be Reset() before reuse.
+  Digest256 Finalize();
+
+  /// One-shot convenience.
+  static Digest256 Hash(const void* data, size_t len);
+  static Digest256 Hash(const std::string& s) { return Hash(s.data(), s.size()); }
+
+  /// First 8 bytes of the digest as a big-endian uint64 (handy fingerprint).
+  static uint64_t Hash64(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Hex rendering of a digest (lowercase), for tests and logging.
+std::string DigestToHex(const Digest256& d);
+
+}  // namespace wbs::crypto
+
+#endif  // WBS_CRYPTO_SHA256_H_

@@ -1,0 +1,209 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "crypto/sis.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/modmath.h"
+
+namespace wbs::crypto {
+
+uint64_t SisParams::EntryBits() const { return wbs::BitsForUniverse(q); }
+
+uint64_t SisParams::MatrixBits() const {
+  return EntryBits() * rows * cols;
+}
+
+SisMatrix::SisMatrix(SisParams params, const RandomOracle& oracle,
+                     uint64_t domain)
+    : params_(params), oracle_(&oracle), domain_(domain) {
+  assert(params_.q >= 2);
+  assert(params_.rows > 0 && params_.cols > 0);
+}
+
+uint64_t SisMatrix::Entry(size_t i, size_t j) const {
+  assert(i < params_.rows && j < params_.cols);
+  if (!cache_.empty()) return cache_[i * params_.cols + j];
+  return oracle_->FieldElement(domain_, i * params_.cols + j, params_.q);
+}
+
+void SisMatrix::Materialize() {
+  if (!cache_.empty()) return;
+  cache_.resize(params_.rows * params_.cols);
+  for (size_t i = 0; i < params_.rows; ++i) {
+    for (size_t j = 0; j < params_.cols; ++j) {
+      cache_[i * params_.cols + j] =
+          oracle_->FieldElement(domain_, i * params_.cols + j, params_.q);
+    }
+  }
+}
+
+SisSketchVector::SisSketchVector(const SisMatrix* matrix)
+    : matrix_(matrix), v_(matrix->params().rows, 0) {}
+
+Status SisSketchVector::Update(size_t col, int64_t delta) {
+  const SisParams& p = matrix_->params();
+  if (col >= p.cols) {
+    return Status::OutOfRange("SisSketchVector::Update: column out of range");
+  }
+  const uint64_t q = p.q;
+  uint64_t d = delta >= 0 ? uint64_t(delta) % q : q - (uint64_t(-delta) % q);
+  if (d == q) d = 0;
+  for (size_t i = 0; i < p.rows; ++i) {
+    v_[i] = AddMod(v_[i], MulMod(d, matrix_->Entry(i, col), q), q);
+  }
+  return Status::OK();
+}
+
+bool SisSketchVector::IsZero() const {
+  for (uint64_t x : v_) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+uint64_t SisSketchVector::SpaceBits() const {
+  return matrix_->params().EntryBits() * v_.size();
+}
+
+bool IsValidSisSolution(const SisMatrix& matrix,
+                        const std::vector<int64_t>& z) {
+  const SisParams& p = matrix.params();
+  if (z.size() != p.cols) return false;
+  bool nonzero = false;
+  for (int64_t zi : z) {
+    if (zi != 0) nonzero = true;
+    if (zi > int64_t(p.beta_inf) || zi < -int64_t(p.beta_inf)) return false;
+  }
+  if (!nonzero) return false;
+  for (size_t i = 0; i < p.rows; ++i) {
+    uint64_t acc = 0;
+    for (size_t j = 0; j < p.cols; ++j) {
+      uint64_t zj = z[j] >= 0 ? uint64_t(z[j]) % p.q
+                              : p.q - (uint64_t(-z[j]) % p.q);
+      if (zj == p.q) zj = 0;
+      acc = AddMod(acc, MulMod(zj, matrix.Entry(i, j), p.q), p.q);
+    }
+    if (acc != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Advances z through the box {-B..B}^k in odometer order; returns false after
+// the last combination.
+bool NextCandidate(std::vector<int64_t>* z, int64_t b) {
+  for (size_t i = 0; i < z->size(); ++i) {
+    if ((*z)[i] < b) {
+      ++(*z)[i];
+      return true;
+    }
+    (*z)[i] = -b;
+  }
+  return false;
+}
+
+}  // namespace
+
+SisAttackResult BruteForceSisAttack(const SisMatrix& matrix,
+                                    uint64_t max_operations) {
+  const SisParams& p = matrix.params();
+  const int64_t b = int64_t(p.beta_inf);
+  SisAttackResult result;
+  std::vector<int64_t> z(p.cols, -b);
+  do {
+    ++result.operations_used;
+    if (result.operations_used > max_operations) {
+      result.budget_exhausted = true;
+      return result;
+    }
+    bool all_zero = true;
+    for (int64_t zi : z) {
+      if (zi != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    if (IsValidSisSolution(matrix, z)) {
+      result.found = true;
+      result.z = z;
+      return result;
+    }
+  } while (NextCandidate(&z, b));
+  return result;
+}
+
+SisAttackResult MeetInMiddleSisAttack(const SisMatrix& matrix,
+                                      uint64_t max_operations) {
+  const SisParams& p = matrix.params();
+  const int64_t b = int64_t(p.beta_inf);
+  SisAttackResult result;
+  const size_t left_cols = p.cols / 2;
+  const size_t right_cols = p.cols - left_cols;
+  if (left_cols == 0) return BruteForceSisAttack(matrix, max_operations);
+
+  // Key a partial sum vector by hashing its entries into one 64-bit word;
+  // collisions are re-verified exactly, so false positives are harmless.
+  auto key_of = [&](const std::vector<uint64_t>& v) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  };
+
+  // Enumerate left half: A_left * z_left.
+  std::unordered_multimap<uint64_t, std::vector<int64_t>> table;
+  std::vector<int64_t> zl(left_cols, -b);
+  auto partial = [&](const std::vector<int64_t>& z, size_t col0,
+                     size_t ncols) {
+    std::vector<uint64_t> v(p.rows, 0);
+    for (size_t j = 0; j < ncols; ++j) {
+      uint64_t zj = z[j] >= 0 ? uint64_t(z[j]) % p.q
+                              : p.q - (uint64_t(-z[j]) % p.q);
+      if (zj == p.q) zj = 0;
+      for (size_t i = 0; i < p.rows; ++i) {
+        v[i] = AddMod(v[i], MulMod(zj, matrix.Entry(i, col0 + j), p.q), p.q);
+      }
+    }
+    return v;
+  };
+  do {
+    ++result.operations_used;
+    if (result.operations_used > max_operations) {
+      result.budget_exhausted = true;
+      return result;
+    }
+    table.emplace(key_of(partial(zl, 0, left_cols)), zl);
+  } while (NextCandidate(&zl, b));
+
+  // Enumerate right half and look up -A_right * z_right.
+  std::vector<int64_t> zr(right_cols, -b);
+  do {
+    ++result.operations_used;
+    if (result.operations_used > max_operations) {
+      result.budget_exhausted = true;
+      return result;
+    }
+    std::vector<uint64_t> v = partial(zr, left_cols, right_cols);
+    for (auto& x : v) x = x == 0 ? 0 : p.q - x;  // negate mod q
+    auto range = table.equal_range(key_of(v));
+    for (auto it = range.first; it != range.second; ++it) {
+      std::vector<int64_t> z = it->second;
+      z.insert(z.end(), zr.begin(), zr.end());
+      if (IsValidSisSolution(matrix, z)) {
+        result.found = true;
+        result.z = std::move(z);
+        return result;
+      }
+    }
+  } while (NextCandidate(&zr, b));
+  return result;
+}
+
+}  // namespace wbs::crypto

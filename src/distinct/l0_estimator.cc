@@ -1,0 +1,176 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "distinct/l0_estimator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/modmath.h"
+
+namespace wbs::distinct {
+
+SisL0Params SisL0Params::Derive(uint64_t universe, double eps, double c,
+                                uint64_t f_inf_bound) {
+  assert(eps > 0 && eps < 1);
+  assert(c > 0 && c < 0.5);
+  SisL0Params p;
+  p.universe = universe;
+  p.chunk_width =
+      std::max<uint64_t>(1, uint64_t(std::round(std::pow(double(universe), eps))));
+  p.num_chunks = (universe + p.chunk_width - 1) / p.chunk_width;
+  p.sketch_rows = std::max<size_t>(
+      1, size_t(std::round(std::pow(double(universe), c * eps))));
+  // q = poly(n), comfortably above beta_inf * chunk_width so honest chunks
+  // cannot wrap to zero by magnitude alone.
+  uint64_t base = universe < 16 ? 16 : universe;
+  uint64_t q_target = base * base * base;
+  if (q_target < f_inf_bound * p.chunk_width * 4) {
+    q_target = f_inf_bound * p.chunk_width * 4;
+  }
+  if (q_target > (uint64_t{1} << 61)) q_target = uint64_t{1} << 61;
+  p.q = NextPrime(q_target);
+  p.beta_inf = f_inf_bound;
+  return p;
+}
+
+SisL0Estimator::SisL0Estimator(const SisL0Params& params,
+                               const crypto::RandomOracle& oracle,
+                               uint64_t oracle_domain)
+    : params_(params),
+      matrix_(crypto::SisParams{params.q, params.sketch_rows,
+                                size_t(params.chunk_width), params.beta_inf},
+              oracle, oracle_domain),
+      chunks_(params.num_chunks, crypto::SisSketchVector(&matrix_)) {
+  // All chunks share the same oracle-derived A (the paper: "we use the same
+  // sketching matrix A on each chunk").
+}
+
+Status SisL0Estimator::Update(const stream::TurnstileUpdate& u) {
+  if (u.item >= params_.universe) {
+    return Status::OutOfRange("SisL0Estimator: item out of universe");
+  }
+  const uint64_t chunk = u.item / params_.chunk_width;
+  const size_t col = size_t(u.item % params_.chunk_width);
+  return chunks_[size_t(chunk)].Update(col, u.delta);
+}
+
+double SisL0Estimator::Query() const {
+  uint64_t nonzero = 0;
+  for (const auto& c : chunks_) {
+    if (!c.IsZero()) ++nonzero;
+  }
+  return double(nonzero);
+}
+
+void SisL0Estimator::SerializeState(core::StateWriter* w) const {
+  w->PutU64(params_.num_chunks);
+  w->PutU64(params_.chunk_width);
+  w->PutU64(params_.q);
+  for (const auto& c : chunks_) {
+    for (uint64_t v : c.value()) w->PutU64(v);
+  }
+}
+
+uint64_t SisL0Estimator::SpaceBits() const {
+  uint64_t bits = 0;
+  for (const auto& c : chunks_) bits += c.SpaceBits();
+  return bits;
+}
+
+NaiveSumL0::NaiveSumL0(uint64_t universe, uint64_t chunk_width)
+    : universe_(universe),
+      chunk_width_(chunk_width),
+      sums_((universe + chunk_width - 1) / chunk_width, 0) {}
+
+Status NaiveSumL0::Update(const stream::TurnstileUpdate& u) {
+  if (u.item >= universe_) {
+    return Status::OutOfRange("NaiveSumL0: item out of universe");
+  }
+  sums_[size_t(u.item / chunk_width_)] += u.delta;
+  return Status::OK();
+}
+
+double NaiveSumL0::Query() const {
+  uint64_t nonzero = 0;
+  for (int64_t s : sums_) {
+    if (s != 0) ++nonzero;
+  }
+  return double(nonzero);
+}
+
+void NaiveSumL0::SerializeState(core::StateWriter* w) const {
+  w->PutU64(sums_.size());
+  for (int64_t s : sums_) w->PutI64(s);
+}
+
+uint64_t NaiveSumL0::SpaceBits() const {
+  uint64_t bits = 0;
+  for (int64_t s : sums_) {
+    bits += wbs::BitsForValue(uint64_t(s < 0 ? -s : s)) + 1;  // sign bit
+  }
+  return bits;
+}
+
+KmvDistinct::KmvDistinct(size_t k, wbs::RandomTape* tape)
+    : k_(k), tape_(tape), hash_seed_(tape->NextWord()) {}
+
+uint64_t KmvDistinct::HashItem(uint64_t item) const {
+  uint64_t s = hash_seed_ ^ (item * 0x9e3779b97f4a7c15ULL);
+  return wbs::SplitMix64(&s);
+}
+
+uint64_t KmvDistinct::Threshold() const {
+  if (smallest_.size() < k_) return ~uint64_t{0};
+  return *smallest_.rbegin();
+}
+
+Status KmvDistinct::Update(const stream::ItemUpdate& u) {
+  uint64_t h = HashItem(u.item);
+  if (smallest_.size() < k_) {
+    smallest_.insert(h);
+    return Status::OK();
+  }
+  auto last = std::prev(smallest_.end());
+  if (h < *last && smallest_.find(h) == smallest_.end()) {
+    smallest_.erase(last);
+    smallest_.insert(h);
+  }
+  return Status::OK();
+}
+
+double KmvDistinct::Query() const {
+  if (smallest_.size() < k_) return double(smallest_.size());
+  // Standard KMV estimate: (k - 1) / normalized k-th minimum.
+  double kth = double(*smallest_.rbegin()) / double(~uint64_t{0});
+  if (kth <= 0) return double(k_);
+  return (double(k_) - 1.0) / kth;
+}
+
+void KmvDistinct::SerializeState(core::StateWriter* w) const {
+  w->PutU64(hash_seed_);  // the adversary sees the hash function
+  w->PutU64(smallest_.size());
+  for (uint64_t h : smallest_) w->PutU64(h);
+}
+
+uint64_t KmvDistinct::SpaceBits() const {
+  return 64 + smallest_.size() * 64;
+}
+
+std::optional<stream::ItemUpdate> KmvBlindingAdversary::NextUpdate(
+    const core::StateView&, const double&) {
+  // White-box attack: the adversary recomputes the victim's hash (seed is in
+  // the exposed state; we read it through the victim pointer, which is
+  // equivalent) and emits the next fresh item hashing above the current
+  // threshold — the sketch never changes while true L0 grows.
+  const uint64_t threshold = victim_->Threshold();
+  while (next_probe_ < universe_) {
+    uint64_t item = next_probe_++;
+    if (victim_->HashItem(item) > threshold) {
+      return stream::ItemUpdate{item};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wbs::distinct

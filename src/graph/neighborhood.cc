@@ -1,0 +1,174 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "graph/neighborhood.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace wbs::graph {
+
+namespace {
+
+// Canonical form of a neighbor list: sorted, deduplicated.
+std::vector<uint64_t> Canonical(std::vector<uint64_t> neighbors) {
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  return neighbors;
+}
+
+template <typename MapT, typename KeyFn>
+NeighborhoodGroups GroupBy(const MapT& map, KeyFn key_fn) {
+  std::unordered_map<uint64_t, std::vector<uint64_t>> groups;
+  for (const auto& [vertex, value] : map) {
+    groups[key_fn(value)].push_back(vertex);
+  }
+  NeighborhoodGroups out;
+  for (auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+CrhfNeighborhoodId::CrhfNeighborhoodId(uint64_t n, uint64_t time_budget_t,
+                                       wbs::RandomTape* tape)
+    : n_(n),
+      tape_(tape),
+      // poly(n, T) universe: 2 log T + log(n^2 candidate pairs) + slack.
+      crhf_(tape->NextWord(),
+            crypto::Sha256Crhf::OutputBitsForBudget(time_budget_t, n * n)) {}
+
+Status CrhfNeighborhoodId::Update(const stream::VertexArrival& u) {
+  if (u.vertex >= n_) {
+    return Status::OutOfRange("CrhfNeighborhoodId: vertex out of range");
+  }
+  std::vector<uint64_t> canon = Canonical(u.neighbors);
+  for (uint64_t nb : canon) {
+    if (nb >= n_) {
+      return Status::OutOfRange("CrhfNeighborhoodId: neighbor out of range");
+    }
+  }
+  hash_of_[u.vertex] = crhf_.HashU64s(canon);
+  return Status::OK();
+}
+
+NeighborhoodGroups CrhfNeighborhoodId::Query() const {
+  return GroupBy(hash_of_, [](uint64_t h) { return h; });
+}
+
+void CrhfNeighborhoodId::SerializeState(core::StateWriter* w) const {
+  w->PutU64(crhf_.salt());
+  w->PutU64(hash_of_.size());
+  for (const auto& [v, h] : hash_of_) {
+    w->PutU64(v);
+    w->PutU64(h);
+  }
+}
+
+uint64_t CrhfNeighborhoodId::SpaceBits() const {
+  // n vertex slots, each an id (log n) + a hash (O(log nT)) — Theorem 1.3's
+  // O(n log nT) bits — plus the public CRHF salt.
+  return hash_of_.size() *
+             (wbs::BitsForUniverse(n_) + uint64_t(crhf_.output_bits())) +
+         64;
+}
+
+ExactNeighborhoodId::ExactNeighborhoodId(uint64_t n) : n_(n) {}
+
+Status ExactNeighborhoodId::Update(const stream::VertexArrival& u) {
+  if (u.vertex >= n_) {
+    return Status::OutOfRange("ExactNeighborhoodId: vertex out of range");
+  }
+  std::vector<uint64_t> bits((n_ + 63) / 64, 0);
+  for (uint64_t nb : u.neighbors) {
+    if (nb >= n_) {
+      return Status::OutOfRange("ExactNeighborhoodId: neighbor out of range");
+    }
+    bits[nb / 64] |= uint64_t{1} << (nb % 64);
+  }
+  bitset_of_[u.vertex] = std::move(bits);
+  return Status::OK();
+}
+
+NeighborhoodGroups ExactNeighborhoodId::Query() const {
+  // Group by the full bitset content (hash the words only for bucketing;
+  // exact equality confirmed by construction of the key).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> buckets;
+  for (const auto& [v, bits] : bitset_of_) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : bits) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    buckets[h].push_back(v);
+  }
+  NeighborhoodGroups out;
+  for (auto& [key, members] : buckets) {
+    if (members.size() < 2) continue;
+    // Exact confirmation inside the bucket (FNV collisions split here).
+    std::sort(members.begin(), members.end());
+    std::vector<std::vector<uint64_t>> exact_groups;
+    for (uint64_t v : members) {
+      bool placed = false;
+      for (auto& g : exact_groups) {
+        if (bitset_of_.at(g[0]) == bitset_of_.at(v)) {
+          g.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) exact_groups.push_back({v});
+    }
+    for (auto& g : exact_groups) {
+      if (g.size() >= 2) out.push_back(std::move(g));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExactNeighborhoodId::SerializeState(core::StateWriter* w) const {
+  w->PutU64(bitset_of_.size());
+  for (const auto& [v, bits] : bitset_of_) {
+    w->PutU64(v);
+    for (uint64_t word : bits) w->PutU64(word);
+  }
+}
+
+uint64_t ExactNeighborhoodId::SpaceBits() const {
+  // Each stored neighborhood costs n bits plus the vertex id.
+  return bitset_of_.size() * (n_ + wbs::BitsForUniverse(n_));
+}
+
+std::vector<stream::VertexArrival> BuildOrEqualityGraph(
+    const std::vector<std::vector<uint8_t>>& x,
+    const std::vector<std::vector<uint8_t>>& y, uint64_t n) {
+  assert(x.size() == y.size());
+  std::vector<stream::VertexArrival> stream_updates;
+  const size_t k = x.size();
+  for (size_t i = 0; i < k; ++i) {
+    assert(x[i].size() == n && y[i].size() == n);
+    stream::VertexArrival u;
+    u.vertex = uint64_t(i);
+    for (uint64_t j = 0; j < n; ++j) {
+      if (x[i][j]) u.neighbors.push_back(2 * n + j);
+    }
+    stream_updates.push_back(std::move(u));
+    stream::VertexArrival v;
+    v.vertex = n + uint64_t(i);
+    for (uint64_t j = 0; j < n; ++j) {
+      if (y[i][j]) v.neighbors.push_back(2 * n + j);
+    }
+    stream_updates.push_back(std::move(v));
+  }
+  return stream_updates;
+}
+
+}  // namespace wbs::graph

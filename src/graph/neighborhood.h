@@ -1,0 +1,91 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The vertex neighborhood identification problem (Section 2.4): in the
+// vertex-arrival model, identify all pairs of vertices with identical
+// neighborhoods.
+//
+//  * CrhfNeighborhoodId — Theorem 1.3: hash each arriving vertex's
+//    neighborhood (a length-n Boolean vector) through a CRHF into poly(n, T)
+//    values and store n hashes: O(n log n) bits, robust against
+//    polynomial-time white-box adversaries (finding two distinct
+//    neighborhoods with equal hashes = finding a CRHF collision).
+//
+//  * ExactNeighborhoodId — the deterministic baseline that stores every
+//    neighborhood bitset: Theta(n^2) bits. Theorem 1.4 (via OR-Equality,
+//    Theorem 2.21) shows Omega(n^2 / log n) is forced for ANY deterministic
+//    algorithm, so this is within log factors of optimal — the separation
+//    the experiments measure.
+//
+//  * BuildOrEqualityGraph — the reduction graph of Theorem 1.4: 3n vertices
+//    u_i, v_i, r_j with u_i ~ r_j iff x_i[j] = 1 and v_i ~ r_j iff
+//    y_i[j] = 1, so N(u_i) = N(v_i) iff x_i = y_i.
+
+#ifndef WBS_GRAPH_NEIGHBORHOOD_H_
+#define WBS_GRAPH_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/game.h"
+#include "crypto/crhf.h"
+#include "stream/updates.h"
+
+namespace wbs::graph {
+
+/// Groups of vertices sharing a neighborhood (only groups of size >= 2).
+using NeighborhoodGroups = std::vector<std::vector<uint64_t>>;
+
+/// Theorem 1.3: CRHF-hashed neighborhood identification in O(n log n) bits.
+class CrhfNeighborhoodId final
+    : public core::StreamAlg<stream::VertexArrival, NeighborhoodGroups> {
+ public:
+  /// `n` vertices; `time_budget_t` bounds the white-box adversary's runtime
+  /// (sets the CRHF output width to poly(n, T) bits).
+  CrhfNeighborhoodId(uint64_t n, uint64_t time_budget_t,
+                     wbs::RandomTape* tape);
+
+  Status Update(const stream::VertexArrival& u) override;
+  NeighborhoodGroups Query() const override;
+  void SerializeState(core::StateWriter* w) const override;
+  uint64_t SpaceBits() const override;
+  wbs::RandomTape* MutableTape() override { return tape_; }
+
+  int hash_bits() const { return crhf_.output_bits(); }
+
+ private:
+  uint64_t n_;
+  wbs::RandomTape* tape_;
+  crypto::Sha256Crhf crhf_;
+  std::unordered_map<uint64_t, uint64_t> hash_of_;  // vertex -> hash
+};
+
+/// Deterministic exact baseline: stores each neighborhood as a bitset.
+class ExactNeighborhoodId final
+    : public core::StreamAlg<stream::VertexArrival, NeighborhoodGroups> {
+ public:
+  explicit ExactNeighborhoodId(uint64_t n);
+
+  Status Update(const stream::VertexArrival& u) override;
+  NeighborhoodGroups Query() const override;
+  void SerializeState(core::StateWriter* w) const override;
+  uint64_t SpaceBits() const override;
+
+ private:
+  uint64_t n_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> bitset_of_;
+};
+
+/// The Theorem 1.4 reduction instance: given k strings x_i and y_i of length
+/// n, produces the 3n-vertex arrival stream whose neighborhood-identical
+/// pairs are exactly { (u_i, v_i) : x_i = y_i }. Vertex ids: u_i = i,
+/// v_i = n + i, r_j = 2n + j.
+std::vector<stream::VertexArrival> BuildOrEqualityGraph(
+    const std::vector<std::vector<uint8_t>>& x,
+    const std::vector<std::vector<uint8_t>>& y, uint64_t n);
+
+}  // namespace wbs::graph
+
+#endif  // WBS_GRAPH_NEIGHBORHOOD_H_

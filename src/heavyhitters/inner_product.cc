@@ -1,0 +1,47 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "heavyhitters/inner_product.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wbs::hh {
+
+namespace {
+
+double RateFor(uint64_t m, double eps) {
+  // Lemma 2.6: p >= s/m with s = 1/eps^2 (a small constant factor for the
+  // 0.99 -> 3/4 probability slack).
+  if (m == 0) return 1.0;
+  double p = 4.0 / (eps * eps * double(m));
+  return std::min(p, 1.0);
+}
+
+}  // namespace
+
+InnerProductEstimator::InnerProductEstimator(uint64_t universe, uint64_t m_f,
+                                             uint64_t m_g, double eps,
+                                             wbs::RandomTape* tape)
+    : universe_(universe),
+      eps_(eps),
+      f_(RateFor(m_f, eps), tape),
+      g_(RateFor(m_g, eps), tape) {}
+
+double InnerProductEstimator::Estimate() const {
+  // <p_f^{-1} f', p_g^{-1} g'> over the (sparse) sampled supports.
+  const auto& fs = f_.sampled_counts();
+  const auto& gs = g_.sampled_counts();
+  const auto& small = fs.size() <= gs.size() ? fs : gs;
+  const bool small_is_f = fs.size() <= gs.size();
+  double sum = 0;
+  for (const auto& [item, cnt] : small) {
+    double a = double(cnt);
+    const auto& other = small_is_f ? gs : fs;
+    auto it = other.find(item);
+    if (it == other.end()) continue;
+    sum += a * double(it->second);
+  }
+  return sum * f_.sampler().InverseRate() * g_.sampler().InverseRate();
+}
+
+}  // namespace wbs::hh

@@ -1,0 +1,52 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Corollary 2.8: white-box robust inner-product estimation.
+//
+// Two streams implicitly define f, g in R^n; unscaled uniform samples f', g'
+// taken at rate p >= s/m with s = 1/eps^2 satisfy (Lemma 2.6 [JW18])
+//   <f'/p_f, g'/p_g> = <f, g> +- eps ||f||_1 ||g||_1
+// with probability 0.99, and the additive-error-to-inner-product transfer of
+// Lemma 2.7 [NNW12] bounds the error of any estimates with L_inf error
+// eps||.||_1 by 12 eps ||f||_1 ||g||_1. The sampler keeps no private
+// randomness, so the estimator is robust in the white-box model.
+
+#ifndef WBS_HEAVYHITTERS_INNER_PRODUCT_H_
+#define WBS_HEAVYHITTERS_INNER_PRODUCT_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "sampling/bernoulli.h"
+
+namespace wbs::hh {
+
+/// Streams two vectors (interleaved or sequential) and estimates <f, g>.
+class InnerProductEstimator {
+ public:
+  /// `m_f`, `m_g`: (upper bounds on) the two stream lengths; eps the target
+  /// accuracy relative to ||f||_1 ||g||_1.
+  InnerProductEstimator(uint64_t universe, uint64_t m_f, uint64_t m_g,
+                        double eps, wbs::RandomTape* tape);
+
+  void AddF(uint64_t item) { f_.Offer(item); }
+  void AddG(uint64_t item) { g_.Offer(item); }
+
+  /// Estimate of <f, g> = sum_i f_i g_i.
+  double Estimate() const;
+
+  uint64_t SpaceBits() const {
+    return f_.SpaceBits(universe_) + g_.SpaceBits(universe_);
+  }
+
+  double eps() const { return eps_; }
+
+ private:
+  uint64_t universe_;
+  double eps_;
+  sampling::SampledFrequencyEstimator f_;
+  sampling::SampledFrequencyEstimator g_;
+};
+
+}  // namespace wbs::hh
+
+#endif  // WBS_HEAVYHITTERS_INNER_PRODUCT_H_

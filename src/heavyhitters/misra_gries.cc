@@ -1,0 +1,123 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "heavyhitters/misra_gries.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wbs::hh {
+
+void MisraGries::Add(uint64_t item, uint64_t w) {
+  processed_ += w;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second += w;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(item, w);
+    return;
+  }
+  // Decrement-all by the largest amount that keeps every counter >= 0; with
+  // weighted updates this is min(w, min_counter) applied repeatedly. The
+  // standard amortized form: decrement by d = min(w, min over counters).
+  uint64_t remaining = w;
+  while (remaining > 0) {
+    uint64_t min_c = std::numeric_limits<uint64_t>::max();
+    for (const auto& [k, v] : counters_) min_c = std::min(min_c, v);
+    uint64_t d = std::min(remaining, min_c);
+    if (d == 0) d = remaining;  // defensive; counters are kept > 0 below
+    for (auto it2 = counters_.begin(); it2 != counters_.end();) {
+      it2->second -= d;
+      if (it2->second == 0) {
+        it2 = counters_.erase(it2);
+      } else {
+        ++it2;
+      }
+    }
+    remaining -= d;
+    if (counters_.size() < k_) {
+      if (remaining > 0) counters_.emplace(item, remaining);
+      return;
+    }
+  }
+}
+
+uint64_t MisraGries::Estimate(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<WeightedItem> MisraGries::List() const {
+  std::vector<WeightedItem> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, c] : counters_) {
+    out.push_back({item, double(c)});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.estimate > b.estimate;
+  });
+  return out;
+}
+
+uint64_t MisraGries::SpaceBits(uint64_t universe) const {
+  uint64_t bits = 0;
+  for (const auto& [item, c] : counters_) {
+    bits += wbs::BitsForUniverse(universe) + wbs::BitsForValue(c);
+  }
+  return bits;
+}
+
+uint64_t MisraGries::WorstCaseSpaceBits(size_t k, uint64_t universe,
+                                        uint64_t m) {
+  return k * (wbs::BitsForUniverse(universe) + wbs::BitsForValue(m));
+}
+
+void SpaceSaving::Add(uint64_t item, uint64_t w) {
+  processed_ += w;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second += w;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(item, w);
+    return;
+  }
+  // Replace the minimum counter.
+  auto min_it = counters_.begin();
+  for (auto it2 = counters_.begin(); it2 != counters_.end(); ++it2) {
+    if (it2->second < min_it->second) min_it = it2;
+  }
+  uint64_t new_count = min_it->second + w;
+  min_count_ = min_it->second;
+  counters_.erase(min_it);
+  counters_.emplace(item, new_count);
+}
+
+uint64_t SpaceSaving::Estimate(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? min_count_ : it->second;
+}
+
+std::vector<WeightedItem> SpaceSaving::List() const {
+  std::vector<WeightedItem> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, c] : counters_) {
+    out.push_back({item, double(c)});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.estimate > b.estimate;
+  });
+  return out;
+}
+
+uint64_t SpaceSaving::SpaceBits(uint64_t universe) const {
+  uint64_t bits = 0;
+  for (const auto& [item, c] : counters_) {
+    bits += wbs::BitsForUniverse(universe) + wbs::BitsForValue(c);
+  }
+  return bits;
+}
+
+}  // namespace wbs::hh

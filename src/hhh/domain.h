@@ -1,0 +1,97 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Hierarchical domains over [n] (Definition 2.9). A domain of height h
+// organizes items into a prefix tree: level 0 holds the items themselves,
+// level i holds prefixes obtained by dropping i * bits_per_level low bits,
+// and level h is the root. The two instantiations used by the experiments:
+//   * BinaryHierarchy  — one bit per level (height log2 n), and
+//   * ByteHierarchy    — eight bits per level (the IPv4-style 4-level
+//                        hierarchy of the networking HHH literature).
+
+#ifndef WBS_HHH_DOMAIN_H_
+#define WBS_HHH_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.h"
+
+namespace wbs::hhh {
+
+/// A node of the hierarchy: `value` is the item's high bits after dropping
+/// `level * bits_per_level` low bits; level 0 is the item itself.
+struct Prefix {
+  int level = 0;
+  uint64_t value = 0;
+
+  bool operator==(const Prefix& o) const {
+    return level == o.level && value == o.value;
+  }
+};
+
+struct PrefixHash {
+  size_t operator()(const Prefix& p) const {
+    return std::hash<uint64_t>()(p.value * 1315423911ULL + uint64_t(p.level));
+  }
+};
+
+/// A uniform-arity prefix hierarchy over a power-of-two-ish universe.
+class Hierarchy {
+ public:
+  /// `universe_bits` total bits per item; `bits_per_level` bits dropped at
+  /// each step up the tree. Height = ceil(universe_bits / bits_per_level).
+  Hierarchy(int universe_bits, int bits_per_level)
+      : universe_bits_(universe_bits), bits_per_level_(bits_per_level) {}
+
+  static Hierarchy Binary(uint64_t universe) {
+    return Hierarchy(int(wbs::BitsForUniverse(universe)), 1);
+  }
+  static Hierarchy Bytes(int universe_bits = 32) {
+    return Hierarchy(universe_bits, 8);
+  }
+
+  /// Height h: number of levels above the leaves.
+  int height() const {
+    return (universe_bits_ + bits_per_level_ - 1) / bits_per_level_;
+  }
+
+  /// The level-`level` prefix of an item.
+  Prefix PrefixOf(uint64_t item, int level) const {
+    int shift = level * bits_per_level_;
+    uint64_t v = shift >= 64 ? 0 : (item >> shift);
+    return {level, v};
+  }
+
+  /// Parent of a prefix (one level up).
+  Prefix Parent(const Prefix& p) const {
+    return {p.level + 1, p.value >> bits_per_level_};
+  }
+
+  /// True iff `anc` is an ancestor of (or equal to) `p`.
+  bool IsAncestorOrSelf(const Prefix& anc, const Prefix& p) const {
+    if (anc.level < p.level) return false;
+    int shift = (anc.level - p.level) * bits_per_level_;
+    uint64_t lifted = shift >= 64 ? 0 : (p.value >> shift);
+    return lifted == anc.value;
+  }
+
+  int universe_bits() const { return universe_bits_; }
+  int bits_per_level() const { return bits_per_level_; }
+
+  /// Bits to store a prefix at `level` (its value width + level tag).
+  uint64_t PrefixBits(int level) const {
+    int width = universe_bits_ - level * bits_per_level_;
+    if (width < 1) width = 1;
+    return uint64_t(width) + wbs::BitsForValue(uint64_t(height()));
+  }
+
+  std::string ToString(const Prefix& p) const;
+
+ private:
+  int universe_bits_;
+  int bits_per_level_;
+};
+
+}  // namespace wbs::hhh
+
+#endif  // WBS_HHH_DOMAIN_H_

@@ -1,0 +1,261 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "linalg/matrix_zq.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace wbs::linalg {
+
+MatrixZq MatrixZq::Multiply(const MatrixZq& other) const {
+  assert(cols_ == other.rows_);
+  assert(q_ == other.q_);
+  MatrixZq out(rows_, other.cols_, q_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      uint64_t aik = At(i, k);
+      if (aik == 0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) =
+            AddMod(out.At(i, j), MulMod(aik, other.At(k, j), q_), q_);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Row echelon elimination (destructive); returns pivot columns in order.
+std::vector<size_t> Echelonize(std::vector<std::vector<uint64_t>>* m,
+                               uint64_t q) {
+  std::vector<size_t> pivot_cols;
+  size_t rows = m->size();
+  if (rows == 0) return pivot_cols;
+  size_t cols = (*m)[0].size();
+  size_t row = 0;
+  for (size_t col = 0; col < cols && row < rows; ++col) {
+    // Find a pivot in this column at or below `row`.
+    size_t pr = row;
+    while (pr < rows && (*m)[pr][col] == 0) ++pr;
+    if (pr == rows) continue;
+    std::swap((*m)[row], (*m)[pr]);
+    uint64_t inv = InvMod((*m)[row][col], q);
+    for (size_t j = col; j < cols; ++j) {
+      (*m)[row][j] = MulMod((*m)[row][j], inv, q);
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      if (i == row) continue;
+      uint64_t f = (*m)[i][col];
+      if (f == 0) continue;
+      for (size_t j = col; j < cols; ++j) {
+        (*m)[i][j] = SubMod((*m)[i][j], MulMod(f, (*m)[row][j], q), q);
+      }
+    }
+    pivot_cols.push_back(col);
+    ++row;
+  }
+  return pivot_cols;
+}
+
+}  // namespace
+
+size_t MatrixZq::Rank() const {
+  std::vector<std::vector<uint64_t>> m(rows_, std::vector<uint64_t>(cols_));
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) m[i][j] = At(i, j);
+  }
+  return Echelonize(&m, q_).size();
+}
+
+std::optional<std::vector<uint64_t>> MatrixZq::KernelVector() const {
+  std::vector<std::vector<uint64_t>> m(rows_, std::vector<uint64_t>(cols_));
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) m[i][j] = At(i, j);
+  }
+  std::vector<size_t> pivots = Echelonize(&m, q_);
+  if (pivots.size() == cols_) return std::nullopt;  // trivial kernel only
+  // First free column.
+  size_t free_col = 0;
+  {
+    std::vector<bool> is_pivot(cols_, false);
+    for (size_t c : pivots) is_pivot[c] = true;
+    while (free_col < cols_ && is_pivot[free_col]) ++free_col;
+  }
+  std::vector<uint64_t> x(cols_, 0);
+  x[free_col] = 1;
+  // Reduced echelon: pivot rows read off directly.
+  for (size_t r = 0; r < pivots.size(); ++r) {
+    size_t pc = pivots[r];
+    // Row r: x[pc] + sum_{j != pc} m[r][j] x[j] = 0.
+    uint64_t v = m[r][free_col];  // only the free col is nonzero among x
+    x[pc] = v == 0 ? 0 : q_ - v;
+  }
+  return x;
+}
+
+std::vector<uint64_t> MatrixZq::Apply(const std::vector<uint64_t>& x) const {
+  assert(x.size() == cols_);
+  std::vector<uint64_t> y(rows_, 0);
+  for (size_t i = 0; i < rows_; ++i) {
+    uint64_t acc = 0;
+    for (size_t j = 0; j < cols_; ++j) {
+      acc = AddMod(acc, MulMod(At(i, j), x[j] % q_, q_), q_);
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+bool MatrixZq::IsZero() const {
+  for (uint64_t v : a_) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+MatrixZq MatrixZq::Identity(size_t n, uint64_t q) {
+  MatrixZq m(n, n, q);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1 % q;
+  return m;
+}
+
+namespace {
+
+using i128 = __int128;
+
+bool CheckedMul(i128 a, i128 b, i128* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+bool CheckedSub(i128 a, i128 b, i128* out) {
+  return !__builtin_sub_overflow(a, b, out);
+}
+bool CheckedAdd(i128 a, i128 b, i128* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+i128 Gcd128(i128 a, i128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::optional<std::vector<int64_t>> ExactIntegerKernelVector(
+    const std::vector<std::vector<int64_t>>& m_in) {
+  const size_t rows = m_in.size();
+  if (rows == 0) return std::nullopt;
+  const size_t cols = m_in[0].size();
+  std::vector<std::vector<i128>> m(rows, std::vector<i128>(cols));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m[i][j] = m_in[i][j];
+  }
+
+  // Fraction-free (Bareiss) elimination with column pivot tracking.
+  std::vector<size_t> pivot_cols;
+  i128 prev_pivot = 1;
+  size_t row = 0;
+  for (size_t col = 0; col < cols && row < rows; ++col) {
+    size_t pr = row;
+    while (pr < rows && m[pr][col] == 0) ++pr;
+    if (pr == rows) continue;
+    std::swap(m[row], m[pr]);
+    const i128 pivot = m[row][col];
+    for (size_t i = row + 1; i < rows; ++i) {
+      for (size_t j = col + 1; j < cols; ++j) {
+        i128 t1, t2, num;
+        if (!CheckedMul(pivot, m[i][j], &t1)) return std::nullopt;
+        if (!CheckedMul(m[i][col], m[row][j], &t2)) return std::nullopt;
+        if (!CheckedSub(t1, t2, &num)) return std::nullopt;
+        m[i][j] = num / prev_pivot;  // divides exactly (Bareiss identity)
+      }
+      m[i][col] = 0;
+    }
+    prev_pivot = pivot;
+    pivot_cols.push_back(col);
+    ++row;
+  }
+  if (pivot_cols.size() == cols) return std::nullopt;  // full column rank
+
+  // First free column.
+  std::vector<bool> is_pivot(cols, false);
+  for (size_t c : pivot_cols) is_pivot[c] = true;
+  size_t free_col = 0;
+  while (free_col < cols && is_pivot[free_col]) ++free_col;
+
+  // Back substitution with exact rationals x_j = num_j / den_j.
+  std::vector<i128> num(cols, 0), den(cols, 1);
+  num[free_col] = 1;
+  for (size_t r = pivot_cols.size(); r-- > 0;) {
+    const size_t pc = pivot_cols[r];
+    // Row r of the (upper-triangular) eliminated matrix:
+    //   m[r][pc] * x[pc] + sum_{j > pc} m[r][j] * x[j] = 0.
+    i128 acc_num = 0, acc_den = 1;
+    for (size_t j = pc + 1; j < cols; ++j) {
+      if (m[r][j] == 0 || num[j] == 0) continue;
+      // acc += m[r][j] * num[j] / den[j]
+      i128 term_num, t1, t2, new_num, new_den;
+      if (!CheckedMul(m[r][j], num[j], &term_num)) return std::nullopt;
+      if (!CheckedMul(acc_num, den[j], &t1)) return std::nullopt;
+      if (!CheckedMul(term_num, acc_den, &t2)) return std::nullopt;
+      if (!CheckedAdd(t1, t2, &new_num)) return std::nullopt;
+      if (!CheckedMul(acc_den, den[j], &new_den)) return std::nullopt;
+      i128 g = Gcd128(new_num, new_den);
+      if (g > 1) {
+        new_num /= g;
+        new_den /= g;
+      }
+      acc_num = new_num;
+      acc_den = new_den;
+    }
+    // x[pc] = -acc / m[r][pc].
+    i128 d;
+    if (!CheckedMul(acc_den, m[r][pc], &d)) return std::nullopt;
+    i128 n = -acc_num;
+    i128 g = Gcd128(n, d);
+    if (g > 1) {
+      n /= g;
+      d /= g;
+    }
+    if (d < 0) {
+      d = -d;
+      n = -n;
+    }
+    num[pc] = n;
+    den[pc] = d;
+  }
+
+  // Clear denominators: multiply through by lcm of den[].
+  i128 l = 1;
+  for (size_t j = 0; j < cols; ++j) {
+    if (num[j] == 0) continue;
+    i128 g = Gcd128(l, den[j]);
+    i128 t;
+    if (!CheckedMul(l / g, den[j], &t)) return std::nullopt;
+    l = t;
+  }
+  std::vector<int64_t> x(cols, 0);
+  const i128 kMax = i128(INT64_MAX);
+  for (size_t j = 0; j < cols; ++j) {
+    if (num[j] == 0) continue;
+    i128 v;
+    if (!CheckedMul(num[j], l / den[j], &v)) return std::nullopt;
+    if (v > kMax || v < -kMax) return std::nullopt;
+    x[j] = int64_t(v);
+  }
+  // Reduce by the gcd of all entries to keep the solution small.
+  int64_t g = 0;
+  for (int64_t v : x) g = std::gcd(g, v < 0 ? -v : v);
+  if (g > 1) {
+    for (auto& v : x) v /= g;
+  }
+  return x;
+}
+
+}  // namespace wbs::linalg

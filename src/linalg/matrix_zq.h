@@ -1,0 +1,88 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Dense linear algebra over the prime field Z_q: rank, row echelon form,
+// kernel vectors, and products. q is a prime < 2^62 (MulMod does the 128-bit
+// reduction). This underlies the rank-decision sketch of Theorem 1.6 and the
+// lower-bound attacks of Section 3.
+
+#ifndef WBS_LINALG_MATRIX_ZQ_H_
+#define WBS_LINALG_MATRIX_ZQ_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/modmath.h"
+
+namespace wbs::linalg {
+
+/// A rows x cols matrix over Z_q, row-major.
+class MatrixZq {
+ public:
+  MatrixZq(size_t rows, size_t cols, uint64_t q)
+      : rows_(rows), cols_(cols), q_(q), a_(rows * cols, 0) {}
+
+  uint64_t& At(size_t i, size_t j) { return a_[i * cols_ + j]; }
+  uint64_t At(size_t i, size_t j) const { return a_[i * cols_ + j]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  uint64_t q() const { return q_; }
+
+  /// Sets entry with reduction mod q (accepts signed deltas).
+  void Set(size_t i, size_t j, int64_t v) {
+    uint64_t r = v >= 0 ? uint64_t(v) % q_ : q_ - (uint64_t(-v) % q_);
+    if (r == q_) r = 0;
+    At(i, j) = r;
+  }
+
+  /// this[i][j] += v (mod q).
+  void AddAt(size_t i, size_t j, int64_t v) {
+    uint64_t r = v >= 0 ? uint64_t(v) % q_ : q_ - (uint64_t(-v) % q_);
+    if (r == q_) r = 0;
+    At(i, j) = AddMod(At(i, j), r, q_);
+  }
+
+  /// Matrix product (this * other), dimensions must agree.
+  MatrixZq Multiply(const MatrixZq& other) const;
+
+  /// Rank over Z_q via Gaussian elimination (non-destructive).
+  size_t Rank() const;
+
+  /// A nonzero x with (this) * x == 0 mod q, if the kernel is nontrivial.
+  std::optional<std::vector<uint64_t>> KernelVector() const;
+
+  /// (this) * x mod q.
+  std::vector<uint64_t> Apply(const std::vector<uint64_t>& x) const;
+
+  /// True iff every entry is zero.
+  bool IsZero() const;
+
+  /// Identity matrix.
+  static MatrixZq Identity(size_t n, uint64_t q);
+
+  /// Bits to store the matrix: rows * cols * ceil(log2 q).
+  uint64_t SpaceBits() const {
+    return rows_ * cols_ * wbs::BitsForUniverse(q_);
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  uint64_t q_;
+  std::vector<uint64_t> a_;
+};
+
+/// Exact integer kernel: given an r x c integer matrix with c > r, returns a
+/// nonzero integer vector x with M x = 0 (over Z), computed by fraction-free
+/// (Bareiss) elimination in 128-bit arithmetic on the first r+1 independent
+/// columns. Returns nullopt on intermediate overflow (entries grow like
+/// r^{r/2}; reliable for r <= ~36 with +-1 inputs) — the caller treats that
+/// as "attack failed", which only *under*-states the attack's power.
+std::optional<std::vector<int64_t>> ExactIntegerKernelVector(
+    const std::vector<std::vector<int64_t>>& m);
+
+}  // namespace wbs::linalg
+
+#endif  // WBS_LINALG_MATRIX_ZQ_H_

@@ -1,0 +1,116 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "linalg/rank_sketch.h"
+
+#include <cassert>
+
+namespace wbs::linalg {
+
+RankDecisionSketch::RankDecisionSketch(size_t n, size_t k, uint64_t q,
+                                       const crypto::RandomOracle& oracle,
+                                       uint64_t oracle_domain)
+    : n_(n), k_(k), oracle_(&oracle), domain_(oracle_domain),
+      sketch_(k, n, q) {
+  assert(k >= 1 && k <= n);
+}
+
+uint64_t RankDecisionSketch::HEntry(size_t i, size_t j) const {
+  return oracle_->FieldElement(domain_, i * n_ + j, sketch_.q());
+}
+
+Status RankDecisionSketch::Update(const EntryUpdate& u) {
+  if (u.row >= n_ || u.col >= n_) {
+    return Status::OutOfRange("RankDecisionSketch: index out of range");
+  }
+  // A[row][col] += delta  =>  S[:, col] += delta * H[:, row].
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t h = HEntry(i, u.row);
+    const uint64_t q = sketch_.q();
+    uint64_t d = u.delta >= 0 ? uint64_t(u.delta) % q
+                              : q - (uint64_t(-u.delta) % q);
+    if (d == q) d = 0;
+    sketch_.At(i, u.col) =
+        AddMod(sketch_.At(i, u.col), MulMod(h, d, q), q);
+  }
+  return Status::OK();
+}
+
+bool RankDecisionSketch::Query() const { return sketch_.Rank() == k_; }
+
+void RankDecisionSketch::SerializeState(core::StateWriter* w) const {
+  w->PutU64(n_);
+  w->PutU64(k_);
+  w->PutU64(sketch_.q());
+  for (size_t i = 0; i < k_; ++i) {
+    for (size_t j = 0; j < n_; ++j) w->PutU64(sketch_.At(i, j));
+  }
+}
+
+StreamingBasisTracker::StreamingBasisTracker(size_t n, size_t max_rank,
+                                             uint64_t q,
+                                             const crypto::RandomOracle& oracle,
+                                             uint64_t oracle_domain)
+    : n_(n), d_(2 * max_rank + 2), q_(q), oracle_(&oracle),
+      domain_(oracle_domain) {
+  if (d_ > n_) d_ = n_;
+}
+
+bool StreamingBasisTracker::OfferRow(const std::vector<int64_t>& row) {
+  assert(row.size() == n_);
+  const size_t index = offered_++;
+  // Compress: c = row * G, G[j][t] = oracle(domain, j*d + t).
+  std::vector<uint64_t> c(d_, 0);
+  for (size_t j = 0; j < n_; ++j) {
+    if (row[j] == 0) continue;
+    uint64_t rj = row[j] >= 0 ? uint64_t(row[j]) % q_
+                              : q_ - (uint64_t(-row[j]) % q_);
+    if (rj == q_) rj = 0;
+    for (size_t t = 0; t < d_; ++t) {
+      uint64_t g = oracle_->FieldElement(domain_, j * d_ + t, q_);
+      c[t] = AddMod(c[t], MulMod(rj, g, q_), q_);
+    }
+  }
+  // Reduce c against the retained echelon basis.
+  for (size_t r = 0; r < echelon_.size(); ++r) {
+    uint64_t f = c[pivot_cols_[r]];
+    if (f == 0) continue;
+    for (size_t t = 0; t < d_; ++t) {
+      c[t] = SubMod(c[t], MulMod(f, echelon_[r][t], q_), q_);
+    }
+  }
+  // Find a pivot; if none, the row is (compressed-)dependent.
+  size_t pivot = d_;
+  for (size_t t = 0; t < d_; ++t) {
+    if (c[t] != 0) {
+      pivot = t;
+      break;
+    }
+  }
+  if (pivot == d_) return false;
+  uint64_t inv = InvMod(c[pivot], q_);
+  for (size_t t = 0; t < d_; ++t) c[t] = MulMod(c[t], inv, q_);
+  // Back-reduce existing rows to keep the basis reduced.
+  for (size_t r = 0; r < echelon_.size(); ++r) {
+    uint64_t f = echelon_[r][pivot];
+    if (f == 0) continue;
+    for (size_t t = 0; t < d_; ++t) {
+      echelon_[r][t] = SubMod(echelon_[r][t], MulMod(f, c[t], q_), q_);
+    }
+  }
+  echelon_.push_back(std::move(c));
+  pivot_cols_.push_back(pivot);
+  kept_.push_back(index);
+  return true;
+}
+
+uint64_t StreamingBasisTracker::SpaceBits() const {
+  // Retained compressed rows + their stream indices.
+  uint64_t bits = 0;
+  for (size_t r = 0; r < echelon_.size(); ++r) {
+    bits += d_ * wbs::BitsForUniverse(q_);
+    bits += wbs::BitsForValue(kept_[r]);
+  }
+  return bits;
+}
+
+}  // namespace wbs::linalg

@@ -1,0 +1,131 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "moments/ams.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "linalg/matrix_zq.h"
+
+namespace wbs::moments {
+
+AmsF2Sketch::AmsF2Sketch(uint64_t universe, size_t rows,
+                         wbs::RandomTape* tape)
+    : universe_(universe), tape_(tape), sign_seed_(tape->NextWord()) {
+  size_t r = ((rows + 5) / 6) * 6;  // groups of 6
+  if (r == 0) r = 6;
+  counters_.assign(r, 0);
+}
+
+int AmsF2Sketch::Sign(size_t row, uint64_t item) const {
+  uint64_t s = sign_seed_ ^ (row * 0xd1342543de82ef95ULL) ^
+               (item * 0x9e3779b97f4a7c15ULL);
+  return (wbs::SplitMix64(&s) & 1) ? 1 : -1;
+}
+
+Status AmsF2Sketch::Update(const stream::TurnstileUpdate& u) {
+  if (u.item >= universe_) {
+    return Status::OutOfRange("AmsF2Sketch: item out of universe");
+  }
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    counters_[j] += u.delta * Sign(j, u.item);
+  }
+  return Status::OK();
+}
+
+double AmsF2Sketch::Query() const {
+  const size_t group = 6;
+  std::vector<double> means;
+  means.reserve(counters_.size() / group);
+  for (size_t g = 0; g + group <= counters_.size(); g += group) {
+    double s = 0;
+    for (size_t j = 0; j < group; ++j) {
+      double y = double(counters_[g + j]);
+      s += y * y;
+    }
+    means.push_back(s / double(group));
+  }
+  if (means.empty()) return 0;
+  std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                   means.end());
+  return means[means.size() / 2];
+}
+
+void AmsF2Sketch::SerializeState(core::StateWriter* w) const {
+  w->PutU64(sign_seed_);  // the adversary sees the sign matrix
+  w->PutU64(counters_.size());
+  for (int64_t c : counters_) w->PutI64(c);
+}
+
+uint64_t AmsF2Sketch::SpaceBits() const {
+  uint64_t bits = 64;  // sign seed
+  for (int64_t c : counters_) {
+    bits += wbs::BitsForValue(uint64_t(c < 0 ? -c : c)) + 1;
+  }
+  return bits;
+}
+
+AmsKernelAdversary::AmsKernelAdversary(const AmsF2Sketch* victim) {
+  // White-box step: reconstruct the sign matrix restricted to the first
+  // r+1 items (all information is in the exposed seed) and find an exact
+  // integer kernel vector.
+  const size_t r = victim->rows();
+  const size_t cols = r + 1;
+  if (cols > victim->universe()) return;
+  std::vector<std::vector<int64_t>> signs(r, std::vector<int64_t>(cols));
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      signs[i][j] = victim->Sign(i, uint64_t(j));
+    }
+  }
+  auto kernel = linalg::ExactIntegerKernelVector(signs);
+  if (!kernel.has_value()) return;
+  for (size_t j = 0; j < cols; ++j) {
+    int64_t x = (*kernel)[j];
+    if (x == 0) continue;
+    script_.push_back({uint64_t(j), x});
+    planted_f2_ += double(x) * double(x);
+  }
+}
+
+std::optional<stream::TurnstileUpdate> AmsKernelAdversary::NextUpdate(
+    const core::StateView&, const double&) {
+  if (pos_ >= script_.size()) return std::nullopt;
+  return script_[pos_++];
+}
+
+Status ExactF2Stream::Update(const stream::TurnstileUpdate& u) {
+  if (u.item >= universe_) {
+    return Status::OutOfRange("ExactF2Stream: item out of universe");
+  }
+  int64_t& v = f_[u.item];
+  v += u.delta;
+  if (v == 0) f_.erase(u.item);
+  return Status::OK();
+}
+
+double ExactF2Stream::Query() const {
+  double s = 0;
+  for (const auto& [item, v] : f_) s += double(v) * double(v);
+  return s;
+}
+
+void ExactF2Stream::SerializeState(core::StateWriter* w) const {
+  w->PutU64(f_.size());
+  for (const auto& [item, v] : f_) {
+    w->PutU64(item);
+    w->PutI64(v);
+  }
+}
+
+uint64_t ExactF2Stream::SpaceBits() const {
+  uint64_t bits = 0;
+  for (const auto& [item, v] : f_) {
+    bits += wbs::BitsForUniverse(universe_) +
+            wbs::BitsForValue(uint64_t(v < 0 ? -v : v)) + 1;
+  }
+  return bits;
+}
+
+}  // namespace wbs::moments

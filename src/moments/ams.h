@@ -1,0 +1,115 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Fp moment estimation and the white-box impossibility it illustrates.
+//
+//  * AmsF2Sketch — the classic [AMS99] F2 estimator: r sign projections
+//    y_j = <s_j, f>, estimate = median of row-group means of y_j^2. In the
+//    *oblivious* model r = O(1/eps^2) rows suffice. In the white-box model
+//    the sign matrix is exposed, and
+//
+//  * AmsKernelAdversary — the generic attack behind Theorem 1.9's Omega(n):
+//    the adversary reads the sign matrix, computes an exact nonzero integer
+//    kernel vector x of an r x (r+1) column submatrix (always exists:
+//    r+1 > r), and streams the turnstile updates f += x. The sketch becomes
+//    identically 0 while F2(f) = ||x||^2 > 0 — the estimator answers 0,
+//    violating every finite approximation factor. The attack works against
+//    EVERY linear sketch with fewer than n rows, which is exactly why
+//    sublinear white-box Fp estimation requires cryptographic hardness
+//    (contrast: the SIS sketches of Algorithm 5 / Theorem 1.6, where the
+//    kernel vectors a bounded adversary can find have entries >> poly(n)).
+//
+//  * ExactF2Stream — the Omega(n)-space deterministic baseline that matches
+//    the lower bound: it stores f exactly.
+
+#ifndef WBS_MOMENTS_AMS_H_
+#define WBS_MOMENTS_AMS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/game.h"
+#include "stream/updates.h"
+
+namespace wbs::moments {
+
+/// The [AMS99] F2 sketch over turnstile streams. The sign matrix is derived
+/// from a public seed (part of the exposed state).
+class AmsF2Sketch final
+    : public core::StreamAlg<stream::TurnstileUpdate, double> {
+ public:
+  /// `rows` sign projections grouped for median-of-means (rows is rounded up
+  /// to a multiple of 6: groups of 6 averaged, median across groups).
+  AmsF2Sketch(uint64_t universe, size_t rows, wbs::RandomTape* tape);
+
+  Status Update(const stream::TurnstileUpdate& u) override;
+
+  /// Median-of-means estimate of F2 = sum_i f_i^2.
+  double Query() const override;
+
+  void SerializeState(core::StateWriter* w) const override;
+  uint64_t SpaceBits() const override;
+  wbs::RandomTape* MutableTape() override { return tape_; }
+
+  /// Sign s_j(item) in {-1, +1} — recomputable by the white-box adversary
+  /// from the exposed seed.
+  int Sign(size_t row, uint64_t item) const;
+
+  size_t rows() const { return counters_.size(); }
+  uint64_t universe() const { return universe_; }
+  uint64_t sign_seed() const { return sign_seed_; }
+
+ private:
+  uint64_t universe_;
+  wbs::RandomTape* tape_;
+  uint64_t sign_seed_;
+  std::vector<int64_t> counters_;
+};
+
+/// The Theorem 1.9 white-box adversary: computes an integer kernel vector of
+/// the victim's sign matrix restricted to items [0, rows] and replays it as
+/// a turnstile stream. After the scripted updates the victim's counters are
+/// all zero while F2 > 0.
+class AmsKernelAdversary final
+    : public core::Adversary<stream::TurnstileUpdate, double> {
+ public:
+  explicit AmsKernelAdversary(const AmsF2Sketch* victim);
+
+  std::optional<stream::TurnstileUpdate> NextUpdate(
+      const core::StateView& view, const double& last_answer) override;
+
+  /// Whether kernel computation succeeded (fails only on 128-bit overflow,
+  /// i.e. for very wide sketches; see ExactIntegerKernelVector).
+  bool armed() const { return !script_.empty(); }
+  /// F2 of the planted kernel vector (the true answer the sketch misses).
+  double planted_f2() const { return planted_f2_; }
+
+ private:
+  std::vector<stream::TurnstileUpdate> script_;
+  size_t pos_ = 0;
+  double planted_f2_ = 0;
+};
+
+/// Deterministic exact F2 (and any Fp) in Theta(n log m) bits — the matching
+/// upper bound for the Omega(n) lower bound of Theorem 1.9.
+class ExactF2Stream final
+    : public core::StreamAlg<stream::TurnstileUpdate, double> {
+ public:
+  explicit ExactF2Stream(uint64_t universe) : universe_(universe) {}
+
+  Status Update(const stream::TurnstileUpdate& u) override;
+  double Query() const override;
+  void SerializeState(core::StateWriter* w) const override;
+  uint64_t SpaceBits() const override;
+
+ private:
+  uint64_t universe_;
+  std::unordered_map<uint64_t, int64_t> f_;
+};
+
+}  // namespace wbs::moments
+
+#endif  // WBS_MOMENTS_AMS_H_

@@ -1,0 +1,132 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Sampling primitives the paper builds on.
+//
+// Theorem 2.3 ([BY20], extended to white-box adversaries): Bernoulli-sampling
+// each stream update with probability p >= C log(n/delta) / (eps^2 m) solves
+// eps-L1 heavy hitters. The proof carries over to white-box adversaries
+// because the sampler keeps *no private randomness*: each coin is tossed
+// after the adversary has already committed to the update, so seeing the
+// state reveals nothing about future coins.
+
+#ifndef WBS_SAMPLING_BERNOULLI_H_
+#define WBS_SAMPLING_BERNOULLI_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+
+namespace wbs::sampling {
+
+/// The Theorem 2.3 sampling rate: p = C log(n/delta) / (eps^2 m), capped at 1.
+inline double BernoulliRate(uint64_t universe, uint64_t m, double eps,
+                            double delta, double c = 4.0) {
+  if (m == 0) return 1.0;
+  double p = c * std::log(double(universe) / delta) /
+             (eps * eps * double(m));
+  return p > 1.0 ? 1.0 : p;
+}
+
+/// Samples updates with a fixed probability; tracks how many were offered and
+/// kept. Downstream structures consume the kept updates.
+class BernoulliSampler {
+ public:
+  BernoulliSampler(double p, wbs::RandomTape* tape) : p_(p), tape_(tape) {}
+
+  /// Returns true iff this update is sampled.
+  bool Offer() {
+    ++offered_;
+    bool keep = tape_->Bernoulli(p_);
+    if (keep) ++kept_;
+    return keep;
+  }
+
+  double p() const { return p_; }
+  uint64_t offered() const { return offered_; }
+  uint64_t kept() const { return kept_; }
+
+  /// Unbiased scale factor from sampled counts back to stream counts.
+  double InverseRate() const { return p_ > 0 ? 1.0 / p_ : 0.0; }
+
+ private:
+  double p_;
+  wbs::RandomTape* tape_;
+  uint64_t offered_ = 0;
+  uint64_t kept_ = 0;
+};
+
+/// Classic reservoir sampler of k items (kept for the robustness-of-sampling
+/// experiments of [BY20] that the paper cites).
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t k, wbs::RandomTape* tape) : k_(k), tape_(tape) {}
+
+  void Offer(uint64_t item) {
+    ++seen_;
+    if (reservoir_.size() < k_) {
+      reservoir_.push_back(item);
+      return;
+    }
+    uint64_t j = tape_->UniformInt(seen_);
+    if (j < k_) reservoir_[j] = item;
+  }
+
+  const std::vector<uint64_t>& reservoir() const { return reservoir_; }
+  uint64_t seen() const { return seen_; }
+
+  /// Bits for the stored sample (k identifiers) plus the seen-counter.
+  uint64_t SpaceBits(uint64_t universe) const {
+    return reservoir_.size() * wbs::BitsForUniverse(universe) +
+           wbs::BitsForValue(seen_);
+  }
+
+ private:
+  size_t k_;
+  wbs::RandomTape* tape_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> reservoir_;
+};
+
+/// Frequency estimator over a sampled substream: counts kept occurrences and
+/// rescales by 1/p (used by the inner-product estimator of Corollary 2.8).
+class SampledFrequencyEstimator {
+ public:
+  SampledFrequencyEstimator(double p, wbs::RandomTape* tape)
+      : sampler_(p, tape) {}
+
+  void Offer(uint64_t item) {
+    if (sampler_.Offer()) counts_[item] += 1;
+  }
+
+  /// Estimated stream frequency of `item` ( = sampled count / p ).
+  double Estimate(uint64_t item) const {
+    auto it = counts_.find(item);
+    return it == counts_.end() ? 0.0
+                               : double(it->second) * sampler_.InverseRate();
+  }
+
+  const std::unordered_map<uint64_t, uint64_t>& sampled_counts() const {
+    return counts_;
+  }
+  const BernoulliSampler& sampler() const { return sampler_; }
+
+  uint64_t SpaceBits(uint64_t universe) const {
+    uint64_t bits = 0;
+    for (const auto& [item, cnt] : counts_) {
+      bits += wbs::BitsForUniverse(universe) + wbs::BitsForValue(cnt);
+    }
+    return bits;
+  }
+
+ private:
+  BernoulliSampler sampler_;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace wbs::sampling
+
+#endif  // WBS_SAMPLING_BERNOULLI_H_

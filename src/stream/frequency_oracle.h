@@ -1,0 +1,103 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Exact ground truth for experiments and tests: maintains the full frequency
+// vector (O(n) space — deliberately *not* a streaming algorithm) and answers
+// every statistic the paper's algorithms approximate.
+
+#ifndef WBS_STREAM_FREQUENCY_ORACLE_H_
+#define WBS_STREAM_FREQUENCY_ORACLE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/updates.h"
+
+namespace wbs::stream {
+
+/// Exact frequency-vector tracker over universe [0, n).
+class FrequencyOracle {
+ public:
+  explicit FrequencyOracle(uint64_t universe) : universe_(universe) {}
+
+  void Add(uint64_t item, int64_t delta = 1) {
+    auto it = freq_.find(item);
+    if (it == freq_.end()) {
+      if (delta != 0) freq_.emplace(item, delta);
+    } else {
+      it->second += delta;
+      if (it->second == 0) freq_.erase(it);
+    }
+    total_updates_ += 1;
+  }
+
+  void AddStream(const ItemStream& s) {
+    for (const auto& u : s) Add(u.item, 1);
+  }
+  void AddStream(const TurnstileStream& s) {
+    for (const auto& u : s) Add(u.item, u.delta);
+  }
+
+  int64_t Frequency(uint64_t item) const {
+    auto it = freq_.find(item);
+    return it == freq_.end() ? 0 : it->second;
+  }
+
+  /// L1 = sum |f_i|.
+  uint64_t L1() const {
+    uint64_t s = 0;
+    for (const auto& [k, v] : freq_) s += uint64_t(v < 0 ? -v : v);
+    return s;
+  }
+
+  /// L0 = number of nonzero coordinates.
+  uint64_t L0() const { return freq_.size(); }
+
+  /// F_p = sum |f_i|^p (F_0 = L0, F_1 = L1).
+  double Fp(double p) const {
+    if (p == 0) return double(L0());
+    double s = 0;
+    for (const auto& [k, v] : freq_) {
+      s += std::pow(std::abs(double(v)), p);
+    }
+    return s;
+  }
+
+  /// All items with f_i > threshold (strict, matching the eps-L1-HH
+  /// definition f_i > eps * L1).
+  std::vector<uint64_t> ItemsAbove(double threshold) const {
+    std::vector<uint64_t> out;
+    for (const auto& [k, v] : freq_) {
+      if (double(v) > threshold) out.push_back(k);
+    }
+    return out;
+  }
+
+  /// <f, g> for another oracle over the same universe.
+  int64_t InnerProduct(const FrequencyOracle& g) const {
+    int64_t s = 0;
+    const auto& a = freq_.size() <= g.freq_.size() ? freq_ : g.freq_;
+    const auto& b = freq_.size() <= g.freq_.size() ? g.freq_ : freq_;
+    for (const auto& [k, v] : a) {
+      auto it = b.find(k);
+      if (it != b.end()) s += v * it->second;
+    }
+    return s;
+  }
+
+  uint64_t universe() const { return universe_; }
+  uint64_t total_updates() const { return total_updates_; }
+  const std::unordered_map<uint64_t, int64_t>& frequencies() const {
+    return freq_;
+  }
+
+ private:
+  uint64_t universe_;
+  uint64_t total_updates_ = 0;
+  std::unordered_map<uint64_t, int64_t> freq_;
+};
+
+}  // namespace wbs::stream
+
+#endif  // WBS_STREAM_FREQUENCY_ORACLE_H_

@@ -1,0 +1,53 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Update types for the streams studied in the paper:
+//   * item updates over a universe [n] (insertion-only frequency vectors),
+//   * turnstile updates (signed deltas — Algorithm 5, Theorem 1.6),
+//   * bit updates (the counting streams of Theorem 1.11),
+//   * vertex arrivals (the graph streams of Theorem 1.3/1.4),
+//   * string characters (Section 2.6).
+
+#ifndef WBS_STREAM_UPDATES_H_
+#define WBS_STREAM_UPDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wbs::stream {
+
+/// One insertion-only update: "item arrived". Items are 0-based in [0, n).
+struct ItemUpdate {
+  uint64_t item = 0;
+};
+
+/// One turnstile update: f[item] += delta (delta may be negative).
+struct TurnstileUpdate {
+  uint64_t item = 0;
+  int64_t delta = 0;
+};
+
+/// One bit of a 0/1 counting stream.
+struct BitUpdate {
+  int bit = 0;
+};
+
+/// One vertex arrival: the vertex id and its full neighbor list
+/// (the vertex-arrival model of Section 2.4).
+struct VertexArrival {
+  uint64_t vertex = 0;
+  std::vector<uint64_t> neighbors;
+};
+
+/// One character of a string stream.
+struct CharUpdate {
+  uint64_t ch = 0;   ///< character value, < 2^char_bits
+  int char_bits = 8; ///< alphabet width in bits
+};
+
+/// A whole insertion-only stream (for workloads materialized up front).
+using ItemStream = std::vector<ItemUpdate>;
+using TurnstileStream = std::vector<TurnstileUpdate>;
+
+}  // namespace wbs::stream
+
+#endif  // WBS_STREAM_UPDATES_H_

@@ -1,0 +1,140 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "stream/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wbs::stream {
+
+ItemStream ZipfStream(uint64_t universe, uint64_t m, double alpha,
+                      wbs::RandomTape* tape) {
+  assert(universe > 0);
+  // Build the CDF over a truncated support (ranks beyond ~64k contribute
+  // negligibly for alpha >= 1; for smaller alpha we still cap for speed).
+  const uint64_t support = std::min<uint64_t>(universe, 1 << 16);
+  std::vector<double> cdf(support);
+  double z = 0;
+  for (uint64_t r = 0; r < support; ++r) {
+    z += 1.0 / std::pow(double(r + 1), alpha);
+    cdf[r] = z;
+  }
+  ItemStream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    double x = tape->UniformDouble() * z;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+    uint64_t rank = uint64_t(it - cdf.begin());
+    if (rank >= support) rank = support - 1;
+    // Spread ranks over the universe with a fixed affine mix so heavy items
+    // are not all clustered at the start of the universe.
+    uint64_t item = (rank * 2654435761ULL + 12345) % universe;
+    s.push_back({item});
+  }
+  return s;
+}
+
+ItemStream UniformStream(uint64_t universe, uint64_t m,
+                         wbs::RandomTape* tape) {
+  ItemStream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    s.push_back({tape->UniformInt(universe)});
+  }
+  return s;
+}
+
+ItemStream PlantedHeavyHitterStream(uint64_t universe, uint64_t m, int k,
+                                    double heavy_fraction,
+                                    wbs::RandomTape* tape,
+                                    std::vector<uint64_t>* planted) {
+  assert(k >= 0 && heavy_fraction > 0);
+  assert(double(k) * heavy_fraction <= 1.0);
+  planted->clear();
+  ItemStream s;
+  s.reserve(m);
+  const uint64_t per_heavy = uint64_t(std::ceil(heavy_fraction * double(m)));
+  for (int i = 0; i < k; ++i) {
+    // Distinct planted ids, deterministic given the tape.
+    uint64_t id;
+    do {
+      id = tape->UniformInt(universe);
+    } while (std::find(planted->begin(), planted->end(), id) !=
+             planted->end());
+    planted->push_back(id);
+    for (uint64_t j = 0; j < per_heavy && s.size() < m; ++j) {
+      s.push_back({id});
+    }
+  }
+  while (s.size() < m) {
+    uint64_t id = tape->UniformInt(universe);
+    // Noise must not accidentally hit a planted id (keeps ground truth exact).
+    if (std::find(planted->begin(), planted->end(), id) != planted->end()) {
+      continue;
+    }
+    s.push_back({id});
+  }
+  // Fisher-Yates shuffle so heavy items are interleaved.
+  for (size_t i = s.size(); i > 1; --i) {
+    size_t j = tape->UniformInt(i);
+    std::swap(s[i - 1], s[j]);
+  }
+  return s;
+}
+
+TurnstileStream InsertDeleteChurnStream(uint64_t universe, uint64_t live,
+                                        uint64_t churn,
+                                        wbs::RandomTape* tape) {
+  assert(live + churn <= universe);
+  TurnstileStream s;
+  s.reserve(live + 2 * churn);
+  // Live items occupy [0, live) shuffled through an affine permutation so the
+  // nonzero support is scattered.
+  auto scatter = [universe](uint64_t i) {
+    return (i * 0x9e3779b97f4a7c15ULL) % universe;
+  };
+  for (uint64_t i = 0; i < live; ++i) {
+    s.push_back({scatter(i), int64_t(1 + tape->UniformInt(5))});
+  }
+  for (uint64_t i = 0; i < churn; ++i) {
+    uint64_t item = scatter(live + i);
+    int64_t amt = int64_t(1 + tape->UniformInt(9));
+    s.push_back({item, amt});
+    s.push_back({item, -amt});
+  }
+  // Shuffle while keeping each delete after its insert: swap only inserts.
+  // (A full shuffle could drive a coordinate negative before its insert —
+  // legal in turnstile but we keep ||f||_inf small and final support exact.)
+  return s;
+}
+
+std::string PeriodicString(size_t n, size_t p, int alphabet,
+                           wbs::RandomTape* tape) {
+  assert(p >= 1 && p <= n);
+  std::string period(p, 'a');
+  for (size_t i = 0; i < p; ++i) {
+    period[i] = char('a' + tape->UniformInt(uint64_t(alphabet)));
+  }
+  std::string out;
+  out.reserve(n);
+  while (out.size() + p <= n) out += period;
+  out += period.substr(0, n - out.size());
+  return out;
+}
+
+std::string TextWithPlantedOccurrences(size_t n, const std::string& pattern,
+                                       const std::vector<size_t>& positions,
+                                       int alphabet, wbs::RandomTape* tape) {
+  std::string text(n, 'a');
+  for (size_t i = 0; i < n; ++i) {
+    text[i] = char('a' + tape->UniformInt(uint64_t(alphabet)));
+  }
+  for (size_t pos : positions) {
+    assert(pos + pattern.size() <= n);
+    for (size_t i = 0; i < pattern.size(); ++i) text[pos + i] = pattern[i];
+  }
+  return text;
+}
+
+}  // namespace wbs::stream

@@ -1,0 +1,55 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Synthetic workload generators used by tests, examples and the experiment
+// harness: Zipfian traffic, planted heavy hitters, uniform noise, periodic
+// strings, and turnstile insert/delete churn. All generators are seeded and
+// deterministic.
+
+#ifndef WBS_STREAM_WORKLOAD_H_
+#define WBS_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "stream/updates.h"
+
+namespace wbs::stream {
+
+/// Zipf(alpha) item stream of length m over [0, universe).
+ItemStream ZipfStream(uint64_t universe, uint64_t m, double alpha,
+                      wbs::RandomTape* tape);
+
+/// Uniform item stream of length m over [0, universe).
+ItemStream UniformStream(uint64_t universe, uint64_t m, wbs::RandomTape* tape);
+
+/// Plants `k` heavy hitters each with frequency >= ceil(heavy_fraction * m),
+/// fills the rest with uniform noise over the remaining universe, and
+/// shuffles. Returns the planted item ids through *planted.
+ItemStream PlantedHeavyHitterStream(uint64_t universe, uint64_t m, int k,
+                                    double heavy_fraction,
+                                    wbs::RandomTape* tape,
+                                    std::vector<uint64_t>* planted);
+
+/// Turnstile stream: inserts `live` distinct items, then performs
+/// `churn` insert/delete pairs of throwaway items (net zero), leaving
+/// exactly `live` nonzero coordinates. Exercises Algorithm 5's turnstile
+/// guarantee: deletions must truly cancel.
+TurnstileStream InsertDeleteChurnStream(uint64_t universe, uint64_t live,
+                                        uint64_t churn, wbs::RandomTape* tape);
+
+/// A string of length n with exact period p over the given alphabet bits
+/// (the pattern-matching workloads of Section 2.6).
+std::string PeriodicString(size_t n, size_t p, int alphabet,
+                           wbs::RandomTape* tape);
+
+/// Text of length n containing the pattern at each position in `positions`
+/// (positions must be >= pattern.size() apart); other characters random.
+std::string TextWithPlantedOccurrences(size_t n, const std::string& pattern,
+                                       const std::vector<size_t>& positions,
+                                       int alphabet, wbs::RandomTape* tape);
+
+}  // namespace wbs::stream
+
+#endif  // WBS_STREAM_WORKLOAD_H_

@@ -1,0 +1,30 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "strings/fingerprint.h"
+
+#include <cassert>
+
+namespace wbs::strings {
+
+KarpRabinParams KarpRabinParams::Generate(int bits, wbs::RandomTape* tape) {
+  KarpRabinParams out;
+  auto rng = [tape]() { return tape->NextWord(); };
+  out.p = wbs::RandomPrime(bits, rng);
+  out.x = 2 + tape->UniformInt(out.p - 3);
+  return out;
+}
+
+std::pair<std::string, std::string> FermatCollision(
+    const KarpRabinParams& params, size_t len, size_t i) {
+  // U has a 1-character at position i, V at position i + (p-1); since
+  // x^{p-1} = 1 mod p (Fermat), both fingerprints equal x^i mod p.
+  const size_t j = i + size_t(params.p - 1);
+  assert(j < len && "len must exceed i + p - 1");
+  std::string u(len, char(0));
+  std::string v(len, char(0));
+  u[i] = char(1);
+  v[j] = char(1);
+  return {u, v};
+}
+
+}  // namespace wbs::strings

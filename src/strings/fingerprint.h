@@ -1,0 +1,100 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// String fingerprints in the white-box model (Section 2.6).
+//
+//  * KarpRabin — the classic oblivious fingerprint sum_i U[i] * x^i mod p.
+//    NOT white-box robust: by Fermat's little theorem x^{p-1} = 1 mod p, so
+//    a string with a single 1 at position i collides with a single 1 at
+//    position i + (p-1). FermatCollision() constructs that attack from the
+//    exposed (p, x) — this is the paper's motivating break.
+//
+//  * StreamingEquality — Lemma 2.24: decide equality of two (possibly
+//    adaptively chosen) streams with the discrete-log CRHF fingerprint
+//    h(U) = g^U mod p of Theorem 2.5, robust against T-time white-box
+//    adversaries in O(log min(T, n)) bits.
+
+#ifndef WBS_STRINGS_FINGERPRINT_H_
+#define WBS_STRINGS_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/modmath.h"
+#include "common/random.h"
+#include "crypto/crhf.h"
+
+namespace wbs::strings {
+
+/// Public parameters of a Karp-Rabin fingerprint: prime modulus and base.
+struct KarpRabinParams {
+  uint64_t p = 0;  ///< prime modulus (poly(n) in the classic analysis)
+  uint64_t x = 0;  ///< base, a generator of Z_p^*
+
+  /// Draws (p, x) with a `bits`-bit prime from the tape.
+  static KarpRabinParams Generate(int bits, wbs::RandomTape* tape);
+};
+
+/// Incremental Karp-Rabin: after appending characters c_1..c_t the value is
+/// sum_i c_i * x^{i-1} mod p.
+class KarpRabin {
+ public:
+  explicit KarpRabin(const KarpRabinParams& params)
+      : params_(params), xpow_(1) {}
+
+  void Append(uint64_t c) {
+    value_ = AddMod(value_, MulMod(c % params_.p, xpow_, params_.p), params_.p);
+    xpow_ = MulMod(xpow_, params_.x, params_.p);
+    ++length_;
+  }
+  void Append(const std::string& s) {
+    for (char c : s) Append(uint64_t(uint8_t(c)));
+  }
+
+  uint64_t value() const { return value_; }
+  uint64_t length() const { return length_; }
+  const KarpRabinParams& params() const { return params_; }
+
+ private:
+  KarpRabinParams params_;
+  uint64_t value_ = 0;
+  uint64_t xpow_;
+  uint64_t length_ = 0;
+};
+
+/// The white-box Fermat attack: two distinct binary strings of length
+/// `len` >= p (as 0/1 character strings) with identical Karp-Rabin
+/// fingerprints under `params`: a 1 at position i vs a 1 at position
+/// i + (p-1). Requires len >= p, i.e. a stream only poly(n) long when p is
+/// the classic poly(n)-bit modulus.
+std::pair<std::string, std::string> FermatCollision(
+    const KarpRabinParams& params, size_t len, size_t i = 0);
+
+/// Lemma 2.24: streaming equality of two adaptively chosen strings via the
+/// discrete-log fingerprint. Both fingerprints' parameters are public.
+class StreamingEquality {
+ public:
+  explicit StreamingEquality(const crypto::DlogParams& params)
+      : fu_(params), fv_(params) {}
+
+  void AppendU(uint64_t c, int char_bits) { fu_.AppendChar(c, char_bits); }
+  void AppendV(uint64_t c, int char_bits) { fv_.AppendChar(c, char_bits); }
+
+  /// True iff the streams so far have equal fingerprints (equal strings
+  /// always compare equal; unequal strings collide only if the adversary
+  /// broke the CRHF).
+  bool Equal() const {
+    return fu_.length_bits() == fv_.length_bits() &&
+           fu_.value() == fv_.value();
+  }
+
+  uint64_t SpaceBits() const { return fu_.SpaceBits() + fv_.SpaceBits(); }
+
+ private:
+  crypto::DlogFingerprint fu_;
+  crypto::DlogFingerprint fv_;
+};
+
+}  // namespace wbs::strings
+
+#endif  // WBS_STRINGS_FINGERPRINT_H_

@@ -1,0 +1,125 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "strings/pattern_match.h"
+
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace wbs::strings {
+
+size_t SmallestPeriod(const std::string& s) {
+  // KMP failure function: period = n - fail[n].
+  const size_t n = s.size();
+  if (n == 0) return 0;
+  std::vector<size_t> fail(n + 1, 0);
+  size_t k = 0;
+  for (size_t i = 1; i < n; ++i) {
+    while (k > 0 && s[i] != s[k]) k = fail[k];
+    if (s[i] == s[k]) ++k;
+    fail[i + 1] = k;
+  }
+  return n - fail[n];
+}
+
+std::vector<size_t> NaiveFindAll(const std::string& text,
+                                 const std::string& pattern) {
+  std::vector<size_t> out;
+  if (pattern.empty() || text.size() < pattern.size()) return out;
+  for (size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (text.compare(i, pattern.size(), pattern) == 0) out.push_back(i);
+  }
+  return out;
+}
+
+PeriodicPatternMatcher::PeriodicPatternMatcher(
+    const std::string& pattern, size_t period,
+    const crypto::DlogParams& params, int char_bits)
+    : params_(params),
+      char_bits_(char_bits),
+      pattern_len_(pattern.size()),
+      period_(period),
+      prefix_(params) {
+  assert(period >= 1 && period <= pattern.size());
+  assert(SmallestPeriod(pattern) == period && "given period must be exact");
+  crypto::DlogFingerprint fp(params);
+  for (size_t i = 0; i < period; ++i) {
+    fp.AppendChar(uint64_t(uint8_t(pattern[i])), char_bits);
+  }
+  psi_ = fp.value();
+  for (size_t i = period; i < pattern.size(); ++i) {
+    fp.AppendChar(uint64_t(uint8_t(pattern[i])), char_bits);
+  }
+  phi_ = fp.value();
+  ring_.push_back(prefix_.value());  // print of the empty prefix (t = 0)
+}
+
+uint64_t PeriodicPatternMatcher::WindowPrint(uint64_t h_to, uint64_t h_from,
+                                             uint64_t chars) const {
+  return crypto::DlogFingerprint::RemovePrefix(
+      params_, h_to, h_from, chars * uint64_t(char_bits_));
+}
+
+Status PeriodicPatternMatcher::Update(const stream::CharUpdate& u) {
+  if (u.char_bits != char_bits_) {
+    return Status::InvalidArgument(
+        "PeriodicPatternMatcher: alphabet width mismatch");
+  }
+  prefix_.AppendChar(u.ch, char_bits_);
+  ++t_;
+  ring_.push_back(prefix_.value());
+  while (ring_.size() > period_ + 1) ring_.pop_front();
+
+  // Detect a prefix-of-pattern match for the window ending at t.
+  if (t_ >= period_) {
+    const uint64_t s = t_ - period_;  // window start
+    const uint64_t h_s = ring_.front();
+    if (WindowPrint(prefix_.value(), h_s, period_) == psi_) {
+      // Algorithm 6's anchor bookkeeping: start a new chain when s is not
+      // aligned with the current anchor chain (Lemma 2.25 guarantees true
+      // matches are multiples of p apart within a chain).
+      if (m_ == ~uint64_t{0} || s % period_ != m_ % period_) m_ = s;
+      pending_.emplace(s, h_s);
+    }
+  }
+
+  // Verify any anchor whose full window just completed.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first + pattern_len_ <= t_) {
+    if (it->first + pattern_len_ == t_) {
+      if (WindowPrint(prefix_.value(), it->second, pattern_len_) == phi_) {
+        matches_.push_back(it->first);
+      }
+    }
+    it = pending_.erase(it);
+  }
+  return Status::OK();
+}
+
+void PeriodicPatternMatcher::SerializeState(core::StateWriter* w) const {
+  w->PutU64(t_);
+  w->PutU64(prefix_.value());
+  w->PutU64(m_);
+  w->PutU64(pending_.size());
+  for (const auto& [pos, print] : pending_) {
+    w->PutU64(pos);
+    w->PutU64(print);
+  }
+  w->PutU64(matches_.size());
+  for (uint64_t m : matches_) w->PutU64(m);
+}
+
+uint64_t PeriodicPatternMatcher::SpaceBits() const {
+  // Fingerprint state + ring of prefix prints + pending anchors. Each group
+  // element costs ElementBits() = O(log T); the ring is the documented O(p)
+  // substitution for the Porat-Porat prefix machinery.
+  const uint64_t elem = params_.ElementBits();
+  uint64_t bits = prefix_.SpaceBits();
+  bits += ring_.size() * elem;
+  for (const auto& [pos, print] : pending_) {
+    bits += wbs::BitsForValue(pos) + elem;
+  }
+  return bits;
+}
+
+}  // namespace wbs::strings

@@ -1,0 +1,93 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Streaming pattern matching with a known period (Algorithm 6 /
+// Theorem 1.7 / Lemma 2.26).
+//
+// The matcher fingerprints the prefix of the text with the discrete-log CRHF
+// (so each fingerprint costs O(log T) bits and cannot be collided by a
+// T-bounded white-box adversary) and uses Lemma 2.25 — matches of a pattern
+// with period p are either exactly p apart or more than p apart — to keep
+// only an arithmetic chain of candidate anchors.
+//
+// IMPLEMENTATION NOTE (documented substitution, see DESIGN.md): detecting
+// *where* the length-p prefix P[1:p] matches requires a sliding window
+// fingerprint; the full Porat-Porat'09 machinery does this with O(log n)
+// fingerprints. We keep a circular buffer of the last p prefix fingerprints
+// instead (simpler; O(p) group elements). The white-box-robustness claim —
+// fingerprint comparisons cannot be fooled by a bounded adversary, unlike
+// Karp-Rabin — is carried entirely by the fingerprint arithmetic, which is
+// faithful to the paper.
+
+#ifndef WBS_STRINGS_PATTERN_MATCH_H_
+#define WBS_STRINGS_PATTERN_MATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+#include "crypto/crhf.h"
+#include "stream/updates.h"
+
+namespace wbs::strings {
+
+/// Smallest period of s: the least pi >= 1 with s[0 : n-pi] == s[pi : n].
+size_t SmallestPeriod(const std::string& s);
+
+/// Offline reference matcher (ground truth for tests and games).
+std::vector<size_t> NaiveFindAll(const std::string& text,
+                                 const std::string& pattern);
+
+/// Algorithm 6: reports every occurrence (0-based start position) of a
+/// pattern with known period p in a streamed text.
+class PeriodicPatternMatcher final
+    : public core::StreamAlg<stream::CharUpdate, std::vector<uint64_t>> {
+ public:
+  /// `pattern` with period `p` (validated); fingerprints over the given
+  /// public group. `char_bits` is the alphabet width of the text stream.
+  PeriodicPatternMatcher(const std::string& pattern, size_t period,
+                         const crypto::DlogParams& params, int char_bits);
+
+  /// Feeds one text character.
+  Status Update(const stream::CharUpdate& u) override;
+
+  /// All match positions reported so far (sorted).
+  std::vector<uint64_t> Query() const override { return matches_; }
+
+  void SerializeState(core::StateWriter* w) const override;
+  uint64_t SpaceBits() const override;
+
+  uint64_t text_length() const { return t_; }
+  size_t period() const { return period_; }
+
+ private:
+  /// Fingerprint of the text window [from, to) from stored prefix prints.
+  uint64_t WindowPrint(uint64_t h_to, uint64_t h_from, uint64_t chars) const;
+
+  crypto::DlogParams params_;
+  int char_bits_;
+  size_t pattern_len_;
+  size_t period_;
+  uint64_t psi_;  ///< h(P[0:p))
+  uint64_t phi_;  ///< h(P)
+
+  uint64_t t_ = 0;                     ///< characters consumed
+  crypto::DlogFingerprint prefix_;     ///< h(T[0:t))
+  std::deque<uint64_t> ring_;          ///< prefix prints for t-p .. t
+
+  /// Anchor chain (Lemma 2.25): candidate starts awaiting full verification,
+  /// keyed by start position -> prefix print at that position. Entries are
+  /// >= p apart, so at most ceil(n/p)+1 are live.
+  std::map<uint64_t, uint64_t> pending_;
+  /// Last anchor m of the current chain (UINT64_MAX if none).
+  uint64_t m_ = ~uint64_t{0};
+
+  std::vector<uint64_t> matches_;
+};
+
+}  // namespace wbs::strings
+
+#endif  // WBS_STRINGS_PATTERN_MATCH_H_

@@ -1,0 +1,205 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Communication problems (Definitions 2.20, 3.1) and the Theorem 1.8
+// reduction engine, executed exactly at small n.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "commlb/problems.h"
+#include "commlb/reduction.h"
+#include "common/bits.h"
+#include "common/random.h"
+
+namespace wbs::commlb {
+namespace {
+
+TEST(ProblemsTest, HamAndWeight) {
+  BitString a = {1, 0, 1, 1};
+  BitString b = {1, 1, 0, 1};
+  EXPECT_EQ(Ham(a, b), 2u);
+  EXPECT_EQ(Weight(a), 3u);
+}
+
+TEST(ProblemsTest, RandomBalancedIsBalanced) {
+  wbs::RandomTape tape(1);
+  for (size_t n : {10UL, 16UL, 40UL}) {
+    BitString s = RandomBalanced(n, &tape);
+    EXPECT_EQ(s.size(), n);
+    EXPECT_EQ(Weight(s), n / 2);
+  }
+}
+
+TEST(ProblemsTest, GapEqEqualInstances) {
+  wbs::RandomTape tape(2);
+  GapEqInstance inst = MakeGapEqInstance(20, true, &tape);
+  EXPECT_EQ(inst.x, inst.y);
+  EXPECT_TRUE(inst.equal);
+  EXPECT_EQ(Weight(inst.x), 10u);
+}
+
+TEST(ProblemsTest, GapEqUnequalInstancesRespectGap) {
+  wbs::RandomTape tape(3);
+  for (int t = 0; t < 20; ++t) {
+    GapEqInstance inst = MakeGapEqInstance(20, false, &tape);
+    EXPECT_GE(Ham(inst.x, inst.y) * 10, 20u);  // HAM >= n/10
+    EXPECT_EQ(Weight(inst.y), 10u);            // balance preserved
+  }
+}
+
+TEST(ProblemsTest, AllBalancedStringsCount) {
+  // C(n, n/2) balanced strings.
+  EXPECT_EQ(AllBalancedStrings(4).size(), 6u);
+  EXPECT_EQ(AllBalancedStrings(6).size(), 20u);
+  EXPECT_EQ(AllBalancedStrings(10).size(), 252u);
+}
+
+TEST(ProblemsTest, AllBalancedStringsAreDistinctAndBalanced) {
+  auto all = AllBalancedStrings(8);
+  EXPECT_EQ(all.size(), 70u);
+  std::set<BitString> uniq(all.begin(), all.end());
+  EXPECT_EQ(uniq.size(), all.size());
+  for (const auto& s : all) EXPECT_EQ(Weight(s), 4u);
+}
+
+TEST(ProblemsTest, OrEqInstanceShape) {
+  wbs::RandomTape tape(4);
+  OrEqInstance inst = MakeOrEqInstance(16, 5, 2, &tape);
+  ASSERT_EQ(inst.x.size(), 5u);
+  ASSERT_EQ(inst.y.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    if (int(i) == 2) {
+      EXPECT_EQ(inst.x[i], inst.y[i]);
+    } else {
+      EXPECT_NE(inst.x[i], inst.y[i]);
+    }
+  }
+}
+
+// ------------------------------------------------ the Theorem 1.8 engine --
+
+// A toy streaming "algorithm" for GapEquality via F2 of the concatenated
+// stream: Alice streams x (as increments to coordinates i with x_i = 1),
+// Bob streams y; F2(x + y) = n iff x = y (each matched coordinate
+// contributes 4, each unmatched 1; with |x| = |y| = n/2: equal -> 4 * n/2 =
+// 2n, unequal with HAM >= n/10 -> strictly less). A seed-indexed linear
+// sketch of r rows reproduces the white-box setting.
+struct ToySketch {
+  uint64_t seed = 0;
+  size_t rows = 0;
+  size_t n = 0;
+  std::vector<int64_t> counters;
+
+  static int Sign(uint64_t seed, size_t row, size_t i) {
+    uint64_t s = seed ^ (row * 0xd1342543de82ef95ULL) ^
+                 (i * 0x9e3779b97f4a7c15ULL);
+    return (wbs::SplitMix64(&s) & 1) ? 1 : -1;
+  }
+
+  void Feed(const BitString& bits) {
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (!bits[i]) continue;
+      for (size_t r = 0; r < rows; ++r) {
+        counters[r] += Sign(seed, r, i);
+      }
+    }
+  }
+
+  double F2Estimate() const {
+    double s = 0;
+    for (int64_t c : counters) s += double(c) * double(c);
+    return s / double(rows);
+  }
+};
+
+ToySketch MakeSketch(uint64_t seed, size_t rows, size_t n) {
+  ToySketch t;
+  t.seed = seed;
+  t.rows = rows;
+  t.n = n;
+  t.counters.assign(rows, 0);
+  return t;
+}
+
+TEST(ReductionTest, DerandomizationFindsGoodSeedAtSmallN) {
+  // Exactly the Theorem 1.8 constructive step: enumerate seeds, demand
+  // correctness on EVERY Bob input under the gap promise.
+  const size_t n = 8;
+  const size_t rows = 24;
+  wbs::RandomTape tape(5);
+  BitString x = RandomBalanced(n, &tape);
+  // Bob inputs: x itself (equal case) + all balanced strings at the toy
+  // half-gap HAM >= n/2 (Def 3.1's n/10 gap is one count at n = 8).
+  std::vector<BitString> ys = {x};
+  for (const auto& y : AllBalancedStrings(n)) {
+    if (Ham(x, y) * 2 >= n && !(y == x)) ys.push_back(y);
+  }
+  auto outcome = DerandomizeOneWay<ToySketch, double>(
+      x, ys,
+      [&](uint64_t seed) { return MakeSketch(seed, rows, n); },
+      [](ToySketch* alg, const BitString& ax) { alg->Feed(ax); },
+      [](ToySketch* alg, const BitString& by) { alg->Feed(by); },
+      [](const ToySketch& alg) { return alg.F2Estimate(); },
+      [&](const double& est, const BitString& ax, const BitString& by) {
+        // Half-gap decision: equal -> F2 = 2n, unequal -> F2 <= 1.5n.
+        bool says_equal = est > 1.75 * double(n);
+        return says_equal == (ax == by);
+      },
+      [](const ToySketch& alg) {
+        uint64_t bits = 64;  // seed
+        for (int64_t c : alg.counters) {
+          bits += wbs::BitsForValue(uint64_t(c < 0 ? -c : c)) + 1;
+        }
+        return bits;
+      },
+      /*max_seeds=*/64);
+  EXPECT_TRUE(outcome.found);
+  EXPECT_GT(outcome.per_seed_success, 0.8);
+  // Communication = shipped state, far below storing x but nonzero.
+  EXPECT_GT(outcome.communication_bits, 0u);
+}
+
+TEST(ReductionTest, CountDistinctStatesLowerBoundsCommunication) {
+  // For a protocol that decides Equality for ALL y, Alice's states must
+  // distinguish all inputs: with the exact (store-everything) algorithm the
+  // state count equals the input count, certifying log2(#inputs) bits.
+  const size_t n = 8;
+  auto xs = AllBalancedStrings(n);
+  struct ExactAlg {
+    BitString stored;
+  };
+  uint64_t states = CountDistinctStates<ExactAlg>(
+      xs, /*seed=*/0,
+      [](uint64_t) { return ExactAlg{}; },
+      [](ExactAlg* a, const BitString& x) { a->stored = x; },
+      [](const ExactAlg& a) {
+        std::vector<uint64_t> w;
+        for (uint8_t b : a.stored) w.push_back(b);
+        return w;
+      });
+  EXPECT_EQ(states, xs.size());
+  EXPECT_GE(wbs::BitsForValue(states - 1), 6u);  // >= log2 C(8,4) = ~6.1
+}
+
+TEST(ReductionTest, SmallSketchCannotDistinguishAllInputs) {
+  // The converse observation: an o(n)-bit state takes fewer distinct values
+  // than there are inputs, so SOME pair of inputs shares a state — the seed
+  // of the impossibility (combined with the gap instance, Theorem 1.9).
+  const size_t n = 12;
+  auto xs = AllBalancedStrings(n);  // C(12,6) = 924 inputs
+  const size_t rows = 2;            // tiny sketch: ~2 small counters
+  uint64_t states = CountDistinctStates<ToySketch>(
+      xs, /*seed=*/7,
+      [&](uint64_t seed) { return MakeSketch(seed, rows, n); },
+      [](ToySketch* a, const BitString& x) { a->Feed(x); },
+      [](const ToySketch& a) {
+        std::vector<uint64_t> w;
+        for (int64_t c : a.counters) w.push_back(uint64_t(c));
+        return w;
+      });
+  EXPECT_LT(states, xs.size());  // pigeonhole: collisions must exist
+}
+
+}  // namespace
+}  // namespace wbs::commlb

@@ -1,0 +1,410 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Unit and property tests for src/common: Status/Result, bit utilities,
+// modular arithmetic, and the white-box RandomTape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bits.h"
+#include "common/modmath.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace wbs {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: epsilon must be positive");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), Status::Code::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "abc");
+}
+
+// ------------------------------------------------------------------ Bits --
+
+TEST(BitsTest, BitsForValue) {
+  EXPECT_EQ(BitsForValue(0), 1u);
+  EXPECT_EQ(BitsForValue(1), 1u);
+  EXPECT_EQ(BitsForValue(2), 2u);
+  EXPECT_EQ(BitsForValue(3), 2u);
+  EXPECT_EQ(BitsForValue(4), 3u);
+  EXPECT_EQ(BitsForValue(255), 8u);
+  EXPECT_EQ(BitsForValue(256), 9u);
+  EXPECT_EQ(BitsForValue(~uint64_t{0}), 64u);
+}
+
+TEST(BitsTest, BitsForUniverse) {
+  EXPECT_EQ(BitsForUniverse(1), 1u);
+  EXPECT_EQ(BitsForUniverse(2), 1u);
+  EXPECT_EQ(BitsForUniverse(3), 2u);
+  EXPECT_EQ(BitsForUniverse(4), 2u);
+  EXPECT_EQ(BitsForUniverse(5), 3u);
+  EXPECT_EQ(BitsForUniverse(uint64_t{1} << 32), 32u);
+}
+
+TEST(BitsTest, CeilAndFloorLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+}
+
+TEST(BitsTest, Pow2Helpers) {
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(63));
+  EXPECT_EQ(NextPow2(5), 8u);
+  EXPECT_EQ(NextPow2(8), 8u);
+}
+
+TEST(BitsTest, ReverseBits) {
+  EXPECT_EQ(ReverseBits(0b001, 3), 0b100u);
+  EXPECT_EQ(ReverseBits(0b110, 3), 0b011u);
+  EXPECT_EQ(ReverseBits(0b1, 1), 0b1u);
+}
+
+TEST(BitsTest, SpaceMeterAccumulates) {
+  SpaceMeter m;
+  m.AddValue(255);     // 8
+  m.AddUniverseId(16); // 4
+  m.AddBits(10);       // 10
+  EXPECT_EQ(m.Total(), 22u);
+}
+
+// --------------------------------------------------------------- ModMath --
+
+TEST(ModMathTest, MulModMatchesSmall) {
+  EXPECT_EQ(MulMod(7, 8, 13), 56 % 13);
+  EXPECT_EQ(MulMod(0, 123, 7), 0u);
+}
+
+TEST(ModMathTest, MulModNoOverflow) {
+  const uint64_t big = ~uint64_t{0} - 58;  // close to 2^64
+  const uint64_t m = (uint64_t{1} << 61) - 1;
+  // Verified against 128-bit arithmetic directly.
+  u128 expect = (u128(big) * big) % m;
+  EXPECT_EQ(MulMod(big, big, m), uint64_t(expect));
+}
+
+TEST(ModMathTest, AddSubMod) {
+  const uint64_t m = (uint64_t{1} << 61) - 1;
+  EXPECT_EQ(AddMod(m - 1, 5, m), 4u);
+  EXPECT_EQ(SubMod(3, 5, m), m - 2);
+  EXPECT_EQ(SubMod(5, 5, m), 0u);
+}
+
+TEST(ModMathTest, PowModBasics) {
+  EXPECT_EQ(PowMod(2, 10, 10007), 1024u);
+  EXPECT_EQ(PowMod(5, 0, 7), 1u);
+  EXPECT_EQ(PowMod(5, 1, 7), 5u);
+  EXPECT_EQ(PowMod(123, 456, 1), 0u);
+}
+
+TEST(ModMathTest, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1 — the identity behind
+  // the Karp-Rabin attack of Section 2.6.
+  for (uint64_t p : std::vector<uint64_t>{10007, 1000003, (uint64_t{1} << 61) - 1}) {
+    for (uint64_t a : {2ULL, 3ULL, 12345ULL}) {
+      EXPECT_EQ(PowMod(a, p - 1, p), 1u) << "p=" << p << " a=" << a;
+    }
+  }
+}
+
+TEST(ModMathTest, InvModInvertsAll) {
+  const uint64_t p = 10007;
+  for (uint64_t a = 1; a < 200; ++a) {
+    uint64_t inv = InvMod(a, p);
+    EXPECT_EQ(MulMod(a, inv, p), 1u) << a;
+  }
+}
+
+TEST(ModMathTest, InvModLargeModulus) {
+  const uint64_t p = (uint64_t{1} << 61) - 1;
+  for (uint64_t a : std::vector<uint64_t>{2, 123456789, p - 1}) {
+    EXPECT_EQ(MulMod(a, InvMod(a, p), p), 1u);
+  }
+}
+
+TEST(ModMathTest, InvModNonInvertible) {
+  EXPECT_EQ(InvMod(6, 9), 0u);   // gcd 3
+  EXPECT_EQ(InvMod(0, 17), 0u);
+}
+
+TEST(ModMathTest, ExtGcdBezout) {
+  int64_t x = 0, y = 0;
+  int64_t g = ExtGcd(240, 46, &x, &y);
+  EXPECT_EQ(g, 2);
+  EXPECT_EQ(240 * x + 46 * y, 2);
+}
+
+TEST(ModMathTest, IsPrimeSmall) {
+  std::set<uint64_t> primes = {2,  3,  5,  7,  11, 13, 17, 19, 23,
+                               29, 31, 37, 41, 43, 47, 53, 59, 61};
+  for (uint64_t n = 0; n < 64; ++n) {
+    EXPECT_EQ(IsPrime(n), primes.count(n) == 1) << n;
+  }
+}
+
+TEST(ModMathTest, IsPrimeKnownLarge) {
+  EXPECT_TRUE(IsPrime((uint64_t{1} << 61) - 1));   // Mersenne prime
+  EXPECT_TRUE(IsPrime(1000000007ULL));
+  EXPECT_TRUE(IsPrime(18446744073709551557ULL));   // largest 64-bit prime
+  EXPECT_FALSE(IsPrime((uint64_t{1} << 61) + 1));
+  EXPECT_FALSE(IsPrime(1000000007ULL * 3));
+}
+
+TEST(ModMathTest, IsPrimeCarmichael) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  for (uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL, 825265ULL}) {
+    EXPECT_FALSE(IsPrime(c)) << c;
+  }
+}
+
+TEST(ModMathTest, NextPrime) {
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(14), 17u);
+  EXPECT_EQ(NextPrime(17), 17u);
+  EXPECT_EQ(NextPrime(1000000), 1000003u);
+}
+
+TEST(ModMathTest, DistinctPrimeFactors) {
+  EXPECT_EQ(DistinctPrimeFactors(12), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(DistinctPrimeFactors(97), (std::vector<uint64_t>{97}));
+  EXPECT_EQ(DistinctPrimeFactors(2 * 3 * 5 * 7 * 11),
+            (std::vector<uint64_t>{2, 3, 5, 7, 11}));
+  // Product of two large primes exercises Pollard rho.
+  EXPECT_EQ(DistinctPrimeFactors(1000003ULL * 1000033ULL),
+            (std::vector<uint64_t>{1000003, 1000033}));
+}
+
+TEST(ModMathTest, RandomPrimeHasRequestedBits) {
+  RandomTape tape(1);
+  auto rng = [&] { return tape.NextWord(); };
+  for (int bits : {8, 16, 31, 48, 61}) {
+    uint64_t p = RandomPrime(bits, rng);
+    EXPECT_TRUE(IsPrime(p));
+    EXPECT_EQ(int(BitsForValue(p)), bits);
+  }
+}
+
+TEST(ModMathTest, RandomSafePrimeStructure) {
+  RandomTape tape(2);
+  auto rng = [&] { return tape.NextWord(); };
+  for (int bits : {20, 24, 30}) {
+    uint64_t p = RandomSafePrime(bits, rng);
+    EXPECT_TRUE(IsPrime(p));
+    EXPECT_TRUE(IsPrime((p - 1) / 2));
+    EXPECT_EQ(int(BitsForValue(p)), bits);
+  }
+}
+
+TEST(ModMathTest, FindGeneratorGeneratesGroup) {
+  RandomTape tape(3);
+  auto rng = [&] { return tape.NextWord(); };
+  const uint64_t p = 10007;
+  uint64_t g = FindGenerator(p, rng);
+  // Order of g must be exactly p-1: g^((p-1)/f) != 1 for all prime f.
+  for (uint64_t f : DistinctPrimeFactors(p - 1)) {
+    EXPECT_NE(PowMod(g, (p - 1) / f, p), 1u);
+  }
+}
+
+TEST(ModMathTest, QuadraticResidueGeneratorHasOrderQ) {
+  RandomTape tape(4);
+  auto rng = [&] { return tape.NextWord(); };
+  const uint64_t p = RandomSafePrime(24, rng);
+  const uint64_t q = (p - 1) / 2;
+  uint64_t g = FindQuadraticResidueGenerator(p, rng);
+  EXPECT_EQ(PowMod(g, q, p), 1u);  // in the order-q subgroup
+  EXPECT_NE(g, 1u);
+}
+
+// ------------------------------------------------------------ RandomTape --
+
+TEST(RandomTapeTest, DeterministicGivenSeed) {
+  RandomTape a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextWord(), b.NextWord());
+  }
+}
+
+TEST(RandomTapeTest, DifferentSeedsDiffer) {
+  RandomTape a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextWord() == b.NextWord()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTapeTest, LogRecordsEveryWord) {
+  RandomTape t(7);
+  std::vector<uint64_t> expect;
+  for (int i = 0; i < 20; ++i) expect.push_back(t.NextWord());
+  EXPECT_EQ(t.log(), expect);
+  EXPECT_EQ(t.words_consumed(), 20u);
+}
+
+TEST(RandomTapeTest, LoggingCanBeDisabled) {
+  RandomTape t(7);
+  t.set_logging(false);
+  t.NextWord();
+  EXPECT_TRUE(t.log().empty());
+  EXPECT_EQ(t.words_consumed(), 1u);
+}
+
+TEST(RandomTapeTest, UniformIntInRange) {
+  RandomTape t(9);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(t.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTapeTest, UniformIntCoversRange) {
+  RandomTape t(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(t.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTapeTest, UniformDoubleInUnitInterval) {
+  RandomTape t(13);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double x = t.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(RandomTapeTest, BernoulliMatchesProbability) {
+  RandomTape t(17);
+  int hits = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) hits += t.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / trials, 0.3, 0.03);
+}
+
+TEST(RandomTapeTest, BernoulliDegenerateStillConsumes) {
+  // The tape's draw schedule must be data-independent so the adversary's
+  // view of consumed randomness does not leak control flow.
+  RandomTape t(19);
+  EXPECT_FALSE(t.Bernoulli(0.0));
+  EXPECT_TRUE(t.Bernoulli(1.0));
+  EXPECT_EQ(t.words_consumed(), 2u);
+}
+
+TEST(RandomTapeTest, SignBitBalanced) {
+  RandomTape t(23);
+  int sum = 0;
+  for (int i = 0; i < 4000; ++i) sum += t.SignBit();
+  EXPECT_LT(std::abs(sum), 300);
+}
+
+TEST(RandomTapeTest, SeedExposed) {
+  RandomTape t(0xdeadbeef);
+  EXPECT_EQ(t.seed(), 0xdeadbeefULL);
+}
+
+TEST(RandomTapeTest, ClearLogKeepsCounting) {
+  RandomTape t(29);
+  t.NextWord();
+  t.ClearLog();
+  EXPECT_TRUE(t.log().empty());
+  t.NextWord();
+  EXPECT_EQ(t.log().size(), 1u);
+  EXPECT_EQ(t.words_consumed(), 2u);
+}
+
+// Parameterized sweep: modular arithmetic laws over random operands and
+// several moduli, including the 61-bit Mersenne prime.
+class ModLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModLawsTest, RingLaws) {
+  const uint64_t m = GetParam();
+  RandomTape t(m);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t a = t.NextWord() % m, b = t.NextWord() % m,
+             c = t.NextWord() % m;
+    // Commutativity / associativity / distributivity.
+    EXPECT_EQ(MulMod(a, b, m), MulMod(b, a, m));
+    EXPECT_EQ(AddMod(a, b, m), AddMod(b, a, m));
+    EXPECT_EQ(MulMod(MulMod(a, b, m), c, m), MulMod(a, MulMod(b, c, m), m));
+    EXPECT_EQ(MulMod(a, AddMod(b, c, m), m),
+              AddMod(MulMod(a, b, m), MulMod(a, c, m), m));
+    // Sub inverts add.
+    EXPECT_EQ(SubMod(AddMod(a, b, m), b, m), a % m);
+  }
+}
+
+TEST_P(ModLawsTest, PowModAgreesWithRepeatedMul) {
+  const uint64_t m = GetParam();
+  RandomTape t(m + 1);
+  uint64_t a = t.NextWord() % m;
+  uint64_t acc = 1 % m;
+  for (uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(PowMod(a, e, m), acc);
+    acc = MulMod(acc, a, m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ModLawsTest,
+                         ::testing::Values(2ULL, 17ULL, 10007ULL,
+                                           1000000007ULL,
+                                           (uint64_t{1} << 61) - 1,
+                                           18446744073709551557ULL));
+
+}  // namespace
+}  // namespace wbs

@@ -1,0 +1,186 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The model core: StateWriter/StateView semantics and GameRunner contracts
+// beyond what integration_test.cc exercises — in particular the defining
+// property of "internal state": two algorithm instances with equal
+// serialized state behave identically on equal future inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/game.h"
+#include "core/state_view.h"
+#include "counter/morris.h"
+#include "heavyhitters/robust_hh.h"
+#include "moments/ams.h"
+#include "stream/updates.h"
+
+namespace wbs::core {
+namespace {
+
+TEST(StateWriterTest, PutU64AndI64) {
+  StateWriter w;
+  w.PutU64(42);
+  w.PutI64(-1);
+  ASSERT_EQ(w.words().size(), 2u);
+  EXPECT_EQ(w.words()[0], 42u);
+  EXPECT_EQ(int64_t(w.words()[1]), -1);
+}
+
+TEST(StateWriterTest, PutDoubleRoundTrips) {
+  StateWriter w;
+  w.PutDouble(3.25);
+  double back;
+  uint64_t bits = w.words()[0];
+  __builtin_memcpy(&back, &bits, sizeof(back));
+  EXPECT_DOUBLE_EQ(back, 3.25);
+}
+
+TEST(StateWriterTest, PutBytesLengthPrefixed) {
+  StateWriter w;
+  const uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  w.PutBytes(data, sizeof(data));
+  // length word + ceil(9/8) = 2 payload words.
+  ASSERT_EQ(w.words().size(), 3u);
+  EXPECT_EQ(w.words()[0], 9u);
+}
+
+TEST(StateWriterTest, ClearResets) {
+  StateWriter w;
+  w.PutU64(1);
+  w.Clear();
+  EXPECT_TRUE(w.words().empty());
+}
+
+TEST(StateWriterTest, DistinctStatesDistinctWords) {
+  // Different Misra-Gries contents must serialize differently — otherwise
+  // the state-counting arguments of Section 3.3 would be vacuous.
+  wbs::RandomTape t1(1), t2(2);
+  hh::RobustL1HeavyHitters a(1 << 10, 0.2, 0.25, &t1);
+  hh::RobustL1HeavyHitters b(1 << 10, 0.2, 0.25, &t2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(a.Update({uint64_t(i % 7)}).ok());
+    EXPECT_TRUE(b.Update({uint64_t(i % 11)}).ok());
+  }
+  StateWriter wa, wb;
+  a.SerializeState(&wa);
+  b.SerializeState(&wb);
+  EXPECT_NE(wa.words(), wb.words());
+}
+
+TEST(StateSemanticsTest, EqualStateEqualFuture) {
+  // Two AMS sketches built identically (same seed, same stream) have equal
+  // serialized states AND equal behaviour on any common continuation — the
+  // contract StateView relies on.
+  for (uint64_t seed : {3ULL, 4ULL}) {
+    wbs::RandomTape t1(seed), t2(seed);
+    moments::AmsF2Sketch a(1 << 10, 12, &t1);
+    moments::AmsF2Sketch b(1 << 10, 12, &t2);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_TRUE(a.Update({uint64_t(i % 37), 1}).ok());
+      EXPECT_TRUE(b.Update({uint64_t(i % 37), 1}).ok());
+    }
+    StateWriter wa, wb;
+    a.SerializeState(&wa);
+    b.SerializeState(&wb);
+    ASSERT_EQ(wa.words(), wb.words());
+    // Common continuation:
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(a.Update({uint64_t(i), -1}).ok());
+      EXPECT_TRUE(b.Update({uint64_t(i), -1}).ok());
+      EXPECT_DOUBLE_EQ(a.Query(), b.Query());
+    }
+  }
+}
+
+TEST(GameRunnerTest, MaxRoundsRespected) {
+  counter::ExactCounter alg;
+  std::vector<stream::BitUpdate> script(1000, stream::BitUpdate{1});
+  ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  auto r = RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 10, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return true; });
+  EXPECT_EQ(r.rounds_played, 10u);
+}
+
+TEST(GameRunnerTest, EmptyScriptPlaysZeroRounds) {
+  counter::ExactCounter alg;
+  ScriptedAdversary<stream::BitUpdate, double> adv({});
+  auto r = RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 10, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return true; });
+  EXPECT_TRUE(r.algorithm_survived);
+  EXPECT_EQ(r.rounds_played, 0u);
+}
+
+TEST(GameRunnerTest, ContinuesPastFailureWhenAsked) {
+  // stop_at_first_failure = false: the game records the FIRST failure round
+  // but plays on (used by the attack benches to reach the script's end).
+  class AlwaysWrong final : public StreamAlg<stream::BitUpdate, double> {
+   public:
+    Status Update(const stream::BitUpdate&) override { return Status::OK(); }
+    double Query() const override { return -1; }
+    void SerializeState(StateWriter* w) const override { w->PutU64(0); }
+    uint64_t SpaceBits() const override { return 1; }
+  };
+  AlwaysWrong alg;
+  std::vector<stream::BitUpdate> script(20, stream::BitUpdate{1});
+  ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  auto r = RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 100, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return false; },
+      /*stop_at_first_failure=*/false);
+  EXPECT_FALSE(r.algorithm_survived);
+  EXPECT_EQ(r.first_failure_round, 1u);
+  EXPECT_EQ(r.rounds_played, 20u);
+}
+
+TEST(GameRunnerTest, OnUpdateFiresBeforeAlgorithm) {
+  // The referee's ground truth must include the current update when the
+  // answer for that round is judged.
+  counter::ExactCounter alg;
+  std::vector<stream::BitUpdate> script(5, stream::BitUpdate{1});
+  ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  uint64_t truth = 0;
+  auto r = RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 10,
+      [&](const stream::BitUpdate& u) { truth += u.bit; },
+      [&](uint64_t round, const double& answer) {
+        EXPECT_EQ(truth, round);  // truth already includes round's update
+        return answer == double(truth);
+      });
+  EXPECT_TRUE(r.algorithm_survived);
+}
+
+TEST(GameRunnerTest, MaxSpaceBitsIsPeak) {
+  wbs::RandomTape tape(5);
+  counter::MorrisCounter alg(0.5, 0.25, &tape);
+  std::vector<stream::BitUpdate> script(5000, stream::BitUpdate{1});
+  ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  auto r = RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 5000, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return true; });
+  EXPECT_GE(r.max_space_bits, alg.SpaceBits() > 0 ? 1u : 0u);
+  EXPECT_GE(r.max_space_bits, alg.SpaceBits());
+}
+
+TEST(StateViewTest, DeterministicAlgorithmHasNoLog) {
+  counter::ExactCounter alg;  // no tape
+  class Probe final : public Adversary<stream::BitUpdate, double> {
+   public:
+    std::optional<stream::BitUpdate> NextUpdate(const StateView& view,
+                                                const double&) override {
+      saw_null_log = view.randomness_log == nullptr;
+      return std::nullopt;
+    }
+    bool saw_null_log = false;
+  };
+  Probe adv;
+  RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 10, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return true; });
+  EXPECT_TRUE(adv.saw_null_log);
+}
+
+}  // namespace
+}  // namespace wbs::core

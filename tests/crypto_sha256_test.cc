@@ -1,0 +1,143 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// SHA-256 against the FIPS 180-4 / NIST CAVP known-answer vectors, plus the
+// incremental interface and the RandomOracle built on top.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "crypto/random_oracle.h"
+#include "crypto/sha256.h"
+
+namespace wbs::crypto {
+namespace {
+
+std::string HexOf(const std::string& msg) {
+  return DigestToHex(Sha256::Hash(msg));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexOf(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, ExactlyOneBlock) {
+  // 64 bytes: padding spills into a second block.
+  std::string m(64, 'a');
+  EXPECT_EQ(HexOf(m),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(DigestToHex(h.Finalize()), HexOf(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 h;
+  h.Update("garbage");
+  (void)h.Finalize();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, UpdateU64BigEndian) {
+  Sha256 a, b;
+  a.UpdateU64(0x0102030405060708ULL);
+  const uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  b.Update(bytes, 8);
+  EXPECT_EQ(DigestToHex(a.Finalize()), DigestToHex(b.Finalize()));
+}
+
+TEST(Sha256Test, Hash64IsDigestPrefix) {
+  Digest256 d = Sha256::Hash("abc");
+  uint64_t expect = 0;
+  for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[i];
+  EXPECT_EQ(Sha256::Hash64("abc", 3), expect);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  std::set<std::string> digests;
+  for (int i = 0; i < 200; ++i) {
+    digests.insert(HexOf("msg" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 200u);
+}
+
+TEST(RandomOracleTest, Consistency) {
+  RandomOracle ro(42);
+  EXPECT_EQ(ro.Query(1, 2), ro.Query(1, 2));
+  EXPECT_EQ(ro.FieldElement(3, 4, 10007), ro.FieldElement(3, 4, 10007));
+}
+
+TEST(RandomOracleTest, DomainSeparation) {
+  RandomOracle ro(42);
+  EXPECT_NE(ro.Query(1, 2), ro.Query(2, 1));
+  EXPECT_NE(ro.Query(1, 2), ro.Query(1, 3));
+}
+
+TEST(RandomOracleTest, InstanceSeparation) {
+  RandomOracle a(1), b(2);
+  EXPECT_NE(a.Query(0, 0), b.Query(0, 0));
+}
+
+TEST(RandomOracleTest, FieldElementInRange) {
+  RandomOracle ro(7);
+  for (uint64_t q : std::vector<uint64_t>{2, 97, 1000003, (uint64_t{1} << 61) - 1}) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      EXPECT_LT(ro.FieldElement(5, i, q), q);
+    }
+  }
+}
+
+TEST(RandomOracleTest, FieldElementRoughlyUniform) {
+  RandomOracle ro(9);
+  const uint64_t q = 10;
+  std::vector<int> counts(q, 0);
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[ro.FieldElement(1, uint64_t(i), q)];
+  }
+  for (uint64_t v = 0; v < q; ++v) {
+    EXPECT_NEAR(double(counts[v]) / trials, 0.1, 0.03) << v;
+  }
+}
+
+TEST(RandomOracleTest, PublicReproducibility) {
+  // The adversary can instantiate its own copy and get identical answers —
+  // the oracle is public, exactly as the model demands.
+  RandomOracle alg_side(1234), adversary_side(1234);
+  for (uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(alg_side.Query(7, i), adversary_side.Query(7, i));
+  }
+}
+
+}  // namespace
+}  // namespace wbs::crypto

@@ -1,0 +1,169 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Vertex neighborhood identification (Theorems 1.3 / 1.4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "graph/neighborhood.h"
+
+namespace wbs::graph {
+namespace {
+
+stream::VertexArrival V(uint64_t v, std::vector<uint64_t> nbrs) {
+  return {v, std::move(nbrs)};
+}
+
+TEST(CrhfNeighborhoodTest, IdenticalNeighborhoodsGrouped) {
+  wbs::RandomTape tape(1);
+  CrhfNeighborhoodId alg(8, 1 << 16, &tape);
+  ASSERT_TRUE(alg.Update(V(0, {3, 4})).ok());
+  ASSERT_TRUE(alg.Update(V(1, {4, 3})).ok());   // same set, different order
+  ASSERT_TRUE(alg.Update(V(2, {3})).ok());
+  auto groups = alg.Query();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(CrhfNeighborhoodTest, DuplicateNeighborsCanonicalized) {
+  wbs::RandomTape tape(2);
+  CrhfNeighborhoodId alg(8, 1 << 16, &tape);
+  ASSERT_TRUE(alg.Update(V(0, {3, 3, 4})).ok());
+  ASSERT_TRUE(alg.Update(V(1, {3, 4})).ok());
+  EXPECT_EQ(alg.Query().size(), 1u);
+}
+
+TEST(CrhfNeighborhoodTest, EmptyNeighborhoodsMatch) {
+  wbs::RandomTape tape(3);
+  CrhfNeighborhoodId alg(8, 1 << 16, &tape);
+  ASSERT_TRUE(alg.Update(V(0, {})).ok());
+  ASSERT_TRUE(alg.Update(V(5, {})).ok());
+  auto groups = alg.Query();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<uint64_t>{0, 5}));
+}
+
+TEST(CrhfNeighborhoodTest, RejectsOutOfRange) {
+  wbs::RandomTape tape(4);
+  CrhfNeighborhoodId alg(8, 1 << 16, &tape);
+  EXPECT_FALSE(alg.Update(V(8, {})).ok());
+  EXPECT_FALSE(alg.Update(V(0, {9})).ok());
+}
+
+// Random-graph agreement sweep: CRHF grouping must equal exact grouping.
+class NeighborhoodAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NeighborhoodAgreementTest, CrhfMatchesExact) {
+  const uint64_t n = GetParam();
+  wbs::RandomTape tape(n);
+  CrhfNeighborhoodId crhf_alg(n, 1 << 16, &tape);
+  ExactNeighborhoodId exact_alg(n);
+  // Random graph with a few duplicated neighborhoods planted.
+  for (uint64_t v = 0; v < n; ++v) {
+    std::vector<uint64_t> nbrs;
+    uint64_t pattern = v % 5 == 0 ? 0 : v;  // every 5th vertex shares a set
+    uint64_t s = pattern * 0x9e3779b97f4a7c15ULL + 12345;
+    for (int d = 0; d < 6; ++d) {
+      nbrs.push_back(wbs::SplitMix64(&s) % n);
+    }
+    ASSERT_TRUE(crhf_alg.Update({v, nbrs}).ok());
+    ASSERT_TRUE(exact_alg.Update({v, nbrs}).ok());
+  }
+  EXPECT_EQ(crhf_alg.Query(), exact_alg.Query());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NeighborhoodAgreementTest,
+                         ::testing::Values(16, 64, 256, 1024));
+
+TEST(NeighborhoodSpaceTest, CrhfLinearExactQuadratic) {
+  // Theorem 1.3 vs Theorem 1.4: O(n log n) vs Theta(n^2).
+  const uint64_t n = 512;
+  wbs::RandomTape tape(7);
+  CrhfNeighborhoodId crhf_alg(n, 1 << 16, &tape);
+  ExactNeighborhoodId exact_alg(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    std::vector<uint64_t> nbrs = {v % 7, (v * 3) % n};
+    ASSERT_TRUE(crhf_alg.Update({v, nbrs}).ok());
+    ASSERT_TRUE(exact_alg.Update({v, nbrs}).ok());
+  }
+  EXPECT_GE(exact_alg.SpaceBits(), n * n);
+  EXPECT_LE(crhf_alg.SpaceBits(), n * 100);
+  EXPECT_LT(crhf_alg.SpaceBits() * 4, exact_alg.SpaceBits());
+}
+
+TEST(OrEqualityGraphTest, EqualStringsGiveEqualNeighborhoods) {
+  // The Theorem 1.4 reduction: u_i ~ v_i identical iff x_i = y_i.
+  const uint64_t n = 16;
+  std::vector<std::vector<uint8_t>> x = {
+      {1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},
+      {1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0}};
+  std::vector<std::vector<uint8_t>> y = x;
+  y[1][0] ^= 1;  // second pair differs
+  auto updates = BuildOrEqualityGraph(x, y, n);
+  wbs::RandomTape tape(8);
+  CrhfNeighborhoodId alg(3 * n, 1 << 16, &tape);
+  for (const auto& u : updates) ASSERT_TRUE(alg.Update(u).ok());
+  auto groups = alg.Query();
+  // Exactly one group: {u_0, v_0} = {0, 16}.
+  bool pair0 = false;
+  for (const auto& g : groups) {
+    if (std::find(g.begin(), g.end(), 0u) != g.end()) {
+      EXPECT_NE(std::find(g.begin(), g.end(), 16u), g.end());
+      pair0 = true;
+    }
+    // u_1 = 1 and v_1 = 17 must NOT be grouped together.
+    bool has1 = std::find(g.begin(), g.end(), 1u) != g.end();
+    bool has17 = std::find(g.begin(), g.end(), 17u) != g.end();
+    EXPECT_FALSE(has1 && has17);
+  }
+  EXPECT_TRUE(pair0);
+}
+
+TEST(OrEqualityGraphTest, StreamShape) {
+  const uint64_t n = 8;
+  std::vector<std::vector<uint8_t>> x(2, std::vector<uint8_t>(n, 1));
+  std::vector<std::vector<uint8_t>> y(2, std::vector<uint8_t>(n, 0));
+  auto updates = BuildOrEqualityGraph(x, y, n);
+  ASSERT_EQ(updates.size(), 4u);  // u_0, v_0, u_1, v_1
+  EXPECT_EQ(updates[0].neighbors.size(), n);  // x all ones
+  EXPECT_TRUE(updates[1].neighbors.empty());  // y all zeros
+  for (uint64_t nb : updates[0].neighbors) {
+    EXPECT_GE(nb, 2 * n);  // r-vertices live at 2n + j
+    EXPECT_LT(nb, 3 * n);
+  }
+}
+
+TEST(ExactNeighborhoodTest, GroupsAreExact) {
+  ExactNeighborhoodId alg(8);
+  ASSERT_TRUE(alg.Update(V(0, {1, 2})).ok());
+  ASSERT_TRUE(alg.Update(V(3, {2, 1})).ok());
+  ASSERT_TRUE(alg.Update(V(4, {1})).ok());
+  ASSERT_TRUE(alg.Update(V(5, {1})).ok());
+  auto groups = alg.Query();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<uint64_t>{0, 3}));
+  EXPECT_EQ(groups[1], (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(ExactNeighborhoodTest, ReArrivalOverwrites) {
+  // Vertex-arrival semantics: the latest arrival defines the neighborhood.
+  ExactNeighborhoodId alg(8);
+  ASSERT_TRUE(alg.Update(V(0, {1})).ok());
+  ASSERT_TRUE(alg.Update(V(0, {2})).ok());
+  ASSERT_TRUE(alg.Update(V(3, {2})).ok());
+  auto groups = alg.Query();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<uint64_t>{0, 3}));
+}
+
+TEST(CrhfNeighborhoodTest, HashWidthScalesWithBudget) {
+  wbs::RandomTape t1(9), t2(10);
+  CrhfNeighborhoodId weak(1024, 1 << 8, &t1);
+  CrhfNeighborhoodId strong(1024, uint64_t{1} << 24, &t2);
+  EXPECT_LT(weak.hash_bits(), strong.hash_bits());
+}
+
+}  // namespace
+}  // namespace wbs::graph

@@ -1,0 +1,265 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Integration tests: full white-box adversarial games wiring the model core
+// (Section 1's three-step game) to concrete algorithms and adversaries from
+// several modules — the robustness/break dichotomy of the paper end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/game.h"
+#include "counter/branching.h"
+#include "counter/morris.h"
+#include "distinct/l0_estimator.h"
+#include "heavyhitters/robust_hh.h"
+#include "moments/ams.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+#include "strings/fingerprint.h"
+#include "strings/pattern_match.h"
+
+namespace wbs {
+namespace {
+
+// ------------------------------------------------------ game-runner core --
+
+TEST(GameRunnerTest, ScriptedStreamReplaysExactly) {
+  counter::ExactCounter alg;
+  std::vector<stream::BitUpdate> script(100, stream::BitUpdate{1});
+  core::ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  uint64_t truth = 0;
+  auto result = core::RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 1000,
+      [&](const stream::BitUpdate& u) { truth += u.bit; },
+      [&](uint64_t, const double& answer) {
+        return answer == double(truth);
+      });
+  EXPECT_TRUE(result.algorithm_survived);
+  EXPECT_EQ(result.rounds_played, 100u);
+  EXPECT_EQ(truth, 100u);
+}
+
+TEST(GameRunnerTest, ReportsFirstFailureRound) {
+  // An "algorithm" that is wrong from round 10 on.
+  class BrokenCounter final : public core::StreamAlg<stream::BitUpdate,
+                                                     double> {
+   public:
+    Status Update(const stream::BitUpdate&) override {
+      ++count_;
+      return Status::OK();
+    }
+    double Query() const override {
+      return count_ < 10 ? double(count_) : 0.0;
+    }
+    void SerializeState(core::StateWriter* w) const override {
+      w->PutU64(count_);
+    }
+    uint64_t SpaceBits() const override { return 64; }
+
+   private:
+    uint64_t count_ = 0;
+  };
+  BrokenCounter alg;
+  std::vector<stream::BitUpdate> script(50, stream::BitUpdate{1});
+  core::ScriptedAdversary<stream::BitUpdate, double> adv(script);
+  uint64_t truth = 0;
+  auto result = core::RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 1000,
+      [&](const stream::BitUpdate& u) { truth += u.bit; },
+      [&](uint64_t, const double& a) { return a == double(truth); });
+  EXPECT_FALSE(result.algorithm_survived);
+  EXPECT_EQ(result.first_failure_round, 10u);
+}
+
+TEST(GameRunnerTest, StateViewExposesEverything) {
+  // The adversary must see: serialized state, the seed, the randomness log.
+  wbs::RandomTape tape(42);
+  counter::MorrisCounter alg(0.5, 0.25, &tape);
+
+  class InspectingAdversary final
+      : public core::Adversary<stream::BitUpdate, double> {
+   public:
+    std::optional<stream::BitUpdate> NextUpdate(const core::StateView& view,
+                                                const double&) override {
+      last_view_round = view.round;
+      seen_seed = view.rng_seed;
+      log_size = view.randomness_log ? view.randomness_log->size() : 0;
+      state_words = view.state_words.size();
+      if (view.round >= 50) return std::nullopt;
+      return stream::BitUpdate{1};
+    }
+    uint64_t last_view_round = 0, seen_seed = 0, log_size = 0,
+             state_words = 0;
+  };
+  InspectingAdversary adv;
+  auto result = core::RunGame<stream::BitUpdate, double>(
+      &alg, &adv, 1000, [](const stream::BitUpdate&) {},
+      [](uint64_t, const double&) { return true; });
+  EXPECT_EQ(result.rounds_played, 50u);
+  EXPECT_EQ(adv.seen_seed, 42u);       // no secret key
+  EXPECT_GE(adv.log_size, 49u);        // every consumed word is visible
+  EXPECT_GE(adv.state_words, 1u);
+}
+
+TEST(GameRunnerTest, UpdateErrorCountsAsLoss) {
+  wbs::RandomTape tape(1);
+  hh::RobustL1HeavyHitters alg(10, 0.2, 0.25, &tape);
+  std::vector<stream::ItemUpdate> script = {{5}, {99}};  // 99 out of range
+  core::ScriptedAdversary<stream::ItemUpdate, hh::HhList> adv(script);
+  auto result = core::RunGame<stream::ItemUpdate, hh::HhList>(
+      &alg, &adv, 10, [](const stream::ItemUpdate&) {},
+      [](uint64_t, const hh::HhList&) { return true; });
+  EXPECT_FALSE(result.algorithm_survived);
+  EXPECT_EQ(result.first_failure_round, 2u);
+}
+
+// --------------------------------------- robustness / break dichotomy  --
+
+TEST(DichotomyTest, KernelAdversaryKillsAmsButNotExact) {
+  // One adversary, two victims: the o(n)-space linear sketch dies, the
+  // Omega(n)-space exact algorithm survives — Theorem 1.9 in one test.
+  wbs::RandomTape tape(2);
+  moments::AmsF2Sketch sketch(1 << 14, 12, &tape);
+  moments::AmsKernelAdversary adv(&sketch);
+  ASSERT_TRUE(adv.armed());
+
+  stream::FrequencyOracle truth(1 << 14);
+  auto judge = [&](uint64_t, const double& answer) {
+    double f2 = truth.Fp(2);
+    if (f2 == 0) return true;
+    return answer >= f2 / 3 && answer <= 3 * f2;
+  };
+  auto sketch_result = core::RunGame<stream::TurnstileUpdate, double>(
+      &sketch, &adv, 10000,
+      [&](const stream::TurnstileUpdate& u) { truth.Add(u.item, u.delta); },
+      judge, /*stop_at_first_failure=*/false);
+  EXPECT_FALSE(sketch_result.algorithm_survived);
+
+  // Replay against the exact baseline.
+  moments::AmsF2Sketch sketch2(1 << 14, 12, &tape);
+  moments::AmsKernelAdversary adv2(&sketch2);
+  ASSERT_TRUE(adv2.armed());
+  moments::ExactF2Stream exact(1 << 14);
+  stream::FrequencyOracle truth2(1 << 14);
+  auto exact_result = core::RunGame<stream::TurnstileUpdate, double>(
+      &exact, &adv2, 10000,
+      [&](const stream::TurnstileUpdate& u) { truth2.Add(u.item, u.delta); },
+      [&](uint64_t, const double& answer) {
+        return answer == truth2.Fp(2);
+      });
+  EXPECT_TRUE(exact_result.algorithm_survived);
+}
+
+TEST(DichotomyTest, FermatTextFoolsKarpRabinNotDlogMatcher) {
+  // Build a text where the Karp-Rabin matcher reports a FALSE occurrence
+  // (the Fermat collision) while the dlog-fingerprint matcher stays exact.
+  wbs::RandomTape tape(3);
+  strings::KarpRabinParams kr = strings::KarpRabinParams::Generate(8, &tape);
+  const size_t len = size_t(kr.p) + 2;
+  auto [u, v] = strings::FermatCollision(kr, len);
+
+  // Karp-Rabin side: fingerprint equality of u and v (distinct strings).
+  strings::KarpRabin fu(kr), fv(kr);
+  for (char c : u) fu.Append(uint64_t(uint8_t(c)));
+  for (char c : v) fv.Append(uint64_t(uint8_t(c)));
+  ASSERT_EQ(fu.value(), fv.value());
+  // A KR-based equality tester is therefore fooled:
+  EXPECT_NE(u, v);
+
+  // Dlog side: PeriodicPatternMatcher searching for u inside v must find
+  // nothing (v != u anywhere), despite the KR collision.
+  crypto::DlogParams g = crypto::DlogParams::Generate(40, &tape);
+  strings::PeriodicPatternMatcher matcher(
+      u, strings::SmallestPeriod(u), g, 8);
+  for (char c : v) {
+    ASSERT_TRUE(matcher.Update({uint64_t(uint8_t(c)), 8}).ok());
+  }
+  EXPECT_TRUE(matcher.Query().empty());
+}
+
+TEST(DichotomyTest, BlindingKillsKmvButSisL0Sandwiched) {
+  // The same adaptive insertion sequence: KMV freezes, Algorithm 5 keeps
+  // its n^eps sandwich.
+  const uint64_t universe = 1 << 22;  // large: plenty of blinding items
+  wbs::RandomTape tape(4);
+  distinct::KmvDistinct kmv(16, &tape);
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(kmv.Update({universe - 1 - i}).ok());
+  }
+  distinct::KmvBlindingAdversary adv(&kmv, universe);
+
+  crypto::RandomOracle oracle(99);
+  auto params = distinct::SisL0Params::Derive(universe, 0.5, 0.25, 100);
+  distinct::SisL0Estimator sis(params, oracle, 1);
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(sis.Update({universe - 1 - i, 1}).ok());
+  }
+
+  stream::FrequencyOracle truth(universe);
+  for (uint64_t i = 0; i < 16; ++i) truth.Add(universe - 1 - i);
+
+  auto result = core::RunGame<stream::ItemUpdate, double>(
+      &kmv, &adv, 3000,
+      [&](const stream::ItemUpdate& u) {
+        truth.Add(u.item);
+        ASSERT_TRUE(sis.Update({u.item, 1}).ok());
+      },
+      [&](uint64_t round, const double& answer) {
+        if (round < 1500) return true;
+        return answer >= double(truth.L0()) / 4;
+      });
+  EXPECT_FALSE(result.algorithm_survived) << "KMV must be broken";
+  // Algorithm 5 on the identical stream: sandwich holds.
+  const double l0 = double(truth.L0());
+  EXPECT_LE(sis.Query(), l0 + 1e-9);
+  EXPECT_GE(sis.Query() * double(params.chunk_width), l0 - 1e-9);
+}
+
+TEST(DichotomyTest, MorrisSurvivesWhereTruncatedDies) {
+  // Theorem 1.11 vs Lemma 2.1 head to head on the all-ones stream.
+  const uint64_t n = 1 << 15;
+  counter::TruncatedCounter trunc(6);
+  wbs::RandomTape tape(5);
+  counter::MorrisCounter morris(0.5, 0.1, &tape);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(trunc.Update({1}).ok());
+    ASSERT_TRUE(morris.Update({1}).ok());
+  }
+  const double truth = double(n);
+  EXPECT_GT(std::abs(trunc.Query() - truth), 0.5 * truth);   // broken
+  EXPECT_LE(std::abs(morris.Query() - truth), 0.5 * truth);  // fine
+  // ... in comparable space:
+  EXPECT_LE(morris.SpaceBits(), trunc.SpaceBits() + 16);
+}
+
+TEST(EndToEndTest, RobustHhUnderScriptedZipfGame) {
+  wbs::RandomTape workload_tape(6);
+  std::vector<uint64_t> planted;
+  auto s = stream::PlantedHeavyHitterStream(1 << 16, 30000, 2, 0.25,
+                                            &workload_tape, &planted);
+  std::vector<stream::ItemUpdate> script(s.begin(), s.end());
+
+  wbs::RandomTape tape(7);
+  hh::RobustL1HeavyHitters alg(1 << 16, 0.1, 0.25, &tape);
+  core::ScriptedAdversary<stream::ItemUpdate, hh::HhList> adv(script);
+  stream::FrequencyOracle truth(1 << 16);
+  auto result = core::RunGame<stream::ItemUpdate, hh::HhList>(
+      &alg, &adv, script.size(),
+      [&](const stream::ItemUpdate& u) { truth.Add(u.item); },
+      [&](uint64_t round, const hh::HhList& answer) {
+        if (round < 10000) return true;
+        // Both planted items (25% each) must be present.
+        int found = 0;
+        for (const auto& wi : answer) {
+          for (uint64_t id : planted) found += wi.item == id ? 1 : 0;
+        }
+        return found == int(planted.size());
+      });
+  EXPECT_TRUE(result.algorithm_survived);
+  EXPECT_GT(result.max_space_bits, 0u);
+}
+
+}  // namespace
+}  // namespace wbs

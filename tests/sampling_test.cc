@@ -1,0 +1,167 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Sampling primitives (Theorem 2.3 [BY20] and the reservoir sampler).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "sampling/bernoulli.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+
+namespace wbs::sampling {
+namespace {
+
+TEST(BernoulliRateTest, MatchesFormula) {
+  // p = C log(n/delta) / (eps^2 m), capped at 1.
+  double p = BernoulliRate(1 << 20, 1 << 20, 0.1, 0.1, 4.0);
+  double expect = 4.0 * std::log(double(1 << 20) / 0.1) /
+                  (0.01 * double(1 << 20));
+  EXPECT_DOUBLE_EQ(p, expect);
+}
+
+TEST(BernoulliRateTest, CapsAtOne) {
+  EXPECT_DOUBLE_EQ(BernoulliRate(1 << 20, 10, 0.01, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(BernoulliRate(1 << 20, 0, 0.1, 0.1), 1.0);
+}
+
+TEST(BernoulliRateTest, DecreasesWithStreamLength) {
+  double p1 = BernoulliRate(1 << 20, 1 << 14, 0.1, 0.1);
+  double p2 = BernoulliRate(1 << 20, 1 << 20, 0.1, 0.1);
+  EXPECT_GT(p1, p2);
+}
+
+TEST(BernoulliRateTest, IncreasesWithAccuracy) {
+  double loose = BernoulliRate(1 << 20, 1 << 20, 0.2, 0.1);
+  double tight = BernoulliRate(1 << 20, 1 << 20, 0.05, 0.1);
+  EXPECT_GT(tight, loose);
+  EXPECT_NEAR(tight / loose, 16.0, 1e-9);  // 1/eps^2 scaling
+}
+
+TEST(BernoulliSamplerTest, KeepRateConcentrates) {
+  wbs::RandomTape tape(1);
+  BernoulliSampler s(0.25, &tape);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s.Offer();
+  EXPECT_EQ(s.offered(), uint64_t(n));
+  EXPECT_NEAR(double(s.kept()) / n, 0.25, 0.02);
+}
+
+TEST(BernoulliSamplerTest, InverseRate) {
+  wbs::RandomTape tape(2);
+  BernoulliSampler s(0.2, &tape);
+  EXPECT_DOUBLE_EQ(s.InverseRate(), 5.0);
+  BernoulliSampler z(0.0, &tape);
+  EXPECT_DOUBLE_EQ(z.InverseRate(), 0.0);
+}
+
+TEST(BernoulliSamplerTest, NoPrivateRandomnessRemains) {
+  // The white-box robustness of Theorem 2.3 rests on every coin being
+  // tossed AFTER the adversary commits the update: the tape log after each
+  // Offer already contains the coin. Verify the log grows per offer.
+  wbs::RandomTape tape(3);
+  BernoulliSampler s(0.5, &tape);
+  for (int i = 1; i <= 10; ++i) {
+    size_t before = tape.log().size();
+    s.Offer();
+    EXPECT_GT(tape.log().size(), before);
+  }
+}
+
+// Theorem 2.3 end-to-end: sampling at the prescribed rate preserves
+// eps-heavy hitters, parameterized over eps.
+class SamplingPreservesHeavyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingPreservesHeavyTest, HeavyItemsSurvive) {
+  const double eps = GetParam();
+  const uint64_t m = 60000;
+  int misses = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    wbs::RandomTape tape(100 + t);
+    std::vector<uint64_t> planted;
+    auto s = stream::PlantedHeavyHitterStream(1 << 16, m, 2, 2 * eps, &tape,
+                                              &planted);
+    double p = BernoulliRate(1 << 16, m, eps, 0.1);
+    SampledFrequencyEstimator est(p, &tape);
+    for (const auto& u : s) est.Offer(u.item);
+    for (uint64_t id : planted) {
+      // Estimated frequency within eps*m of the ~2 eps m truth.
+      if (std::abs(est.Estimate(id) - 2 * eps * double(m)) >
+          eps * double(m)) {
+        ++misses;
+      }
+    }
+  }
+  EXPECT_LE(misses, 2) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SamplingPreservesHeavyTest,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+TEST(ReservoirTest, HoldsAtMostK) {
+  wbs::RandomTape tape(4);
+  ReservoirSampler r(8, &tape);
+  for (uint64_t i = 0; i < 1000; ++i) r.Offer(i);
+  EXPECT_EQ(r.reservoir().size(), 8u);
+  EXPECT_EQ(r.seen(), 1000u);
+}
+
+TEST(ReservoirTest, ShortStreamKeepsAll) {
+  wbs::RandomTape tape(5);
+  ReservoirSampler r(16, &tape);
+  for (uint64_t i = 0; i < 5; ++i) r.Offer(i);
+  EXPECT_EQ(r.reservoir().size(), 5u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Each item survives with probability k/n; check the first and the last
+  // item's empirical inclusion rates.
+  const size_t k = 4;
+  const uint64_t n = 64;
+  int first_in = 0, last_in = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    wbs::RandomTape tape(6000 + t);
+    ReservoirSampler r(k, &tape);
+    for (uint64_t i = 0; i < n; ++i) r.Offer(i);
+    for (uint64_t v : r.reservoir()) {
+      first_in += v == 0 ? 1 : 0;
+      last_in += v == n - 1 ? 1 : 0;
+    }
+  }
+  const double expect = double(k) / double(n);
+  EXPECT_NEAR(double(first_in) / trials, expect, 0.02);
+  EXPECT_NEAR(double(last_in) / trials, expect, 0.02);
+}
+
+TEST(ReservoirTest, SpaceBits) {
+  wbs::RandomTape tape(7);
+  ReservoirSampler r(4, &tape);
+  for (uint64_t i = 0; i < 100; ++i) r.Offer(i);
+  EXPECT_EQ(r.SpaceBits(1 << 20), 4 * 20 + wbs::BitsForValue(100));
+}
+
+TEST(SampledFrequencyEstimatorTest, UnbiasedOnUniform) {
+  wbs::RandomTape tape(8);
+  SampledFrequencyEstimator est(0.1, &tape);
+  const uint64_t reps = 20000;
+  for (uint64_t i = 0; i < reps; ++i) est.Offer(7);
+  EXPECT_NEAR(est.Estimate(7), double(reps), 0.15 * double(reps));
+  EXPECT_DOUBLE_EQ(est.Estimate(8), 0.0);
+}
+
+TEST(SampledFrequencyEstimatorTest, SpaceProportionalToSampledSupport) {
+  wbs::RandomTape tape(9);
+  SampledFrequencyEstimator est(0.01, &tape);
+  for (uint64_t i = 0; i < 10000; ++i) est.Offer(i % 50);
+  // ~100 samples over 50 keys: space ~ 50 * (20 + small).
+  EXPECT_GT(est.SpaceBits(1 << 20), 100u);
+  EXPECT_LT(est.SpaceBits(1 << 20), 50 * 40u);
+}
+
+}  // namespace
+}  // namespace wbs::sampling

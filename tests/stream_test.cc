@@ -1,0 +1,156 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Workload generators and the exact ground-truth oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+#include "strings/pattern_match.h"
+
+namespace wbs::stream {
+namespace {
+
+TEST(FrequencyOracleTest, BasicCounts) {
+  FrequencyOracle o(100);
+  o.Add(5);
+  o.Add(5);
+  o.Add(7, 3);
+  EXPECT_EQ(o.Frequency(5), 2);
+  EXPECT_EQ(o.Frequency(7), 3);
+  EXPECT_EQ(o.Frequency(9), 0);
+  EXPECT_EQ(o.L1(), 5u);
+  EXPECT_EQ(o.L0(), 2u);
+}
+
+TEST(FrequencyOracleTest, DeletionsShrinkSupport) {
+  FrequencyOracle o(100);
+  o.Add(1, 4);
+  o.Add(1, -4);
+  EXPECT_EQ(o.L0(), 0u);
+  EXPECT_EQ(o.Frequency(1), 0);
+}
+
+TEST(FrequencyOracleTest, FpMoments) {
+  FrequencyOracle o(10);
+  o.Add(0, 3);
+  o.Add(1, 4);
+  EXPECT_DOUBLE_EQ(o.Fp(0), 2.0);
+  EXPECT_DOUBLE_EQ(o.Fp(1), 7.0);
+  EXPECT_DOUBLE_EQ(o.Fp(2), 25.0);
+}
+
+TEST(FrequencyOracleTest, ItemsAboveThreshold) {
+  FrequencyOracle o(10);
+  o.Add(0, 10);
+  o.Add(1, 5);
+  o.Add(2, 1);
+  auto heavy = o.ItemsAbove(4.0);
+  std::sort(heavy.begin(), heavy.end());
+  EXPECT_EQ(heavy, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(FrequencyOracleTest, InnerProduct) {
+  FrequencyOracle f(10), g(10);
+  f.Add(0, 2);
+  f.Add(1, 3);
+  g.Add(1, 4);
+  g.Add(2, 5);
+  EXPECT_EQ(f.InnerProduct(g), 12);
+  EXPECT_EQ(g.InnerProduct(f), 12);
+}
+
+TEST(WorkloadTest, UniformStreamLengthAndRange) {
+  wbs::RandomTape tape(1);
+  ItemStream s = UniformStream(50, 1000, &tape);
+  EXPECT_EQ(s.size(), 1000u);
+  for (const auto& u : s) EXPECT_LT(u.item, 50u);
+}
+
+TEST(WorkloadTest, ZipfStreamSkewed) {
+  wbs::RandomTape tape(2);
+  ItemStream s = ZipfStream(1 << 16, 20000, 1.2, &tape);
+  FrequencyOracle o(1 << 16);
+  o.AddStream(s);
+  // The most frequent item should dominate: >= 5% of the stream under
+  // alpha = 1.2.
+  uint64_t max_f = 0;
+  for (const auto& [k, v] : o.frequencies()) {
+    max_f = std::max(max_f, uint64_t(v));
+  }
+  EXPECT_GE(max_f, 1000u);
+}
+
+TEST(WorkloadTest, PlantedHeavyHittersAreHeavy) {
+  wbs::RandomTape tape(3);
+  std::vector<uint64_t> planted;
+  const uint64_t m = 10000;
+  ItemStream s = PlantedHeavyHitterStream(1 << 20, m, 4, 0.1, &tape, &planted);
+  EXPECT_EQ(s.size(), m);
+  EXPECT_EQ(planted.size(), 4u);
+  FrequencyOracle o(1 << 20);
+  o.AddStream(s);
+  for (uint64_t id : planted) {
+    EXPECT_GE(o.Frequency(id), int64_t(m / 10)) << id;
+  }
+}
+
+TEST(WorkloadTest, PlantedIdsDistinct) {
+  wbs::RandomTape tape(4);
+  std::vector<uint64_t> planted;
+  PlantedHeavyHitterStream(1 << 12, 5000, 6, 0.05, &tape, &planted);
+  std::sort(planted.begin(), planted.end());
+  EXPECT_EQ(std::unique(planted.begin(), planted.end()), planted.end());
+}
+
+TEST(WorkloadTest, ChurnStreamLeavesExactSupport) {
+  wbs::RandomTape tape(5);
+  TurnstileStream s = InsertDeleteChurnStream(1 << 20, 37, 100, &tape);
+  FrequencyOracle o(1 << 20);
+  o.AddStream(s);
+  EXPECT_EQ(o.L0(), 37u);
+}
+
+TEST(WorkloadTest, ChurnStreamDeltasBalanced) {
+  wbs::RandomTape tape(6);
+  TurnstileStream s = InsertDeleteChurnStream(1 << 16, 0, 50, &tape);
+  FrequencyOracle o(1 << 16);
+  o.AddStream(s);
+  EXPECT_EQ(o.L0(), 0u);
+}
+
+TEST(WorkloadTest, PeriodicStringHasRequestedPeriod) {
+  wbs::RandomTape tape(7);
+  for (size_t p : {1UL, 3UL, 8UL, 16UL}) {
+    std::string s = PeriodicString(64, p, 4, &tape);
+    EXPECT_EQ(s.size(), 64u);
+    for (size_t i = 0; i + p < s.size(); ++i) {
+      EXPECT_EQ(s[i], s[i + p]) << "period " << p << " broken at " << i;
+    }
+  }
+}
+
+TEST(WorkloadTest, TextWithPlantedOccurrencesContainsThem) {
+  wbs::RandomTape tape(8);
+  std::string pat = "abcab";
+  std::vector<size_t> pos = {0, 10, 40};
+  std::string text = TextWithPlantedOccurrences(64, pat, pos, 3, &tape);
+  auto found = strings::NaiveFindAll(text, pat);
+  for (size_t p : pos) {
+    EXPECT_NE(std::find(found.begin(), found.end(), p), found.end()) << p;
+  }
+}
+
+TEST(WorkloadTest, GeneratorsDeterministicGivenSeed) {
+  wbs::RandomTape t1(99), t2(99);
+  ItemStream a = ZipfStream(1000, 500, 1.1, &t1);
+  ItemStream b = ZipfStream(1000, 500, 1.1, &t2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].item, b[i].item);
+}
+
+}  // namespace
+}  // namespace wbs::stream

@@ -1,0 +1,268 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// String algorithms (Section 2.6): Karp-Rabin and its Fermat break, the
+// robust streaming equality of Lemma 2.24, and Algorithm 6 pattern matching.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "strings/fingerprint.h"
+#include "strings/pattern_match.h"
+#include "stream/workload.h"
+
+namespace wbs::strings {
+namespace {
+
+crypto::DlogParams Group(uint64_t seed = 1) {
+  wbs::RandomTape tape(seed);
+  return crypto::DlogParams::Generate(40, &tape);
+}
+
+// ----------------------------------------------------------------- Period --
+
+TEST(PeriodTest, KnownCases) {
+  EXPECT_EQ(SmallestPeriod("aaaa"), 1u);
+  EXPECT_EQ(SmallestPeriod("ababab"), 2u);
+  EXPECT_EQ(SmallestPeriod("abcabc"), 3u);
+  EXPECT_EQ(SmallestPeriod("abcd"), 4u);
+  EXPECT_EQ(SmallestPeriod("abaab"), 3u);
+  EXPECT_EQ(SmallestPeriod("a"), 1u);
+  EXPECT_EQ(SmallestPeriod(""), 0u);
+}
+
+TEST(PeriodTest, PartialLastRepeat) {
+  // Period definition allows a partial trailing repeat.
+  EXPECT_EQ(SmallestPeriod("abcab"), 3u);
+  EXPECT_EQ(SmallestPeriod("ababa"), 2u);
+}
+
+TEST(PeriodTest, MatchesGeneratorPeriod) {
+  wbs::RandomTape tape(2);
+  for (size_t p : {2UL, 5UL, 8UL}) {
+    std::string s = stream::PeriodicString(40, p, 6, &tape);
+    // Generator guarantees period divides p (random periods may degenerate).
+    EXPECT_EQ(p % SmallestPeriod(s), 0u) << s;
+  }
+}
+
+// ------------------------------------------------------------- KarpRabin --
+
+TEST(KarpRabinTest, IncrementalPolynomial) {
+  KarpRabinParams params{10007, 3};
+  KarpRabin kr(params);
+  kr.Append(2);  // 2 * 3^0
+  kr.Append(5);  // 5 * 3^1
+  kr.Append(1);  // 1 * 3^2
+  EXPECT_EQ(kr.value(), (2 + 15 + 9) % 10007u);
+  EXPECT_EQ(kr.length(), 3u);
+}
+
+TEST(KarpRabinTest, EqualStringsEqualPrints) {
+  wbs::RandomTape tape(3);
+  KarpRabinParams params = KarpRabinParams::Generate(20, &tape);
+  KarpRabin a(params), b(params);
+  a.Append("hello world");
+  b.Append("hello world");
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(KarpRabinTest, GeneratedParamsArePrime) {
+  wbs::RandomTape tape(4);
+  KarpRabinParams params = KarpRabinParams::Generate(24, &tape);
+  EXPECT_TRUE(wbs::IsPrime(params.p));
+  EXPECT_GT(params.x, 1u);
+  EXPECT_LT(params.x, params.p);
+}
+
+TEST(FermatAttackTest, CollisionOnDistinctStrings) {
+  // The Section 2.6 white-box break: the adversary reads (p, x) and emits
+  // two different strings with identical fingerprints.
+  wbs::RandomTape tape(5);
+  KarpRabinParams params = KarpRabinParams::Generate(12, &tape);  // small p
+  const size_t len = size_t(params.p) + 10;
+  auto [u, v] = FermatCollision(params, len);
+  ASSERT_NE(u, v);
+  KarpRabin fu(params), fv(params);
+  for (char c : u) fu.Append(uint64_t(uint8_t(c)));
+  for (char c : v) fv.Append(uint64_t(uint8_t(c)));
+  EXPECT_EQ(fu.value(), fv.value()) << "Fermat collision must fool KR";
+}
+
+TEST(FermatAttackTest, OffsetVariant) {
+  wbs::RandomTape tape(6);
+  KarpRabinParams params = KarpRabinParams::Generate(10, &tape);
+  const size_t len = size_t(params.p) + 50;
+  auto [u, v] = FermatCollision(params, len, /*i=*/7);
+  KarpRabin fu(params), fv(params);
+  for (char c : u) fu.Append(uint64_t(uint8_t(c)));
+  for (char c : v) fv.Append(uint64_t(uint8_t(c)));
+  EXPECT_EQ(fu.value(), fv.value());
+  EXPECT_EQ(u[7], char(1));
+}
+
+TEST(FermatAttackTest, DlogFingerprintResists) {
+  // The same two strings have DIFFERENT discrete-log fingerprints: the
+  // robust fingerprint is immune to the Fermat attack (Lemma 2.24).
+  wbs::RandomTape tape(7);
+  KarpRabinParams kr_params = KarpRabinParams::Generate(10, &tape);
+  const size_t len = size_t(kr_params.p) + 10;
+  auto [u, v] = FermatCollision(kr_params, len);
+  crypto::DlogParams g = Group();
+  crypto::DlogFingerprint fu(g), fv(g);
+  for (char c : u) fu.AppendChar(uint64_t(uint8_t(c)), 1);
+  for (char c : v) fv.AppendChar(uint64_t(uint8_t(c)), 1);
+  EXPECT_NE(fu.value(), fv.value());
+}
+
+// ------------------------------------------------------ StreamingEquality --
+
+TEST(StreamingEqualityTest, EqualStreams) {
+  StreamingEquality eq(Group());
+  for (char c : std::string("identical")) {
+    eq.AppendU(uint64_t(uint8_t(c)), 8);
+    eq.AppendV(uint64_t(uint8_t(c)), 8);
+  }
+  EXPECT_TRUE(eq.Equal());
+}
+
+TEST(StreamingEqualityTest, DetectsSingleCharDifference) {
+  StreamingEquality eq(Group());
+  std::string u = "identical", v = "identicaX";
+  for (char c : u) eq.AppendU(uint64_t(uint8_t(c)), 8);
+  for (char c : v) eq.AppendV(uint64_t(uint8_t(c)), 8);
+  EXPECT_FALSE(eq.Equal());
+}
+
+TEST(StreamingEqualityTest, LengthMismatchDetected) {
+  StreamingEquality eq(Group());
+  eq.AppendU(0, 8);  // "\0" vs "" would collide by value; length disambiguates
+  EXPECT_FALSE(eq.Equal());
+}
+
+TEST(StreamingEqualityTest, SpaceIsTwoGroupElements) {
+  crypto::DlogParams g = Group();
+  StreamingEquality eq(g);
+  for (int i = 0; i < 1000; ++i) {
+    eq.AppendU(1, 8);
+    eq.AppendV(1, 8);
+  }
+  EXPECT_LE(eq.SpaceBits(), 2 * (g.ElementBits() + 14));
+}
+
+// -------------------------------------------------- PeriodicPatternMatcher --
+
+std::vector<uint64_t> RunMatcher(const std::string& pattern,
+                                 const std::string& text,
+                                 uint64_t group_seed = 1) {
+  crypto::DlogParams g = Group(group_seed);
+  PeriodicPatternMatcher alg(pattern, SmallestPeriod(pattern), g, 8);
+  for (char c : text) {
+    EXPECT_TRUE(alg.Update({uint64_t(uint8_t(c)), 8}).ok());
+  }
+  return alg.Query();
+}
+
+std::vector<uint64_t> AsU64(const std::vector<size_t>& v) {
+  return std::vector<uint64_t>(v.begin(), v.end());
+}
+
+TEST(PatternMatcherTest, SingleOccurrence) {
+  EXPECT_EQ(RunMatcher("abab", "zzababzz"),
+            AsU64(NaiveFindAll("zzababzz", "abab")));
+}
+
+TEST(PatternMatcherTest, OverlappingOccurrences) {
+  // "ababab" contains "abab" at 0 and 2 (p = 2 apart).
+  EXPECT_EQ(RunMatcher("abab", "ababab"),
+            AsU64(NaiveFindAll("ababab", "abab")));
+}
+
+TEST(PatternMatcherTest, NoOccurrence) {
+  EXPECT_TRUE(RunMatcher("abab", "cdcdcdcd").empty());
+}
+
+TEST(PatternMatcherTest, PatternEqualsText) {
+  EXPECT_EQ(RunMatcher("abcabc", "abcabc"),
+            (std::vector<uint64_t>{0}));
+}
+
+TEST(PatternMatcherTest, AperiodicPattern) {
+  // Period = length: the pattern is its own period.
+  EXPECT_EQ(RunMatcher("abcd", "xxabcdyyabcd"),
+            AsU64(NaiveFindAll("xxabcdyyabcd", "abcd")));
+}
+
+// Randomized agreement sweep against the naive matcher.
+class MatcherAgreementTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MatcherAgreementTest, MatchesNaive) {
+  auto [pat_len, period] = GetParam();
+  wbs::RandomTape tape(pat_len * 37 + period);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::string pattern = stream::PeriodicString(pat_len, period, 2, &tape);
+    size_t true_period = SmallestPeriod(pattern);
+    std::vector<size_t> planted;
+    for (size_t pos = trial; pos + pat_len <= 200; pos += pat_len + 3) {
+      planted.push_back(pos);
+    }
+    std::string text =
+        stream::TextWithPlantedOccurrences(200, pattern, planted, 2, &tape);
+    crypto::DlogParams g = Group(trial + 100);
+    PeriodicPatternMatcher alg(pattern, true_period, g, 8);
+    for (char c : text) {
+      ASSERT_TRUE(alg.Update({uint64_t(uint8_t(c)), 8}).ok());
+    }
+    EXPECT_EQ(alg.Query(), AsU64(NaiveFindAll(text, pattern)))
+        << "pattern=" << pattern << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatcherAgreementTest,
+    ::testing::Values(std::pair<size_t, size_t>{4, 2},
+                      std::pair<size_t, size_t>{6, 3},
+                      std::pair<size_t, size_t>{8, 4},
+                      std::pair<size_t, size_t>{9, 3},
+                      std::pair<size_t, size_t>{12, 6},
+                      std::pair<size_t, size_t>{5, 5}));
+
+TEST(PatternMatcherTest, DenseAllSameCharacter) {
+  // p = 1 pattern in an all-a text: every position matches.
+  EXPECT_EQ(RunMatcher("aaa", "aaaaaa"),
+            AsU64(NaiveFindAll("aaaaaa", "aaa")));
+}
+
+TEST(PatternMatcherTest, AlphabetWidthMismatchRejected) {
+  crypto::DlogParams g = Group();
+  PeriodicPatternMatcher alg("abab", 2, g, 8);
+  EXPECT_FALSE(alg.Update({uint64_t('a'), 16}).ok());
+}
+
+TEST(PatternMatcherTest, SpaceBitsSmallRelativeToText) {
+  crypto::DlogParams g = Group();
+  std::string pattern = "abcabcabc";
+  PeriodicPatternMatcher alg(pattern, 3, g, 8);
+  wbs::RandomTape tape(9);
+  const size_t text_len = 20000;
+  for (size_t i = 0; i < text_len; ++i) {
+    ASSERT_TRUE(
+        alg.Update({uint64_t('a' + tape.UniformInt(3)), 8}).ok());
+  }
+  // State is O((p + n/p) group elements) — far below storing the text.
+  EXPECT_LT(alg.SpaceBits(), text_len);
+}
+
+TEST(PatternMatcherTest, TracksTextLength) {
+  crypto::DlogParams g = Group();
+  PeriodicPatternMatcher alg("abab", 2, g, 8);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(alg.Update({uint64_t('a'), 8}).ok());
+  }
+  EXPECT_EQ(alg.text_length(), 10u);
+}
+
+}  // namespace
+}  // namespace wbs::strings
