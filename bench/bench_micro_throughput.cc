@@ -7,17 +7,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "counter/morris.h"
 #include "crypto/crhf.h"
 #include "crypto/sha256.h"
 #include "distinct/l0_estimator.h"
+#include "engine/driver.h"
 #include "heavyhitters/misra_gries.h"
 #include "heavyhitters/robust_hh.h"
 #include "hhh/hhh.h"
 #include "linalg/rank_sketch.h"
 #include "moments/ams.h"
 #include "strings/fingerprint.h"
+#include "stream/workload.h"
 
 namespace {
 
@@ -135,6 +144,110 @@ void BM_KarpRabinAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_KarpRabinAppend);
 
+// ------------------------------------------------------- engine throughput --
+//
+// The perf-trajectory baseline for the sharded ingestion engine: updates/sec
+// of the full sketch group {misra_gries, ams_f2, sis_l0} on a Zipf workload,
+// across the unbatched single-threaded path (the seed's behaviour, routed
+// through the engine), the batched single-shard path, and the sharded
+// batched path at 1/2/4/8 worker threads. Each mode emits one JSONL row
+// (bench_util.h JsonRow) so CI logs can be scraped for regressions.
+//
+// The batched speedup comes from (a) amortizing per-update queue/dispatch
+// costs over the batch and (b) pre-aggregating duplicate items before the
+// linear/weighted sketches see them — on Zipfian traffic most of a batch is
+// duplicates, so the expensive AMS row-loop and SIS column-add run once per
+// distinct item instead of once per update. Sharding adds parallelism on
+// multi-core hosts on top.
+
+double RunEngineMode(const char* mode, const wbs::stream::ItemStream& zipf,
+                     uint64_t universe, size_t shards, size_t threads,
+                     size_t batch, double baseline_ups) {
+  wbs::engine::DriverOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
+  opts.ingest.config.universe = universe;
+  opts.ingest.config.seed = 2025;
+  opts.batch_size = batch;
+  auto driver = wbs::engine::Driver::Create(opts);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "engine driver: %s\n",
+                 driver.status().ToString().c_str());
+    return 0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  wbs::Status s = driver.value()->Replay(zipf);
+  if (s.ok()) s = driver.value()->Finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::fprintf(stderr, "engine replay: %s\n", s.ToString().c_str());
+    return 0;
+  }
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double ups = double(zipf.size()) / seconds;
+  wbs::bench::JsonRow row;
+  row.Field("bench", "engine_throughput")
+      .Field("mode", mode)
+      .Field("shards", uint64_t(shards))
+      .Field("threads", uint64_t(threads))
+      .Field("batch", uint64_t(batch))
+      .Field("updates", uint64_t(zipf.size()))
+      .Field("seconds", seconds)
+      .Field("updates_per_sec", ups);
+  if (baseline_ups > 0) {
+    row.Field("speedup_vs_unbatched", ups / baseline_ups);
+  }
+  row.Emit();
+  return ups;
+}
+
+void RunEngineThroughput(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_throughput",
+      "sharded ingestion engine: batched + sharded updates/sec on Zipf "
+      "traffic through {misra_gries, ams_f2, sis_l0}");
+  const uint64_t universe = 4096;
+  wbs::RandomTape tape(101);
+  tape.set_logging(false);
+  auto zipf = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+  const double base =
+      RunEngineMode("single_unbatched", zipf, universe, 1, 0, 1, 0);
+  RunEngineMode("engine_batched", zipf, universe, 1, 0, 32768, base);
+  for (size_t threads : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    RunEngineMode("sharded_batched", zipf, universe, 8, threads, 32768, base);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool engine_only = false;
+  bool benchmark_flags_present = false;
+  uint64_t engine_updates = uint64_t{1} << 20;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine_only") == 0) {
+      engine_only = true;
+    } else if (std::strncmp(argv[i], "--engine_updates=", 17) == 0) {
+      engine_updates = std::strtoull(argv[i] + 17, nullptr, 10);
+    } else {
+      benchmark_flags_present |=
+          std::strncmp(argv[i], "--benchmark", 11) == 0;
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // The multi-second engine sweep runs by default and with --engine_only,
+  // but stays out of the way when the caller is targeting specific
+  // microbenchmarks (--benchmark_filter, --benchmark_list_tests, ...).
+  if (engine_only || !benchmark_flags_present) {
+    RunEngineThroughput(engine_updates);
+  }
+  if (engine_only) return 0;
+  int pargc = int(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -57,6 +57,20 @@ Status SisSketchVector::Update(size_t col, int64_t delta) {
   return Status::OK();
 }
 
+Status SisSketchVector::MergeFrom(const SisSketchVector& other) {
+  const SisParams& p = matrix_->params();
+  const SisParams& op = other.matrix_->params();
+  if (p.q != op.q || p.rows != op.rows || p.cols != op.cols ||
+      v_.size() != other.v_.size()) {
+    return Status::FailedPrecondition(
+        "SisSketchVector::MergeFrom: parameter mismatch");
+  }
+  for (size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = AddMod(v_[i], other.v_[i], p.q);
+  }
+  return Status::OK();
+}
+
 bool SisSketchVector::IsZero() const {
   for (uint64_t x : v_) {
     if (x != 0) return false;

@@ -83,6 +83,13 @@ class SisSketchVector {
   /// solution — which is exactly what the hardness assumption rules out).
   bool IsZero() const;
 
+  /// Adds another sketch vector: v += other.v (mod q). Because the sketch is
+  /// linear in f, the merge of sketches over partial streams equals the
+  /// sketch of the combined stream — both vectors must be drawn against the
+  /// same A (same params; callers are responsible for oracle/domain
+  /// identity, which the engine guarantees by construction).
+  Status MergeFrom(const SisSketchVector& other);
+
   const std::vector<uint64_t>& value() const { return v_; }
 
   /// Bits to store the sketch vector (rows * ceil(log2 q)).

@@ -68,6 +68,17 @@ class SisL0Estimator final
   /// Random-oracle model: only the chunk sketches are charged.
   uint64_t SpaceBits() const override;
 
+  /// Linear merge: adds the other estimator's chunk sketches (mod q) into
+  /// this one. Valid only when both instances were derived from identical
+  /// params and the same random oracle instance (then A is identical and
+  /// sketch(f) + sketch(g) = sketch(f + g), so the merged estimator is
+  /// bit-identical to one that ingested the concatenated stream).
+  Status MergeFrom(const SisL0Estimator& other);
+
+  /// Precomputes the shared sketching matrix A (trades the random-oracle
+  /// space accounting for per-update speed; used by the serving engine).
+  void MaterializeMatrix() { matrix_.Materialize(); }
+
   const SisL0Params& params() const { return params_; }
   const crypto::SisMatrix& matrix() const { return matrix_; }
 

@@ -1,0 +1,543 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The built-in engine wrappers around the library's streaming algorithms.
+//
+// Merge semantics per family (see src/engine/README.md):
+//   misra_gries    state merge (mergeable summaries, deterministic bound)
+//   ams_f2         state merge (linear; bit-identical to single-instance)
+//   sis_l0         state merge (linear; bit-identical to single-instance)
+//   rank_decision  state merge (linear; bit-identical to single-instance)
+//   robust_hh      answer merge (candidate-list union; exact under the
+//   crhf_hh        ingestor's universe partitioning)
+//
+// Shared randomness (sign matrices, random oracles) derives from
+// SketchConfig::seed so shard copies agree; private randomness (sampling
+// tapes) derives from SketchConfig::shard_seed so shards sample
+// independently but reproducibly.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/random_oracle.h"
+#include "distinct/l0_estimator.h"
+#include "engine/registry.h"
+#include "engine/sketch.h"
+#include "heavyhitters/crhf_hh.h"
+#include "heavyhitters/misra_gries.h"
+#include "heavyhitters/robust_hh.h"
+#include "linalg/rank_sketch.h"
+#include "moments/ams.h"
+
+namespace wbs::engine {
+namespace {
+
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t s = seed ^ salt;
+  return SplitMix64(&s);
+}
+
+constexpr uint64_t kAmsSalt = 0xa35f2000a35f2000ULL;
+constexpr uint64_t kRobustSalt = 0x20b05700720b0577ULL;
+constexpr uint64_t kCrhfSalt = 0xc12f00c12f00c12fULL;
+constexpr uint64_t kL0OracleDomain = 0x10e57;
+constexpr uint64_t kRankOracleDomain = 0x2a4c;
+
+// Sampling sketches replay a weighted update as delta unit updates (a
+// Bernoulli sample of w units is not one weighted add). Cap the expansion
+// so a single adversarial delta cannot stall a worker thread forever.
+constexpr int64_t kMaxSamplingDeltaExpansion = int64_t{1} << 20;
+
+/// Shared wrapper plumbing: name, effective-update accounting, and a
+/// first-seen-order batch aggregator for weight-equivalent sketches.
+class SketchBase : public Sketch {
+ public:
+  explicit SketchBase(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+ protected:
+  /// The aggregated form of a batch: duplicate items combined in
+  /// first-occurrence order. Only valid for sketches where one weighted
+  /// update is equivalent to the corresponding run of unit updates.
+  struct AggregatedView {
+    const stream::TurnstileUpdate* data;
+    size_t size;
+    uint64_t effective;  ///< nonzero-delta raw updates represented
+    bool has_negative;   ///< any raw delta < 0
+  };
+
+  /// Returns the batch's shared pre-aggregation when the ingestor attached
+  /// one, otherwise aggregates locally into scratch_.
+  AggregatedView GetAggregated(const UpdateBatch& batch) {
+    if (batch.aggregated != nullptr) {
+      return {batch.aggregated, batch.aggregated_size, batch.effective_updates,
+              batch.has_negative_delta};
+    }
+    auto [effective, has_negative] =
+        AggregateUpdates(batch.data, batch.size, &scratch_, &index_);
+    return {scratch_.data(), scratch_.size(), effective, has_negative};
+  }
+
+  std::string name_;
+  uint64_t updates_applied_ = 0;
+  std::vector<stream::TurnstileUpdate> scratch_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+/// Answer-level merge accumulator for sampling sketches: sums candidate
+/// estimates item-wise across shard summaries. Because the ingestor assigns
+/// each item to exactly one shard, the union *is* the global candidate list.
+struct AnswerAccumulator {
+  bool active = false;
+  uint64_t updates = 0;
+  std::map<uint64_t, double> estimates;  // ordered => deterministic output
+
+  void Fold(const SketchSummary& s) {
+    active = true;
+    updates += s.updates;
+    for (const auto& wi : s.items) estimates[wi.item] += wi.estimate;
+  }
+
+  std::vector<hh::WeightedItem> Items() const {
+    std::vector<hh::WeightedItem> out;
+    out.reserve(estimates.size());
+    for (const auto& [item, est] : estimates) out.push_back({item, est});
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ misra_gries --
+
+class MisraGriesSketch final : public SketchBase {
+ public:
+  explicit MisraGriesSketch(const SketchConfig& cfg)
+      : SketchBase("misra_gries"), cfg_(cfg), mg_(cfg.mg_counters) {}
+
+  Status Update(const stream::TurnstileUpdate& u) override {
+    if (u.delta < 0) {
+      return Status::InvalidArgument("misra_gries is insertion-only");
+    }
+    if (u.item >= cfg_.universe) {
+      return Status::OutOfRange("misra_gries: item out of universe");
+    }
+    if (u.delta == 0) return Status::OK();
+    mg_.Add(u.item, uint64_t(u.delta));
+    ++updates_applied_;
+    return Status::OK();
+  }
+
+  Status ApplyBatch(const UpdateBatch& batch) override {
+    const AggregatedView agg = GetAggregated(batch);
+    if (agg.has_negative) {
+      return Status::InvalidArgument("misra_gries is insertion-only");
+    }
+    for (size_t i = 0; i < agg.size; ++i) {
+      const auto& u = agg.data[i];
+      if (u.delta == 0) continue;
+      if (u.item >= cfg_.universe) {
+        return Status::OutOfRange("misra_gries: item out of universe");
+      }
+      mg_.Add(u.item, uint64_t(u.delta));
+    }
+    updates_applied_ += agg.effective;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    s.items = mg_.List();
+    s.updates = updates_applied_;
+    s.SortItems();
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const MisraGriesSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("misra_gries: merge type mismatch");
+    }
+    Status s = mg_.MergeFrom(o->mg_);
+    if (!s.ok()) return s;
+    updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return mg_.SpaceBits(cfg_.universe); }
+
+ private:
+  SketchConfig cfg_;
+  hh::MisraGries mg_;
+};
+
+// ----------------------------------------------------------------- ams_f2 --
+
+class AmsF2EngineSketch final : public SketchBase {
+ public:
+  explicit AmsF2EngineSketch(const SketchConfig& cfg)
+      : SketchBase("ams_f2"),
+        tape_(MixSeed(cfg.seed, kAmsSalt)),
+        ams_(cfg.universe, cfg.ams_rows, &tape_) {
+    tape_.set_logging(false);  // serving engine, not the game harness
+  }
+
+  Status Update(const stream::TurnstileUpdate& u) override {
+    Status s = ams_.Update(u);
+    if (s.ok() && u.delta != 0) ++updates_applied_;
+    return s;
+  }
+
+  Status ApplyBatch(const UpdateBatch& batch) override {
+    const AggregatedView agg = GetAggregated(batch);
+    for (size_t i = 0; i < agg.size; ++i) {
+      if (agg.data[i].delta == 0) continue;
+      Status s = ams_.Update(agg.data[i]);
+      if (!s.ok()) return s;
+    }
+    updates_applied_ += agg.effective;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    s.has_scalar = true;
+    s.scalar = ams_.Query();
+    s.updates = updates_applied_;
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const AmsF2EngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("ams_f2: merge type mismatch");
+    }
+    Status s = ams_.MergeFrom(o->ams_);
+    if (!s.ok()) return s;
+    updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return ams_.SpaceBits(); }
+
+ private:
+  wbs::RandomTape tape_;
+  moments::AmsF2Sketch ams_;
+};
+
+// ----------------------------------------------------------------- sis_l0 --
+
+class SisL0EngineSketch final : public SketchBase {
+ public:
+  explicit SisL0EngineSketch(const SketchConfig& cfg)
+      : SketchBase("sis_l0"),
+        oracle_(cfg.seed),
+        est_(distinct::SisL0Params::Derive(cfg.universe, cfg.l0_eps, cfg.l0_c,
+                                           cfg.l0_f_inf_bound),
+             oracle_, kL0OracleDomain) {}
+
+  Status Update(const stream::TurnstileUpdate& u) override {
+    EnsureMaterialized();
+    Status s = est_.Update(u);
+    if (s.ok() && u.delta != 0) ++updates_applied_;
+    return s;
+  }
+
+  Status ApplyBatch(const UpdateBatch& batch) override {
+    EnsureMaterialized();
+    const AggregatedView agg = GetAggregated(batch);
+    for (size_t i = 0; i < agg.size; ++i) {
+      if (agg.data[i].delta == 0) continue;
+      Status s = est_.Update(agg.data[i]);
+      if (!s.ok()) return s;
+    }
+    updates_applied_ += agg.effective;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    s.has_scalar = true;
+    s.scalar = est_.Query();
+    s.updates = updates_applied_;
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const SisL0EngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("sis_l0: merge type mismatch");
+    }
+    if (oracle_.instance_id() != o->oracle_.instance_id()) {
+      return Status::FailedPrecondition("sis_l0: oracle mismatch");
+    }
+    Status s = est_.MergeFrom(o->est_);
+    if (!s.ok()) return s;
+    updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return est_.SpaceBits(); }
+
+ private:
+  /// The oracle-derived A costs one SHA-256 per entry; cache it before the
+  /// first ingest, but never for merge-only targets (MergeFrom/Query touch
+  /// only the chunk vectors, so fresh accumulators skip the cost).
+  void EnsureMaterialized() {
+    if (!materialized_) {
+      est_.MaterializeMatrix();
+      materialized_ = true;
+    }
+  }
+
+  crypto::RandomOracle oracle_;
+  distinct::SisL0Estimator est_;
+  bool materialized_ = false;
+};
+
+// ---------------------------------------------------------- rank_decision --
+
+class RankDecisionEngineSketch final : public SketchBase {
+ public:
+  explicit RankDecisionEngineSketch(const SketchConfig& cfg)
+      : SketchBase("rank_decision"),
+        n_(cfg.rank_n),
+        oracle_(cfg.seed),
+        sketch_(cfg.rank_n, cfg.rank_k, cfg.rank_q, oracle_,
+                kRankOracleDomain) {}
+
+  /// Items index the n x n matrix row-major: item = row * n + col.
+  Status Update(const stream::TurnstileUpdate& u) override {
+    if (u.item >= uint64_t(n_) * n_) {
+      return Status::OutOfRange("rank_decision: item out of matrix");
+    }
+    if (u.delta == 0) return Status::OK();
+    Status s = sketch_.Update(
+        {size_t(u.item / n_), size_t(u.item % n_), u.delta});
+    if (s.ok()) ++updates_applied_;
+    return s;
+  }
+
+  Status ApplyBatch(const UpdateBatch& batch) override {
+    const AggregatedView agg = GetAggregated(batch);
+    for (size_t i = 0; i < agg.size; ++i) {
+      const auto& u = agg.data[i];
+      if (u.delta == 0) continue;
+      if (u.item >= uint64_t(n_) * n_) {
+        return Status::OutOfRange("rank_decision: item out of matrix");
+      }
+      Status s = sketch_.Update(
+          {size_t(u.item / n_), size_t(u.item % n_), u.delta});
+      if (!s.ok()) return s;
+    }
+    updates_applied_ += agg.effective;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    s.has_scalar = true;
+    s.scalar = sketch_.Query() ? 1.0 : 0.0;
+    s.updates = updates_applied_;
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const RankDecisionEngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("rank_decision: merge type mismatch");
+    }
+    if (oracle_.instance_id() != o->oracle_.instance_id()) {
+      return Status::FailedPrecondition("rank_decision: oracle mismatch");
+    }
+    Status s = sketch_.MergeFrom(o->sketch_);
+    if (!s.ok()) return s;
+    updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return sketch_.SpaceBits(); }
+
+ private:
+  size_t n_;
+  crypto::RandomOracle oracle_;
+  linalg::RankDecisionSketch sketch_;
+};
+
+// -------------------------------------------------- robust_hh / crhf_hh --
+//
+// Sampling-based heavy hitters: Bernoulli samples are not equivalent to
+// weighted adds, so batches are applied update-by-update (the batch still
+// amortizes queueing and dispatch). Merging is answer-level and requires a
+// fresh target, which the ingestor's merge path always provides.
+
+class RobustHhEngineSketch final : public SketchBase {
+ public:
+  explicit RobustHhEngineSketch(const SketchConfig& cfg)
+      : SketchBase("robust_hh"),
+        tape_(MixSeed(cfg.shard_seed, kRobustSalt)),
+        alg_(cfg.universe, cfg.eps, cfg.delta, &tape_) {
+    tape_.set_logging(false);
+  }
+
+  Status Update(const stream::TurnstileUpdate& u) override {
+    if (u.delta < 0) {
+      return Status::InvalidArgument("robust_hh is insertion-only");
+    }
+    if (u.delta > kMaxSamplingDeltaExpansion) {
+      return Status::InvalidArgument(
+          "robust_hh: weighted delta exceeds the unit-expansion cap");
+    }
+    if (merged_.active) {
+      return Status::FailedPrecondition(
+          "robust_hh: merge accumulator is read-only");
+    }
+    for (int64_t i = 0; i < u.delta; ++i) {
+      Status s = alg_.Update({u.item});
+      if (!s.ok()) return s;
+    }
+    if (u.delta != 0) ++updates_applied_;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    if (merged_.active) {
+      s.items = merged_.Items();
+      s.updates = merged_.updates;
+    } else {
+      s.items = alg_.Query();
+      s.updates = updates_applied_;
+    }
+    s.SortItems();
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const RobustHhEngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("robust_hh: merge type mismatch");
+    }
+    if (updates_applied_ > 0) {
+      return Status::FailedPrecondition(
+          "robust_hh: answer-level merge requires a fresh target");
+    }
+    merged_.Fold(o->Summary());
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return alg_.SpaceBits(); }
+
+ private:
+  wbs::RandomTape tape_;
+  hh::RobustL1HeavyHitters alg_;
+  AnswerAccumulator merged_;
+};
+
+class CrhfHhEngineSketch final : public SketchBase {
+ public:
+  explicit CrhfHhEngineSketch(const SketchConfig& cfg)
+      : SketchBase("crhf_hh"),
+        tape_(MixSeed(cfg.shard_seed, kCrhfSalt)),
+        alg_(cfg.universe, cfg.phi, cfg.eps, cfg.time_budget_t, &tape_) {
+    tape_.set_logging(false);
+  }
+
+  Status Update(const stream::TurnstileUpdate& u) override {
+    if (u.delta < 0) {
+      return Status::InvalidArgument("crhf_hh is insertion-only");
+    }
+    if (u.delta > kMaxSamplingDeltaExpansion) {
+      return Status::InvalidArgument(
+          "crhf_hh: weighted delta exceeds the unit-expansion cap");
+    }
+    if (merged_.active) {
+      return Status::FailedPrecondition(
+          "crhf_hh: merge accumulator is read-only");
+    }
+    for (int64_t i = 0; i < u.delta; ++i) {
+      Status s = alg_.Update({u.item});
+      if (!s.ok()) return s;
+    }
+    if (u.delta != 0) ++updates_applied_;
+    return Status::OK();
+  }
+
+  SketchSummary Summary() const override {
+    SketchSummary s;
+    s.sketch = name_;
+    if (merged_.active) {
+      s.items = merged_.Items();
+      s.updates = merged_.updates;
+    } else {
+      s.items = alg_.Query();
+      s.updates = updates_applied_;
+    }
+    s.SortItems();
+    return s;
+  }
+
+  Status MergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const CrhfHhEngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("crhf_hh: merge type mismatch");
+    }
+    if (updates_applied_ > 0) {
+      return Status::FailedPrecondition(
+          "crhf_hh: answer-level merge requires a fresh target");
+    }
+    merged_.Fold(o->Summary());
+    return Status::OK();
+  }
+
+  uint64_t SpaceBits() const override { return alg_.SpaceBits(); }
+
+ private:
+  wbs::RandomTape tape_;
+  hh::CrhfHeavyHitters alg_;
+  AnswerAccumulator merged_;
+};
+
+}  // namespace
+
+void RegisterBuiltinSketches(SketchRegistry* registry) {
+  auto must = [](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "builtin sketch registration failed: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  };
+  must(registry->Register("misra_gries", [](const SketchConfig& cfg) {
+    return std::make_unique<MisraGriesSketch>(cfg);
+  }));
+  must(registry->Register("ams_f2", [](const SketchConfig& cfg) {
+    return std::make_unique<AmsF2EngineSketch>(cfg);
+  }));
+  must(registry->Register("sis_l0", [](const SketchConfig& cfg) {
+    return std::make_unique<SisL0EngineSketch>(cfg);
+  }));
+  must(registry->Register("rank_decision", [](const SketchConfig& cfg) {
+    return std::make_unique<RankDecisionEngineSketch>(cfg);
+  }));
+  must(registry->Register("robust_hh", [](const SketchConfig& cfg) {
+    return std::make_unique<RobustHhEngineSketch>(cfg);
+  }));
+  must(registry->Register("crhf_hh", [](const SketchConfig& cfg) {
+    return std::make_unique<CrhfHhEngineSketch>(cfg);
+  }));
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,64 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// engine::Driver — the thin serving facade over ShardedIngestor used by the
+// throughput benchmarks and example scenarios: it chops materialized
+// workload streams into submission batches (batch_size == 1 reproduces the
+// legacy one-update-at-a-time path), runs them through the ingestor, and
+// exposes the merged per-sketch summaries.
+
+#ifndef WBS_ENGINE_DRIVER_H_
+#define WBS_ENGINE_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sharded_ingestor.h"
+#include "engine/sketch.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+struct DriverOptions {
+  IngestorOptions ingest;
+  size_t batch_size = 8192;  ///< submission granularity; 1 = unbatched
+};
+
+class Driver {
+ public:
+  static Result<std::unique_ptr<Driver>> Create(const DriverOptions& options);
+
+  /// Replays a materialized stream through the ingestor in batches.
+  Status Replay(const stream::TurnstileStream& s);
+  Status Replay(const stream::ItemStream& s);
+
+  /// Waits for all in-flight work (keeps workers alive for more Replays).
+  Status Flush() { return ingestor_->Flush(); }
+
+  /// Drains and joins; the driver stays queryable.
+  Status Finish() { return ingestor_->Finish(); }
+
+  /// Merged global answer for one sketch (Flush/Finish first).
+  Result<SketchSummary> Summary(const std::string& sketch) const {
+    return ingestor_->MergedSummary(sketch);
+  }
+
+  /// Merged answers for every configured sketch.
+  Result<std::vector<SketchSummary>> Summaries() const;
+
+  const ShardedIngestor& ingestor() const { return *ingestor_; }
+  uint64_t updates_replayed() const { return ingestor_->updates_submitted(); }
+  size_t batch_size() const { return options_.batch_size; }
+
+ private:
+  Driver(DriverOptions options, std::unique_ptr<ShardedIngestor> ingestor)
+      : options_(std::move(options)), ingestor_(std::move(ingestor)) {}
+
+  DriverOptions options_;
+  std::unique_ptr<ShardedIngestor> ingestor_;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_DRIVER_H_

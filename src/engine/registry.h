@@ -1,0 +1,54 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Name -> factory registry for engine sketches. The built-in wrappers
+// (Misra-Gries, robust HH, CRHF-HH, AMS F2, SIS-L0, rank decision) register
+// themselves on first access to Global(); callers can add their own sketches
+// at runtime, which is how a new algorithm joins the serving pipeline
+// without touching the ingestor.
+
+#ifndef WBS_ENGINE_REGISTRY_H_
+#define WBS_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sketch.h"
+
+namespace wbs::engine {
+
+class SketchRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Sketch>(const SketchConfig&)>;
+
+  /// The process-wide registry, with the built-in sketches pre-registered.
+  static SketchRegistry& Global();
+
+  /// Registers a factory under `name`; rejects duplicates.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the named sketch with `config`.
+  Result<std::unique_ptr<Sketch>> Create(const std::string& name,
+                                         const SketchConfig& config) const;
+
+  bool Has(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers the built-in wrappers (defined in builtin_sketches.cc); called
+/// once by SketchRegistry::Global().
+void RegisterBuiltinSketches(SketchRegistry* registry);
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_REGISTRY_H_

@@ -1,0 +1,304 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/sharded_ingestor.h"
+
+#include "engine/registry.h"
+
+namespace wbs::engine {
+namespace {
+
+constexpr uint64_t kShardSeedSalt = 0x5ea5ea5ea5ea5ea5ULL;
+constexpr uint64_t kMergeSeedSalt = 0x3e63e63e63e63e63ULL;
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t salt, uint64_t index) {
+  uint64_t s = seed ^ salt ^ (index * 0xd1342543de82ef95ULL);
+  return SplitMix64(&s);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedIngestor>> ShardedIngestor::Create(
+    const IngestorOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("ShardedIngestor: num_shards must be > 0");
+  }
+  if (options.sketches.empty()) {
+    return Status::InvalidArgument(
+        "ShardedIngestor: at least one sketch name required");
+  }
+  if (options.max_queue_batches == 0) {
+    return Status::InvalidArgument(
+        "ShardedIngestor: max_queue_batches must be > 0");
+  }
+  for (const std::string& name : options.sketches) {
+    if (!SketchRegistry::Global().Has(name)) {
+      return Status::NotFound("ShardedIngestor: unknown sketch " + name);
+    }
+  }
+  IngestorOptions opts = options;
+  if (opts.num_threads > opts.num_shards) opts.num_threads = opts.num_shards;
+  std::unique_ptr<ShardedIngestor> ingestor(
+      new ShardedIngestor(std::move(opts)));
+  Status s = ingestor->Init();
+  if (!s.ok()) return s;
+  return ingestor;
+}
+
+ShardedIngestor::ShardedIngestor(IngestorOptions options)
+    : options_(std::move(options)) {}
+
+Status ShardedIngestor::Init() {
+  shards_.resize(options_.num_shards);
+  scatter_.resize(options_.num_shards);
+  for (size_t shard = 0; shard < options_.num_shards; ++shard) {
+    SketchConfig cfg = options_.config;
+    cfg.shard_seed = DeriveSeed(options_.config.seed, kShardSeedSalt, shard);
+    for (const std::string& name : options_.sketches) {
+      auto sketch = SketchRegistry::Global().Create(name, cfg);
+      if (!sketch.ok()) return sketch.status();
+      shards_[shard].sketches.push_back(std::move(sketch).value());
+    }
+  }
+  workers_.reserve(options_.num_threads);
+  for (size_t w = 0; w < options_.num_threads; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t w = 0; w < options_.num_threads; ++w) {
+    Worker* worker = workers_[w].get();
+    worker->thread = std::thread([this, worker] { WorkerLoop(worker); });
+  }
+  return Status::OK();
+}
+
+ShardedIngestor::~ShardedIngestor() { Finish(); }
+
+void ShardedIngestor::RecordError(const Status& s) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = s;
+  has_error_.store(true, std::memory_order_release);
+}
+
+Status ShardedIngestor::FirstError() const {
+  if (!has_error_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+Status ShardedIngestor::ApplyToShard(size_t shard_index,
+                                     const stream::TurnstileUpdate* data,
+                                     size_t count) {
+  Shard& shard = shards_[shard_index];
+  // Aggregate once per shard batch; every weight-equivalent sketch in the
+  // shard's group consumes the shared result instead of re-hashing the
+  // batch, which is where most of the engine's batching win comes from.
+  auto [effective, has_negative] =
+      AggregateUpdates(data, count, &shard.agg, &shard.agg_index);
+  UpdateBatch batch{data,           count,     shard.agg.data(),
+                    shard.agg.size(), effective, has_negative};
+  for (auto& sketch : shard.sketches) {
+    Status s = sketch->ApplyBatch(batch);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void ShardedIngestor::WorkerLoop(Worker* worker) {
+  for (;;) {
+    std::pair<size_t, std::vector<stream::TurnstileUpdate>> job;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv_work.wait(
+          lock, [&] { return worker->stop || !worker->queue.empty(); });
+      if (worker->queue.empty()) {
+        if (worker->stop) return;
+        continue;
+      }
+      job = std::move(worker->queue.front());
+      worker->queue.pop_front();
+    }
+    worker->cv_space.notify_one();
+    // Once a shard sketch has errored, keep draining (so the producer never
+    // deadlocks on backpressure) but stop mutating state.
+    if (!has_error_.load(std::memory_order_acquire)) {
+      Status s = ApplyToShard(job.first, job.second.data(), job.second.size());
+      if (!s.ok()) RecordError(s);
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      --worker->pending;
+      if (worker->pending == 0) worker->cv_drained.notify_all();
+    }
+  }
+}
+
+Status ShardedIngestor::PreSubmit() const {
+  if (finished_) {
+    return Status::FailedPrecondition("ShardedIngestor: already finished");
+  }
+  return FirstError();
+}
+
+Status ShardedIngestor::Dispatch(size_t count) {
+  updates_submitted_ += count;
+  const size_t num_shards = options_.num_shards;
+
+  if (workers_.empty()) {
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (scatter_[shard].empty()) continue;
+      Status s =
+          ApplyToShard(shard, scatter_[shard].data(), scatter_[shard].size());
+      if (!s.ok()) {
+        RecordError(s);
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (scatter_[shard].empty()) continue;
+    Worker* worker = workers_[shard % workers_.size()].get();
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv_space.wait(lock, [&] {
+        return worker->queue.size() < options_.max_queue_batches;
+      });
+      worker->queue.emplace_back(shard, std::move(scatter_[shard]));
+      ++worker->pending;
+    }
+    worker->cv_work.notify_one();
+    scatter_[shard] = {};
+  }
+  return Status::OK();
+}
+
+Status ShardedIngestor::Submit(const stream::TurnstileUpdate* updates,
+                               size_t count) {
+  Status pre = PreSubmit();
+  if (!pre.ok()) return pre;
+  if (count == 0) return Status::OK();
+
+  const size_t num_shards = options_.num_shards;
+  if (num_shards == 1) {
+    scatter_[0].assign(updates, updates + count);
+  } else {
+    for (auto& v : scatter_) v.clear();
+    for (size_t i = 0; i < count; ++i) {
+      scatter_[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
+    }
+  }
+  return Dispatch(count);
+}
+
+Status ShardedIngestor::SubmitItems(const stream::ItemUpdate* items,
+                                    size_t count) {
+  Status pre = PreSubmit();
+  if (!pre.ok()) return pre;
+  if (count == 0) return Status::OK();
+
+  // Fused conversion + scatter: each item becomes a delta-1 turnstile
+  // update directly in its shard's sub-batch (no intermediate copy).
+  const size_t num_shards = options_.num_shards;
+  for (auto& v : scatter_) v.clear();
+  if (num_shards == 1) {
+    scatter_[0].reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      scatter_[0].push_back({items[i].item, 1});
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      scatter_[ShardOf(items[i].item, num_shards)].push_back(
+          {items[i].item, 1});
+    }
+  }
+  return Dispatch(count);
+}
+
+Status ShardedIngestor::Flush() {
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mu);
+    worker->cv_drained.wait(lock, [&] { return worker->pending == 0; });
+  }
+  return FirstError();
+}
+
+Status ShardedIngestor::Finish() {
+  if (finished_) return FirstError();
+  Status s = Flush();
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv_work.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  finished_ = true;
+  return s;
+}
+
+Status ShardedIngestor::CheckQuiescent() const {
+  if (finished_) return Status::OK();
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    if (worker->pending != 0) {
+      return Status::FailedPrecondition(
+          "ShardedIngestor: Flush() before querying summaries");
+    }
+  }
+  return Status::OK();
+}
+
+Result<SketchSummary> ShardedIngestor::MergedSummary(
+    const std::string& sketch) const {
+  Status quiescent = CheckQuiescent();
+  if (!quiescent.ok()) return quiescent;
+  size_t index = options_.sketches.size();
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    if (options_.sketches[i] == sketch) {
+      index = i;
+      break;
+    }
+  }
+  if (index == options_.sketches.size()) {
+    return Status::NotFound("ShardedIngestor: sketch not configured: " +
+                            sketch);
+  }
+  SketchConfig cfg = options_.config;
+  cfg.shard_seed = DeriveSeed(options_.config.seed, kMergeSeedSalt, 0);
+  auto target = SketchRegistry::Global().Create(sketch, cfg);
+  if (!target.ok()) return target.status();
+  std::unique_ptr<Sketch> merged = std::move(target).value();
+  for (const Shard& shard : shards_) {
+    Status s = merged->MergeFrom(*shard.sketches[index]);
+    if (!s.ok()) return s;
+  }
+  return merged->Summary();
+}
+
+Result<SketchSummary> ShardedIngestor::ShardSummary(
+    size_t shard, const std::string& sketch) const {
+  Status quiescent = CheckQuiescent();
+  if (!quiescent.ok()) return quiescent;
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("ShardedIngestor: shard index out of range");
+  }
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    if (options_.sketches[i] == sketch) {
+      return shards_[shard].sketches[i]->Summary();
+    }
+  }
+  return Status::NotFound("ShardedIngestor: sketch not configured: " + sketch);
+}
+
+uint64_t ShardedIngestor::SpaceBits() const {
+  uint64_t bits = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& sketch : shard.sketches) bits += sketch->SpaceBits();
+  }
+  return bits;
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,159 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// ShardedIngestor: the engine's parallel ingestion core.
+//
+// The universe [0, n) is hash-partitioned across `num_shards` shards; each
+// shard owns one instance of every configured sketch. Submitted update
+// batches are scattered by item hash into per-shard sub-batches and applied
+// either inline (num_threads == 0) or by worker threads, each of which owns
+// a fixed subset of shards (shard s -> worker s % num_threads) and drains a
+// FIFO queue — so every shard sees its sub-stream in submission order no
+// matter how many workers run.
+//
+// Determinism: shard assignment depends only on the item, per-shard
+// randomness only on (config seed, shard index), and per-shard apply order
+// only on submission order. A run with a fixed seed and fixed num_shards is
+// therefore bit-for-bit reproducible for ANY num_threads — the property the
+// white-box game semantics need to survive the move to parallel plumbing.
+//
+// Merging: MergedSummary(name) folds all shard-local instances into a fresh
+// merge target. Because shards partition the universe, answer-level merges
+// (sampling HH sketches) are exact unions, and state-level merges (linear
+// sketches) reproduce the single-instance state bit-for-bit.
+
+#ifndef WBS_ENGINE_SHARDED_INGESTOR_H_
+#define WBS_ENGINE_SHARDED_INGESTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/sketch.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+struct IngestorOptions {
+  size_t num_shards = 4;
+  size_t num_threads = 0;  ///< 0: apply inline on the submitting thread
+  size_t max_queue_batches = 64;  ///< per-worker backpressure bound
+  std::vector<std::string> sketches;  ///< registry names to instantiate
+  SketchConfig config;
+};
+
+class ShardedIngestor {
+ public:
+  static Result<std::unique_ptr<ShardedIngestor>> Create(
+      const IngestorOptions& options);
+
+  ~ShardedIngestor();
+
+  ShardedIngestor(const ShardedIngestor&) = delete;
+  ShardedIngestor& operator=(const ShardedIngestor&) = delete;
+
+  /// Scatters `count` updates into per-shard sub-batches and dispatches
+  /// them. Single-producer: Submit/Flush/Finish must come from one thread.
+  Status Submit(const stream::TurnstileUpdate* updates, size_t count);
+  Status Submit(const stream::TurnstileStream& s) {
+    return Submit(s.data(), s.size());
+  }
+
+  /// Insertion-only convenience: each item becomes a delta-1 update.
+  Status SubmitItems(const stream::ItemUpdate* items, size_t count);
+  Status SubmitItems(const stream::ItemStream& s) {
+    return SubmitItems(s.data(), s.size());
+  }
+
+  /// Blocks until every dispatched batch has been applied.
+  Status Flush();
+
+  /// Flush + stop and join the workers. The ingestor stays queryable;
+  /// further Submits fail. Idempotent.
+  Status Finish();
+
+  /// Merges all shard-local instances of `sketch` into one global summary.
+  /// Requires quiescence: call after Flush() or Finish().
+  Result<SketchSummary> MergedSummary(const std::string& sketch) const;
+
+  /// A single shard's summary (tests and diagnostics).
+  Result<SketchSummary> ShardSummary(size_t shard,
+                                     const std::string& sketch) const;
+
+  /// Total state bits across all shards and sketches.
+  uint64_t SpaceBits() const;
+
+  const std::vector<std::string>& sketch_names() const {
+    return options_.sketches;
+  }
+  uint64_t updates_submitted() const { return updates_submitted_; }
+  size_t num_shards() const { return options_.num_shards; }
+  size_t num_threads() const { return options_.num_threads; }
+  const IngestorOptions& options() const { return options_; }
+
+  /// The shard an item routes to: a fixed splitmix hash of the item, so the
+  /// partition is stable across runs, thread counts and processes.
+  static size_t ShardOf(uint64_t item, size_t num_shards) {
+    uint64_t s = item ^ 0x9e3779b97f4a7c15ULL;
+    return size_t(SplitMix64(&s) % num_shards);
+  }
+
+ private:
+  struct Shard {
+    std::vector<std::unique_ptr<Sketch>> sketches;
+    // Aggregation scratch, computed once per shard batch and shared with
+    // every weight-equivalent sketch via UpdateBatch. Touched only by the
+    // shard's owning worker (or the producer in inline mode).
+    std::vector<stream::TurnstileUpdate> agg;
+    std::unordered_map<uint64_t, size_t> agg_index;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv_work;     // producer -> worker: work available
+    std::condition_variable cv_space;    // worker -> producer: queue has room
+    std::condition_variable cv_drained;  // worker -> producer: pending == 0
+    std::deque<std::pair<size_t, std::vector<stream::TurnstileUpdate>>> queue;
+    size_t pending = 0;  // queued + in-flight batches
+    bool stop = false;
+    std::thread thread;
+  };
+
+  explicit ShardedIngestor(IngestorOptions options);
+
+  Status Init();
+  void WorkerLoop(Worker* worker);
+  Status ApplyToShard(size_t shard_index, const stream::TurnstileUpdate* data,
+                      size_t count);
+  /// Checks producer-side preconditions shared by the Submit variants.
+  Status PreSubmit() const;
+  /// Dispatches the scattered sub-batches in scatter_ (inline or queued).
+  Status Dispatch(size_t count);
+  void RecordError(const Status& s);
+  Status FirstError() const;
+  Status CheckQuiescent() const;
+
+  IngestorOptions options_;
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::vector<stream::TurnstileUpdate>> scatter_;  // reused
+  uint64_t updates_submitted_ = 0;
+  bool finished_ = false;
+
+  std::atomic<bool> has_error_{false};
+  mutable std::mutex error_mu_;
+  Status first_error_;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_SHARDED_INGESTOR_H_

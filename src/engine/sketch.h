@@ -1,0 +1,194 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The type-erased sketch interface of the sharded ingestion engine.
+//
+// The per-algorithm classes under src/heavyhitters, src/distinct,
+// src/moments and src/linalg each expose their own update and query types —
+// exactly right for the white-box game harness, but unusable as a uniform
+// serving surface. The engine wraps each of them behind `Sketch`:
+//
+//   * every sketch ingests TurnstileUpdate batches (an ItemUpdate is a
+//     turnstile update with delta == 1; insertion-only sketches reject
+//     negative deltas with InvalidArgument);
+//   * every sketch answers queries through a `SketchSummary` — a scalar
+//     (L0, F2, rank verdicts) and/or a weighted candidate list (heavy
+//     hitters);
+//   * every sketch can merge: shard-local instances combine into one global
+//     answer. Linear sketches (AMS, SIS-L0, rank) merge at the state level
+//     and the merged state is bit-identical to a single-instance run;
+//     Misra-Gries merges with the mergeable-summaries guarantee; sampling
+//     sketches (robust/CRHF HH) merge at the answer level, which is exact
+//     for the engine because the ingestor partitions the universe across
+//     shards (every item's entire substream lives in exactly one shard).
+//
+// The adversarial-game semantics of the wrapped algorithms are untouched:
+// the engine only changes the plumbing around them, and every shard's
+// randomness is derived deterministically from (config seed, shard index),
+// so a sharded run is replayable bit-for-bit.
+
+#ifndef WBS_ENGINE_SKETCH_H_
+#define WBS_ENGINE_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "heavyhitters/misra_gries.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+/// Configuration handed to a sketch factory. `seed` drives *shared*
+/// randomness (sign matrices, random oracles) and must be identical across
+/// the shard copies of one logical sketch so state-level merges line up;
+/// `shard_seed` drives *private* randomness (sampling tapes) and is
+/// overwritten per shard by the ingestor.
+struct SketchConfig {
+  uint64_t universe = uint64_t{1} << 16;
+  double eps = 0.1;    ///< heavy hitter threshold / accuracy knob
+  double phi = 0.2;    ///< report threshold for (phi, eps)-HH
+  double delta = 0.25; ///< failure probability budget
+  uint64_t seed = 1;       ///< shared randomness (see above)
+  uint64_t shard_seed = 1; ///< per-shard randomness (set by the ingestor)
+
+  // Family-specific knobs (defaults are sensible test-scale values).
+  size_t mg_counters = 64;        ///< Misra-Gries capacity k
+  size_t ams_rows = 48;           ///< AMS sign projections
+  double l0_eps = 0.5;            ///< SIS-L0 chunking exponent
+  double l0_c = 0.25;             ///< SIS-L0 sketch-rows exponent
+  uint64_t l0_f_inf_bound = uint64_t{1} << 20;  ///< promised ||f||_inf bound
+  uint64_t time_budget_t = uint64_t{1} << 20;   ///< CRHF adversary budget T
+  size_t rank_n = 64;             ///< rank sketch: matrix dimension
+  size_t rank_k = 8;              ///< rank sketch: decision threshold
+  uint64_t rank_q = 1000003;      ///< rank sketch: field modulus
+};
+
+/// A non-owning view of a run of turnstile updates.
+///
+/// The ingestor additionally attaches a *shared pre-aggregation* of the
+/// batch — duplicate items combined in first-occurrence order, zero-delta
+/// entries dropped — computed once per shard batch so that every
+/// weight-equivalent sketch (linear sketches, weighted Misra-Gries) can
+/// consume it without re-aggregating. Sampling sketches always read the raw
+/// `data` (a Bernoulli sample of w unit updates is not one weighted
+/// update).
+struct UpdateBatch {
+  const stream::TurnstileUpdate* data = nullptr;
+  size_t size = 0;
+
+  // Optional shared pre-aggregation (null when the caller did not build
+  // one; wrappers then aggregate locally if they want to).
+  const stream::TurnstileUpdate* aggregated = nullptr;
+  size_t aggregated_size = 0;
+  uint64_t effective_updates = 0;   ///< nonzero-delta entries in `data`
+  bool has_negative_delta = false;  ///< any raw delta < 0 (insertion guard)
+};
+
+/// Aggregates `count` updates into `out` (first-occurrence order, zero
+/// deltas dropped), reusing `index` as scratch. Returns {effective updates,
+/// any-negative-delta}. A duplicate whose accumulation would overflow
+/// int64_t is kept as its own entry instead (the view is then only mostly
+/// deduplicated — consumers must apply entries sequentially, never assume
+/// item uniqueness). Shared by the ingestor's per-shard aggregation and the
+/// wrappers' local fallback so the two paths cannot diverge.
+inline std::pair<uint64_t, bool> AggregateUpdates(
+    const stream::TurnstileUpdate* data, size_t count,
+    std::vector<stream::TurnstileUpdate>* out,
+    std::unordered_map<uint64_t, size_t>* index) {
+  out->clear();
+  index->clear();
+  uint64_t effective = 0;
+  bool has_negative = false;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& u = data[i];
+    if (u.delta == 0) continue;
+    ++effective;
+    has_negative |= u.delta < 0;
+    auto [it, inserted] = index->emplace(u.item, out->size());
+    if (inserted) {
+      out->push_back(u);
+    } else {
+      int64_t& acc = (*out)[it->second].delta;
+      int64_t sum;
+      if (__builtin_add_overflow(acc, u.delta, &sum)) {
+        out->push_back(u);  // overflow: keep as a separate entry
+      } else {
+        acc = sum;
+      }
+    }
+  }
+  return {effective, has_negative};
+}
+
+/// The mergeable query answer of a sketch: a scalar and/or a candidate list.
+struct SketchSummary {
+  std::string sketch;        ///< registry name of the producing sketch
+  bool has_scalar = false;
+  double scalar = 0;         ///< L0 / F2 estimate, rank verdict (0/1), ...
+  std::vector<hh::WeightedItem> items;  ///< HH candidates, estimate-descending
+  uint64_t updates = 0;      ///< effective (nonzero-delta) updates summarized
+
+  /// Estimated frequency of `item` from the candidate list (0 if absent).
+  double Estimate(uint64_t item) const {
+    for (const auto& wi : items) {
+      if (wi.item == item) return wi.estimate;
+    }
+    return 0;
+  }
+
+  void SortItems() {
+    std::sort(items.begin(), items.end(),
+              [](const hh::WeightedItem& a, const hh::WeightedItem& b) {
+                return a.estimate > b.estimate ||
+                       (a.estimate == b.estimate && a.item < b.item);
+              });
+  }
+};
+
+/// Type-erased streaming sketch: batched turnstile ingestion, summary
+/// queries, and merging. Instances are NOT thread-safe; the ingestor gives
+/// each shard-local instance to exactly one worker.
+class Sketch {
+ public:
+  virtual ~Sketch() = default;
+
+  /// Registry name of this sketch ("misra_gries", "ams_f2", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Applies a single turnstile update.
+  virtual Status Update(const stream::TurnstileUpdate& u) = 0;
+
+  /// Applies a whole batch. The default loops over Update(); wrappers of
+  /// linear or weighted sketches override it to pre-aggregate duplicate
+  /// items, amortizing per-update virtual-dispatch, hashing and RNG costs —
+  /// on skewed (Zipfian) traffic this is the engine's main throughput lever.
+  virtual Status ApplyBatch(const UpdateBatch& batch) {
+    for (size_t i = 0; i < batch.size; ++i) {
+      Status s = Update(batch.data[i]);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  /// The current queryable answer.
+  virtual SketchSummary Summary() const = 0;
+
+  /// Merges another shard-local instance of the same sketch (same name and
+  /// config) into this one. Sketches that merge at the answer level require
+  /// `this` to be a *fresh* instance (no updates ingested) used purely as a
+  /// merge accumulator; state-mergeable sketches accept any target. The
+  /// engine always merges into fresh instances, which is valid for every
+  /// sketch kind.
+  virtual Status MergeFrom(const Sketch& other) = 0;
+
+  /// Information-theoretic size of the wrapped state, in bits.
+  virtual uint64_t SpaceBits() const = 0;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_SKETCH_H_

@@ -43,6 +43,23 @@ void MisraGries::Add(uint64_t item, uint64_t w) {
   }
 }
 
+Status MisraGries::MergeFrom(const MisraGries& other) {
+  if (k_ != other.k_) {
+    return Status::FailedPrecondition(
+        "MisraGries::MergeFrom: summaries must have equal capacity");
+  }
+  uint64_t counter_weight = 0;
+  for (const auto& [item, c] : other.counters_) {
+    Add(item, c);
+    counter_weight += c;
+  }
+  // Weight the other summary already decremented away never reaches Add();
+  // charge it anyway so processed() (and hence ErrorBound()) reflects the
+  // full concatenated stream.
+  processed_ += other.processed_ - counter_weight;
+  return Status::OK();
+}
+
 uint64_t MisraGries::Estimate(uint64_t item) const {
   auto it = counters_.find(item);
   return it == counters_.end() ? 0 : it->second;

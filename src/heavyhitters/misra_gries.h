@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/status.h"
 
 namespace wbs::hh {
 
@@ -36,6 +37,14 @@ class MisraGries {
 
   /// All currently tracked (item, counter) pairs.
   std::vector<WeightedItem> List() const;
+
+  /// Mergeable-summaries merge (ACHPWY12): folds the other summary's
+  /// counters in as weighted adds, so the merged summary covers the
+  /// concatenated stream. Estimates still never overestimate; the additive
+  /// underestimation error is at most ErrorBound() of the merged summary
+  /// (processed/(k+1) over the combined weight). Requires equal k so the
+  /// error bound stays predictable.
+  Status MergeFrom(const MisraGries& other);
 
   /// Total stream weight processed.
   uint64_t processed() const { return processed_; }

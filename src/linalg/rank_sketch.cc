@@ -35,6 +35,21 @@ Status RankDecisionSketch::Update(const EntryUpdate& u) {
   return Status::OK();
 }
 
+Status RankDecisionSketch::MergeFrom(const RankDecisionSketch& other) {
+  if (n_ != other.n_ || k_ != other.k_ || sketch_.q() != other.sketch_.q() ||
+      domain_ != other.domain_) {
+    return Status::FailedPrecondition(
+        "RankDecisionSketch::MergeFrom: sketches do not share H");
+  }
+  for (size_t i = 0; i < k_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      sketch_.At(i, j) =
+          AddMod(sketch_.At(i, j), other.sketch_.At(i, j), sketch_.q());
+    }
+  }
+  return Status::OK();
+}
+
 bool RankDecisionSketch::Query() const { return sketch_.Rank() == k_; }
 
 void RankDecisionSketch::SerializeState(core::StateWriter* w) const {

@@ -60,6 +60,11 @@ class RankDecisionSketch final : public core::StreamAlg<EntryUpdate, bool> {
   /// Only the k x n sketch is charged: H comes from the public oracle.
   uint64_t SpaceBits() const override { return sketch_.SpaceBits(); }
 
+  /// Linear merge: S += other.S (mod q). Valid only when both sketches use
+  /// the same H (same n, k, q, oracle domain); then S_merged = H * (A1 + A2),
+  /// the sketch of the entry-wise summed stream.
+  Status MergeFrom(const RankDecisionSketch& other);
+
   /// Entry H[i][j] (derived from the oracle; exposed for tests/attacks —
   /// the white-box adversary can compute these itself anyway).
   uint64_t HEntry(size_t i, size_t j) const;

@@ -34,6 +34,18 @@ Status AmsF2Sketch::Update(const stream::TurnstileUpdate& u) {
   return Status::OK();
 }
 
+Status AmsF2Sketch::MergeFrom(const AmsF2Sketch& other) {
+  if (universe_ != other.universe_ || sign_seed_ != other.sign_seed_ ||
+      counters_.size() != other.counters_.size()) {
+    return Status::FailedPrecondition(
+        "AmsF2Sketch::MergeFrom: sketches do not share a sign matrix");
+  }
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    counters_[j] += other.counters_[j];
+  }
+  return Status::OK();
+}
+
 double AmsF2Sketch::Query() const {
   const size_t group = 6;
   std::vector<double> means;

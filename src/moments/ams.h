@@ -54,6 +54,12 @@ class AmsF2Sketch final
   uint64_t SpaceBits() const override;
   wbs::RandomTape* MutableTape() override { return tape_; }
 
+  /// Linear merge: counters_[j] += other.counters_[j]. Valid only when both
+  /// sketches share the sign matrix (same sign seed and row count); then the
+  /// merged sketch is bit-identical to one that ingested the concatenated
+  /// stream, because each counter is a linear functional of f.
+  Status MergeFrom(const AmsF2Sketch& other);
+
   /// Sign s_j(item) in {-1, +1} — recomputable by the white-box adversary
   /// from the exposed seed.
   int Sign(size_t row, uint64_t item) const;

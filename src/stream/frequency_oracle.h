@@ -21,10 +21,20 @@ class FrequencyOracle {
  public:
   explicit FrequencyOracle(uint64_t universe) : universe_(universe) {}
 
+  /// Applies f[item] += delta.
+  ///
+  /// Update accounting invariant: total_updates() counts *effective* stream
+  /// updates — every call with delta != 0 counts exactly once (including a
+  /// cancelling turnstile delete, which is a real update even though it
+  /// removes the coordinate), while a delta == 0 call is a no-op and does
+  /// not count. AddStream obeys the same rule, so ingesting a stream
+  /// element-by-element via Add() and in one shot via AddStream() always
+  /// yields identical total_updates().
   void Add(uint64_t item, int64_t delta = 1) {
+    if (delta == 0) return;
     auto it = freq_.find(item);
     if (it == freq_.end()) {
-      if (delta != 0) freq_.emplace(item, delta);
+      freq_.emplace(item, delta);
     } else {
       it->second += delta;
       if (it->second == 0) freq_.erase(it);

@@ -1,0 +1,499 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The sharded ingestion engine: registry wiring, batched-update semantics,
+// shard-merge correctness against single-instance references and exact
+// ground truth (Zipf, planted heavy hitters, insert/delete churn), and
+// bit-for-bit determinism under a fixed seed regardless of thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distinct/l0_estimator.h"
+#include "engine/driver.h"
+#include "engine/registry.h"
+#include "engine/sharded_ingestor.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+
+namespace wbs::engine {
+namespace {
+
+SketchConfig TestConfig(uint64_t universe, uint64_t seed) {
+  SketchConfig cfg;
+  cfg.universe = universe;
+  cfg.seed = seed;
+  cfg.eps = 0.1;
+  cfg.phi = 0.2;
+  cfg.mg_counters = 64;
+  cfg.ams_rows = 48;
+  return cfg;
+}
+
+std::unique_ptr<Driver> MakeDriver(std::vector<std::string> sketches,
+                                   const SketchConfig& cfg, size_t shards,
+                                   size_t threads, size_t batch = 1024) {
+  DriverOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = std::move(sketches);
+  opts.ingest.config = cfg;
+  opts.batch_size = batch;
+  auto driver = Driver::Create(opts);
+  EXPECT_TRUE(driver.ok()) << driver.status().ToString();
+  return std::move(driver).value();
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(SketchRegistryTest, BuiltinsRegistered) {
+  auto names = SketchRegistry::Global().Names();
+  for (const char* expected : {"misra_gries", "ams_f2", "sis_l0",
+                               "rank_decision", "robust_hh", "crhf_hh"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected))
+        << "missing builtin: " << expected;
+  }
+}
+
+TEST(SketchRegistryTest, CreateUnknownFails) {
+  auto r = SketchRegistry::Global().Create("no_such_sketch", SketchConfig{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(SketchRegistryTest, DuplicateRegistrationRejected) {
+  auto s = SketchRegistry::Global().Register(
+      "misra_gries", [](const SketchConfig&) -> std::unique_ptr<Sketch> {
+        return nullptr;
+      });
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SketchRegistryTest, CustomSketchRoundTrip) {
+  // A user-registered sketch participates in the engine like any builtin.
+  class CountingSketch final : public Sketch {
+   public:
+    const std::string& name() const override {
+      static const std::string n = "test_counting";
+      return n;
+    }
+    Status Update(const stream::TurnstileUpdate& u) override {
+      net_ += u.delta;
+      return Status::OK();
+    }
+    SketchSummary Summary() const override {
+      SketchSummary s;
+      s.sketch = "test_counting";
+      s.has_scalar = true;
+      s.scalar = double(net_);
+      return s;
+    }
+    Status MergeFrom(const Sketch& other) override {
+      net_ += int64_t(static_cast<const CountingSketch&>(other).net_);
+      return Status::OK();
+    }
+    uint64_t SpaceBits() const override { return 64; }
+
+   private:
+    int64_t net_ = 0;
+  };
+  ASSERT_TRUE(SketchRegistry::Global()
+                  .Register("test_counting",
+                            [](const SketchConfig&) {
+                              return std::make_unique<CountingSketch>();
+                            })
+                  .ok());
+  auto driver = MakeDriver({"test_counting"}, TestConfig(1 << 10, 7), 4, 0);
+  wbs::RandomTape tape(7);
+  auto s = stream::UniformStream(1 << 10, 5000, &tape);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(driver->Finish().ok());
+  auto summary = driver->Summary("test_counting");
+  ASSERT_TRUE(summary.ok());
+  EXPECT_DOUBLE_EQ(summary.value().scalar, 5000.0);
+}
+
+// ---------------------------------------------------------------- batching --
+
+TEST(EngineBatchTest, BatchedEqualsUnbatchedForLinearSketches) {
+  // Linear sketches pre-aggregate duplicates inside a batch; by linearity
+  // the resulting state is identical to per-update ingestion.
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(11);
+  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
+  SketchConfig cfg = TestConfig(universe, 42);
+
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto unbatched = SketchRegistry::Global().Create(name, cfg);
+    auto batched = SketchRegistry::Global().Create(name, cfg);
+    ASSERT_TRUE(unbatched.ok() && batched.ok());
+    std::vector<stream::TurnstileUpdate> turnstile;
+    turnstile.reserve(s.size());
+    for (const auto& u : s) turnstile.push_back({u.item, 1});
+    for (const auto& u : turnstile) {
+      ASSERT_TRUE(unbatched.value()->Update(u).ok());
+    }
+    ASSERT_TRUE(batched.value()
+                    ->ApplyBatch({turnstile.data(), turnstile.size()})
+                    .ok());
+    SketchSummary a = unbatched.value()->Summary();
+    SketchSummary b = batched.value()->Summary();
+    EXPECT_EQ(a.scalar, b.scalar) << name;  // exact: linearity
+    EXPECT_EQ(a.updates, b.updates) << name;
+  }
+}
+
+TEST(EngineBatchTest, BatchedMisraGriesKeepsDeterministicGuarantee) {
+  // Weighted aggregation may change which counters survive eviction, but
+  // never the Misra-Gries guarantee: estimates underestimate by at most
+  // processed/(k+1).
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(13);
+  auto s = stream::ZipfStream(universe, 30000, 1.1, &tape);
+  stream::FrequencyOracle truth(universe);
+  truth.AddStream(s);
+  SketchConfig cfg = TestConfig(universe, 42);
+
+  auto batched = SketchRegistry::Global().Create("misra_gries", cfg);
+  ASSERT_TRUE(batched.ok());
+  std::vector<stream::TurnstileUpdate> turnstile;
+  for (const auto& u : s) turnstile.push_back({u.item, 1});
+  ASSERT_TRUE(
+      batched.value()->ApplyBatch({turnstile.data(), turnstile.size()}).ok());
+  SketchSummary summary = batched.value()->Summary();
+  const double bound = double(s.size()) / double(cfg.mg_counters + 1);
+  for (const auto& [item, f] : truth.frequencies()) {
+    const double est = summary.Estimate(item);
+    EXPECT_LE(est, double(f) + 1e-9) << item;          // never overestimates
+    EXPECT_GE(est, double(f) - bound - 1e-9) << item;  // bounded underestimate
+  }
+}
+
+TEST(EngineBatchTest, InsertionOnlySketchRejectsNegativeDelta) {
+  SketchConfig cfg = TestConfig(1 << 10, 3);
+  auto mg = SketchRegistry::Global().Create("misra_gries", cfg);
+  ASSERT_TRUE(mg.ok());
+  EXPECT_FALSE(mg.value()->Update({5, -1}).ok());
+  auto hh = SketchRegistry::Global().Create("robust_hh", cfg);
+  ASSERT_TRUE(hh.ok());
+  EXPECT_FALSE(hh.value()->Update({5, -1}).ok());
+}
+
+TEST(EngineBatchTest, MergeTypeMismatchRejected) {
+  SketchConfig cfg = TestConfig(1 << 10, 3);
+  auto mg = SketchRegistry::Global().Create("misra_gries", cfg);
+  auto ams = SketchRegistry::Global().Create("ams_f2", cfg);
+  ASSERT_TRUE(mg.ok() && ams.ok());
+  EXPECT_FALSE(mg.value()->MergeFrom(*ams.value()).ok());
+}
+
+// ------------------------------------------------- shard merge vs reference --
+
+// Linear sketches: a sharded run's merged state must be bit-identical to a
+// single-shard run over the same stream, on both insertion (Zipf) and
+// turnstile (churn) workloads.
+TEST(EngineMergeTest, LinearSketchesShardMergeExactOnZipf) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(21);
+  auto s = stream::ZipfStream(universe, 40000, 1.1, &tape);
+  SketchConfig cfg = TestConfig(universe, 99);
+
+  auto sharded = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 0);
+  auto single = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
+  ASSERT_TRUE(sharded->Replay(s).ok());
+  ASSERT_TRUE(single->Replay(s).ok());
+  ASSERT_TRUE(sharded->Finish().ok());
+  ASSERT_TRUE(single->Finish().ok());
+
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto merged = sharded->Summary(name);
+    auto reference = single->Summary(name);
+    ASSERT_TRUE(merged.ok() && reference.ok()) << name;
+    EXPECT_EQ(merged.value().scalar, reference.value().scalar) << name;
+    EXPECT_EQ(merged.value().updates, reference.value().updates) << name;
+  }
+}
+
+TEST(EngineMergeTest, LinearSketchesShardMergeExactOnChurn) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(22);
+  auto s = stream::InsertDeleteChurnStream(universe, /*live=*/100,
+                                           /*churn=*/3000, &tape);
+  stream::FrequencyOracle truth(universe);
+  truth.AddStream(s);
+  ASSERT_EQ(truth.L0(), 100u);  // deletions truly cancel
+
+  SketchConfig cfg = TestConfig(universe, 7);
+  auto sharded = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 0);
+  auto single = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
+  ASSERT_TRUE(sharded->Replay(s).ok());
+  ASSERT_TRUE(single->Replay(s).ok());
+  ASSERT_TRUE(sharded->Finish().ok());
+  ASSERT_TRUE(single->Finish().ok());
+
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto merged = sharded->Summary(name);
+    auto reference = single->Summary(name);
+    ASSERT_TRUE(merged.ok() && reference.ok()) << name;
+    EXPECT_EQ(merged.value().scalar, reference.value().scalar) << name;
+  }
+
+  // And both match ground truth within the configured guarantees:
+  // SIS-L0 answers in [L0 / chunk_width, min(L0, num_chunks)].
+  auto l0 = sharded->Summary("sis_l0");
+  ASSERT_TRUE(l0.ok());
+  const auto params = distinct::SisL0Params::Derive(
+      universe, cfg.l0_eps, cfg.l0_c, cfg.l0_f_inf_bound);
+  EXPECT_GE(l0.value().scalar,
+            double(truth.L0()) / double(params.chunk_width) - 1e-9);
+  EXPECT_LE(l0.value().scalar, double(truth.L0()) + 1e-9);
+}
+
+TEST(EngineMergeTest, MisraGriesShardMergeExactWithoutEviction) {
+  // With capacity above the stream's support size no counter is ever
+  // evicted, so shard-merged Misra-Gries equals the single-shard run AND
+  // exact ground truth — the "exact" half of the merge contract.
+  const uint64_t universe = 256;
+  wbs::RandomTape tape(31);
+  auto s = stream::ZipfStream(universe, 20000, 1.05, &tape);
+  stream::FrequencyOracle truth(universe);
+  truth.AddStream(s);
+
+  SketchConfig cfg = TestConfig(universe, 5);
+  cfg.mg_counters = 512;  // > universe: no eviction anywhere
+  auto sharded = MakeDriver({"misra_gries"}, cfg, 4, 0);
+  auto single = MakeDriver({"misra_gries"}, cfg, 1, 0);
+  ASSERT_TRUE(sharded->Replay(s).ok());
+  ASSERT_TRUE(single->Replay(s).ok());
+  ASSERT_TRUE(sharded->Finish().ok());
+  ASSERT_TRUE(single->Finish().ok());
+
+  auto merged = sharded->Summary("misra_gries");
+  auto reference = single->Summary("misra_gries");
+  ASSERT_TRUE(merged.ok() && reference.ok());
+  ASSERT_EQ(merged.value().items.size(), reference.value().items.size());
+  for (const auto& [item, f] : truth.frequencies()) {
+    EXPECT_DOUBLE_EQ(merged.value().Estimate(item), double(f)) << item;
+    EXPECT_DOUBLE_EQ(reference.value().Estimate(item), double(f)) << item;
+  }
+}
+
+TEST(EngineMergeTest, MisraGriesShardMergeKeepsGuaranteeUnderEviction) {
+  const uint64_t universe = 1 << 14;
+  wbs::RandomTape tape(33);
+  auto s = stream::ZipfStream(universe, 50000, 1.1, &tape);
+  stream::FrequencyOracle truth(universe);
+  truth.AddStream(s);
+
+  SketchConfig cfg = TestConfig(universe, 5);
+  cfg.mg_counters = 64;
+  auto sharded = MakeDriver({"misra_gries"}, cfg, 4, 0);
+  ASSERT_TRUE(sharded->Replay(s).ok());
+  ASSERT_TRUE(sharded->Finish().ok());
+  auto merged = sharded->Summary("misra_gries");
+  ASSERT_TRUE(merged.ok());
+
+  // Merged summary: never overestimates; underestimates by at most the
+  // per-shard bound plus the merge bound <= 2m/(k+1).
+  const double bound =
+      2.0 * double(s.size()) / double(cfg.mg_counters + 1);
+  for (const auto& [item, f] : truth.frequencies()) {
+    const double est = merged.value().Estimate(item);
+    EXPECT_LE(est, double(f) + 1e-9) << item;
+    EXPECT_GE(est, double(f) - bound - 1e-9) << item;
+  }
+}
+
+TEST(EngineMergeTest, PlantedHeavyHittersRecoveredAfterShardMerge) {
+  const uint64_t universe = 1 << 20;
+  const uint64_t m = 50000;
+  int robust_misses = 0, crhf_misses = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    wbs::RandomTape tape(400 + trial);
+    std::vector<uint64_t> planted;
+    auto s = stream::PlantedHeavyHitterStream(universe, m, 3, 0.2, &tape,
+                                              &planted);
+    SketchConfig cfg = TestConfig(universe, 1000 + trial);
+    auto driver =
+        MakeDriver({"misra_gries", "robust_hh", "crhf_hh"}, cfg, 4, 0);
+    ASSERT_TRUE(driver->Replay(s).ok());
+    ASSERT_TRUE(driver->Finish().ok());
+
+    // Misra-Gries is deterministic: every 20%-heavy item must be reported
+    // with an estimate above f - 2m/(k+1).
+    auto mg = driver->Summary("misra_gries");
+    ASSERT_TRUE(mg.ok());
+    const double mg_bound = 2.0 * double(m) / double(cfg.mg_counters + 1);
+    for (uint64_t id : planted) {
+      EXPECT_GE(mg.value().Estimate(id), 0.2 * double(m) - mg_bound - 1e-9)
+          << "trial " << trial << " item " << id;
+    }
+    // Sampling sketches: candidate-list union across shards must contain the
+    // planted items with the configured probability; tally misses.
+    auto robust = driver->Summary("robust_hh");
+    auto crhf = driver->Summary("crhf_hh");
+    ASSERT_TRUE(robust.ok() && crhf.ok());
+    for (uint64_t id : planted) {
+      std::set<uint64_t> robust_items, crhf_items;
+      for (const auto& wi : robust.value().items) robust_items.insert(wi.item);
+      for (const auto& wi : crhf.value().items) crhf_items.insert(wi.item);
+      robust_misses += robust_items.count(id) ? 0 : 1;
+      crhf_misses += crhf_items.count(id) ? 0 : 1;
+    }
+  }
+  EXPECT_LE(robust_misses, 2);
+  EXPECT_LE(crhf_misses, 2);
+}
+
+TEST(EngineMergeTest, RankDecisionShardMergeExact) {
+  // Stream a diagonal matrix entry-wise: rank grows to rank_k; the sharded
+  // merged sketch must agree with the single-shard run at every checkpoint.
+  SketchConfig cfg = TestConfig(1, 17);
+  cfg.rank_n = 32;
+  cfg.rank_k = 8;
+  stream::TurnstileStream diag;
+  for (size_t i = 0; i < 8; ++i) {
+    diag.push_back({uint64_t(i) * cfg.rank_n + i, 1});  // A[i][i] += 1
+  }
+  auto sharded = MakeDriver({"rank_decision"}, cfg, 4, 0, /*batch=*/3);
+  auto single = MakeDriver({"rank_decision"}, cfg, 1, 0, /*batch=*/3);
+  ASSERT_TRUE(sharded->Replay(diag).ok());
+  ASSERT_TRUE(single->Replay(diag).ok());
+  ASSERT_TRUE(sharded->Finish().ok());
+  ASSERT_TRUE(single->Finish().ok());
+  auto merged = sharded->Summary("rank_decision");
+  auto reference = single->Summary("rank_decision");
+  ASSERT_TRUE(merged.ok() && reference.ok());
+  EXPECT_EQ(merged.value().scalar, reference.value().scalar);
+  EXPECT_EQ(merged.value().scalar, 1.0);  // rank 8 >= k = 8
+}
+
+// ------------------------------------------------------------- determinism --
+
+TEST(EngineDeterminismTest, SummariesIdenticalAcrossThreadCounts) {
+  const uint64_t universe = 1 << 14;
+  wbs::RandomTape tape(55);
+  auto zipf = stream::ZipfStream(universe, 30000, 1.1, &tape);
+  auto churn = stream::InsertDeleteChurnStream(universe, 200, 2000, &tape);
+
+  auto run = [&](size_t threads) {
+    SketchConfig cfg = TestConfig(universe, 2024);
+    // Turnstile-capable set so the churn stream can ride along.
+    auto driver = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, threads, 512);
+    EXPECT_TRUE(driver->Replay(zipf).ok());
+    EXPECT_TRUE(driver->Replay(churn).ok());
+    EXPECT_TRUE(driver->Finish().ok());
+    auto summaries = driver->Summaries();
+    EXPECT_TRUE(summaries.ok());
+    return std::move(summaries).value();
+  };
+
+  auto reference = run(0);
+  for (size_t threads : {1u, 2u, 4u}) {
+    auto got = run(threads);
+    ASSERT_EQ(got.size(), reference.size()) << threads << " threads";
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].scalar, reference[i].scalar)
+          << got[i].sketch << " with " << threads << " threads";
+      EXPECT_EQ(got[i].updates, reference[i].updates)
+          << got[i].sketch << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, SamplingSketchDeterministicAcrossThreadCounts) {
+  const uint64_t universe = 1 << 16;
+  wbs::RandomTape tape(66);
+  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
+
+  auto run = [&](size_t threads) {
+    SketchConfig cfg = TestConfig(universe, 77);
+    auto driver = MakeDriver({"robust_hh", "misra_gries"}, cfg, 4, threads);
+    EXPECT_TRUE(driver->Replay(s).ok());
+    EXPECT_TRUE(driver->Finish().ok());
+    auto robust = driver->Summary("robust_hh");
+    auto mg = driver->Summary("misra_gries");
+    EXPECT_TRUE(robust.ok() && mg.ok());
+    return std::make_pair(std::move(robust).value(), std::move(mg).value());
+  };
+
+  auto [robust_ref, mg_ref] = run(0);
+  for (size_t threads : {1u, 4u}) {
+    auto [robust, mg] = run(threads);
+    ASSERT_EQ(robust.items.size(), robust_ref.items.size());
+    for (size_t i = 0; i < robust.items.size(); ++i) {
+      EXPECT_EQ(robust.items[i].item, robust_ref.items[i].item);
+      EXPECT_EQ(robust.items[i].estimate, robust_ref.items[i].estimate);
+    }
+    ASSERT_EQ(mg.items.size(), mg_ref.items.size());
+    for (size_t i = 0; i < mg.items.size(); ++i) {
+      EXPECT_EQ(mg.items[i].item, mg_ref.items[i].item);
+      EXPECT_EQ(mg.items[i].estimate, mg_ref.items[i].estimate);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- ingestor --
+
+TEST(ShardedIngestorTest, ShardOfIsStableAndCoversShards) {
+  std::set<size_t> hit;
+  for (uint64_t item = 0; item < 1000; ++item) {
+    size_t shard = ShardedIngestor::ShardOf(item, 8);
+    EXPECT_EQ(shard, ShardedIngestor::ShardOf(item, 8));
+    EXPECT_LT(shard, 8u);
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 8u);  // 1000 items must touch all 8 shards
+}
+
+TEST(ShardedIngestorTest, SubmitAfterFinishFails) {
+  IngestorOptions opts;
+  opts.num_shards = 2;
+  opts.sketches = {"ams_f2"};
+  opts.config = TestConfig(1 << 10, 1);
+  auto ingestor = ShardedIngestor::Create(opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE(ingestor.value()->Finish().ok());
+  stream::TurnstileUpdate u{1, 1};
+  EXPECT_FALSE(ingestor.value()->Submit(&u, 1).ok());
+}
+
+TEST(ShardedIngestorTest, WorkerErrorSurfacesOnFlush) {
+  IngestorOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  opts.sketches = {"ams_f2"};
+  opts.config = TestConfig(/*universe=*/16, 1);
+  auto ingestor = ShardedIngestor::Create(opts);
+  ASSERT_TRUE(ingestor.ok());
+  stream::TurnstileUpdate bad{1 << 20, 1};  // out of universe
+  Status submit = ingestor.value()->Submit(&bad, 1);
+  Status flush = ingestor.value()->Flush();
+  EXPECT_FALSE(submit.ok() && flush.ok());
+}
+
+TEST(ShardedIngestorTest, UnknownSketchNameRejectedAtCreate) {
+  IngestorOptions opts;
+  opts.num_shards = 2;
+  opts.sketches = {"definitely_not_registered"};
+  auto ingestor = ShardedIngestor::Create(opts);
+  EXPECT_FALSE(ingestor.ok());
+}
+
+TEST(ShardedIngestorTest, SpaceBitsAccumulatesAcrossShards) {
+  SketchConfig cfg = TestConfig(1 << 10, 9);
+  auto driver = MakeDriver({"misra_gries"}, cfg, 4, 0);
+  wbs::RandomTape tape(9);
+  auto s = stream::UniformStream(1 << 10, 2000, &tape);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(driver->Finish().ok());
+  EXPECT_GT(driver->ingestor().SpaceBits(), 0u);
+}
+
+}  // namespace
+}  // namespace wbs::engine

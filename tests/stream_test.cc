@@ -34,6 +34,37 @@ TEST(FrequencyOracleTest, DeletionsShrinkSupport) {
   EXPECT_EQ(o.Frequency(1), 0);
 }
 
+// The update-accounting invariant: total_updates() counts effective
+// (nonzero-delta) updates exactly once each — a cancelling turnstile delete
+// is an update, a delta == 0 call is not — and element-wise Add() agrees
+// with AddStream() on every stream.
+TEST(FrequencyOracleTest, UpdateAccountingInvariant) {
+  FrequencyOracle o(100);
+  o.Add(1, 0);  // no-op: must not count
+  EXPECT_EQ(o.total_updates(), 0u);
+  o.Add(1, 4);
+  o.Add(1, -4);  // cancelling delete: a real update, counts
+  EXPECT_EQ(o.total_updates(), 2u);
+  EXPECT_EQ(o.L0(), 0u);
+  o.Add(2, 0);  // no-op on existing-free coordinate
+  EXPECT_EQ(o.total_updates(), 2u);
+}
+
+TEST(FrequencyOracleTest, AddStreamConsistentWithElementwiseAdd) {
+  TurnstileStream s = {{1, 3}, {2, 0}, {1, -3}, {4, 7}, {9, 0}, {4, -2}};
+  FrequencyOracle via_stream(100), via_add(100);
+  via_stream.AddStream(s);
+  for (const auto& u : s) via_add.Add(u.item, u.delta);
+  EXPECT_EQ(via_stream.total_updates(), via_add.total_updates());
+  EXPECT_EQ(via_stream.total_updates(), 4u);  // two zero-delta no-ops
+  EXPECT_EQ(via_stream.frequencies(), via_add.frequencies());
+
+  ItemStream items = {{5}, {5}, {6}};
+  FrequencyOracle o(100);
+  o.AddStream(items);
+  EXPECT_EQ(o.total_updates(), items.size());
+}
+
 TEST(FrequencyOracleTest, FpMoments) {
   FrequencyOracle o(10);
   o.Add(0, 3);
