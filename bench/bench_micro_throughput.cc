@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -219,6 +222,313 @@ void RunEngineThroughput(uint64_t num_updates) {
   }
 }
 
+// --------------------------------------------------- mixed read/write mode --
+//
+// One producer replays Zipf traffic through worker threads while a second
+// thread hammers Driver::Query — no Flush() anywhere. This exercises the
+// epoch-snapshot path end to end and reports query latency percentiles
+// taken *during* ingestion, the number the quiescence-free redesign exists
+// for.
+
+void RunEngineMixed(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_mixed",
+      "snapshot queries served mid-ingest (no Flush): updates/sec with a "
+      "concurrent query thread, query latency p50/p99");
+  const uint64_t universe = 4096;
+  const size_t shards = 8, threads = 4, batch = 32768;
+  wbs::RandomTape tape(102);
+  tape.set_logging(false);
+  auto zipf = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+
+  wbs::engine::DriverOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
+  opts.ingest.config.universe = universe;
+  opts.ingest.config.seed = 2025;
+  opts.batch_size = batch;
+  auto driver = wbs::engine::Driver::Create(opts);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "engine driver: %s\n",
+                 driver.status().ToString().c_str());
+    return;
+  }
+
+  const char* query_names[] = {"ams_f2", "sis_l0", "misra_gries"};
+  std::atomic<bool> stop{false};
+  std::vector<double> latencies_us;
+  uint64_t query_errors = 0;
+  std::thread querier([&] {
+    size_t qi = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto q0 = std::chrono::steady_clock::now();
+      auto r = driver.value()->Query(query_names[qi++ % 3]);
+      const auto q1 = std::chrono::steady_clock::now();
+      if (r.ok()) {
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(q1 - q0).count());
+      } else {
+        ++query_errors;
+      }
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  wbs::Status s = driver.value()->Replay(zipf);
+  const auto t1 = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  querier.join();
+  if (s.ok()) s = driver.value()->Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "engine mixed replay: %s\n", s.ToString().c_str());
+    return;
+  }
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const size_t n = latencies_us.size();
+  const double p50 = n ? latencies_us[n / 2] : 0;
+  const double p99 = n ? latencies_us[std::min(n - 1, n * 99 / 100)] : 0;
+  wbs::bench::JsonRow()
+      .Field("bench", "engine_mixed")
+      .Field("shards", uint64_t(shards))
+      .Field("threads", uint64_t(threads))
+      .Field("batch", uint64_t(batch))
+      .Field("updates", uint64_t(zipf.size()))
+      .Field("updates_per_sec", double(zipf.size()) / seconds)
+      .Field("mid_ingest_queries", uint64_t(n))
+      .Field("queries_per_sec", seconds > 0 ? double(n) / seconds : 0)
+      .Field("query_p50_us", p50)
+      .Field("query_p99_us", p99)
+      .Field("query_errors", query_errors)
+      .Field("flush_free", true)
+      .Emit();
+}
+
+// ---------------------------------------------------------- merge cache --
+//
+// Cold rebuild vs cached re-query vs incremental single-shard refold of the
+// merged summary, on an engine holding a replayed Zipf stream.
+
+void RunMergeCacheBench(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "merge_cache",
+      "incremental merged-summary cache: cold rebuild vs cache hit vs "
+      "single-dirty-shard refold");
+  const uint64_t universe = 4096;
+  wbs::RandomTape tape(103);
+  tape.set_logging(false);
+  auto zipf = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+
+  wbs::engine::DriverOptions opts;
+  opts.ingest.num_shards = 8;
+  opts.ingest.num_threads = 0;
+  opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
+  opts.ingest.config.universe = universe;
+  opts.ingest.config.seed = 2025;
+  opts.batch_size = 32768;
+  auto driver = wbs::engine::Driver::Create(opts);
+  if (!driver.ok() || !driver.value()->Replay(zipf).ok() ||
+      !driver.value()->Flush().ok()) {
+    std::fprintf(stderr, "merge cache bench setup failed\n");
+    return;
+  }
+
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto cold = driver.value()->Query(name);
+    auto t1 = std::chrono::steady_clock::now();
+    const double cold_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    const int kWarm = 1000;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWarm; ++i) {
+      auto warm = driver.value()->Query(name);
+      if (!warm.ok()) return;
+    }
+    t1 = std::chrono::steady_clock::now();
+    const double warm_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kWarm;
+
+    // Dirty exactly one shard, then refold: linear sketches take the
+    // UnmergeFrom/MergeFrom path instead of an all-shards rebuild.
+    wbs::stream::TurnstileStream one{{7, 1}};
+    if (!driver.value()->Replay(one).ok() || !driver.value()->Flush().ok()) {
+      return;
+    }
+    t0 = std::chrono::steady_clock::now();
+    auto inc = driver.value()->Query(name);
+    t1 = std::chrono::steady_clock::now();
+    const double inc_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    auto stats = driver.value()->ingestor().CacheStats(name);
+    wbs::bench::JsonRow row;
+    row.Field("bench", "merge_cache")
+        .Field("sketch", name)
+        .Field("cold_us", cold_us)
+        .Field("cached_us", warm_us)
+        .Field("cached_speedup", warm_us > 0 ? cold_us / warm_us : 0)
+        .Field("one_dirty_shard_us", inc_us)
+        .Field("summary_ok", cold.ok() && inc.ok());
+    if (stats.ok()) {
+      row.Field("cache_hits", stats.value().hits)
+          .Field("cache_incremental", stats.value().incremental)
+          .Field("cache_rebuilds", stats.value().rebuilds);
+    }
+    row.Emit();
+  }
+  (void)driver.value()->Finish();
+}
+
+// ------------------------------------------------------- Barrett kernels --
+//
+// The Barrett-reduced Z_q kernels against the __int128 `% q` baselines, on
+// the same data, with bit-identity asserted inline: (1) scalar MulMod,
+// (2) the SIS column update (old row-major Entry()+MulMod loop vs the
+// production contiguous-column Barrett kernel), (3) the AMS update (per-
+// update row loop vs ApplyRun).
+
+void RunBarrettKernels() {
+  wbs::bench::Banner(
+      "kernel_barrett",
+      "Barrett-reduced linear-sketch kernels vs the MulMod baseline "
+      "(bit-identical by construction, asserted on the same inputs)");
+  using clock = std::chrono::steady_clock;
+
+  // --- scalar MulMod vs BarrettQ::MulMod, q just above 2^61.
+  {
+    const uint64_t q = wbs::NextPrime(uint64_t{1} << 61);
+    const wbs::BarrettQ bq(q);
+    const size_t kN = 1 << 16;
+    std::vector<uint64_t> b(kN);
+    uint64_t s = 42;
+    for (size_t i = 0; i < kN; ++i) b[i] = wbs::SplitMix64(&s) % q;
+    // Serial dependency chain: each product feeds the next multiplicand, so
+    // the compiler cannot hoist the (rep-invariant) loop body; both paths
+    // run the identical operation sequence.
+    const int kReps = 20;
+    uint64_t acc_base = 1, acc_barrett = 1;
+    auto t0 = clock::now();
+    for (int r = 0; r < kReps; ++r) {
+      for (size_t i = 0; i < kN; ++i) {
+        acc_base = wbs::MulMod(acc_base | 1, b[i], q);
+      }
+    }
+    auto t1 = clock::now();
+    for (int r = 0; r < kReps; ++r) {
+      for (size_t i = 0; i < kN; ++i) {
+        acc_barrett = bq.MulMod(acc_barrett | 1, b[i]);
+      }
+    }
+    auto t2 = clock::now();
+    const double ops = double(kN) * kReps;
+    const double base_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops;
+    const double barrett_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() / ops;
+    wbs::bench::JsonRow()
+        .Field("bench", "kernel_barrett")
+        .Field("kernel", "mulmod_scalar")
+        .Field("q", q)
+        .Field("baseline_ns_per_op", base_ns)
+        .Field("barrett_ns_per_op", barrett_ns)
+        .Field("speedup", barrett_ns > 0 ? base_ns / barrett_ns : 0)
+        .Field("bit_identical", acc_base == acc_barrett)
+        .Emit();
+  }
+
+  // --- SIS column update: old kernel (row-major cache walk, generic
+  // MulMod/AddMod per entry) vs SisSketchVector::Update on a materialized
+  // matrix (contiguous column, Barrett).
+  {
+    wbs::crypto::RandomOracle oracle(7);
+    wbs::crypto::SisParams params{wbs::NextPrime(uint64_t{1} << 61), 64, 64,
+                                  100};
+    wbs::crypto::SisMatrix matrix(params, oracle, 1);
+    matrix.Materialize();
+    std::vector<uint64_t> row_major(params.rows * params.cols);
+    for (size_t i = 0; i < params.rows; ++i) {
+      for (size_t j = 0; j < params.cols; ++j) {
+        row_major[i * params.cols + j] = matrix.Entry(i, j);
+      }
+    }
+    const uint64_t q = params.q;
+    const size_t kUpdates = 200000;
+    std::vector<uint64_t> v_base(params.rows, 0);
+    wbs::crypto::SisSketchVector v_new(&matrix);
+    uint64_t s = 7;
+    std::vector<std::pair<size_t, int64_t>> updates(kUpdates);
+    for (auto& u : updates) {
+      u.first = size_t(wbs::SplitMix64(&s) % params.cols);
+      u.second = int64_t(wbs::SplitMix64(&s) % 2001) - 1000;
+    }
+    auto t0 = clock::now();
+    for (const auto& [col, delta] : updates) {
+      const uint64_t d = wbs::ReduceSigned(delta, q);
+      for (size_t i = 0; i < params.rows; ++i) {
+        v_base[i] = wbs::AddMod(
+            v_base[i], wbs::MulMod(d, row_major[i * params.cols + col], q), q);
+      }
+    }
+    auto t1 = clock::now();
+    for (const auto& [col, delta] : updates) {
+      (void)v_new.Update(col, delta);
+    }
+    auto t2 = clock::now();
+    const double base_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kUpdates;
+    const double barrett_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() / kUpdates;
+    wbs::bench::JsonRow()
+        .Field("bench", "kernel_barrett")
+        .Field("kernel", "sis_column_update")
+        .Field("q", q)
+        .Field("rows", uint64_t(params.rows))
+        .Field("baseline_ns_per_update", base_ns)
+        .Field("barrett_ns_per_update", barrett_ns)
+        .Field("speedup", barrett_ns > 0 ? base_ns / barrett_ns : 0)
+        .Field("bit_identical", v_base == v_new.value())
+        .Emit();
+  }
+
+  // --- AMS update: per-update Update() vs the batched ApplyRun kernel.
+  {
+    const uint64_t universe = uint64_t{1} << 20;
+    wbs::RandomTape tape_a(9), tape_b(9);
+    tape_a.set_logging(false);
+    tape_b.set_logging(false);
+    wbs::moments::AmsF2Sketch ams_base(universe, 48, &tape_a);
+    wbs::moments::AmsF2Sketch ams_run(universe, 48, &tape_b);
+    const size_t kUpdates = 500000;
+    std::vector<wbs::stream::TurnstileUpdate> ups(kUpdates);
+    uint64_t s = 11;
+    for (auto& u : ups) {
+      u.item = wbs::SplitMix64(&s) % universe;
+      u.delta = int64_t(wbs::SplitMix64(&s) % 5) - 2;
+    }
+    auto t0 = clock::now();
+    for (const auto& u : ups) (void)ams_base.Update(u);
+    auto t1 = clock::now();
+    (void)ams_run.ApplyRun(ups.data(), ups.size());
+    auto t2 = clock::now();
+    const double base_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kUpdates;
+    const double run_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() / kUpdates;
+    wbs::bench::JsonRow()
+        .Field("bench", "kernel_barrett")
+        .Field("kernel", "ams_apply_run")
+        .Field("rows", uint64_t(48))
+        .Field("baseline_ns_per_update", base_ns)
+        .Field("batched_ns_per_update", run_ns)
+        .Field("speedup", run_ns > 0 ? base_ns / run_ns : 0)
+        .Field("bit_identical", ams_base.Query() == ams_run.Query())
+        .Emit();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,6 +553,9 @@ int main(int argc, char** argv) {
   // microbenchmarks (--benchmark_filter, --benchmark_list_tests, ...).
   if (engine_only || !benchmark_flags_present) {
     RunEngineThroughput(engine_updates);
+    RunEngineMixed(engine_updates);
+    RunMergeCacheBench(engine_updates);
+    RunBarrettKernels();
   }
   if (engine_only) return 0;
   int pargc = int(passthrough.size());

@@ -8,6 +8,7 @@
 #ifndef WBS_COMMON_MODMATH_H_
 #define WBS_COMMON_MODMATH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,98 @@ inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
   a %= m;
   b %= m;
   return a >= b ? a - b : a + (m - b);
+}
+
+/// Canonical Z_m residue of a signed value, in [0, m). The negative branch
+/// takes the magnitude via two's complement so INT64_MIN is handled without
+/// signed-overflow UB.
+inline uint64_t ReduceSigned(int64_t v, uint64_t m) {
+  if (v >= 0) return uint64_t(v) % m;
+  const uint64_t mag = uint64_t(0) - uint64_t(v);
+  const uint64_t r = mag % m;
+  return r == 0 ? 0 : m - r;
+}
+
+/// Barrett reduction context for a fixed modulus q (2 <= q < 2^62).
+///
+/// MulMod costs a 128-bit division per call; when the modulus is fixed
+/// across a hot loop (the SIS column update, Z_q merges, the rank sketch)
+/// the division can be replaced by two multiplications against the
+/// precomputed constant mu = floor(2^128 / q). Results are the canonical
+/// residue in [0, q) — bit-identical to the `% q` path by definition of
+/// division, which tests assert on random operands.
+struct BarrettQ {
+  uint64_t q = 1;
+  uint64_t mu_hi = 0;  ///< high 64 bits of floor(2^128 / q)
+  uint64_t mu_lo = 0;  ///< low 64 bits of floor(2^128 / q)
+
+  BarrettQ() = default;
+  explicit BarrettQ(uint64_t modulus) : q(modulus) {
+    // floor(2^128 / q) from floor((2^128 - 1) / q), fixing up the exact-
+    // division case. The u128 division only runs once per modulus.
+    const u128 all_ones = ~u128{0};
+    u128 mu = all_ones / q;
+    if (all_ones % q == q - 1) ++mu;
+    mu_hi = uint64_t(mu >> 64);
+    mu_lo = uint64_t(mu);
+  }
+
+  /// x mod q for any 128-bit x. The quotient estimate floor(x * mu / 2^128)
+  /// undershoots floor(x / q) by at most 2, so the remainder fits in 64 bits
+  /// (3q < 2^64 needs q < 2^62) and two conditional subtractions finish.
+  uint64_t Reduce(u128 x) const {
+    const uint64_t x_lo = uint64_t(x);
+    const uint64_t x_hi = uint64_t(x >> 64);
+    // High 128 bits of the 256-bit product x * mu, with exact carries.
+    const u128 lo_lo = u128(x_lo) * mu_lo;
+    const u128 lo_hi = u128(x_lo) * mu_hi;
+    const u128 hi_lo = u128(x_hi) * mu_lo;
+    const u128 mid =
+        u128(uint64_t(lo_hi)) + uint64_t(hi_lo) + uint64_t(lo_lo >> 64);
+    const u128 qhat =
+        u128(x_hi) * mu_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+    uint64_t r = uint64_t(x - qhat * q);  // true remainder < 3q < 2^64
+    if (r >= q) r -= q;
+    if (r >= q) r -= q;
+    return r;
+  }
+
+  /// (a * b) mod q for any 64-bit a, b. Same value as wbs::MulMod(a, b, q).
+  uint64_t MulMod(uint64_t a, uint64_t b) const { return Reduce(u128(a) * b); }
+
+  /// (a + b) mod q for already-reduced a, b < q (skips the `%` preamble of
+  /// the general AddMod; q < 2^63 means the sum cannot overflow).
+  uint64_t AddMod(uint64_t a, uint64_t b) const {
+    const uint64_t s = a + b;
+    return s >= q ? s - q : s;
+  }
+
+  /// (a - b) mod q for already-reduced a, b < q.
+  uint64_t SubMod(uint64_t a, uint64_t b) const {
+    return a >= b ? a - b : a + (q - b);
+  }
+};
+
+/// acc[i] = (acc[i] + add[i]) mod q over n already-reduced entries (< q).
+/// The branchless body matches AddMod(acc[i], add[i], q) bit-for-bit; it is
+/// the shared merge kernel of the Z_q linear sketches (SIS chunk vectors,
+/// rank sketch state).
+inline void AccumulateMod(uint64_t* acc, const uint64_t* add, size_t n,
+                          uint64_t q) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t s = acc[i] + add[i];
+    acc[i] = s >= q ? s - q : s;
+  }
+}
+
+/// acc[i] = (acc[i] - sub[i]) mod q over n already-reduced entries (< q).
+/// Exact inverse of AccumulateMod — the unmerge kernel behind the engine's
+/// incremental merge cache.
+inline void SubtractMod(uint64_t* acc, const uint64_t* sub, size_t n,
+                        uint64_t q) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] = acc[i] >= sub[i] ? acc[i] - sub[i] : acc[i] + (q - sub[i]);
+  }
 }
 
 /// (base ^ exp) mod m. PowMod(x, 0, m) == 1 % m.

@@ -18,24 +18,31 @@ uint64_t SisParams::MatrixBits() const {
 
 SisMatrix::SisMatrix(SisParams params, const RandomOracle& oracle,
                      uint64_t domain)
-    : params_(params), oracle_(&oracle), domain_(domain) {
+    : params_(params), oracle_(&oracle), domain_(domain), barrett_(params.q) {
   assert(params_.q >= 2);
   assert(params_.rows > 0 && params_.cols > 0);
 }
 
 uint64_t SisMatrix::Entry(size_t i, size_t j) const {
   assert(i < params_.rows && j < params_.cols);
-  if (!cache_.empty()) return cache_[i * params_.cols + j];
+  if (!cache_.empty()) return cache_[j * params_.rows + i];
   return oracle_->FieldElement(domain_, i * params_.cols + j, params_.q);
 }
 
 void SisMatrix::Materialize() {
   if (!cache_.empty()) return;
-  cache_.resize(params_.rows * params_.cols);
-  for (size_t i = 0; i < params_.rows; ++i) {
-    for (size_t j = 0; j < params_.cols; ++j) {
-      cache_[i * params_.cols + j] =
-          oracle_->FieldElement(domain_, i * params_.cols + j, params_.q);
+  const size_t rows = params_.rows;
+  const size_t cols = params_.cols;
+  cache_.resize(rows * cols);
+  // One pass per row with the oracle index base hoisted out of the inner
+  // loop; entries land in the column-major layout Column() serves. The
+  // oracle values are identical to the on-demand Entry() path — only the
+  // storage order changes.
+  for (size_t i = 0; i < rows; ++i) {
+    const uint64_t base = uint64_t(i) * cols;
+    uint64_t* row_dest = cache_.data() + i;
+    for (size_t j = 0; j < cols; ++j) {
+      row_dest[j * rows] = oracle_->FieldElement(domain_, base + j, params_.q);
     }
   }
 }
@@ -48,11 +55,21 @@ Status SisSketchVector::Update(size_t col, int64_t delta) {
   if (col >= p.cols) {
     return Status::OutOfRange("SisSketchVector::Update: column out of range");
   }
-  const uint64_t q = p.q;
-  uint64_t d = delta >= 0 ? uint64_t(delta) % q : q - (uint64_t(-delta) % q);
-  if (d == q) d = 0;
-  for (size_t i = 0; i < p.rows; ++i) {
-    v_[i] = AddMod(v_[i], MulMod(d, matrix_->Entry(i, col), q), q);
+  const uint64_t d = ReduceSigned(delta, p.q);
+  if (d == 0) return Status::OK();
+  const BarrettQ& bq = matrix_->barrett();
+  if (matrix_->materialized()) {
+    // Hot path: contiguous column of the materialized A, Barrett-reduced
+    // products, branch-lite add. Same canonical residues as the generic
+    // AddMod/MulMod path below, entry for entry.
+    const uint64_t* column = matrix_->Column(col);
+    for (size_t i = 0; i < p.rows; ++i) {
+      v_[i] = bq.AddMod(v_[i], bq.MulMod(d, column[i]));
+    }
+  } else {
+    for (size_t i = 0; i < p.rows; ++i) {
+      v_[i] = bq.AddMod(v_[i], bq.MulMod(d, matrix_->Entry(i, col)));
+    }
   }
   return Status::OK();
 }
@@ -65,9 +82,19 @@ Status SisSketchVector::MergeFrom(const SisSketchVector& other) {
     return Status::FailedPrecondition(
         "SisSketchVector::MergeFrom: parameter mismatch");
   }
-  for (size_t i = 0; i < v_.size(); ++i) {
-    v_[i] = AddMod(v_[i], other.v_[i], p.q);
+  AccumulateMod(v_.data(), other.v_.data(), v_.size(), p.q);
+  return Status::OK();
+}
+
+Status SisSketchVector::UnmergeFrom(const SisSketchVector& other) {
+  const SisParams& p = matrix_->params();
+  const SisParams& op = other.matrix_->params();
+  if (p.q != op.q || p.rows != op.rows || p.cols != op.cols ||
+      v_.size() != other.v_.size()) {
+    return Status::FailedPrecondition(
+        "SisSketchVector::UnmergeFrom: parameter mismatch");
   }
+  SubtractMod(v_.data(), other.v_.data(), v_.size(), p.q);
   return Status::OK();
 }
 
@@ -92,13 +119,12 @@ bool IsValidSisSolution(const SisMatrix& matrix,
     if (zi > int64_t(p.beta_inf) || zi < -int64_t(p.beta_inf)) return false;
   }
   if (!nonzero) return false;
+  const BarrettQ& bq = matrix.barrett();
   for (size_t i = 0; i < p.rows; ++i) {
     uint64_t acc = 0;
     for (size_t j = 0; j < p.cols; ++j) {
-      uint64_t zj = z[j] >= 0 ? uint64_t(z[j]) % p.q
-                              : p.q - (uint64_t(-z[j]) % p.q);
-      if (zj == p.q) zj = 0;
-      acc = AddMod(acc, MulMod(zj, matrix.Entry(i, j), p.q), p.q);
+      acc = bq.AddMod(acc,
+                      bq.MulMod(ReduceSigned(z[j], p.q), matrix.Entry(i, j)));
     }
     if (acc != 0) return false;
   }
@@ -174,15 +200,14 @@ SisAttackResult MeetInMiddleSisAttack(const SisMatrix& matrix,
   // Enumerate left half: A_left * z_left.
   std::unordered_multimap<uint64_t, std::vector<int64_t>> table;
   std::vector<int64_t> zl(left_cols, -b);
+  const BarrettQ& bq = matrix.barrett();
   auto partial = [&](const std::vector<int64_t>& z, size_t col0,
                      size_t ncols) {
     std::vector<uint64_t> v(p.rows, 0);
     for (size_t j = 0; j < ncols; ++j) {
-      uint64_t zj = z[j] >= 0 ? uint64_t(z[j]) % p.q
-                              : p.q - (uint64_t(-z[j]) % p.q);
-      if (zj == p.q) zj = 0;
+      const uint64_t zj = ReduceSigned(z[j], p.q);
       for (size_t i = 0; i < p.rows; ++i) {
-        v[i] = AddMod(v[i], MulMod(zj, matrix.Entry(i, col0 + j), p.q), p.q);
+        v[i] = bq.AddMod(v[i], bq.MulMod(zj, matrix.Entry(i, col0 + j)));
       }
     }
     return v;

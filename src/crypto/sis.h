@@ -21,9 +21,11 @@
 #ifndef WBS_CRYPTO_SIS_H_
 #define WBS_CRYPTO_SIS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/modmath.h"
 #include "common/status.h"
 #include "crypto/random_oracle.h"
 
@@ -53,9 +55,23 @@ class SisMatrix {
   uint64_t Entry(size_t i, size_t j) const;
 
   /// Precomputes all entries (trades the oracle's O(1) space for speed;
-  /// corresponds to the non-random-oracle space bound in Theorem 1.5).
+  /// corresponds to the non-random-oracle space bound in Theorem 1.5). The
+  /// cache is stored column-major so the sketch's column update walks
+  /// contiguous memory.
   void Materialize();
   bool materialized() const { return !cache_.empty(); }
+
+  /// Contiguous column j (rows entries). Requires materialized(); the debug
+  /// assertion keeps the fast path honest.
+  const uint64_t* Column(size_t j) const {
+    assert(materialized());
+    assert(j < params_.cols);
+    return cache_.data() + j * params_.rows;
+  }
+
+  /// Barrett context for this matrix's modulus, shared by every sketch
+  /// vector drawn against it.
+  const wbs::BarrettQ& barrett() const { return barrett_; }
 
   const SisParams& params() const { return params_; }
 
@@ -68,7 +84,8 @@ class SisMatrix {
   SisParams params_;
   const RandomOracle* oracle_;
   uint64_t domain_;
-  std::vector<uint64_t> cache_;  // row-major, empty until Materialize()
+  wbs::BarrettQ barrett_;
+  std::vector<uint64_t> cache_;  // column-major, empty until Materialize()
 };
 
 /// The running sketch v = A * f mod q for a turnstile-updated f.
@@ -89,6 +106,10 @@ class SisSketchVector {
   /// same A (same params; callers are responsible for oracle/domain
   /// identity, which the engine guarantees by construction).
   Status MergeFrom(const SisSketchVector& other);
+
+  /// Exact inverse of MergeFrom: v -= other.v (mod q). Lets a cached merge
+  /// target drop one shard's stale contribution instead of refolding all.
+  Status UnmergeFrom(const SisSketchVector& other);
 
   const std::vector<uint64_t>& value() const { return v_; }
 

@@ -70,6 +70,21 @@ Status SisL0Estimator::MergeFrom(const SisL0Estimator& other) {
   return Status::OK();
 }
 
+Status SisL0Estimator::UnmergeFrom(const SisL0Estimator& other) {
+  const SisL0Params& o = other.params_;
+  if (params_.universe != o.universe || params_.chunk_width != o.chunk_width ||
+      params_.num_chunks != o.num_chunks ||
+      params_.sketch_rows != o.sketch_rows || params_.q != o.q) {
+    return Status::FailedPrecondition(
+        "SisL0Estimator::UnmergeFrom: parameter mismatch");
+  }
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    Status s = chunks_[i].UnmergeFrom(other.chunks_[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 double SisL0Estimator::Query() const {
   uint64_t nonzero = 0;
   for (const auto& c : chunks_) {

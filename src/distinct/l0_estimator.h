@@ -75,6 +75,11 @@ class SisL0Estimator final
   /// bit-identical to one that ingested the concatenated stream).
   Status MergeFrom(const SisL0Estimator& other);
 
+  /// Exact inverse of MergeFrom (chunk-wise mod-q subtraction); same
+  /// parameter/oracle requirements. Backs the engine's incremental merge
+  /// cache: a stale shard contribution is subtracted, the fresh one added.
+  Status UnmergeFrom(const SisL0Estimator& other);
+
   /// Precomputes the shared sketching matrix A (trades the random-oracle
   /// space accounting for per-update speed; used by the serving engine).
   void MaterializeMatrix() { matrix_.Materialize(); }

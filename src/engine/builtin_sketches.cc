@@ -198,11 +198,10 @@ class AmsF2EngineSketch final : public SketchBase {
 
   Status ApplyBatch(const UpdateBatch& batch) override {
     const AggregatedView agg = GetAggregated(batch);
-    for (size_t i = 0; i < agg.size; ++i) {
-      if (agg.data[i].delta == 0) continue;
-      Status s = ams_.Update(agg.data[i]);
-      if (!s.ok()) return s;
-    }
+    // Row-major batched kernel: per-item sign mixes computed once, each
+    // counter register-resident across the aggregated run.
+    Status s = ams_.ApplyRun(agg.data, agg.size);
+    if (!s.ok()) return s;
     updates_applied_ += agg.effective;
     return Status::OK();
   }
@@ -224,6 +223,17 @@ class AmsF2EngineSketch final : public SketchBase {
     Status s = ams_.MergeFrom(o->ams_);
     if (!s.ok()) return s;
     updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  Status UnmergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const AmsF2EngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("ams_f2: unmerge type mismatch");
+    }
+    Status s = ams_.UnmergeFrom(o->ams_);
+    if (!s.ok()) return s;
+    updates_applied_ -= o->updates_applied_;
     return Status::OK();
   }
 
@@ -284,6 +294,20 @@ class SisL0EngineSketch final : public SketchBase {
     Status s = est_.MergeFrom(o->est_);
     if (!s.ok()) return s;
     updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  Status UnmergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const SisL0EngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("sis_l0: unmerge type mismatch");
+    }
+    if (oracle_.instance_id() != o->oracle_.instance_id()) {
+      return Status::FailedPrecondition("sis_l0: oracle mismatch");
+    }
+    Status s = est_.UnmergeFrom(o->est_);
+    if (!s.ok()) return s;
+    updates_applied_ -= o->updates_applied_;
     return Status::OK();
   }
 
@@ -364,6 +388,20 @@ class RankDecisionEngineSketch final : public SketchBase {
     Status s = sketch_.MergeFrom(o->sketch_);
     if (!s.ok()) return s;
     updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  Status UnmergeFrom(const Sketch& other) override {
+    const auto* o = dynamic_cast<const RankDecisionEngineSketch*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("rank_decision: unmerge type mismatch");
+    }
+    if (oracle_.instance_id() != o->oracle_.instance_id()) {
+      return Status::FailedPrecondition("rank_decision: oracle mismatch");
+    }
+    Status s = sketch_.UnmergeFrom(o->sketch_);
+    if (!s.ok()) return s;
+    updates_applied_ -= o->updates_applied_;
     return Status::OK();
   }
 

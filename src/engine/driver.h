@@ -4,7 +4,8 @@
 // throughput benchmarks and example scenarios: it chops materialized
 // workload streams into submission batches (batch_size == 1 reproduces the
 // legacy one-update-at-a-time path), runs them through the ingestor, and
-// exposes the merged per-sketch summaries.
+// exposes the merged per-sketch summaries. Query() serves epoch-snapshot
+// answers while a Replay is still in flight (no Flush needed).
 
 #ifndef WBS_ENGINE_DRIVER_H_
 #define WBS_ENGINE_DRIVER_H_
@@ -39,7 +40,16 @@ class Driver {
   /// Drains and joins; the driver stays queryable.
   Status Finish() { return ingestor_->Finish(); }
 
-  /// Merged global answer for one sketch (Flush/Finish first).
+  /// Non-blocking snapshot query: the merged answer as of the latest
+  /// published shard epochs. Never waits for quiescence — safe to call from
+  /// any thread while a Replay is in flight on the producer thread; served
+  /// from the ingestor's incremental merge cache.
+  Result<SketchSummary> Query(const std::string& sketch) const {
+    return ingestor_->MergedSummary(sketch);
+  }
+
+  /// Merged global answer for one sketch. Same path as Query(); after
+  /// Flush()/Finish() the answer covers the full replayed stream exactly.
   Result<SketchSummary> Summary(const std::string& sketch) const {
     return ingestor_->MergedSummary(sketch);
   }

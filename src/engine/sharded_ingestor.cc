@@ -2,6 +2,8 @@
 
 #include "engine/sharded_ingestor.h"
 
+#include <algorithm>
+
 #include "engine/registry.h"
 
 namespace wbs::engine {
@@ -48,16 +50,26 @@ ShardedIngestor::ShardedIngestor(IngestorOptions options)
     : options_(std::move(options)) {}
 
 Status ShardedIngestor::Init() {
-  shards_.resize(options_.num_shards);
+  shards_.reserve(options_.num_shards);
   scatter_.resize(options_.num_shards);
   for (size_t shard = 0; shard < options_.num_shards; ++shard) {
-    SketchConfig cfg = options_.config;
-    cfg.shard_seed = DeriveSeed(options_.config.seed, kShardSeedSalt, shard);
+    auto sh = std::make_unique<Shard>();
+    sh->cfg = options_.config;
+    sh->cfg.shard_seed =
+        DeriveSeed(options_.config.seed, kShardSeedSalt, shard);
     for (const std::string& name : options_.sketches) {
-      auto sketch = SketchRegistry::Global().Create(name, cfg);
+      auto sketch = SketchRegistry::Global().Create(name, sh->cfg);
       if (!sketch.ok()) return sketch.status();
-      shards_[shard].sketches.push_back(std::move(sketch).value());
+      sh->sketches.push_back(std::move(sketch).value());
     }
+    shards_.push_back(std::move(sh));
+  }
+  caches_.reserve(options_.sketches.size());
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    auto cache = std::make_unique<MergeCache>();
+    cache->folded.resize(options_.num_shards);
+    cache->epochs.assign(options_.num_shards, 0);
+    caches_.push_back(std::move(cache));
   }
   workers_.reserve(options_.num_threads);
   for (size_t w = 0; w < options_.num_threads; ++w) {
@@ -84,10 +96,17 @@ Status ShardedIngestor::FirstError() const {
   return first_error_;
 }
 
+size_t ShardedIngestor::SketchIndex(const std::string& sketch) const {
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    if (options_.sketches[i] == sketch) return i;
+  }
+  return options_.sketches.size();
+}
+
 Status ShardedIngestor::ApplyToShard(size_t shard_index,
                                      const stream::TurnstileUpdate* data,
                                      size_t count) {
-  Shard& shard = shards_[shard_index];
+  Shard& shard = *shards_[shard_index];
   // Aggregate once per shard batch; every weight-equivalent sketch in the
   // shard's group consumes the shared result instead of re-hashing the
   // batch, which is where most of the engine's batching win comes from.
@@ -99,7 +118,43 @@ Status ShardedIngestor::ApplyToShard(size_t shard_index,
     Status s = sketch->ApplyBatch(batch);
     if (!s.ok()) return s;
   }
+  shard.updates_since_publish += count;
+  if (shard.updates_since_publish >= options_.snapshot_min_updates) {
+    PublishShard(shard_index);
+  }
   return Status::OK();
+}
+
+void ShardedIngestor::PublishShard(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  // Clone = fresh registry instance + MergeFrom(live). State-mergeable
+  // sketches copy their state; answer-level sketches fold their current
+  // summary — exactly the representation the merge path consumes. Cloning
+  // happens outside the lock so readers are never blocked on it.
+  std::vector<std::shared_ptr<const Sketch>> snaps(shard.sketches.size());
+  for (size_t i = 0; i < shard.sketches.size(); ++i) {
+    auto fresh =
+        SketchRegistry::Global().Create(options_.sketches[i], shard.cfg);
+    Status s = fresh.ok() ? fresh.value()->MergeFrom(*shard.sketches[i])
+                          : fresh.status();
+    if (!s.ok()) {
+      // Bump the epoch so queries see the shard as dirty and surface the
+      // stashed error rather than silently serving the stale snapshot; a
+      // later successful publish clears it and recovers.
+      std::lock_guard<std::mutex> lock(shard.snap_mu);
+      shard.snap_error = s;
+      shard.epoch.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    snaps[i] = std::move(fresh).value();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.snap_mu);
+    shard.snaps = std::move(snaps);
+    shard.snap_error = Status::OK();
+    shard.epoch.fetch_add(1, std::memory_order_release);
+  }
+  shard.updates_since_publish = 0;
 }
 
 void ShardedIngestor::WorkerLoop(Worker* worker) {
@@ -219,6 +274,11 @@ Status ShardedIngestor::Flush() {
     std::unique_lock<std::mutex> lock(worker->mu);
     worker->cv_drained.wait(lock, [&] { return worker->pending == 0; });
   }
+  // Quiescent now (single producer, empty queues): catch up any shard whose
+  // snapshot lags its live state, so post-Flush queries are exact.
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (shards_[shard]->updates_since_publish > 0) PublishShard(shard);
+  }
   return FirstError();
 }
 
@@ -253,29 +313,123 @@ Status ShardedIngestor::CheckQuiescent() const {
 
 Result<SketchSummary> ShardedIngestor::MergedSummary(
     const std::string& sketch) const {
-  Status quiescent = CheckQuiescent();
-  if (!quiescent.ok()) return quiescent;
-  size_t index = options_.sketches.size();
-  for (size_t i = 0; i < options_.sketches.size(); ++i) {
-    if (options_.sketches[i] == sketch) {
-      index = i;
-      break;
-    }
-  }
+  // A dead pipeline must be visible on the query path, not only at the
+  // next Submit/Flush: workers stop mutating state after the first error,
+  // so answers would otherwise freeze silently (and a mid-batch failure
+  // can leave a shard's sketch group inconsistently applied).
+  Status err = FirstError();
+  if (!err.ok()) return err;
+  const size_t index = SketchIndex(sketch);
   if (index == options_.sketches.size()) {
     return Status::NotFound("ShardedIngestor: sketch not configured: " +
                             sketch);
   }
-  SketchConfig cfg = options_.config;
-  cfg.shard_seed = DeriveSeed(options_.config.seed, kMergeSeedSalt, 0);
-  auto target = SketchRegistry::Global().Create(sketch, cfg);
-  if (!target.ok()) return target.status();
-  std::unique_ptr<Sketch> merged = std::move(target).value();
-  for (const Shard& shard : shards_) {
-    Status s = merged->MergeFrom(*shard.sketches[index]);
-    if (!s.ok()) return s;
+  MergeCache& cache = *caches_[index];
+  std::lock_guard<std::mutex> cache_lock(cache.mu);
+
+  // Dirty scan: lock-free epoch loads against the epochs the cache folded.
+  std::vector<size_t> dirty;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->epoch.load(std::memory_order_acquire) != cache.epochs[s]) {
+      dirty.push_back(s);
+    }
   }
-  return merged->Summary();
+  if (dirty.empty() && cache.valid) {
+    ++cache.stats.hits;
+    return cache.summary;
+  }
+
+  // Grab consistent (snapshot, epoch) pairs for the dirty shards.
+  std::vector<std::shared_ptr<const Sketch>> fresh(dirty.size());
+  std::vector<uint64_t> fresh_epochs(dirty.size());
+  for (size_t d = 0; d < dirty.size(); ++d) {
+    Shard& shard = *shards_[dirty[d]];
+    std::lock_guard<std::mutex> lock(shard.snap_mu);
+    if (!shard.snap_error.ok()) return shard.snap_error;
+    fresh[d] = shard.snaps.empty() ? nullptr : shard.snaps[index];
+    fresh_epochs[d] = shard.epoch.load(std::memory_order_relaxed);
+  }
+
+  // Incremental path: subtract each dirty shard's stale contribution and
+  // add the fresh one. Worth it only when most shards are clean; the first
+  // Unimplemented disables it for this sketch permanently (completed
+  // shard pairs leave `merged` consistent, so falling through to a full
+  // rebuild — which ignores `merged` — is always safe).
+  bool incremental = cache.valid && cache.merged && cache.try_unmerge &&
+                     !dirty.empty() && dirty.size() < shards_.size();
+  if (incremental) {
+    for (size_t d = 0; d < dirty.size() && incremental; ++d) {
+      const size_t s = dirty[d];
+      if (cache.folded[s] != nullptr) {
+        Status st = cache.merged->UnmergeFrom(*cache.folded[s]);
+        if (st.code() == Status::Code::kUnimplemented) {
+          cache.try_unmerge = false;
+          incremental = false;
+          break;
+        }
+        if (!st.ok()) {
+          cache.valid = false;
+          cache.merged.reset();
+          return st;
+        }
+      }
+      if (fresh[d] != nullptr) {
+        Status st = cache.merged->MergeFrom(*fresh[d]);
+        if (!st.ok()) {
+          cache.valid = false;
+          cache.merged.reset();
+          return st;
+        }
+      }
+      cache.folded[s] = fresh[d];
+      cache.epochs[s] = fresh_epochs[d];
+    }
+  }
+
+  if (!incremental) {
+    for (size_t d = 0; d < dirty.size(); ++d) {
+      cache.folded[dirty[d]] = fresh[d];
+      cache.epochs[dirty[d]] = fresh_epochs[d];
+    }
+    SketchConfig cfg = options_.config;
+    cfg.shard_seed = DeriveSeed(options_.config.seed, kMergeSeedSalt, 0);
+    auto target = SketchRegistry::Global().Create(sketch, cfg);
+    if (!target.ok()) return target.status();
+    cache.merged = std::move(target).value();
+    for (const auto& snap : cache.folded) {
+      if (snap == nullptr) continue;
+      Status st = cache.merged->MergeFrom(*snap);
+      if (!st.ok()) {
+        cache.valid = false;
+        cache.merged.reset();
+        return st;
+      }
+    }
+    ++cache.stats.rebuilds;
+  } else {
+    ++cache.stats.incremental;
+  }
+
+  cache.summary = cache.merged->Summary();
+  cache.valid = true;
+  return cache.summary;
+}
+
+Result<MergeCacheStats> ShardedIngestor::CacheStats(
+    const std::string& sketch) const {
+  const size_t index = SketchIndex(sketch);
+  if (index == options_.sketches.size()) {
+    return Status::NotFound("ShardedIngestor: sketch not configured: " +
+                            sketch);
+  }
+  MergeCache& cache = *caches_[index];
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+uint64_t ShardedIngestor::ShardEpoch(size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->epoch.load(std::memory_order_acquire);
 }
 
 Result<SketchSummary> ShardedIngestor::ShardSummary(
@@ -285,18 +439,18 @@ Result<SketchSummary> ShardedIngestor::ShardSummary(
   if (shard >= shards_.size()) {
     return Status::OutOfRange("ShardedIngestor: shard index out of range");
   }
-  for (size_t i = 0; i < options_.sketches.size(); ++i) {
-    if (options_.sketches[i] == sketch) {
-      return shards_[shard].sketches[i]->Summary();
-    }
+  const size_t index = SketchIndex(sketch);
+  if (index == options_.sketches.size()) {
+    return Status::NotFound("ShardedIngestor: sketch not configured: " +
+                            sketch);
   }
-  return Status::NotFound("ShardedIngestor: sketch not configured: " + sketch);
+  return shards_[shard]->sketches[index]->Summary();
 }
 
 uint64_t ShardedIngestor::SpaceBits() const {
   uint64_t bits = 0;
-  for (const Shard& shard : shards_) {
-    for (const auto& sketch : shard.sketches) bits += sketch->SpaceBits();
+  for (const auto& shard : shards_) {
+    for (const auto& sketch : shard->sketches) bits += sketch->SpaceBits();
   }
   return bits;
 }

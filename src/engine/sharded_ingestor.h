@@ -16,10 +16,22 @@
 // therefore bit-for-bit reproducible for ANY num_threads — the property the
 // white-box game semantics need to survive the move to parallel plumbing.
 //
-// Merging: MergedSummary(name) folds all shard-local instances into a fresh
-// merge target. Because shards partition the universe, answer-level merges
-// (sampling HH sketches) are exact unions, and state-level merges (linear
-// sketches) reproduce the single-instance state bit-for-bit.
+// Snapshots: at batch boundaries (throttled by snapshot_min_updates) the
+// owning worker clones each shard-local sketch into an epoch-versioned
+// snapshot slot — the clone is a fresh registry instance merged from the
+// live one, so no new per-sketch API is needed. Flush() publishes any
+// lagging shard, making the published state exact at quiescence.
+//
+// Queries: MergedSummary(name) folds the published per-shard snapshots into
+// a per-sketch cached merge target WITHOUT requiring quiescence — it can
+// run from any thread while workers ingest, answering as of the latest
+// published epochs (each shard contributes a batch-boundary prefix of its
+// substream; any such epoch vector is a valid frontier of the global stream
+// because shards partition the universe). The cache tracks per-shard
+// epochs: an unchanged engine is answered from the cached summary, and
+// linear sketches re-fold only the shards whose epoch advanced
+// (UnmergeFrom stale + MergeFrom fresh), turning the per-query cost from
+// O(shards * state) into O(dirty * state).
 
 #ifndef WBS_ENGINE_SHARDED_INGESTOR_H_
 #define WBS_ENGINE_SHARDED_INGESTOR_H_
@@ -47,8 +59,20 @@ struct IngestorOptions {
   size_t num_shards = 4;
   size_t num_threads = 0;  ///< 0: apply inline on the submitting thread
   size_t max_queue_batches = 64;  ///< per-worker backpressure bound
+  /// Snapshot throttle: a shard republishes its snapshot at the first batch
+  /// boundary after this many updates (0 = every batch). Keeps the
+  /// unbatched (batch_size == 1) path from cloning per update; Flush()
+  /// always catches lagging shards up, so quiescent queries are exact.
+  size_t snapshot_min_updates = 1024;
   std::vector<std::string> sketches;  ///< registry names to instantiate
   SketchConfig config;
+};
+
+/// How the merge cache served MergedSummary calls for one sketch.
+struct MergeCacheStats {
+  uint64_t hits = 0;         ///< no shard epoch advanced: cached summary
+  uint64_t incremental = 0;  ///< only dirty shards re-folded (UnmergeFrom)
+  uint64_t rebuilds = 0;     ///< full fold across all shards
 };
 
 class ShardedIngestor {
@@ -74,22 +98,33 @@ class ShardedIngestor {
     return SubmitItems(s.data(), s.size());
   }
 
-  /// Blocks until every dispatched batch has been applied.
+  /// Blocks until every dispatched batch has been applied, then publishes
+  /// any shard whose snapshot lags its live state.
   Status Flush();
 
   /// Flush + stop and join the workers. The ingestor stays queryable;
   /// further Submits fail. Idempotent.
   Status Finish();
 
-  /// Merges all shard-local instances of `sketch` into one global summary.
-  /// Requires quiescence: call after Flush() or Finish().
+  /// Merges the published per-shard snapshots of `sketch` into one global
+  /// summary, as of the latest published epochs. Quiescence-free: safe to
+  /// call from any thread while workers ingest (after Flush()/Finish() the
+  /// answer is exact for the full stream). Served from the per-sketch merge
+  /// cache; see MergeCacheStats.
   Result<SketchSummary> MergedSummary(const std::string& sketch) const;
 
-  /// A single shard's summary (tests and diagnostics).
+  /// Cache counters for `sketch` (tests, diagnostics).
+  Result<MergeCacheStats> CacheStats(const std::string& sketch) const;
+
+  /// Number of snapshot publications shard `shard` has performed.
+  uint64_t ShardEpoch(size_t shard) const;
+
+  /// A single shard's live summary (tests and diagnostics). Still requires
+  /// quiescence: it reads worker-owned state directly.
   Result<SketchSummary> ShardSummary(size_t shard,
                                      const std::string& sketch) const;
 
-  /// Total state bits across all shards and sketches.
+  /// Total state bits across all shards and sketches (quiescent callers).
   uint64_t SpaceBits() const;
 
   const std::vector<std::string>& sketch_names() const {
@@ -110,11 +145,22 @@ class ShardedIngestor {
  private:
   struct Shard {
     std::vector<std::unique_ptr<Sketch>> sketches;
+    SketchConfig cfg;  ///< per-shard config (shard_seed resolved)
     // Aggregation scratch, computed once per shard batch and shared with
     // every weight-equivalent sketch via UpdateBatch. Touched only by the
     // shard's owning worker (or the producer in inline mode).
     std::vector<stream::TurnstileUpdate> agg;
     std::unordered_map<uint64_t, size_t> agg_index;
+
+    // Snapshot slot. `snaps` are clones published at batch boundaries;
+    // `epoch` counts publications and is bumped (release) inside snap_mu,
+    // so (snaps, epoch) always read as a consistent pair under the mutex
+    // while lock-free epoch loads give cheap dirty checks.
+    uint64_t updates_since_publish = 0;  // owner-thread only
+    mutable std::mutex snap_mu;
+    std::vector<std::shared_ptr<const Sketch>> snaps;  // per sketch index
+    Status snap_error;  // first failed publish, under snap_mu
+    std::atomic<uint64_t> epoch{0};
   };
 
   struct Worker {
@@ -128,12 +174,30 @@ class ShardedIngestor {
     std::thread thread;
   };
 
+  // Per-sketch merge cache. `merged` is the fold of `folded` (one snapshot
+  // per shard, null = shard never published); `epochs` records which shard
+  // epochs are incorporated. All fields live under `mu`.
+  struct MergeCache {
+    std::mutex mu;
+    std::unique_ptr<Sketch> merged;
+    std::vector<std::shared_ptr<const Sketch>> folded;
+    std::vector<uint64_t> epochs;
+    SketchSummary summary;
+    bool valid = false;
+    bool try_unmerge = true;  // sticky false after the first Unimplemented
+    MergeCacheStats stats;
+  };
+
   explicit ShardedIngestor(IngestorOptions options);
 
   Status Init();
   void WorkerLoop(Worker* worker);
   Status ApplyToShard(size_t shard_index, const stream::TurnstileUpdate* data,
                       size_t count);
+  /// Clones every sketch of the shard into its snapshot slot and bumps the
+  /// epoch. Called by the shard's owner; failures are stashed in the slot
+  /// (they poison snapshot queries, not ingestion).
+  void PublishShard(size_t shard_index);
   /// Checks producer-side preconditions shared by the Submit variants.
   Status PreSubmit() const;
   /// Dispatches the scattered sub-batches in scatter_ (inline or queued).
@@ -141,9 +205,12 @@ class ShardedIngestor {
   void RecordError(const Status& s);
   Status FirstError() const;
   Status CheckQuiescent() const;
+  /// Index of `sketch` in options_.sketches, or size() if absent.
+  size_t SketchIndex(const std::string& sketch) const;
 
   IngestorOptions options_;
-  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::vector<stream::TurnstileUpdate>> scatter_;  // reused
   uint64_t updates_submitted_ = 0;

@@ -185,6 +185,16 @@ class Sketch {
   /// sketch kind.
   virtual Status MergeFrom(const Sketch& other) = 0;
 
+  /// Exact inverse of MergeFrom, where one exists: removes `other`'s
+  /// previously merged contribution from this accumulator. Linear sketches
+  /// (AMS, SIS-L0, rank) implement it — their state is a sum, so a stale
+  /// shard term can be subtracted out. The default returns Unimplemented,
+  /// which the engine's merge cache treats as "refold from scratch".
+  virtual Status UnmergeFrom(const Sketch& other) {
+    (void)other;
+    return Status::Unimplemented(name() + ": UnmergeFrom not supported");
+  }
+
   /// Information-theoretic size of the wrapped state, in bits.
   virtual uint64_t SpaceBits() const = 0;
 };

@@ -31,17 +31,11 @@ class MatrixZq {
   uint64_t q() const { return q_; }
 
   /// Sets entry with reduction mod q (accepts signed deltas).
-  void Set(size_t i, size_t j, int64_t v) {
-    uint64_t r = v >= 0 ? uint64_t(v) % q_ : q_ - (uint64_t(-v) % q_);
-    if (r == q_) r = 0;
-    At(i, j) = r;
-  }
+  void Set(size_t i, size_t j, int64_t v) { At(i, j) = ReduceSigned(v, q_); }
 
   /// this[i][j] += v (mod q).
   void AddAt(size_t i, size_t j, int64_t v) {
-    uint64_t r = v >= 0 ? uint64_t(v) % q_ : q_ - (uint64_t(-v) % q_);
-    if (r == q_) r = 0;
-    At(i, j) = AddMod(At(i, j), r, q_);
+    At(i, j) = AddMod(At(i, j), ReduceSigned(v, q_), q_);
   }
 
   /// Matrix product (this * other), dimensions must agree.
@@ -66,6 +60,12 @@ class MatrixZq {
   uint64_t SpaceBits() const {
     return rows_ * cols_ * wbs::BitsForUniverse(q_);
   }
+
+  /// Raw row-major storage (rows * cols reduced entries) for bulk mod-q
+  /// kernels (AccumulateMod / SubtractMod merges).
+  uint64_t* data() { return a_.data(); }
+  const uint64_t* data() const { return a_.data(); }
+  size_t size() const { return a_.size(); }
 
  private:
   size_t rows_;

@@ -9,7 +9,7 @@ namespace wbs::linalg {
 RankDecisionSketch::RankDecisionSketch(size_t n, size_t k, uint64_t q,
                                        const crypto::RandomOracle& oracle,
                                        uint64_t oracle_domain)
-    : n_(n), k_(k), oracle_(&oracle), domain_(oracle_domain),
+    : n_(n), k_(k), oracle_(&oracle), domain_(oracle_domain), barrett_(q),
       sketch_(k, n, q) {
   assert(k >= 1 && k <= n);
 }
@@ -22,15 +22,14 @@ Status RankDecisionSketch::Update(const EntryUpdate& u) {
   if (u.row >= n_ || u.col >= n_) {
     return Status::OutOfRange("RankDecisionSketch: index out of range");
   }
-  // A[row][col] += delta  =>  S[:, col] += delta * H[:, row].
+  // A[row][col] += delta  =>  S[:, col] += delta * H[:, row]. The modular
+  // delta and the Barrett constants are loop-invariant; the oracle call per
+  // H entry dominates what remains.
+  const uint64_t d = ReduceSigned(u.delta, sketch_.q());
   for (size_t i = 0; i < k_; ++i) {
     uint64_t h = HEntry(i, u.row);
-    const uint64_t q = sketch_.q();
-    uint64_t d = u.delta >= 0 ? uint64_t(u.delta) % q
-                              : q - (uint64_t(-u.delta) % q);
-    if (d == q) d = 0;
     sketch_.At(i, u.col) =
-        AddMod(sketch_.At(i, u.col), MulMod(h, d, q), q);
+        barrett_.AddMod(sketch_.At(i, u.col), barrett_.MulMod(h, d));
   }
   return Status::OK();
 }
@@ -41,12 +40,19 @@ Status RankDecisionSketch::MergeFrom(const RankDecisionSketch& other) {
     return Status::FailedPrecondition(
         "RankDecisionSketch::MergeFrom: sketches do not share H");
   }
-  for (size_t i = 0; i < k_; ++i) {
-    for (size_t j = 0; j < n_; ++j) {
-      sketch_.At(i, j) =
-          AddMod(sketch_.At(i, j), other.sketch_.At(i, j), sketch_.q());
-    }
+  AccumulateMod(sketch_.data(), other.sketch_.data(), sketch_.size(),
+                sketch_.q());
+  return Status::OK();
+}
+
+Status RankDecisionSketch::UnmergeFrom(const RankDecisionSketch& other) {
+  if (n_ != other.n_ || k_ != other.k_ || sketch_.q() != other.sketch_.q() ||
+      domain_ != other.domain_) {
+    return Status::FailedPrecondition(
+        "RankDecisionSketch::UnmergeFrom: sketches do not share H");
   }
+  SubtractMod(sketch_.data(), other.sketch_.data(), sketch_.size(),
+              sketch_.q());
   return Status::OK();
 }
 

@@ -65,6 +65,9 @@ class RankDecisionSketch final : public core::StreamAlg<EntryUpdate, bool> {
   /// the sketch of the entry-wise summed stream.
   Status MergeFrom(const RankDecisionSketch& other);
 
+  /// Exact inverse of MergeFrom: S -= other.S (mod q). Same H requirement.
+  Status UnmergeFrom(const RankDecisionSketch& other);
+
   /// Entry H[i][j] (derived from the oracle; exposed for tests/attacks —
   /// the white-box adversary can compute these itself anyway).
   uint64_t HEntry(size_t i, size_t j) const;
@@ -78,7 +81,8 @@ class RankDecisionSketch final : public core::StreamAlg<EntryUpdate, bool> {
   size_t k_;
   const crypto::RandomOracle* oracle_;
   uint64_t domain_;
-  MatrixZq sketch_;  // S = H * A, k x n
+  wbs::BarrettQ barrett_;  // per-q constants for the update hot loop
+  MatrixZq sketch_;        // S = H * A, k x n
 };
 
 /// Corollary of Theorem 1.6: maintain a maximal linearly independent set of

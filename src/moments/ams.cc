@@ -34,6 +34,29 @@ Status AmsF2Sketch::Update(const stream::TurnstileUpdate& u) {
   return Status::OK();
 }
 
+Status AmsF2Sketch::ApplyRun(const stream::TurnstileUpdate* data,
+                             size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    if (data[t].item >= universe_) {
+      return Status::OutOfRange("AmsF2Sketch: item out of universe");
+    }
+  }
+  run_mix_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    run_mix_[t] = sign_seed_ ^ (data[t].item * 0x9e3779b97f4a7c15ULL);
+  }
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    const uint64_t row_salt = j * 0xd1342543de82ef95ULL;
+    int64_t c = counters_[j];
+    for (size_t t = 0; t < count; ++t) {
+      uint64_t s = run_mix_[t] ^ row_salt;
+      c += (wbs::SplitMix64(&s) & 1) ? data[t].delta : -data[t].delta;
+    }
+    counters_[j] = c;
+  }
+  return Status::OK();
+}
+
 Status AmsF2Sketch::MergeFrom(const AmsF2Sketch& other) {
   if (universe_ != other.universe_ || sign_seed_ != other.sign_seed_ ||
       counters_.size() != other.counters_.size()) {
@@ -42,6 +65,18 @@ Status AmsF2Sketch::MergeFrom(const AmsF2Sketch& other) {
   }
   for (size_t j = 0; j < counters_.size(); ++j) {
     counters_[j] += other.counters_[j];
+  }
+  return Status::OK();
+}
+
+Status AmsF2Sketch::UnmergeFrom(const AmsF2Sketch& other) {
+  if (universe_ != other.universe_ || sign_seed_ != other.sign_seed_ ||
+      counters_.size() != other.counters_.size()) {
+    return Status::FailedPrecondition(
+        "AmsF2Sketch::UnmergeFrom: sketches do not share a sign matrix");
+  }
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    counters_[j] -= other.counters_[j];
   }
   return Status::OK();
 }

@@ -47,6 +47,14 @@ class AmsF2Sketch final
 
   Status Update(const stream::TurnstileUpdate& u) override;
 
+  /// Applies a run of updates with the loops interchanged: rows outside,
+  /// items inside. The per-item seed mix is computed once and reused by all
+  /// rows, and each counter stays in a register across the run — the
+  /// engine's batched-ingest kernel. Counter-for-counter identical to
+  /// applying the updates through Update() one at a time (same Sign values;
+  /// 64-bit integer sums commute).
+  Status ApplyRun(const stream::TurnstileUpdate* data, size_t count);
+
   /// Median-of-means estimate of F2 = sum_i f_i^2.
   double Query() const override;
 
@@ -59,6 +67,10 @@ class AmsF2Sketch final
   /// merged sketch is bit-identical to one that ingested the concatenated
   /// stream, because each counter is a linear functional of f.
   Status MergeFrom(const AmsF2Sketch& other);
+
+  /// Exact inverse of MergeFrom: counters_[j] -= other.counters_[j]. Same
+  /// sign-matrix requirement.
+  Status UnmergeFrom(const AmsF2Sketch& other);
 
   /// Sign s_j(item) in {-1, +1} — recomputable by the white-box adversary
   /// from the exposed seed.
@@ -73,6 +85,7 @@ class AmsF2Sketch final
   wbs::RandomTape* tape_;
   uint64_t sign_seed_;
   std::vector<int64_t> counters_;
+  std::vector<uint64_t> run_mix_;  // per-item seed mixes, reused by ApplyRun
 };
 
 /// The Theorem 1.9 white-box adversary: computes an integer kernel vector of

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/modmath.h"
@@ -405,6 +406,69 @@ INSTANTIATE_TEST_SUITE_P(Moduli, ModLawsTest,
                                            1000000007ULL,
                                            (uint64_t{1} << 61) - 1,
                                            18446744073709551557ULL));
+
+// --------------------------------------------------------------- BarrettQ --
+
+TEST(BarrettTest, AgreesWithMulModOnRandomOperands) {
+  // The Barrett path must be bit-identical to the `% q` path for every
+  // operand pair, including moduli near the 2^61 ceiling the SIS sketches
+  // use and the largest supported (< 2^62) moduli.
+  std::vector<uint64_t> moduli = {2,
+                                  3,
+                                  17,
+                                  10007,
+                                  1000000007ULL,
+                                  (uint64_t{1} << 61) - 1,  // Mersenne prime
+                                  NextPrime(uint64_t{1} << 61),
+                                  NextPrime((uint64_t{1} << 62) - 4096)};
+  for (uint64_t q : moduli) {
+    ASSERT_LT(q, uint64_t{1} << 62);
+    BarrettQ bq(q);
+    uint64_t s = q ^ 0xabcdef12345ULL;
+    for (int trial = 0; trial < 2000; ++trial) {
+      const uint64_t a = SplitMix64(&s);  // full 64-bit range, not just < q
+      const uint64_t b = SplitMix64(&s);
+      ASSERT_EQ(bq.MulMod(a, b), MulMod(a, b, q)) << "q=" << q;
+    }
+    // Adversarial corners: operands at the modulus and word boundaries.
+    const uint64_t edge[] = {0, 1, q - 1, q, q + 1, ~uint64_t{0},
+                             ~uint64_t{0} - 1, uint64_t{1} << 63};
+    for (uint64_t a : edge) {
+      for (uint64_t b : edge) {
+        ASSERT_EQ(bq.MulMod(a, b), MulMod(a, b, q)) << "q=" << q;
+      }
+    }
+  }
+}
+
+TEST(BarrettTest, ReducedAddSubMatchGeneralForms) {
+  const uint64_t q = NextPrime(uint64_t{1} << 61);
+  BarrettQ bq(q);
+  uint64_t s = 99;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint64_t a = SplitMix64(&s) % q;
+    const uint64_t b = SplitMix64(&s) % q;
+    EXPECT_EQ(bq.AddMod(a, b), AddMod(a, b, q));
+    EXPECT_EQ(bq.SubMod(a, b), SubMod(a, b, q));
+  }
+}
+
+TEST(BarrettTest, AccumulateAndSubtractModAreExactInverses) {
+  const uint64_t q = NextPrime(uint64_t{1} << 61);
+  uint64_t s = 7;
+  std::vector<uint64_t> acc(257), add(257), original;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = SplitMix64(&s) % q;
+    add[i] = SplitMix64(&s) % q;
+  }
+  original = acc;
+  AccumulateMod(acc.data(), add.data(), acc.size(), q);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_EQ(acc[i], AddMod(original[i], add[i], q));
+  }
+  SubtractMod(acc.data(), add.data(), acc.size(), q);
+  EXPECT_EQ(acc, original);
+}
 
 }  // namespace
 }  // namespace wbs

@@ -7,6 +7,7 @@
 
 #include "common/bits.h"
 #include "common/modmath.h"
+#include "common/random.h"
 #include "crypto/random_oracle.h"
 #include "crypto/sis.h"
 
@@ -231,6 +232,78 @@ TEST(SisAttackTest, WorkGrowsExponentiallyWithColumns) {
     }
     prev_ops = r.operations_used;
   }
+}
+
+// ------------------------------------------------- materialization kernels --
+
+TEST(SisMatrixTest, MaterializeServesIdenticalEntries) {
+  // The column-major cache must be invisible through Entry(): every entry
+  // equals its on-demand oracle value, and Column(j) is the contiguous
+  // image of column j.
+  RandomOracle oracle(31);
+  SisParams p;
+  p.q = wbs::NextPrime(uint64_t{1} << 61);
+  p.rows = 7;
+  p.cols = 13;
+  p.beta_inf = 5;
+  SisMatrix lazy(p, oracle, 4);
+  SisMatrix cached(p, oracle, 4);
+  cached.Materialize();
+  ASSERT_TRUE(cached.materialized());
+  ASSERT_FALSE(lazy.materialized());
+  for (size_t i = 0; i < p.rows; ++i) {
+    for (size_t j = 0; j < p.cols; ++j) {
+      EXPECT_EQ(cached.Entry(i, j), lazy.Entry(i, j)) << i << "," << j;
+    }
+  }
+  for (size_t j = 0; j < p.cols; ++j) {
+    const uint64_t* column = cached.Column(j);
+    for (size_t i = 0; i < p.rows; ++i) {
+      EXPECT_EQ(column[i], lazy.Entry(i, j));
+    }
+  }
+}
+
+TEST(SisSketchVectorTest, MaterializedUpdatePathBitIdenticalToOraclePath) {
+  RandomOracle oracle(32);
+  SisParams p;
+  p.q = wbs::NextPrime(uint64_t{1} << 61);
+  p.rows = 9;
+  p.cols = 17;
+  p.beta_inf = 100;
+  SisMatrix lazy(p, oracle, 5);
+  SisMatrix cached(p, oracle, 5);
+  cached.Materialize();
+  SisSketchVector via_oracle(&lazy);
+  SisSketchVector via_cache(&cached);
+  uint64_t s = 12345;
+  for (int t = 0; t < 500; ++t) {
+    const size_t col = size_t(wbs::SplitMix64(&s) % p.cols);
+    const int64_t delta = int64_t(wbs::SplitMix64(&s) % 4001) - 2000;
+    ASSERT_TRUE(via_oracle.Update(col, delta).ok());
+    ASSERT_TRUE(via_cache.Update(col, delta).ok());
+  }
+  EXPECT_EQ(via_oracle.value(), via_cache.value());
+}
+
+TEST(SisSketchVectorTest, UnmergeFromInvertsMergeFrom) {
+  RandomOracle oracle(33);
+  SisParams p = SmallParams();
+  SisMatrix matrix(p, oracle, 6);
+  SisSketchVector a(&matrix), b(&matrix);
+  uint64_t s = 8;
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_TRUE(a.Update(size_t(wbs::SplitMix64(&s) % p.cols),
+                         int64_t(wbs::SplitMix64(&s) % 11) - 5)
+                    .ok());
+    ASSERT_TRUE(b.Update(size_t(wbs::SplitMix64(&s) % p.cols),
+                         int64_t(wbs::SplitMix64(&s) % 11) - 5)
+                    .ok());
+  }
+  const std::vector<uint64_t> a_before = a.value();
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  ASSERT_TRUE(a.UnmergeFrom(b).ok());
+  EXPECT_EQ(a.value(), a_before);
 }
 
 }  // namespace

@@ -1,0 +1,356 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The quiescence-free query path of the sharded engine: epoch-versioned
+// shard snapshots, the incremental merge cache (hit / incremental-refold /
+// rebuild accounting, invalidation on per-shard writes), equality of
+// snapshot answers with post-Flush references on Zipf and churn workloads,
+// determinism across thread counts, and queries issued concurrently with
+// ingestion — no Flush() anywhere on the query side.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/driver.h"
+#include "engine/registry.h"
+#include "engine/sharded_ingestor.h"
+#include "stream/frequency_oracle.h"
+#include "stream/workload.h"
+
+namespace wbs::engine {
+namespace {
+
+SketchConfig TestConfig(uint64_t universe, uint64_t seed) {
+  SketchConfig cfg;
+  cfg.universe = universe;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<Driver> MakeDriver(std::vector<std::string> sketches,
+                                   const SketchConfig& cfg, size_t shards,
+                                   size_t threads, size_t batch = 1024) {
+  DriverOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = std::move(sketches);
+  opts.ingest.config = cfg;
+  opts.batch_size = batch;
+  auto driver = Driver::Create(opts);
+  EXPECT_TRUE(driver.ok()) << driver.status().ToString();
+  return std::move(driver).value();
+}
+
+// ----------------------------------------------------------- cache basics --
+
+TEST(MergeCacheTest, SecondQueryOfUnchangedEngineIsACacheHit) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(3);
+  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
+  auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 5), 4, 0);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(driver->Flush().ok());
+
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto first = driver->Query(name);
+    auto second = driver->Query(name);
+    ASSERT_TRUE(first.ok() && second.ok()) << name;
+    EXPECT_EQ(first.value().scalar, second.value().scalar) << name;
+    EXPECT_EQ(first.value().updates, second.value().updates) << name;
+    auto stats = driver->ingestor().CacheStats(name);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().rebuilds, 1u) << name;  // first query folds
+    EXPECT_EQ(stats.value().hits, 1u) << name;      // second is served cached
+  }
+}
+
+TEST(MergeCacheTest, PerShardWriteInvalidatesAndRefoldsOnlyDirtyShards) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(7);
+  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
+  auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(driver->Flush().ok());
+  ASSERT_TRUE(driver->Query("ams_f2").ok());  // builds the cache
+
+  // One single-item update dirties exactly one shard.
+  stream::TurnstileStream one{{42, 3}};
+  ASSERT_TRUE(driver->Replay(one).ok());
+  ASSERT_TRUE(driver->Flush().ok());
+
+  auto after = driver->Query("ams_f2");
+  ASSERT_TRUE(after.ok());
+  auto stats = driver->ingestor().CacheStats("ams_f2");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rebuilds, 1u);
+  EXPECT_EQ(stats.value().incremental, 1u);  // linear: unmerge + merge 1 shard
+
+  // The refolded answer equals a from-scratch reference run.
+  auto reference =
+      MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
+  ASSERT_TRUE(reference->Replay(s).ok());
+  ASSERT_TRUE(reference->Replay(one).ok());
+  ASSERT_TRUE(reference->Finish().ok());
+  auto want = reference->Query("ams_f2");
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(after.value().scalar, want.value().scalar);
+  EXPECT_EQ(after.value().updates, want.value().updates);
+}
+
+TEST(MergeCacheTest, NonInvertibleSketchFallsBackToRebuild) {
+  // misra_gries merges are lossy, so its cache path must rebuild (never
+  // incrementally refold) and still be correct.
+  const uint64_t universe = 256;
+  wbs::RandomTape tape(11);
+  auto s = stream::ZipfStream(universe, 10000, 1.1, &tape);
+  SketchConfig cfg = TestConfig(universe, 13);
+  cfg.mg_counters = 512;  // no eviction: merged answer is exact
+  auto driver = MakeDriver({"misra_gries"}, cfg, 8, 0);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(driver->Flush().ok());
+  ASSERT_TRUE(driver->Query("misra_gries").ok());
+
+  stream::TurnstileStream one{{17, 5}};
+  ASSERT_TRUE(driver->Replay(one).ok());
+  ASSERT_TRUE(driver->Flush().ok());
+  auto after = driver->Query("misra_gries");
+  ASSERT_TRUE(after.ok());
+
+  auto stats = driver->ingestor().CacheStats("misra_gries");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().incremental, 0u);
+  EXPECT_EQ(stats.value().rebuilds, 2u);
+
+  stream::FrequencyOracle truth(universe);
+  truth.AddStream(s);
+  truth.Add(17, 5);
+  for (const auto& [item, f] : truth.frequencies()) {
+    EXPECT_DOUBLE_EQ(after.value().Estimate(item), double(f)) << item;
+  }
+}
+
+// ------------------------------------------- snapshot vs flushed reference --
+
+TEST(SnapshotQueryTest, MatchesPostFlushReferenceOnZipfAndChurn) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(21);
+  auto items = stream::ZipfStream(universe, 30000, 1.1, &tape);
+  stream::TurnstileStream zipf;
+  zipf.reserve(items.size());
+  for (const auto& u : items) zipf.push_back({u.item, 1});
+  auto churn = stream::InsertDeleteChurnStream(universe, 150, 2500, &tape);
+
+  for (const stream::TurnstileStream* s : {&zipf, &churn}) {
+    SketchConfig cfg = TestConfig(universe, 77);
+    auto snap = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 2);
+    auto ref = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
+    ASSERT_TRUE(snap->Replay(*s).ok());
+    ASSERT_TRUE(ref->Replay(*s).ok());
+    ASSERT_TRUE(snap->Flush().ok());  // quiescence makes snapshots exact
+    ASSERT_TRUE(ref->Finish().ok());
+    for (const char* name : {"ams_f2", "sis_l0"}) {
+      auto got = snap->Query(name);       // snapshot/cache path, post-Flush
+      auto want = ref->Summary(name);     // single-shard reference
+      ASSERT_TRUE(got.ok() && want.ok()) << name;
+      EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+      EXPECT_EQ(got.value().updates, want.value().updates) << name;
+    }
+    ASSERT_TRUE(snap->Finish().ok());
+  }
+}
+
+TEST(SnapshotQueryTest, MidStreamSnapshotEqualsPrefixReference) {
+  // Query after some submissions but before others (inline mode, snapshot
+  // throttle forced to every batch): the answer must equal a reference run
+  // over exactly the submitted prefix — the "consistent as-of-epoch
+  // frontier" guarantee in its deterministic, single-threaded form.
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(31);
+  auto items = stream::ZipfStream(universe, 20000, 1.2, &tape);
+  stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+  const size_t half = s.size() / 2;
+
+  DriverOptions opts;
+  opts.ingest.num_shards = 4;
+  opts.ingest.num_threads = 0;
+  opts.ingest.snapshot_min_updates = 0;  // publish every batch boundary
+  opts.ingest.sketches = {"ams_f2", "sis_l0"};
+  opts.ingest.config = TestConfig(universe, 55);
+  opts.batch_size = 512;
+  auto driver = Driver::Create(opts);
+  ASSERT_TRUE(driver.ok());
+  stream::TurnstileStream prefix(s.begin(), s.begin() + half);
+  stream::TurnstileStream suffix(s.begin() + half, s.end());
+  ASSERT_TRUE(driver.value()->Replay(prefix).ok());
+
+  auto ref = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 55), 1, 0);
+  ASSERT_TRUE(ref->Replay(prefix).ok());
+  ASSERT_TRUE(ref->Finish().ok());
+  for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto got = driver.value()->Query(name);  // no Flush before this query
+    auto want = ref->Summary(name);
+    ASSERT_TRUE(got.ok() && want.ok()) << name;
+    EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+    EXPECT_EQ(got.value().updates, want.value().updates) << name;
+  }
+
+  // The engine keeps ingesting after the mid-stream query.
+  ASSERT_TRUE(driver.value()->Replay(suffix).ok());
+  ASSERT_TRUE(driver.value()->Finish().ok());
+  auto full = driver.value()->Query("ams_f2");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().updates, uint64_t(s.size()));
+}
+
+// ------------------------------------------------------------- determinism --
+
+TEST(SnapshotQueryTest, SummariesDeterministicAcrossThreadCounts) {
+  const uint64_t universe = 1 << 14;
+  wbs::RandomTape tape(41);
+  auto zipf = stream::ZipfStream(universe, 25000, 1.1, &tape);
+  auto churn = stream::InsertDeleteChurnStream(universe, 200, 2000, &tape);
+
+  // Turnstile-capable set so the churn stream can ride along (misra_gries
+  // would reject its deletions; its determinism is covered in engine_test).
+  auto run = [&](size_t threads) {
+    auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 2026),
+                             4, threads, 512);
+    EXPECT_TRUE(driver->Replay(zipf).ok());
+    EXPECT_TRUE(driver->Replay(churn).ok());
+    EXPECT_TRUE(driver->Finish().ok());
+    std::vector<SketchSummary> out;
+    for (const char* name : {"ams_f2", "sis_l0"}) {
+      auto summary = driver->Query(name);
+      EXPECT_TRUE(summary.ok()) << name;
+      out.push_back(std::move(summary).value());
+    }
+    return out;
+  };
+
+  auto reference = run(0);
+  for (size_t threads : {1u, 2u, 4u}) {
+    auto got = run(threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].scalar, reference[i].scalar)
+          << got[i].sketch << " with " << threads << " threads";
+      EXPECT_EQ(got[i].updates, reference[i].updates)
+          << got[i].sketch << " with " << threads << " threads";
+      ASSERT_EQ(got[i].items.size(), reference[i].items.size());
+      for (size_t j = 0; j < got[i].items.size(); ++j) {
+        EXPECT_EQ(got[i].items[j].item, reference[i].items[j].item);
+        EXPECT_EQ(got[i].items[j].estimate, reference[i].items[j].estimate);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- concurrent query --
+
+TEST(SnapshotQueryTest, QueriesSucceedWhileWorkersIngest) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(51);
+  auto s = stream::ZipfStream(universe, 200000, 1.2, &tape);
+
+  DriverOptions opts;
+  opts.ingest.num_shards = 8;
+  opts.ingest.num_threads = 4;
+  opts.ingest.snapshot_min_updates = 256;
+  opts.ingest.sketches = {"ams_f2", "sis_l0"};
+  opts.ingest.config = TestConfig(universe, 99);
+  opts.batch_size = 2048;
+  auto driver = Driver::Create(opts);
+  ASSERT_TRUE(driver.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_queries{0};
+  std::atomic<uint64_t> failed_queries{0};
+  uint64_t last_updates = 0;
+  bool monotone = true;
+  std::thread querier([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = driver.value()->Query("ams_f2");
+      if (!r.ok()) {
+        ++failed_queries;
+        continue;
+      }
+      ++ok_queries;
+      // Published epochs only advance, so the summarized update count must
+      // be non-decreasing across successive snapshot queries.
+      if (r.value().updates < last_updates) monotone = false;
+      last_updates = r.value().updates;
+    }
+  });
+
+  ASSERT_TRUE(driver.value()->Replay(s).ok());
+  stop.store(true, std::memory_order_relaxed);
+  querier.join();
+  ASSERT_TRUE(driver.value()->Finish().ok());
+
+  EXPECT_EQ(failed_queries.load(), 0u);
+  EXPECT_GT(ok_queries.load(), 0u);
+  EXPECT_TRUE(monotone);
+
+  // Final answer (post-Finish) matches a quiescent reference.
+  auto ref = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 99), 1, 0);
+  ASSERT_TRUE(ref->Replay(s).ok());
+  ASSERT_TRUE(ref->Finish().ok());
+  auto got = driver.value()->Query("ams_f2");
+  auto want = ref->Summary("ams_f2");
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(got.value().scalar, want.value().scalar);
+  EXPECT_EQ(got.value().updates, uint64_t(s.size()));
+}
+
+// ------------------------------------------------------------------ epochs --
+
+TEST(SnapshotQueryTest, FlushPublishesLaggingShards) {
+  const uint64_t universe = 1 << 10;
+  auto driver = MakeDriver({"ams_f2"}, TestConfig(universe, 3), 4, 0,
+                           /*batch=*/8);  // far below snapshot_min_updates
+  wbs::RandomTape tape(3);
+  auto s = stream::UniformStream(universe, 100, &tape);
+  ASSERT_TRUE(driver->Replay(s).ok());
+  // 100 updates < snapshot_min_updates (1024): nothing published yet, so a
+  // snapshot query sees the empty frontier...
+  auto before = driver->Query("ams_f2");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().updates, 0u);
+  uint64_t epochs_before = 0;
+  for (size_t sh = 0; sh < 4; ++sh) {
+    epochs_before += driver->ingestor().ShardEpoch(sh);
+  }
+  EXPECT_EQ(epochs_before, 0u);
+  // ...and Flush() catches every lagging shard up.
+  ASSERT_TRUE(driver->Flush().ok());
+  auto after = driver->Query("ams_f2");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().updates, 100u);
+}
+
+TEST(SnapshotQueryTest, QueryReportsIngestionErrors) {
+  // Once ingestion has errored, the quiescence-free query path must return
+  // the error too — workers stop mutating state, so continuing to serve OK
+  // answers would silently freeze the pipeline for its clients.
+  IngestorOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 0;
+  opts.sketches = {"ams_f2"};
+  opts.config = TestConfig(/*universe=*/16, 1);
+  auto ingestor = ShardedIngestor::Create(opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE(ingestor.value()->MergedSummary("ams_f2").ok());
+  stream::TurnstileUpdate bad{1 << 20, 1};  // out of universe
+  EXPECT_FALSE(ingestor.value()->Submit(&bad, 1).ok());
+  EXPECT_FALSE(ingestor.value()->MergedSummary("ams_f2").ok());
+}
+
+}  // namespace
+}  // namespace wbs::engine

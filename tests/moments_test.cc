@@ -166,5 +166,55 @@ TEST(ExactF2Test, SpaceGrowsWithSupport) {
   EXPECT_GE(alg.SpaceBits(), 1000u * 32u);
 }
 
+TEST(AmsTest, ApplyRunBitIdenticalToSequentialUpdates) {
+  // The batched row-major kernel reorders the additions but must land on
+  // exactly the same counters (same signs, commutative 64-bit sums), hence
+  // the same serialized state.
+  const uint64_t universe = uint64_t{1} << 16;
+  wbs::RandomTape tape_a(5), tape_b(5);
+  AmsF2Sketch sequential(universe, 48, &tape_a);
+  AmsF2Sketch batched(universe, 48, &tape_b);
+
+  std::vector<wbs::stream::TurnstileUpdate> ups(5000);
+  uint64_t s = 77;
+  for (auto& u : ups) {
+    u.item = wbs::SplitMix64(&s) % universe;
+    u.delta = int64_t(wbs::SplitMix64(&s) % 21) - 10;
+  }
+  for (const auto& u : ups) ASSERT_TRUE(sequential.Update(u).ok());
+  ASSERT_TRUE(batched.ApplyRun(ups.data(), ups.size()).ok());
+
+  core::StateWriter wa, wb;
+  sequential.SerializeState(&wa);
+  batched.SerializeState(&wb);
+  EXPECT_EQ(wa.words(), wb.words());
+  EXPECT_EQ(sequential.Query(), batched.Query());
+}
+
+TEST(AmsTest, ApplyRunRejectsOutOfUniverseItems) {
+  wbs::RandomTape tape(6);
+  AmsF2Sketch alg(16, 12, &tape);
+  std::vector<wbs::stream::TurnstileUpdate> ups = {{1, 1}, {100, 1}};
+  EXPECT_FALSE(alg.ApplyRun(ups.data(), ups.size()).ok());
+}
+
+TEST(AmsTest, UnmergeFromInvertsMergeFrom) {
+  const uint64_t universe = 1 << 10;
+  wbs::RandomTape tape_a(9), tape_b(9);
+  AmsF2Sketch a(universe, 12, &tape_a);
+  AmsF2Sketch b(universe, 12, &tape_b);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.Update({i % universe, int64_t(i % 7) - 3}).ok());
+    ASSERT_TRUE(b.Update({(i * 13) % universe, int64_t(i % 5) - 2}).ok());
+  }
+  core::StateWriter before;
+  a.SerializeState(&before);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  ASSERT_TRUE(a.UnmergeFrom(b).ok());
+  core::StateWriter after;
+  a.SerializeState(&after);
+  EXPECT_EQ(before.words(), after.words());
+}
+
 }  // namespace
 }  // namespace wbs::moments
