@@ -22,7 +22,7 @@
 #include "crypto/crhf.h"
 #include "crypto/sha256.h"
 #include "distinct/l0_estimator.h"
-#include "engine/driver.h"
+#include "engine/client.h"
 #include "heavyhitters/misra_gries.h"
 #include "heavyhitters/robust_hh.h"
 #include "hhh/hhh.h"
@@ -163,25 +163,41 @@ BENCHMARK(BM_KarpRabinAppend);
 // distinct item instead of once per update. Sharding adds parallelism on
 // multi-core hosts on top.
 
-double RunEngineMode(const char* mode, const wbs::stream::ItemStream& zipf,
-                     uint64_t universe, size_t shards, size_t threads,
-                     size_t batch, double baseline_ups) {
-  wbs::engine::DriverOptions opts;
+wbs::engine::ClientOptions EngineClientOptions(uint64_t universe,
+                                               size_t shards,
+                                               size_t threads) {
+  wbs::engine::ClientOptions opts;
   opts.ingest.num_shards = shards;
   opts.ingest.num_threads = threads;
   opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
   opts.ingest.config.universe = universe;
   opts.ingest.config.seed = 2025;
-  opts.batch_size = batch;
-  auto driver = wbs::engine::Driver::Create(opts);
-  if (!driver.ok()) {
-    std::fprintf(stderr, "engine driver: %s\n",
-                 driver.status().ToString().c_str());
+  return opts;
+}
+
+wbs::Status ReplayItems(wbs::engine::Client* client,
+                        const wbs::stream::ItemStream& s, size_t batch) {
+  for (size_t off = 0; off < s.size(); off += batch) {
+    auto t = client->SubmitItems(s.data() + off,
+                                 std::min(batch, s.size() - off));
+    if (!t.ok()) return t.status();
+  }
+  return wbs::Status::OK();
+}
+
+double RunEngineMode(const char* mode, const wbs::stream::ItemStream& zipf,
+                     uint64_t universe, size_t shards, size_t threads,
+                     size_t batch, double baseline_ups) {
+  auto client = wbs::engine::Client::Create(
+      EngineClientOptions(universe, shards, threads));
+  if (!client.ok()) {
+    std::fprintf(stderr, "engine client: %s\n",
+                 client.status().ToString().c_str());
     return 0;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  wbs::Status s = driver.value()->Replay(zipf);
-  if (s.ok()) s = driver.value()->Finish();
+  wbs::Status s = ReplayItems(client.value().get(), zipf, batch);
+  if (s.ok()) s = client.value()->Finish();
   const auto t1 = std::chrono::steady_clock::now();
   if (!s.ok()) {
     std::fprintf(stderr, "engine replay: %s\n", s.ToString().c_str());
@@ -233,29 +249,26 @@ void RunEngineThroughput(uint64_t num_updates) {
 void RunEngineMixed(uint64_t num_updates) {
   wbs::bench::Banner(
       "engine_mixed",
-      "snapshot queries served mid-ingest (no Flush): updates/sec with a "
-      "concurrent query thread, query latency p50/p99");
+      "typed snapshot queries served mid-ingest (no Flush): updates/sec "
+      "with a concurrent query thread, query latency p50/p99");
   const uint64_t universe = 4096;
   const size_t shards = 8, threads = 4, batch = 32768;
   wbs::RandomTape tape(102);
   tape.set_logging(false);
   auto zipf = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
 
-  wbs::engine::DriverOptions opts;
-  opts.ingest.num_shards = shards;
-  opts.ingest.num_threads = threads;
-  opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
-  opts.ingest.config.universe = universe;
-  opts.ingest.config.seed = 2025;
-  opts.batch_size = batch;
-  auto driver = wbs::engine::Driver::Create(opts);
-  if (!driver.ok()) {
-    std::fprintf(stderr, "engine driver: %s\n",
-                 driver.status().ToString().c_str());
+  auto client = wbs::engine::Client::Create(
+      EngineClientOptions(universe, shards, threads));
+  if (!client.ok()) {
+    std::fprintf(stderr, "engine client: %s\n",
+                 client.status().ToString().c_str());
     return;
   }
+  // Handles resolved once — the query loop below never hashes a name.
+  auto f2 = client.value()->Handle("ams_f2").value();
+  auto l0 = client.value()->Handle("sis_l0").value();
+  auto mg = client.value()->Handle("misra_gries").value();
 
-  const char* query_names[] = {"ams_f2", "sis_l0", "misra_gries"};
   std::atomic<bool> stop{false};
   std::vector<double> latencies_us;
   uint64_t query_errors = 0;
@@ -263,9 +276,20 @@ void RunEngineMixed(uint64_t num_updates) {
     size_t qi = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       const auto q0 = std::chrono::steady_clock::now();
-      auto r = driver.value()->Query(query_names[qi++ % 3]);
+      bool ok = false;
+      switch (qi++ % 3) {
+        case 0:
+          ok = client.value()->QueryScalar(f2).ok();
+          break;
+        case 1:
+          ok = client.value()->QueryScalar(l0).ok();
+          break;
+        default:
+          ok = client.value()->QueryTopK(mg, 16).ok();
+          break;
+      }
       const auto q1 = std::chrono::steady_clock::now();
-      if (r.ok()) {
+      if (ok) {
         latencies_us.push_back(
             std::chrono::duration<double, std::micro>(q1 - q0).count());
       } else {
@@ -275,11 +299,12 @@ void RunEngineMixed(uint64_t num_updates) {
   });
 
   const auto t0 = std::chrono::steady_clock::now();
-  wbs::Status s = driver.value()->Replay(zipf);
+  wbs::Status s = ReplayItems(client.value().get(), zipf, batch);
+  if (s.ok()) s = client.value()->Flush();
   const auto t1 = std::chrono::steady_clock::now();
   stop.store(true, std::memory_order_relaxed);
   querier.join();
-  if (s.ok()) s = driver.value()->Finish();
+  if (s.ok()) s = client.value()->Finish();
   if (!s.ok()) {
     std::fprintf(stderr, "engine mixed replay: %s\n", s.ToString().c_str());
     return;
@@ -305,6 +330,110 @@ void RunEngineMixed(uint64_t num_updates) {
       .Emit();
 }
 
+// ------------------------------------------------------- multi-producer --
+//
+// P producer threads split the Zipf stream into interleaved batches and
+// push them through Client::Submit concurrently (the MPSC submission path:
+// scatter on the producer threads, sequence assignment under a short
+// mutex, worker backpressure absorbed by the router) while one thread
+// issues typed queries through pre-resolved handles. P = 1 is the
+// single-producer regression guard for the async path; P > 1 shows submit
+// scaling (bounded by free cores once the workers saturate).
+
+double RunEngineMultiProducer(size_t producers,
+                              const wbs::stream::TurnstileStream& s,
+                              uint64_t universe, double one_producer_ups) {
+  const size_t shards = 8, threads = 4, batch = 32768;
+  auto client = wbs::engine::Client::Create(
+      EngineClientOptions(universe, shards, threads));
+  if (!client.ok()) {
+    std::fprintf(stderr, "engine client: %s\n",
+                 client.status().ToString().c_str());
+    return 0;
+  }
+  auto f2 = client.value()->Handle("ams_f2").value();
+  auto mg = client.value()->Handle("misra_gries").value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0}, query_errors{0};
+  std::thread querier([&] {
+    size_t qi = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool ok = (qi++ % 2 == 0)
+                          ? client.value()->QueryScalar(f2).ok()
+                          : client.value()->QueryTopK(mg, 16).ok();
+      ok ? ++queries : ++query_errors;
+    }
+  });
+
+  std::atomic<uint64_t> submit_errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pthreads;
+  pthreads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    pthreads.emplace_back([&, p] {
+      // Producer p owns every producers-th batch; tickets are fire-and-
+      // forget here (Flush below waits for everything at once).
+      for (size_t off = p * batch; off < s.size();
+           off += producers * batch) {
+        const size_t n = std::min(batch, s.size() - off);
+        auto t = client.value()->Submit(s.data() + off, n);
+        if (!t.ok()) {
+          ++submit_errors;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pthreads) t.join();
+  wbs::Status st = client.value()->Flush();
+  const auto t1 = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  querier.join();
+  if (st.ok()) st = client.value()->Finish();
+  if (!st.ok() || submit_errors.load() > 0) {
+    std::fprintf(stderr, "engine multi-producer: %s\n",
+                 st.ToString().c_str());
+    return 0;
+  }
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double ups = double(s.size()) / seconds;
+  wbs::bench::JsonRow row;
+  row.Field("bench", "engine_multi_producer")
+      .Field("producers", uint64_t(producers))
+      .Field("shards", uint64_t(shards))
+      .Field("threads", uint64_t(threads))
+      .Field("batch", uint64_t(batch))
+      .Field("updates", uint64_t(s.size()))
+      .Field("seconds", seconds)
+      .Field("updates_per_sec", ups)
+      .Field("mid_ingest_queries", queries.load())
+      .Field("query_errors", query_errors.load());
+  if (one_producer_ups > 0) {
+    row.Field("speedup_vs_one_producer", ups / one_producer_ups);
+  }
+  row.Emit();
+  return ups;
+}
+
+void RunEngineMultiProducerSweep(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_multi_producer",
+      "MPSC async submit (IngestTicket path): updates/sec with 1/2/4 "
+      "producer threads submitting concurrently, typed queries mid-ingest");
+  const uint64_t universe = 4096;
+  wbs::RandomTape tape(104);
+  tape.set_logging(false);
+  auto items = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+  wbs::stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+  const double base = RunEngineMultiProducer(1, s, universe, 0);
+  for (size_t producers : {size_t(2), size_t(4)}) {
+    RunEngineMultiProducer(producers, s, universe, base);
+  }
+}
+
 // ---------------------------------------------------------- merge cache --
 //
 // Cold rebuild vs cached re-query vs incremental single-shard refold of the
@@ -320,23 +449,18 @@ void RunMergeCacheBench(uint64_t num_updates) {
   tape.set_logging(false);
   auto zipf = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
 
-  wbs::engine::DriverOptions opts;
-  opts.ingest.num_shards = 8;
-  opts.ingest.num_threads = 0;
-  opts.ingest.sketches = {"misra_gries", "ams_f2", "sis_l0"};
-  opts.ingest.config.universe = universe;
-  opts.ingest.config.seed = 2025;
-  opts.batch_size = 32768;
-  auto driver = wbs::engine::Driver::Create(opts);
-  if (!driver.ok() || !driver.value()->Replay(zipf).ok() ||
-      !driver.value()->Flush().ok()) {
+  auto client = wbs::engine::Client::Create(
+      EngineClientOptions(universe, /*shards=*/8, /*threads=*/0));
+  if (!client.ok() || !ReplayItems(client.value().get(), zipf, 32768).ok() ||
+      !client.value()->Flush().ok()) {
     std::fprintf(stderr, "merge cache bench setup failed\n");
     return;
   }
 
   for (const char* name : {"ams_f2", "sis_l0"}) {
+    auto handle = client.value()->Handle(name).value();
     auto t0 = std::chrono::steady_clock::now();
-    auto cold = driver.value()->Query(name);
+    auto cold = client.value()->QueryScalar(handle);
     auto t1 = std::chrono::steady_clock::now();
     const double cold_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
@@ -344,7 +468,7 @@ void RunMergeCacheBench(uint64_t num_updates) {
     const int kWarm = 1000;
     t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < kWarm; ++i) {
-      auto warm = driver.value()->Query(name);
+      auto warm = client.value()->QueryScalar(handle);
       if (!warm.ok()) return;
     }
     t1 = std::chrono::steady_clock::now();
@@ -354,16 +478,16 @@ void RunMergeCacheBench(uint64_t num_updates) {
     // Dirty exactly one shard, then refold: linear sketches take the
     // UnmergeFrom/MergeFrom path instead of an all-shards rebuild.
     wbs::stream::TurnstileStream one{{7, 1}};
-    if (!driver.value()->Replay(one).ok() || !driver.value()->Flush().ok()) {
+    if (!client.value()->Submit(one).ok() || !client.value()->Flush().ok()) {
       return;
     }
     t0 = std::chrono::steady_clock::now();
-    auto inc = driver.value()->Query(name);
+    auto inc = client.value()->QueryScalar(handle);
     t1 = std::chrono::steady_clock::now();
     const double inc_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
 
-    auto stats = driver.value()->ingestor().CacheStats(name);
+    auto stats = client.value()->ingestor().CacheStats(name);
     wbs::bench::JsonRow row;
     row.Field("bench", "merge_cache")
         .Field("sketch", name)
@@ -379,7 +503,7 @@ void RunMergeCacheBench(uint64_t num_updates) {
     }
     row.Emit();
   }
-  (void)driver.value()->Finish();
+  (void)client.value()->Finish();
 }
 
 // ------------------------------------------------------- Barrett kernels --
@@ -554,6 +678,7 @@ int main(int argc, char** argv) {
   if (engine_only || !benchmark_flags_present) {
     RunEngineThroughput(engine_updates);
     RunEngineMixed(engine_updates);
+    RunEngineMultiProducerSweep(engine_updates);
     RunMergeCacheBench(engine_updates);
     RunBarrettKernels();
   }

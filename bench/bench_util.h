@@ -1,7 +1,8 @@
 // Copyright (c) wbstream authors. Licensed under the MIT license.
 //
 // Shared helpers for the experiment harness: fixed-width table printing in
-// the style of the paper-claim tables recorded in EXPERIMENTS.md.
+// the style of the paper-claim tables indexed in EXPERIMENTS.md (which also
+// documents the JSONL row schema JsonRow emits and how CI scrapes it).
 
 #ifndef WBS_BENCH_BENCH_UTIL_H_
 #define WBS_BENCH_BENCH_UTIL_H_

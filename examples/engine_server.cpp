@@ -1,7 +1,8 @@
 // Copyright (c) wbstream authors. Licensed under the MIT license.
 //
-// The sharded ingestion engine serving three concurrent client workloads —
-// the multi-tenant traffic shape the ROADMAP's production north star needs:
+// The typed multi-producer engine API serving three concurrent client
+// workloads — the multi-tenant traffic shape the ROADMAP's production
+// north star needs:
 //
 //   client A  Zipfian product traffic (insert-only, heavy skew),
 //   client B  turnstile churn (a cache layer inserting and deleting
@@ -10,24 +11,29 @@
 //             attack: +1/-1 across two coordinates of the same chunk, so
 //             each touched chunk has live keys but net sum zero.
 //
-// The engine multiplexes all three through one ShardedIngestor (4 shards,
-// 2 worker threads, batched updates), then merges shard-local sketches into
-// global answers and scores them against exact FrequencyOracle ground
-// truth. The SIS-backed L0 sketch keeps client C's chunks visibly nonzero —
-// cancelling it would require a short SIS kernel vector (Assumption 2.17) —
-// while a naive per-chunk sum counter (the broken baseline from
-// src/distinct/l0_estimator.h) reports every attacked chunk empty.
+// Each client is its own PRODUCER THREAD calling engine::Client::Submit —
+// the MPSC ticket path; no external serialization, no blocking on
+// backpressure. A monitoring thread concurrently issues typed queries
+// through handles resolved once at startup (quiescence-free snapshot
+// reads). At the end the merged answers are scored against exact
+// FrequencyOracle ground truth. The SIS-backed L0 sketch keeps client C's
+// chunks visibly nonzero — cancelling it would require a short SIS kernel
+// vector (Assumption 2.17) — while a naive per-chunk sum counter (the
+// broken baseline from src/distinct/l0_estimator.h) reports every attacked
+// chunk empty.
 //
 //   $ ./examples/engine_server
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "distinct/l0_estimator.h"
-#include "engine/sharded_ingestor.h"
+#include "engine/client.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
 
@@ -68,61 +74,85 @@ int main() {
   }
 
   // ---- the engine -------------------------------------------------------
-  wbs::engine::IngestorOptions opts;
-  opts.num_shards = 4;
-  opts.num_threads = 2;
-  opts.sketches = {"ams_f2", "sis_l0"};  // turnstile-capable sketch group
-  opts.config.universe = universe;
-  opts.config.seed = 7;
-  auto ingestor_or = wbs::engine::ShardedIngestor::Create(opts);
-  if (!ingestor_or.ok()) {
+  wbs::engine::ClientOptions opts;
+  opts.ingest.num_shards = 4;
+  opts.ingest.num_threads = 2;
+  opts.ingest.sketches = {"ams_f2", "sis_l0"};  // turnstile-capable group
+  opts.ingest.config =
+      wbs::engine::SketchConfig{}.WithUniverse(universe).WithSeed(7);
+  auto client_or = wbs::engine::Client::Create(opts);
+  if (!client_or.ok()) {
     std::fprintf(stderr, "engine: %s\n",
-                 ingestor_or.status().ToString().c_str());
+                 client_or.status().ToString().c_str());
     return 1;
   }
-  auto ingestor = std::move(ingestor_or).value();
+  auto client = std::move(client_or).value();
+
+  // Handles are resolved once; every query below is an index lookup.
+  auto l0_handle = client->Handle("sis_l0").value();
+  auto f2_handle = client->Handle("ams_f2").value();
 
   wbs::stream::FrequencyOracle truth(universe);
-
-  // Interleave the three clients round-robin in slices, the way a server
-  // drains per-connection buffers; every slice is one batched submission.
-  const size_t slice = 2048;
-  size_t pos[3] = {0, 0, 0};
-  const wbs::stream::TurnstileStream* clients[3] = {&zipf, &churn,
-                                                    &adversarial};
-  bool drained = false;
-  while (!drained) {
-    drained = true;
-    for (int c = 0; c < 3; ++c) {
-      const auto& s = *clients[c];
-      size_t n = std::min(slice, s.size() - pos[c]);
-      if (n == 0) continue;
-      drained = false;
-      for (size_t i = 0; i < n; ++i) {
-        truth.Add(s[pos[c] + i].item, s[pos[c] + i].delta);
-      }
-      wbs::Status st = ingestor->Submit(s.data() + pos[c], n);
-      if (!st.ok()) {
-        std::fprintf(stderr, "submit: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      pos[c] += n;
-    }
+  for (const wbs::stream::TurnstileStream* s :
+       {&zipf, &churn, &adversarial}) {
+    for (const auto& u : *s) truth.Add(u.item, u.delta);
   }
-  if (!ingestor->Finish().ok()) {
-    std::fprintf(stderr, "engine finish failed\n");
+
+  // ---- three producers + one monitor, all concurrent --------------------
+  // Each tenant drains its own buffer into the engine: Submit returns a
+  // ticket immediately, so a slow worker never stalls a client thread. The
+  // last ticket per tenant is Wait()ed at the end — by the monotone
+  // completion watermark that covers everything the tenant submitted.
+  const size_t slice = 2048;
+  std::atomic<uint64_t> submit_failures{0};
+  auto producer = [&](const wbs::stream::TurnstileStream& s) {
+    wbs::engine::IngestTicket last{};
+    for (size_t off = 0; off < s.size(); off += slice) {
+      auto t = client->Submit(s.data() + off,
+                              std::min(slice, s.size() - off));
+      if (!t.ok()) {
+        ++submit_failures;
+        return;
+      }
+      last = t.value();
+    }
+    if (!client->Wait(last).ok()) ++submit_failures;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> monitor_failures{0};
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!client->QueryScalar(l0_handle).ok() ||
+          !client->QueryScalar(f2_handle).ok()) {
+        ++monitor_failures;
+      }
+    }
+  });
+
+  std::thread ta(producer, std::cref(zipf));
+  std::thread tb(producer, std::cref(churn));
+  std::thread tc(producer, std::cref(adversarial));
+  ta.join();
+  tb.join();
+  tc.join();
+  stop.store(true, std::memory_order_relaxed);
+  monitor.join();
+  if (submit_failures.load() > 0 || !client->Finish().ok()) {
+    std::fprintf(stderr, "engine ingest failed\n");
     return 1;
   }
 
   // ---- merged answers vs ground truth -----------------------------------
   wbs::bench::Banner("engine_server",
-                     "sharded engine serving Zipf + churn + adversarial "
-                     "tenants concurrently (4 shards, 2 workers)");
+                     "typed engine API serving Zipf + churn + adversarial "
+                     "tenants as 3 concurrent producers (4 shards, 2 "
+                     "workers, quiescence-free monitor thread)");
 
-  auto l0 = ingestor->MergedSummary("sis_l0");
-  auto f2 = ingestor->MergedSummary("ams_f2");
+  auto l0 = client->QueryScalar(l0_handle);
+  auto f2 = client->QueryScalar(f2_handle);
   if (!l0.ok() || !f2.ok()) {
-    std::fprintf(stderr, "summary failed\n");
+    std::fprintf(stderr, "query failed\n");
     return 1;
   }
 
@@ -130,7 +160,8 @@ int main() {
   // SIS-L0. Every attacked chunk sums to zero, so the naive counter misses
   // all of client C's live keys; the SIS sketch keeps them visible.
   wbs::distinct::NaiveSumL0 naive(universe, params.chunk_width);
-  for (const auto* s : clients) {
+  for (const wbs::stream::TurnstileStream* s :
+       {&zipf, &churn, &adversarial}) {
     for (const auto& u : *s) naive.Update(u);
   }
 
@@ -138,21 +169,27 @@ int main() {
   table.Row()
       .Cell(std::string("L0 (distinct)"))
       .Cell(double(truth.L0()))
-      .Cell(l0.value().scalar)
+      .Cell(l0.value().value)
       .Cell(naive.Query());
   table.Row()
       .Cell(std::string("F2 moment"))
       .Cell(truth.Fp(2))
-      .Cell(f2.value().scalar)
+      .Cell(f2.value().value)
       .Cell(std::string("-"));
 
   std::printf(
-      "\nupdates ingested: %llu across %zu shards (%zu worker threads)\n",
-      (unsigned long long)ingestor->updates_submitted(),
-      ingestor->num_shards(), ingestor->num_threads());
-  std::printf(
-      "engine state: %llu bits across all shard sketches\n",
-      (unsigned long long)ingestor->SpaceBits());
+      "\nupdates ingested: %llu across %zu shards (%zu worker threads, "
+      "3 producer threads)\n",
+      (unsigned long long)client->updates_submitted(),
+      client->ingestor().num_shards(), client->ingestor().num_threads());
+  // A raw query COUNT would be scheduling-dependent and the examples
+  // double as determinism probes (byte-identical output across runs), so
+  // report only the failure count — deterministically 0 when healthy.
+  std::printf("quiescence-free monitor thread: %llu query failures "
+              "(no Flush anywhere)\n",
+              (unsigned long long)monitor_failures.load());
+  std::printf("engine state: %llu bits across all shard sketches\n",
+              (unsigned long long)client->ingestor().SpaceBits());
   std::printf(
       "client C streamed %zu cancellation updates: the naive sum counter\n"
       "reports its chunks empty, the SIS-backed engine answer does not.\n",

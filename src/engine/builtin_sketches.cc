@@ -120,7 +120,7 @@ struct AnswerAccumulator {
 class MisraGriesSketch final : public SketchBase {
  public:
   explicit MisraGriesSketch(const SketchConfig& cfg)
-      : SketchBase("misra_gries"), cfg_(cfg), mg_(cfg.mg_counters) {}
+      : SketchBase("misra_gries"), cfg_(cfg), mg_(cfg.misra_gries.counters) {}
 
   Status Update(const stream::TurnstileUpdate& u) override {
     if (u.delta < 0) {
@@ -186,7 +186,7 @@ class AmsF2EngineSketch final : public SketchBase {
   explicit AmsF2EngineSketch(const SketchConfig& cfg)
       : SketchBase("ams_f2"),
         tape_(MixSeed(cfg.seed, kAmsSalt)),
-        ams_(cfg.universe, cfg.ams_rows, &tape_) {
+        ams_(cfg.universe, cfg.ams.rows, &tape_) {
     tape_.set_logging(false);  // serving engine, not the game harness
   }
 
@@ -251,8 +251,9 @@ class SisL0EngineSketch final : public SketchBase {
   explicit SisL0EngineSketch(const SketchConfig& cfg)
       : SketchBase("sis_l0"),
         oracle_(cfg.seed),
-        est_(distinct::SisL0Params::Derive(cfg.universe, cfg.l0_eps, cfg.l0_c,
-                                           cfg.l0_f_inf_bound),
+        est_(distinct::SisL0Params::Derive(cfg.universe, cfg.sis_l0.eps,
+                                           cfg.sis_l0.c,
+                                           cfg.sis_l0.f_inf_bound),
              oracle_, kL0OracleDomain) {}
 
   Status Update(const stream::TurnstileUpdate& u) override {
@@ -335,9 +336,9 @@ class RankDecisionEngineSketch final : public SketchBase {
  public:
   explicit RankDecisionEngineSketch(const SketchConfig& cfg)
       : SketchBase("rank_decision"),
-        n_(cfg.rank_n),
+        n_(cfg.rank.n),
         oracle_(cfg.seed),
-        sketch_(cfg.rank_n, cfg.rank_k, cfg.rank_q, oracle_,
+        sketch_(cfg.rank.n, cfg.rank.k, cfg.rank.q, oracle_,
                 kRankOracleDomain) {}
 
   /// Items index the n x n matrix row-major: item = row * n + col.
@@ -425,7 +426,7 @@ class RobustHhEngineSketch final : public SketchBase {
   explicit RobustHhEngineSketch(const SketchConfig& cfg)
       : SketchBase("robust_hh"),
         tape_(MixSeed(cfg.shard_seed, kRobustSalt)),
-        alg_(cfg.universe, cfg.eps, cfg.delta, &tape_) {
+        alg_(cfg.universe, cfg.hh.eps, cfg.hh.delta, &tape_) {
     tape_.set_logging(false);
   }
 
@@ -489,7 +490,7 @@ class CrhfHhEngineSketch final : public SketchBase {
   explicit CrhfHhEngineSketch(const SketchConfig& cfg)
       : SketchBase("crhf_hh"),
         tape_(MixSeed(cfg.shard_seed, kCrhfSalt)),
-        alg_(cfg.universe, cfg.phi, cfg.eps, cfg.time_budget_t, &tape_) {
+        alg_(cfg.universe, cfg.hh.phi, cfg.hh.eps, cfg.hh.time_budget_t, &tape_) {
     tape_.set_logging(false);
   }
 
@@ -558,24 +559,42 @@ void RegisterBuiltinSketches(SketchRegistry* registry) {
       std::abort();
     }
   };
-  must(registry->Register("misra_gries", [](const SketchConfig& cfg) {
-    return std::make_unique<MisraGriesSketch>(cfg);
-  }));
-  must(registry->Register("ams_f2", [](const SketchConfig& cfg) {
-    return std::make_unique<AmsF2EngineSketch>(cfg);
-  }));
-  must(registry->Register("sis_l0", [](const SketchConfig& cfg) {
-    return std::make_unique<SisL0EngineSketch>(cfg);
-  }));
-  must(registry->Register("rank_decision", [](const SketchConfig& cfg) {
-    return std::make_unique<RankDecisionEngineSketch>(cfg);
-  }));
-  must(registry->Register("robust_hh", [](const SketchConfig& cfg) {
-    return std::make_unique<RobustHhEngineSketch>(cfg);
-  }));
-  must(registry->Register("crhf_hh", [](const SketchConfig& cfg) {
-    return std::make_unique<CrhfHhEngineSketch>(cfg);
-  }));
+  must(registry->Register(
+      "misra_gries",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<MisraGriesSketch>(cfg);
+      },
+      SketchFamily::kHeavyHitter));
+  must(registry->Register(
+      "ams_f2",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<AmsF2EngineSketch>(cfg);
+      },
+      SketchFamily::kScalarEstimate));
+  must(registry->Register(
+      "sis_l0",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<SisL0EngineSketch>(cfg);
+      },
+      SketchFamily::kScalarEstimate));
+  must(registry->Register(
+      "rank_decision",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<RankDecisionEngineSketch>(cfg);
+      },
+      SketchFamily::kRankVerdict));
+  must(registry->Register(
+      "robust_hh",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<RobustHhEngineSketch>(cfg);
+      },
+      SketchFamily::kHeavyHitter));
+  must(registry->Register(
+      "crhf_hh",
+      [](const SketchConfig& cfg) {
+        return std::make_unique<CrhfHhEngineSketch>(cfg);
+      },
+      SketchFamily::kHeavyHitter));
 }
 
 }  // namespace wbs::engine

@@ -1,0 +1,167 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/client.h"
+
+#include <algorithm>
+
+namespace wbs::engine {
+namespace {
+
+const char* FamilyName(SketchFamily family) {
+  switch (family) {
+    case SketchFamily::kHeavyHitter:
+      return "heavy-hitter";
+    case SketchFamily::kScalarEstimate:
+      return "scalar-estimate";
+    case SketchFamily::kRankVerdict:
+      return "rank-verdict";
+    case SketchFamily::kGeneric:
+      return "generic";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Create(const ClientOptions& options) {
+  auto ingestor = ShardedIngestor::Create(options.ingest);
+  if (!ingestor.ok()) return ingestor.status();
+  // Resolve every configured sketch's declared answer family now, so
+  // Handle() and the per-query kind checks never touch the registry lock.
+  std::vector<SketchFamily> families;
+  families.reserve(options.ingest.sketches.size());
+  for (const std::string& name : options.ingest.sketches) {
+    auto family = SketchRegistry::Global().FamilyOf(name);
+    if (!family.ok()) return family.status();
+    families.push_back(family.value());
+  }
+  return std::unique_ptr<Client>(
+      new Client(std::move(ingestor).value(), std::move(families)));
+}
+
+Result<SketchHandle> Client::Handle(const std::string& sketch) const {
+  const size_t index = ingestor_->SketchIndex(sketch);
+  if (index == ingestor_->sketch_names().size()) {
+    return Status::NotFound("Client: sketch not configured: " + sketch);
+  }
+  return SketchHandle(this, index, families_[index]);
+}
+
+Result<size_t> Client::CheckHandle(const SketchHandle& handle,
+                                   const char* query_kind,
+                                   bool allowed_for_family) const {
+  if (!handle.valid()) {
+    return Status::InvalidArgument("Client: invalid (default) sketch handle");
+  }
+  if (handle.owner_ != this) {
+    return Status::InvalidArgument(
+        "Client: handle belongs to a different client");
+  }
+  if (!allowed_for_family) {
+    return Status::InvalidArgument(
+        std::string("Client: ") + query_kind + " query not answerable by a " +
+        FamilyName(handle.family_) + " sketch (" +
+        ingestor_->sketch_names()[handle.index_] + ")");
+  }
+  return handle.index_;
+}
+
+Result<PointEstimate> Client::QueryPoint(const SketchHandle& handle,
+                                         uint64_t item) const {
+  auto index = CheckHandle(
+      handle, "point-estimate",
+      handle.family_ == SketchFamily::kHeavyHitter ||
+          handle.family_ == SketchFamily::kGeneric);
+  if (!index.ok()) return index.status();
+  std::unique_lock<std::mutex> lock;
+  auto view = ingestor_->MergedSummaryView(index.value(), &lock);
+  if (!view.ok()) return view.status();
+  const SketchSummary& summary = *view.value();
+  PointEstimate out;
+  out.item = item;
+  out.estimate = summary.Estimate(item);  // O(log n) via the by-item index
+  out.tracked = out.estimate != 0;
+  out.updates = summary.updates;
+  return out;
+}
+
+Result<TopK> Client::QueryTopK(const SketchHandle& handle, size_t k) const {
+  auto index = CheckHandle(
+      handle, "top-k",
+      handle.family_ == SketchFamily::kHeavyHitter ||
+          handle.family_ == SketchFamily::kGeneric);
+  if (!index.ok()) return index.status();
+  if (k == 0) {
+    return Status::InvalidArgument("Client: top-k query requires k > 0");
+  }
+  std::unique_lock<std::mutex> lock;
+  auto view = ingestor_->MergedSummaryView(index.value(), &lock);
+  if (!view.ok()) return view.status();
+  const SketchSummary& summary = *view.value();
+  TopK out;
+  out.updates = summary.updates;
+  const size_t n = std::min(k, summary.items.size());
+  if (summary.item_index.size() == summary.items.size()) {
+    // Producer called SortItems(): items are already estimate-descending.
+    out.items.assign(summary.items.begin(), summary.items.begin() + n);
+    return out;
+  }
+  // kGeneric sketches may skip SortItems; enforce the TopK contract on a
+  // copy (never mutate the shared cached summary).
+  out.items = summary.items;
+  std::partial_sort(out.items.begin(), out.items.begin() + n,
+                    out.items.end(),
+                    [](const hh::WeightedItem& a, const hh::WeightedItem& b) {
+                      return a.estimate > b.estimate ||
+                             (a.estimate == b.estimate && a.item < b.item);
+                    });
+  out.items.resize(n);
+  return out;
+}
+
+Result<ScalarEstimate> Client::QueryScalar(const SketchHandle& handle) const {
+  auto index = CheckHandle(
+      handle, "scalar-estimate",
+      handle.family_ == SketchFamily::kScalarEstimate ||
+          handle.family_ == SketchFamily::kGeneric);
+  if (!index.ok()) return index.status();
+  std::unique_lock<std::mutex> lock;
+  auto view = ingestor_->MergedSummaryView(index.value(), &lock);
+  if (!view.ok()) return view.status();
+  const SketchSummary& summary = *view.value();
+  if (!summary.has_scalar) {
+    return Status::InvalidArgument(
+        "Client: sketch " + ingestor_->sketch_names()[handle.index_] +
+        " produced no scalar answer");
+  }
+  return ScalarEstimate{summary.scalar, summary.updates};
+}
+
+Result<RankVerdict> Client::QueryRank(const SketchHandle& handle) const {
+  auto index = CheckHandle(
+      handle, "rank-verdict",
+      handle.family_ == SketchFamily::kRankVerdict ||
+          handle.family_ == SketchFamily::kGeneric);
+  if (!index.ok()) return index.status();
+  std::unique_lock<std::mutex> lock;
+  auto view = ingestor_->MergedSummaryView(index.value(), &lock);
+  if (!view.ok()) return view.status();
+  const SketchSummary& summary = *view.value();
+  if (!summary.has_scalar) {
+    return Status::InvalidArgument(
+        "Client: sketch " + ingestor_->sketch_names()[handle.index_] +
+        " produced no rank verdict");
+  }
+  return RankVerdict{summary.scalar != 0, summary.updates};
+}
+
+Result<SketchSummary> Client::RawSummary(const SketchHandle& handle) const {
+  auto index = CheckHandle(handle, "raw-summary", /*allowed_for_family=*/true);
+  if (!index.ok()) return index.status();
+  std::unique_lock<std::mutex> lock;
+  auto view = ingestor_->MergedSummaryView(index.value(), &lock);
+  if (!view.ok()) return view.status();
+  return *view.value();  // copy out while the cache lock is held
+}
+
+}  // namespace wbs::engine

@@ -10,18 +10,20 @@ Result<std::unique_ptr<Driver>> Driver::Create(const DriverOptions& options) {
   if (options.batch_size == 0) {
     return Status::InvalidArgument("Driver: batch_size must be > 0");
   }
-  auto ingestor = ShardedIngestor::Create(options.ingest);
-  if (!ingestor.ok()) return ingestor.status();
+  ClientOptions client_opts;
+  client_opts.ingest = options.ingest;
+  auto client = Client::Create(client_opts);
+  if (!client.ok()) return client.status();
   return std::unique_ptr<Driver>(
-      new Driver(options, std::move(ingestor).value()));
+      new Driver(options, std::move(client).value()));
 }
 
 Status Driver::Replay(const stream::TurnstileStream& s) {
   const size_t batch = options_.batch_size;
   for (size_t off = 0; off < s.size(); off += batch) {
     const size_t n = std::min(batch, s.size() - off);
-    Status st = ingestor_->Submit(s.data() + off, n);
-    if (!st.ok()) return st;
+    auto ticket = client_->Submit(s.data() + off, n);
+    if (!ticket.ok()) return ticket.status();
   }
   return Status::OK();
 }
@@ -30,17 +32,17 @@ Status Driver::Replay(const stream::ItemStream& s) {
   const size_t batch = options_.batch_size;
   for (size_t off = 0; off < s.size(); off += batch) {
     const size_t n = std::min(batch, s.size() - off);
-    Status st = ingestor_->SubmitItems(s.data() + off, n);
-    if (!st.ok()) return st;
+    auto ticket = client_->SubmitItems(s.data() + off, n);
+    if (!ticket.ok()) return ticket.status();
   }
   return Status::OK();
 }
 
 Result<std::vector<SketchSummary>> Driver::Summaries() const {
   std::vector<SketchSummary> out;
-  out.reserve(ingestor_->sketch_names().size());
-  for (const std::string& name : ingestor_->sketch_names()) {
-    auto summary = ingestor_->MergedSummary(name);
+  out.reserve(client_->sketch_names().size());
+  for (const std::string& name : client_->sketch_names()) {
+    auto summary = Query(name);
     if (!summary.ok()) return summary.status();
     out.push_back(std::move(summary).value());
   }

@@ -1,11 +1,17 @@
 // Copyright (c) wbstream authors. Licensed under the MIT license.
 //
-// engine::Driver — the thin serving facade over ShardedIngestor used by the
-// throughput benchmarks and example scenarios: it chops materialized
-// workload streams into submission batches (batch_size == 1 reproduces the
-// legacy one-update-at-a-time path), runs them through the ingestor, and
-// exposes the merged per-sketch summaries. Query() serves epoch-snapshot
-// answers while a Replay is still in flight (no Flush needed).
+// engine::Driver — DEPRECATED thin shim over engine::Client, kept so
+// seed-era callers (string-keyed queries, materialized-stream replay)
+// keep compiling while they migrate. New code should use Client directly:
+// handles instead of per-call name lookup, typed query results instead of
+// SketchSummary, and ticketed multi-producer Submit instead of a blocking
+// replay loop. See src/engine/README.md for the migration table.
+//
+// The shim adds nothing on the data path: Replay chops a materialized
+// stream into Client::Submit batches (batch_size == 1 reproduces the
+// legacy one-update-at-a-time path) and Query/Summary forward to the same
+// merged-summary cache the typed queries read, so answers are bit-identical
+// to both the old Driver and the new Client surface.
 
 #ifndef WBS_ENGINE_DRIVER_H_
 #define WBS_ENGINE_DRIVER_H_
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/client.h"
 #include "engine/sharded_ingestor.h"
 #include "engine/sketch.h"
 #include "stream/updates.h"
@@ -30,43 +37,49 @@ class Driver {
  public:
   static Result<std::unique_ptr<Driver>> Create(const DriverOptions& options);
 
-  /// Replays a materialized stream through the ingestor in batches.
+  /// Replays a materialized stream through the client in batches.
   Status Replay(const stream::TurnstileStream& s);
   Status Replay(const stream::ItemStream& s);
 
   /// Waits for all in-flight work (keeps workers alive for more Replays).
-  Status Flush() { return ingestor_->Flush(); }
+  Status Flush() { return client_->Flush(); }
 
   /// Drains and joins; the driver stays queryable.
-  Status Finish() { return ingestor_->Finish(); }
+  Status Finish() { return client_->Finish(); }
 
-  /// Non-blocking snapshot query: the merged answer as of the latest
-  /// published shard epochs. Never waits for quiescence — safe to call from
-  /// any thread while a Replay is in flight on the producer thread; served
-  /// from the ingestor's incremental merge cache.
+  /// Non-blocking snapshot query by sketch name: the merged answer as of
+  /// the latest published shard epochs, served from the incremental merge
+  /// cache. Safe from any thread while a Replay is in flight. (Client
+  /// callers resolve a handle once instead of paying this name lookup per
+  /// call.)
   Result<SketchSummary> Query(const std::string& sketch) const {
-    return ingestor_->MergedSummary(sketch);
+    auto handle = client_->Handle(sketch);
+    if (!handle.ok()) return handle.status();
+    return client_->RawSummary(handle.value());
   }
 
-  /// Merged global answer for one sketch. Same path as Query(); after
-  /// Flush()/Finish() the answer covers the full replayed stream exactly.
+  /// Deprecated alias of Query(), kept for seed-era call sites.
   Result<SketchSummary> Summary(const std::string& sketch) const {
-    return ingestor_->MergedSummary(sketch);
+    return Query(sketch);
   }
 
   /// Merged answers for every configured sketch.
   Result<std::vector<SketchSummary>> Summaries() const;
 
-  const ShardedIngestor& ingestor() const { return *ingestor_; }
-  uint64_t updates_replayed() const { return ingestor_->updates_submitted(); }
+  /// The underlying typed surface — the migration path out of this shim.
+  Client& client() { return *client_; }
+  const Client& client() const { return *client_; }
+
+  const ShardedIngestor& ingestor() const { return client_->ingestor(); }
+  uint64_t updates_replayed() const { return client_->updates_submitted(); }
   size_t batch_size() const { return options_.batch_size; }
 
  private:
-  Driver(DriverOptions options, std::unique_ptr<ShardedIngestor> ingestor)
-      : options_(std::move(options)), ingestor_(std::move(ingestor)) {}
+  Driver(DriverOptions options, std::unique_ptr<Client> client)
+      : options_(std::move(options)), client_(std::move(client)) {}
 
   DriverOptions options_;
-  std::unique_ptr<ShardedIngestor> ingestor_;
+  std::unique_ptr<Client> client_;
 };
 
 }  // namespace wbs::engine

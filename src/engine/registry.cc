@@ -13,7 +13,8 @@ SketchRegistry& SketchRegistry::Global() {
   return *instance;
 }
 
-Status SketchRegistry::Register(const std::string& name, Factory factory) {
+Status SketchRegistry::Register(const std::string& name, Factory factory,
+                                SketchFamily family) {
   if (name.empty()) {
     return Status::InvalidArgument("SketchRegistry: empty sketch name");
   }
@@ -21,7 +22,8 @@ Status SketchRegistry::Register(const std::string& name, Factory factory) {
     return Status::InvalidArgument("SketchRegistry: null factory for " + name);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  auto [it, inserted] =
+      factories_.emplace(name, Entry{std::move(factory), family});
   (void)it;
   if (!inserted) {
     return Status::FailedPrecondition("SketchRegistry: duplicate name " + name);
@@ -38,7 +40,7 @@ Result<std::unique_ptr<Sketch>> SketchRegistry::Create(
     if (it == factories_.end()) {
       return Status::NotFound("SketchRegistry: unknown sketch " + name);
     }
-    factory = it->second;
+    factory = it->second.factory;
   }
   std::unique_ptr<Sketch> sketch = factory(config);
   if (sketch == nullptr) {
@@ -53,11 +55,20 @@ bool SketchRegistry::Has(const std::string& name) const {
   return factories_.count(name) > 0;
 }
 
+Result<SketchFamily> SketchRegistry::FamilyOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("SketchRegistry: unknown sketch " + name);
+  }
+  return it->second.family;
+}
+
 std::vector<std::string> SketchRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) names.push_back(name);
+  for (const auto& [name, entry] : factories_) names.push_back(name);
   return names;
 }
 

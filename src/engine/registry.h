@@ -21,6 +21,17 @@
 
 namespace wbs::engine {
 
+/// What kind of answers a sketch family produces — the contract the typed
+/// query surface (engine::Client) enforces: asking a heavy-hitter sketch for
+/// a scalar estimate, or a moment sketch for a candidate list, is an
+/// InvalidArgument at query time instead of a silently empty answer.
+enum class SketchFamily {
+  kHeavyHitter,      ///< candidate list: PointEstimate / TopK
+  kScalarEstimate,   ///< numeric scalar: ScalarEstimate (F2, L0, ...)
+  kRankVerdict,      ///< boolean decision: RankVerdict
+  kGeneric,          ///< unconstrained (custom sketches); all queries allowed
+};
+
 class SketchRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Sketch>(const SketchConfig&)>;
@@ -28,8 +39,10 @@ class SketchRegistry {
   /// The process-wide registry, with the built-in sketches pre-registered.
   static SketchRegistry& Global();
 
-  /// Registers a factory under `name`; rejects duplicates.
-  Status Register(const std::string& name, Factory factory);
+  /// Registers a factory under `name`; rejects duplicates. `family`
+  /// declares which typed queries the sketch answers (kGeneric = all).
+  Status Register(const std::string& name, Factory factory,
+                  SketchFamily family = SketchFamily::kGeneric);
 
   /// Instantiates the named sketch with `config`.
   Result<std::unique_ptr<Sketch>> Create(const std::string& name,
@@ -37,12 +50,20 @@ class SketchRegistry {
 
   bool Has(const std::string& name) const;
 
+  /// The declared answer family of `name`.
+  Result<SketchFamily> FamilyOf(const std::string& name) const;
+
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
  private:
+  struct Entry {
+    Factory factory;
+    SketchFamily family;
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, Entry> factories_;
 };
 
 /// Registers the built-in wrappers (defined in builtin_sketches.cc); called

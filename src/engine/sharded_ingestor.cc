@@ -79,6 +79,9 @@ Status ShardedIngestor::Init() {
     Worker* worker = workers_[w].get();
     worker->thread = std::thread([this, worker] { WorkerLoop(worker); });
   }
+  if (!workers_.empty()) {
+    router_ = std::thread([this] { RouterLoop(); });
+  }
   return Status::OK();
 }
 
@@ -157,9 +160,62 @@ void ShardedIngestor::PublishShard(size_t shard_index) {
   shard.updates_since_publish = 0;
 }
 
+void ShardedIngestor::CompleteTicket(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(ticket_mu_);
+  done_out_of_order_.push(seq);
+  while (!done_out_of_order_.empty() &&
+         done_out_of_order_.top() == completed_seq_ + 1) {
+    done_out_of_order_.pop();
+    ++completed_seq_;
+    --inflight_tickets_;
+  }
+  ticket_cv_.notify_all();
+}
+
+void ShardedIngestor::RouterLoop() {
+  for (;;) {
+    PendingTicket ticket;
+    {
+      std::unique_lock<std::mutex> lock(submit_mu_);
+      router_cv_.wait(
+          lock, [&] { return router_stop_ || !submit_queue_.empty(); });
+      if (submit_queue_.empty()) {
+        if (router_stop_) return;
+        continue;
+      }
+      ticket = std::move(submit_queue_.front());
+      submit_queue_.pop_front();
+    }
+    // Forward the pre-scattered sub-batches to their owning workers in
+    // shard order. A full worker queue blocks *here* — the router is the
+    // thread that absorbs backpressure, so producers never stall in
+    // SubmitAsync and the pressure shows up as a later ticket completion.
+    size_t dispatched = 0;
+    for (size_t shard = 0; shard < ticket.sub.size(); ++shard) {
+      if (ticket.sub[shard].empty()) continue;
+      Worker* worker = workers_[shard % workers_.size()].get();
+      {
+        std::unique_lock<std::mutex> lock(worker->mu);
+        worker->cv_space.wait(lock, [&] {
+          return worker->queue.size() < options_.max_queue_batches;
+        });
+        worker->queue.push_back(
+            Job{shard, std::move(ticket.sub[shard]), ticket.state});
+        ++worker->pending;
+      }
+      worker->cv_work.notify_one();
+      ++dispatched;
+    }
+    if (dispatched == 0) {
+      // Nothing to apply (all sub-batches empty): complete directly.
+      CompleteTicket(ticket.state->seq);
+    }
+  }
+}
+
 void ShardedIngestor::WorkerLoop(Worker* worker) {
   for (;;) {
-    std::pair<size_t, std::vector<stream::TurnstileUpdate>> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(worker->mu);
       worker->cv_work.wait(
@@ -172,11 +228,17 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
       worker->queue.pop_front();
     }
     worker->cv_space.notify_one();
-    // Once a shard sketch has errored, keep draining (so the producer never
-    // deadlocks on backpressure) but stop mutating state.
+    // Once a shard sketch has errored, keep draining (so the router never
+    // deadlocks on backpressure and every ticket still completes) but stop
+    // mutating state.
     if (!has_error_.load(std::memory_order_acquire)) {
-      Status s = ApplyToShard(job.first, job.second.data(), job.second.size());
+      Status s = ApplyToShard(job.shard, job.updates.data(),
+                              job.updates.size());
       if (!s.ok()) RecordError(s);
+    }
+    if (job.ticket != nullptr &&
+        job.ticket->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      CompleteTicket(job.ticket->seq);
     }
     {
       std::lock_guard<std::mutex> lock(worker->mu);
@@ -187,95 +249,181 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
 }
 
 Status ShardedIngestor::PreSubmit() const {
-  if (finished_) {
+  if (finished_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("ShardedIngestor: already finished");
   }
   return FirstError();
 }
 
-Status ShardedIngestor::Dispatch(size_t count) {
-  updates_submitted_ += count;
-  const size_t num_shards = options_.num_shards;
+Result<IngestTicket> ShardedIngestor::ApplyInline(size_t count) {
+  // Inline mode (no workers): scatter_ already holds the sub-batches; apply
+  // them synchronously under submit_mu_ (held by the caller via
+  // inline_lock), so concurrent producers serialize and apply order is
+  // their arrival order. The returned ticket is the always-complete seq 0 —
+  // by the time SubmitAsync returns, the batch IS ingested, and errors
+  // surface synchronously. No ticket state is allocated: the unbatched
+  // single-producer path stays as cheap as the pre-ticket engine.
+  updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
+  for (size_t shard = 0; shard < scatter_.size(); ++shard) {
+    if (scatter_[shard].empty()) continue;
+    Status s = ApplyToShard(shard, scatter_[shard].data(),
+                            scatter_[shard].size());
+    if (!s.ok()) {
+      RecordError(s);
+      return s;
+    }
+  }
+  return IngestTicket{};
+}
 
+Result<IngestTicket> ShardedIngestor::EnqueueScattered(
+    std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count) {
+  size_t nonempty = 0;
+  for (const auto& v : sub) nonempty += v.empty() ? 0 : 1;
+
+  // Memory safety valve: far above the worker-queue backpressure point; in
+  // the steady state producers run ahead of the router without ever
+  // touching this.
+  if (options_.max_inflight_tickets > 0) {
+    std::unique_lock<std::mutex> lock(ticket_mu_);
+    ticket_cv_.wait(lock, [&] {
+      return inflight_tickets_ < options_.max_inflight_tickets;
+    });
+  }
+
+  auto state = std::make_shared<TicketState>();
+  state->remaining.store(nonempty, std::memory_order_relaxed);
+
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status pre = PreSubmit();  // recheck: Finish may have won the race
+    if (!pre.ok()) return pre;
+    state->seq = seq = ++next_seq_;
+    {
+      std::lock_guard<std::mutex> tlock(ticket_mu_);
+      ++inflight_tickets_;
+    }
+    updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
+    submit_queue_.push_back(PendingTicket{state, std::move(sub)});
+  }
+  router_cv_.notify_one();
+  return IngestTicket{seq};
+}
+
+Result<IngestTicket> ShardedIngestor::SubmitAsync(
+    const stream::TurnstileUpdate* updates, size_t count) {
+  Status pre = PreSubmit();
+  if (!pre.ok()) return pre;
+  if (count == 0) return IngestTicket{};  // seq 0: always complete
+
+  const size_t num_shards = options_.num_shards;
   if (workers_.empty()) {
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-      if (scatter_[shard].empty()) continue;
-      Status s =
-          ApplyToShard(shard, scatter_[shard].data(), scatter_[shard].size());
-      if (!s.ok()) {
-        RecordError(s);
-        return s;
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status recheck = PreSubmit();
+    if (!recheck.ok()) return recheck;
+    if (num_shards == 1) {
+      scatter_[0].assign(updates, updates + count);
+    } else {
+      for (auto& v : scatter_) v.clear();
+      for (size_t i = 0; i < count; ++i) {
+        scatter_[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
       }
     }
-    return Status::OK();
+    return ApplyInline(count);
   }
 
-  for (size_t shard = 0; shard < num_shards; ++shard) {
-    if (scatter_[shard].empty()) continue;
-    Worker* worker = workers_[shard % workers_.size()].get();
-    {
-      std::unique_lock<std::mutex> lock(worker->mu);
-      worker->cv_space.wait(lock, [&] {
-        return worker->queue.size() < options_.max_queue_batches;
-      });
-      worker->queue.emplace_back(shard, std::move(scatter_[shard]));
-      ++worker->pending;
-    }
-    worker->cv_work.notify_one();
-    scatter_[shard] = {};
-  }
-  return Status::OK();
-}
-
-Status ShardedIngestor::Submit(const stream::TurnstileUpdate* updates,
-                               size_t count) {
-  Status pre = PreSubmit();
-  if (!pre.ok()) return pre;
-  if (count == 0) return Status::OK();
-
-  const size_t num_shards = options_.num_shards;
+  // Scatter on the producer's thread — the parallelizable part of
+  // submission, and the reason multiple producers scale: hashing `count`
+  // items happens outside every engine lock.
+  std::vector<std::vector<stream::TurnstileUpdate>> sub(num_shards);
   if (num_shards == 1) {
-    scatter_[0].assign(updates, updates + count);
+    sub[0].assign(updates, updates + count);
   } else {
-    for (auto& v : scatter_) v.clear();
     for (size_t i = 0; i < count; ++i) {
-      scatter_[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
+      sub[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
     }
   }
-  return Dispatch(count);
+  return EnqueueScattered(std::move(sub), count);
 }
 
-Status ShardedIngestor::SubmitItems(const stream::ItemUpdate* items,
-                                    size_t count) {
+Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
+    const stream::ItemUpdate* items, size_t count) {
   Status pre = PreSubmit();
   if (!pre.ok()) return pre;
-  if (count == 0) return Status::OK();
+  if (count == 0) return IngestTicket{};
 
   // Fused conversion + scatter: each item becomes a delta-1 turnstile
   // update directly in its shard's sub-batch (no intermediate copy).
   const size_t num_shards = options_.num_shards;
-  for (auto& v : scatter_) v.clear();
+  if (workers_.empty()) {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status recheck = PreSubmit();
+    if (!recheck.ok()) return recheck;
+    for (auto& v : scatter_) v.clear();
+    if (num_shards == 1) {
+      scatter_[0].reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        scatter_[0].push_back({items[i].item, 1});
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        scatter_[ShardOf(items[i].item, num_shards)].push_back(
+            {items[i].item, 1});
+      }
+    }
+    return ApplyInline(count);
+  }
+
+  std::vector<std::vector<stream::TurnstileUpdate>> sub(num_shards);
   if (num_shards == 1) {
-    scatter_[0].reserve(count);
+    sub[0].reserve(count);
     for (size_t i = 0; i < count; ++i) {
-      scatter_[0].push_back({items[i].item, 1});
+      sub[0].push_back({items[i].item, 1});
     }
   } else {
     for (size_t i = 0; i < count; ++i) {
-      scatter_[ShardOf(items[i].item, num_shards)].push_back(
-          {items[i].item, 1});
+      sub[ShardOf(items[i].item, num_shards)].push_back({items[i].item, 1});
     }
   }
-  return Dispatch(count);
+  return EnqueueScattered(std::move(sub), count);
+}
+
+Status ShardedIngestor::Wait(const IngestTicket& ticket) const {
+  {
+    std::unique_lock<std::mutex> lock(ticket_mu_);
+    ticket_cv_.wait(lock, [&] { return completed_seq_ >= ticket.seq; });
+  }
+  return FirstError();
+}
+
+Result<bool> ShardedIngestor::TryWait(const IngestTicket& ticket) const {
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(ticket_mu_);
+    done = completed_seq_ >= ticket.seq;
+  }
+  if (done) {
+    Status err = FirstError();
+    if (!err.ok()) return err;
+  }
+  return done;
 }
 
 Status ShardedIngestor::Flush() {
+  // Wait for every assigned ticket to finish — that drains the submission
+  // queue, the router, and the worker queues in one condition (workers even
+  // drain after an error, so this terminates).
+  {
+    std::unique_lock<std::mutex> lock(ticket_mu_);
+    ticket_cv_.wait(lock, [&] { return inflight_tickets_ == 0; });
+  }
   for (auto& worker : workers_) {
     std::unique_lock<std::mutex> lock(worker->mu);
     worker->cv_drained.wait(lock, [&] { return worker->pending == 0; });
   }
-  // Quiescent now (single producer, empty queues): catch up any shard whose
-  // snapshot lags its live state, so post-Flush queries are exact.
+  // Quiescent now (no in-flight tickets, empty queues): catch up any shard
+  // whose snapshot lags its live state, so post-Flush queries are exact.
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     if (shards_[shard]->updates_since_publish > 0) PublishShard(shard);
   }
@@ -283,8 +431,26 @@ Status ShardedIngestor::Flush() {
 }
 
 Status ShardedIngestor::Finish() {
-  if (finished_) return FirstError();
+  // Close the submission window FIRST, then drain. The CAS makes Finish
+  // idempotent; the empty submit_mu_ critical section is a barrier: any
+  // producer that passed the finished_ recheck inside EnqueueScattered
+  // (or the inline path) holds submit_mu_ until its ticket is enqueued /
+  // applied, so after this lock round-trip every accepted ticket is
+  // visible to Flush and every later SubmitAsync is rejected — no batch
+  // can slip in behind Flush's final snapshot publish.
+  bool expected = false;
+  if (!finished_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return FirstError();
+  }
+  { std::lock_guard<std::mutex> lock(submit_mu_); }
   Status s = Flush();
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    router_stop_ = true;
+  }
+  router_cv_.notify_all();
+  if (router_.joinable()) router_.join();
   for (auto& worker : workers_) {
     {
       std::lock_guard<std::mutex> lock(worker->mu);
@@ -295,17 +461,23 @@ Status ShardedIngestor::Finish() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  finished_ = true;
   return s;
 }
 
 Status ShardedIngestor::CheckQuiescent() const {
-  if (finished_) return Status::OK();
+  if (finished_.load(std::memory_order_acquire)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(ticket_mu_);
+    if (inflight_tickets_ != 0) {
+      return Status::FailedPrecondition(
+          "ShardedIngestor: Flush() before querying shard state");
+    }
+  }
   for (const auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mu);
     if (worker->pending != 0) {
       return Status::FailedPrecondition(
-          "ShardedIngestor: Flush() before querying summaries");
+          "ShardedIngestor: Flush() before querying shard state");
     }
   }
   return Status::OK();
@@ -313,19 +485,30 @@ Status ShardedIngestor::CheckQuiescent() const {
 
 Result<SketchSummary> ShardedIngestor::MergedSummary(
     const std::string& sketch) const {
+  const size_t index = SketchIndex(sketch);
+  if (index == options_.sketches.size()) {
+    return Status::NotFound("ShardedIngestor: sketch not configured: " +
+                            sketch);
+  }
+  std::unique_lock<std::mutex> lock;
+  auto view = MergedSummaryView(index, &lock);
+  if (!view.ok()) return view.status();
+  return *view.value();  // copy out while the cache lock is held
+}
+
+Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
+    size_t sketch_index, std::unique_lock<std::mutex>* lock) const {
   // A dead pipeline must be visible on the query path, not only at the
   // next Submit/Flush: workers stop mutating state after the first error,
   // so answers would otherwise freeze silently (and a mid-batch failure
   // can leave a shard's sketch group inconsistently applied).
   Status err = FirstError();
   if (!err.ok()) return err;
-  const size_t index = SketchIndex(sketch);
-  if (index == options_.sketches.size()) {
-    return Status::NotFound("ShardedIngestor: sketch not configured: " +
-                            sketch);
+  if (sketch_index >= options_.sketches.size()) {
+    return Status::OutOfRange("ShardedIngestor: sketch index out of range");
   }
-  MergeCache& cache = *caches_[index];
-  std::lock_guard<std::mutex> cache_lock(cache.mu);
+  MergeCache& cache = *caches_[sketch_index];
+  *lock = std::unique_lock<std::mutex>(cache.mu);
 
   // Dirty scan: lock-free epoch loads against the epochs the cache folded.
   std::vector<size_t> dirty;
@@ -336,7 +519,7 @@ Result<SketchSummary> ShardedIngestor::MergedSummary(
   }
   if (dirty.empty() && cache.valid) {
     ++cache.stats.hits;
-    return cache.summary;
+    return &cache.summary;
   }
 
   // Grab consistent (snapshot, epoch) pairs for the dirty shards.
@@ -344,9 +527,9 @@ Result<SketchSummary> ShardedIngestor::MergedSummary(
   std::vector<uint64_t> fresh_epochs(dirty.size());
   for (size_t d = 0; d < dirty.size(); ++d) {
     Shard& shard = *shards_[dirty[d]];
-    std::lock_guard<std::mutex> lock(shard.snap_mu);
+    std::lock_guard<std::mutex> slock(shard.snap_mu);
     if (!shard.snap_error.ok()) return shard.snap_error;
-    fresh[d] = shard.snaps.empty() ? nullptr : shard.snaps[index];
+    fresh[d] = shard.snaps.empty() ? nullptr : shard.snaps[sketch_index];
     fresh_epochs[d] = shard.epoch.load(std::memory_order_relaxed);
   }
 
@@ -393,7 +576,8 @@ Result<SketchSummary> ShardedIngestor::MergedSummary(
     }
     SketchConfig cfg = options_.config;
     cfg.shard_seed = DeriveSeed(options_.config.seed, kMergeSeedSalt, 0);
-    auto target = SketchRegistry::Global().Create(sketch, cfg);
+    auto target =
+        SketchRegistry::Global().Create(options_.sketches[sketch_index], cfg);
     if (!target.ok()) return target.status();
     cache.merged = std::move(target).value();
     for (const auto& snap : cache.folded) {
@@ -412,7 +596,7 @@ Result<SketchSummary> ShardedIngestor::MergedSummary(
 
   cache.summary = cache.merged->Summary();
   cache.valid = true;
-  return cache.summary;
+  return &cache.summary;
 }
 
 Result<MergeCacheStats> ShardedIngestor::CacheStats(

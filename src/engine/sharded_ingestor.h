@@ -10,11 +10,27 @@
 // FIFO queue — so every shard sees its sub-stream in submission order no
 // matter how many workers run.
 //
+// Submission is multi-producer and asynchronous: SubmitAsync scatters on
+// the calling thread, then hands the pre-scattered batch to an MPSC
+// submission queue under a short mutex and returns a sequence-numbered
+// IngestTicket immediately. A router thread drains the submission queue in
+// ticket order and forwards sub-batches to the per-shard worker queues —
+// worker backpressure therefore blocks the *router* (and the ticket's
+// completion), never the producer's thread. Wait(ticket)/TryWait(ticket)
+// observe a monotone completion watermark: a ticket reports done only once
+// every ticket with a smaller sequence number has also been fully applied,
+// so `Wait(t)` returning means the stream prefix through `t` is ingested.
+//
 // Determinism: shard assignment depends only on the item, per-shard
 // randomness only on (config seed, shard index), and per-shard apply order
-// only on submission order. A run with a fixed seed and fixed num_shards is
-// therefore bit-for-bit reproducible for ANY num_threads — the property the
-// white-box game semantics need to survive the move to parallel plumbing.
+// only on ticket order. A run with a fixed seed and fixed num_shards is
+// therefore bit-for-bit reproducible for ANY num_threads given the same
+// ticket order; with one producer, ticket order is submission order, which
+// reproduces the legacy single-producer path exactly. With multiple
+// producers the arrival interleaving is scheduling-dependent, but
+// order-insensitive sketches (the linear families: ams_f2, sis_l0,
+// rank_decision) still produce bit-identical final state for every
+// interleaving of the same batches.
 //
 // Snapshots: at batch boundaries (throttled by snapshot_min_updates) the
 // owning worker clones each shard-local sketch into an epoch-versioned
@@ -31,7 +47,9 @@
 // epochs: an unchanged engine is answered from the cached summary, and
 // linear sketches re-fold only the shards whose epoch advanced
 // (UnmergeFrom stale + MergeFrom fresh), turning the per-query cost from
-// O(shards * state) into O(dirty * state).
+// O(shards * state) into O(dirty * state). MergedSummaryView is the
+// zero-copy variant the typed query surface (engine::Client) uses: it
+// resolves by pre-bound sketch index instead of hashing a name per call.
 
 #ifndef WBS_ENGINE_SHARDED_INGESTOR_H_
 #define WBS_ENGINE_SHARDED_INGESTOR_H_
@@ -40,8 +58,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -58,7 +78,13 @@ namespace wbs::engine {
 struct IngestorOptions {
   size_t num_shards = 4;
   size_t num_threads = 0;  ///< 0: apply inline on the submitting thread
-  size_t max_queue_batches = 64;  ///< per-worker backpressure bound
+  size_t max_queue_batches = 64;  ///< per-worker router->worker bound
+  /// Soft cap on tickets submitted but not yet fully applied. SubmitAsync
+  /// blocks once this many tickets are in flight — a memory safety valve
+  /// far above the worker-queue backpressure point, not the steady-state
+  /// flow control (that is the router absorbing worker backpressure while
+  /// producers run ahead). 0 = unbounded.
+  size_t max_inflight_tickets = 256;
   /// Snapshot throttle: a shard republishes its snapshot at the first batch
   /// boundary after this many updates (0 = every batch). Keeps the
   /// unbatched (batch_size == 1) path from cloning per update; Flush()
@@ -66,6 +92,16 @@ struct IngestorOptions {
   size_t snapshot_min_updates = 1024;
   std::vector<std::string> sketches;  ///< registry names to instantiate
   SketchConfig config;
+};
+
+/// A sequence-numbered receipt for one asynchronous submission. Tickets are
+/// totally ordered by `seq`; completion is monotone in that order (see
+/// Wait/TryWait). Value type: copy freely, pass to any thread. A
+/// default-constructed ticket (seq 0) is always complete — SubmitAsync
+/// returns it for empty batches and for inline-mode (num_threads == 0)
+/// submissions, which are fully applied before SubmitAsync returns.
+struct IngestTicket {
+  uint64_t seq = 0;
 };
 
 /// How the merge cache served MergedSummary calls for one sketch.
@@ -85,25 +121,57 @@ class ShardedIngestor {
   ShardedIngestor(const ShardedIngestor&) = delete;
   ShardedIngestor& operator=(const ShardedIngestor&) = delete;
 
-  /// Scatters `count` updates into per-shard sub-batches and dispatches
-  /// them. Single-producer: Submit/Flush/Finish must come from one thread.
-  Status Submit(const stream::TurnstileUpdate* updates, size_t count);
-  Status Submit(const stream::TurnstileStream& s) {
-    return Submit(s.data(), s.size());
+  /// Scatters `count` updates into per-shard sub-batches and enqueues them,
+  /// returning a ticket that completes once the batch (and every earlier
+  /// ticket) has been applied. Multi-producer: safe to call concurrently
+  /// from any number of threads. Never blocks on worker backpressure (the
+  /// router absorbs it); only the max_inflight_tickets safety valve can
+  /// make it wait.
+  Result<IngestTicket> SubmitAsync(const stream::TurnstileUpdate* updates,
+                                   size_t count);
+  Result<IngestTicket> SubmitAsync(const stream::TurnstileStream& s) {
+    return SubmitAsync(s.data(), s.size());
   }
 
   /// Insertion-only convenience: each item becomes a delta-1 update.
-  Status SubmitItems(const stream::ItemUpdate* items, size_t count);
+  Result<IngestTicket> SubmitItemsAsync(const stream::ItemUpdate* items,
+                                        size_t count);
+  Result<IngestTicket> SubmitItemsAsync(const stream::ItemStream& s) {
+    return SubmitItemsAsync(s.data(), s.size());
+  }
+
+  /// Fire-and-forget wrappers (the pre-ticket surface): submit and discard
+  /// the ticket. Errors already recorded by the pipeline surface here.
+  Status Submit(const stream::TurnstileUpdate* updates, size_t count) {
+    return SubmitAsync(updates, count).status();
+  }
+  Status Submit(const stream::TurnstileStream& s) {
+    return Submit(s.data(), s.size());
+  }
+  Status SubmitItems(const stream::ItemUpdate* items, size_t count) {
+    return SubmitItemsAsync(items, count).status();
+  }
   Status SubmitItems(const stream::ItemStream& s) {
     return SubmitItems(s.data(), s.size());
   }
 
-  /// Blocks until every dispatched batch has been applied, then publishes
-  /// any shard whose snapshot lags its live state.
+  /// Blocks until `ticket` and every earlier ticket has been applied, then
+  /// returns the pipeline's first error (OK when healthy). Any thread.
+  Status Wait(const IngestTicket& ticket) const;
+
+  /// Non-blocking completion probe: true once `ticket` (and every earlier
+  /// ticket) is applied. Reports the pipeline's first error once the ticket
+  /// has drained, so a producer polling TryWait sees failures too.
+  Result<bool> TryWait(const IngestTicket& ticket) const;
+
+  /// Blocks until every submitted ticket has been applied, then publishes
+  /// any shard whose snapshot lags its live state. Call from a moment when
+  /// producers are paused (a continuously racing producer keeps the
+  /// in-flight count nonzero and Flush waiting).
   Status Flush();
 
-  /// Flush + stop and join the workers. The ingestor stays queryable;
-  /// further Submits fail. Idempotent.
+  /// Flush + stop and join the router and workers. The ingestor stays
+  /// queryable; further Submits fail. Idempotent.
   Status Finish();
 
   /// Merges the published per-shard snapshots of `sketch` into one global
@@ -112,6 +180,14 @@ class ShardedIngestor {
   /// answer is exact for the full stream). Served from the per-sketch merge
   /// cache; see MergeCacheStats.
   Result<SketchSummary> MergedSummary(const std::string& sketch) const;
+
+  /// Zero-copy, index-addressed variant for pre-resolved handles: folds (if
+  /// needed) and returns a pointer to the cached summary of the sketch at
+  /// `sketch_index` (position in options().sketches). The pointer is valid
+  /// only while *lock — handed back holding the per-sketch cache mutex —
+  /// stays held; drop the lock as soon as the answer is projected.
+  Result<const SketchSummary*> MergedSummaryView(
+      size_t sketch_index, std::unique_lock<std::mutex>* lock) const;
 
   /// Cache counters for `sketch` (tests, diagnostics).
   Result<MergeCacheStats> CacheStats(const std::string& sketch) const;
@@ -127,10 +203,15 @@ class ShardedIngestor {
   /// Total state bits across all shards and sketches (quiescent callers).
   uint64_t SpaceBits() const;
 
+  /// Index of `sketch` in options().sketches, or sketches.size() if absent.
+  size_t SketchIndex(const std::string& sketch) const;
+
   const std::vector<std::string>& sketch_names() const {
     return options_.sketches;
   }
-  uint64_t updates_submitted() const { return updates_submitted_; }
+  uint64_t updates_submitted() const {
+    return updates_submitted_.load(std::memory_order_acquire);
+  }
   size_t num_shards() const { return options_.num_shards; }
   size_t num_threads() const { return options_.num_threads; }
   const IngestorOptions& options() const { return options_; }
@@ -148,7 +229,7 @@ class ShardedIngestor {
     SketchConfig cfg;  ///< per-shard config (shard_seed resolved)
     // Aggregation scratch, computed once per shard batch and shared with
     // every weight-equivalent sketch via UpdateBatch. Touched only by the
-    // shard's owning worker (or the producer in inline mode).
+    // shard's owning worker (or under submit_mu_ in inline mode).
     std::vector<stream::TurnstileUpdate> agg;
     std::unordered_map<uint64_t, size_t> agg_index;
 
@@ -163,12 +244,31 @@ class ShardedIngestor {
     std::atomic<uint64_t> epoch{0};
   };
 
+  /// Completion state shared between one ticket's scattered sub-batches.
+  struct TicketState {
+    uint64_t seq = 0;
+    std::atomic<size_t> remaining{0};  ///< sub-batches not yet applied
+  };
+
+  /// One pre-scattered submission parked in the MPSC queue.
+  struct PendingTicket {
+    std::shared_ptr<TicketState> state;
+    std::vector<std::vector<stream::TurnstileUpdate>> sub;  // per shard
+  };
+
+  /// One sub-batch in a worker's queue.
+  struct Job {
+    size_t shard = 0;
+    std::vector<stream::TurnstileUpdate> updates;
+    std::shared_ptr<TicketState> ticket;
+  };
+
   struct Worker {
     std::mutex mu;
-    std::condition_variable cv_work;     // producer -> worker: work available
-    std::condition_variable cv_space;    // worker -> producer: queue has room
-    std::condition_variable cv_drained;  // worker -> producer: pending == 0
-    std::deque<std::pair<size_t, std::vector<stream::TurnstileUpdate>>> queue;
+    std::condition_variable cv_work;     // router -> worker: work available
+    std::condition_variable cv_space;    // worker -> router: queue has room
+    std::condition_variable cv_drained;  // worker -> waiter: pending == 0
+    std::deque<Job> queue;
     size_t pending = 0;  // queued + in-flight batches
     bool stop = false;
     std::thread thread;
@@ -191,6 +291,7 @@ class ShardedIngestor {
   explicit ShardedIngestor(IngestorOptions options);
 
   Status Init();
+  void RouterLoop();
   void WorkerLoop(Worker* worker);
   Status ApplyToShard(size_t shard_index, const stream::TurnstileUpdate* data,
                       size_t count);
@@ -200,21 +301,51 @@ class ShardedIngestor {
   void PublishShard(size_t shard_index);
   /// Checks producer-side preconditions shared by the Submit variants.
   Status PreSubmit() const;
-  /// Dispatches the scattered sub-batches in scatter_ (inline or queued).
-  Status Dispatch(size_t count);
+  /// Inline mode: applies the sub-batches staged in scatter_ synchronously.
+  /// Caller holds submit_mu_. Returns the always-complete seq-0 ticket.
+  Result<IngestTicket> ApplyInline(size_t count);
+  /// Threaded mode: assigns a sequence number to `sub` and parks it on the
+  /// MPSC queue for the router.
+  Result<IngestTicket> EnqueueScattered(
+      std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count);
+  /// Marks `seq` applied and advances the monotone completion watermark.
+  void CompleteTicket(uint64_t seq);
   void RecordError(const Status& s);
   Status FirstError() const;
   Status CheckQuiescent() const;
-  /// Index of `sketch` in options_.sketches, or size() if absent.
-  size_t SketchIndex(const std::string& sketch) const;
 
   IngestorOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::vector<stream::TurnstileUpdate>> scatter_;  // reused
-  uint64_t updates_submitted_ = 0;
-  bool finished_ = false;
+  /// Inline-mode scatter scratch, reused across submissions under
+  /// submit_mu_ (threaded submissions scatter into per-call buffers that
+  /// move through the MPSC queue instead).
+  std::vector<std::vector<stream::TurnstileUpdate>> scatter_;
+  std::atomic<uint64_t> updates_submitted_{0};
+  std::atomic<bool> finished_{false};
+
+  // MPSC submission stage: producers append under submit_mu_ (which also
+  // serializes sequence assignment — queue order IS ticket order); the
+  // router pops in FIFO order. In inline mode submit_mu_ additionally
+  // serializes the apply itself, so ticket order and apply order coincide.
+  std::mutex submit_mu_;
+  std::condition_variable router_cv_;  // producer -> router: work available
+  std::deque<PendingTicket> submit_queue_;
+  uint64_t next_seq_ = 0;  // last assigned sequence number
+  bool router_stop_ = false;
+  std::thread router_;
+
+  // Ticket completion: tickets finish physically out of order (their
+  // sub-batches land on different workers), so finished seqs park in a
+  // min-heap until the watermark reaches them — completed_seq_ advances
+  // only in sequence order, giving Wait/TryWait their prefix semantics.
+  mutable std::mutex ticket_mu_;
+  mutable std::condition_variable ticket_cv_;
+  uint64_t completed_seq_ = 0;  // all tickets <= this are applied
+  uint64_t inflight_tickets_ = 0;
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
+      done_out_of_order_;
 
   std::atomic<bool> has_error_{false};
   mutable std::mutex error_mu_;

@@ -42,29 +42,138 @@
 
 namespace wbs::engine {
 
+/// Per-family configuration blocks. Each sketch family reads exactly one of
+/// these (plus the shared fields of SketchConfig), so a caller tuning the
+/// rank sketch never has to learn what `l0_c` means. Every block carries
+/// fluent `With*` setters so configs compose as one expression:
+///
+///   SketchConfig cfg = SketchConfig{}
+///       .WithUniverse(1 << 20)
+///       .WithSeed(7)
+///       .With(MisraGriesOptions{}.WithCounters(256))
+///       .With(AmsOptions{}.WithRows(64));
+struct MisraGriesOptions {
+  size_t counters = 64;  ///< Misra-Gries capacity k
+  MisraGriesOptions& WithCounters(size_t k) {
+    counters = k;
+    return *this;
+  }
+};
+
+struct AmsOptions {
+  size_t rows = 48;  ///< AMS sign projections
+  AmsOptions& WithRows(size_t r) {
+    rows = r;
+    return *this;
+  }
+};
+
+struct SisL0Options {
+  double eps = 0.5;   ///< chunking exponent
+  double c = 0.25;    ///< sketch-rows exponent
+  uint64_t f_inf_bound = uint64_t{1} << 20;  ///< promised ||f||_inf bound
+  SisL0Options& WithEps(double e) {
+    eps = e;
+    return *this;
+  }
+  SisL0Options& WithC(double v) {
+    c = v;
+    return *this;
+  }
+  SisL0Options& WithFInfBound(uint64_t b) {
+    f_inf_bound = b;
+    return *this;
+  }
+};
+
+struct RankOptions {
+  size_t n = 64;          ///< matrix dimension
+  size_t k = 8;           ///< decision threshold
+  uint64_t q = 1000003;   ///< field modulus
+  RankOptions& WithN(size_t v) {
+    n = v;
+    return *this;
+  }
+  RankOptions& WithK(size_t v) {
+    k = v;
+    return *this;
+  }
+  RankOptions& WithQ(uint64_t v) {
+    q = v;
+    return *this;
+  }
+};
+
+/// Shared by the sampling heavy hitter families (robust_hh, crhf_hh) and
+/// the Misra-Gries report threshold.
+struct HeavyHitterOptions {
+  double eps = 0.1;     ///< heavy hitter threshold / accuracy knob
+  double phi = 0.2;     ///< report threshold for (phi, eps)-HH
+  double delta = 0.25;  ///< failure probability budget
+  uint64_t time_budget_t = uint64_t{1} << 20;  ///< CRHF adversary budget T
+  HeavyHitterOptions& WithEps(double e) {
+    eps = e;
+    return *this;
+  }
+  HeavyHitterOptions& WithPhi(double p) {
+    phi = p;
+    return *this;
+  }
+  HeavyHitterOptions& WithDelta(double d) {
+    delta = d;
+    return *this;
+  }
+  HeavyHitterOptions& WithTimeBudget(uint64_t t) {
+    time_budget_t = t;
+    return *this;
+  }
+};
+
 /// Configuration handed to a sketch factory. `seed` drives *shared*
 /// randomness (sign matrices, random oracles) and must be identical across
 /// the shard copies of one logical sketch so state-level merges line up;
 /// `shard_seed` drives *private* randomness (sampling tapes) and is
-/// overwritten per shard by the ingestor.
+/// overwritten per shard by the ingestor. Family-specific knobs live in the
+/// per-family option blocks above (defaults are sensible test-scale values).
 struct SketchConfig {
   uint64_t universe = uint64_t{1} << 16;
-  double eps = 0.1;    ///< heavy hitter threshold / accuracy knob
-  double phi = 0.2;    ///< report threshold for (phi, eps)-HH
-  double delta = 0.25; ///< failure probability budget
   uint64_t seed = 1;       ///< shared randomness (see above)
   uint64_t shard_seed = 1; ///< per-shard randomness (set by the ingestor)
 
-  // Family-specific knobs (defaults are sensible test-scale values).
-  size_t mg_counters = 64;        ///< Misra-Gries capacity k
-  size_t ams_rows = 48;           ///< AMS sign projections
-  double l0_eps = 0.5;            ///< SIS-L0 chunking exponent
-  double l0_c = 0.25;             ///< SIS-L0 sketch-rows exponent
-  uint64_t l0_f_inf_bound = uint64_t{1} << 20;  ///< promised ||f||_inf bound
-  uint64_t time_budget_t = uint64_t{1} << 20;   ///< CRHF adversary budget T
-  size_t rank_n = 64;             ///< rank sketch: matrix dimension
-  size_t rank_k = 8;              ///< rank sketch: decision threshold
-  uint64_t rank_q = 1000003;      ///< rank sketch: field modulus
+  HeavyHitterOptions hh;
+  MisraGriesOptions misra_gries;
+  AmsOptions ams;
+  SisL0Options sis_l0;
+  RankOptions rank;
+
+  SketchConfig& WithUniverse(uint64_t u) {
+    universe = u;
+    return *this;
+  }
+  SketchConfig& WithSeed(uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  SketchConfig& With(const HeavyHitterOptions& o) {
+    hh = o;
+    return *this;
+  }
+  SketchConfig& With(const MisraGriesOptions& o) {
+    misra_gries = o;
+    return *this;
+  }
+  SketchConfig& With(const AmsOptions& o) {
+    ams = o;
+    return *this;
+  }
+  SketchConfig& With(const SisL0Options& o) {
+    sis_l0 = o;
+    return *this;
+  }
+  SketchConfig& With(const RankOptions& o) {
+    rank = o;
+    return *this;
+  }
 };
 
 /// A non-owning view of a run of turnstile updates.
@@ -130,21 +239,42 @@ struct SketchSummary {
   bool has_scalar = false;
   double scalar = 0;         ///< L0 / F2 estimate, rank verdict (0/1), ...
   std::vector<hh::WeightedItem> items;  ///< HH candidates, estimate-descending
+  /// Positions of `items` sorted by item id; built by SortItems() so point
+  /// lookups are O(log n) instead of a linear scan. Empty when the producer
+  /// never called SortItems() (Estimate then falls back to scanning).
+  std::vector<uint32_t> item_index;
   uint64_t updates = 0;      ///< effective (nonzero-delta) updates summarized
 
   /// Estimated frequency of `item` from the candidate list (0 if absent).
   double Estimate(uint64_t item) const {
+    if (item_index.size() == items.size() && !items.empty()) {
+      auto it = std::lower_bound(
+          item_index.begin(), item_index.end(), item,
+          [this](uint32_t pos, uint64_t v) { return items[pos].item < v; });
+      if (it != item_index.end() && items[*it].item == item) {
+        return items[*it].estimate;
+      }
+      return 0;
+    }
     for (const auto& wi : items) {
       if (wi.item == item) return wi.estimate;
     }
     return 0;
   }
 
+  /// Sorts the candidate list estimate-descending (the TopK order) and
+  /// rebuilds the by-item lookup index over it.
   void SortItems() {
     std::sort(items.begin(), items.end(),
               [](const hh::WeightedItem& a, const hh::WeightedItem& b) {
                 return a.estimate > b.estimate ||
                        (a.estimate == b.estimate && a.item < b.item);
+              });
+    item_index.resize(items.size());
+    for (uint32_t i = 0; i < item_index.size(); ++i) item_index[i] = i;
+    std::sort(item_index.begin(), item_index.end(),
+              [this](uint32_t a, uint32_t b) {
+                return items[a].item < items[b].item;
               });
   }
 };

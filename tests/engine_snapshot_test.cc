@@ -5,10 +5,12 @@
 // rebuild accounting, invalidation on per-shard writes), equality of
 // snapshot answers with post-Flush references on Zipf and churn workloads,
 // determinism across thread counts, and queries issued concurrently with
-// ingestion — no Flush() anywhere on the query side.
+// ingestion — no Flush() anywhere on the query side. All through the typed
+// engine::Client surface (handles resolved once, typed results).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -16,34 +18,19 @@
 #include <vector>
 
 #include "common/random.h"
-#include "engine/driver.h"
+#include "engine/client.h"
 #include "engine/registry.h"
 #include "engine/sharded_ingestor.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
 
+#include "engine_test_util.h"
+
 namespace wbs::engine {
 namespace {
 
 SketchConfig TestConfig(uint64_t universe, uint64_t seed) {
-  SketchConfig cfg;
-  cfg.universe = universe;
-  cfg.seed = seed;
-  return cfg;
-}
-
-std::unique_ptr<Driver> MakeDriver(std::vector<std::string> sketches,
-                                   const SketchConfig& cfg, size_t shards,
-                                   size_t threads, size_t batch = 1024) {
-  DriverOptions opts;
-  opts.ingest.num_shards = shards;
-  opts.ingest.num_threads = threads;
-  opts.ingest.sketches = std::move(sketches);
-  opts.ingest.config = cfg;
-  opts.batch_size = batch;
-  auto driver = Driver::Create(opts);
-  EXPECT_TRUE(driver.ok()) << driver.status().ToString();
-  return std::move(driver).value();
+  return SketchConfig{}.WithUniverse(universe).WithSeed(seed);
 }
 
 // ----------------------------------------------------------- cache basics --
@@ -52,17 +39,18 @@ TEST(MergeCacheTest, SecondQueryOfUnchangedEngineIsACacheHit) {
   const uint64_t universe = 1 << 12;
   wbs::RandomTape tape(3);
   auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
-  auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 5), 4, 0);
-  ASSERT_TRUE(driver->Replay(s).ok());
-  ASSERT_TRUE(driver->Flush().ok());
+  auto client = MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 5), 4, 0);
+  ASSERT_TRUE(Replay(client.get(), s).ok());
+  ASSERT_TRUE(client->Flush().ok());
 
   for (const char* name : {"ams_f2", "sis_l0"}) {
-    auto first = driver->Query(name);
-    auto second = driver->Query(name);
+    auto handle = client->Handle(name).value();
+    auto first = client->QueryScalar(handle);
+    auto second = client->QueryScalar(handle);
     ASSERT_TRUE(first.ok() && second.ok()) << name;
-    EXPECT_EQ(first.value().scalar, second.value().scalar) << name;
+    EXPECT_EQ(first.value().value, second.value().value) << name;
     EXPECT_EQ(first.value().updates, second.value().updates) << name;
-    auto stats = driver->ingestor().CacheStats(name);
+    auto stats = client->ingestor().CacheStats(name);
     ASSERT_TRUE(stats.ok());
     EXPECT_EQ(stats.value().rebuilds, 1u) << name;  // first query folds
     EXPECT_EQ(stats.value().hits, 1u) << name;      // second is served cached
@@ -73,32 +61,33 @@ TEST(MergeCacheTest, PerShardWriteInvalidatesAndRefoldsOnlyDirtyShards) {
   const uint64_t universe = 1 << 12;
   wbs::RandomTape tape(7);
   auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
-  auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
-  ASSERT_TRUE(driver->Replay(s).ok());
-  ASSERT_TRUE(driver->Flush().ok());
-  ASSERT_TRUE(driver->Query("ams_f2").ok());  // builds the cache
+  auto client = MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
+  ASSERT_TRUE(Replay(client.get(), s).ok());
+  ASSERT_TRUE(client->Flush().ok());
+  auto f2 = client->Handle("ams_f2").value();
+  ASSERT_TRUE(client->QueryScalar(f2).ok());  // builds the cache
 
   // One single-item update dirties exactly one shard.
   stream::TurnstileStream one{{42, 3}};
-  ASSERT_TRUE(driver->Replay(one).ok());
-  ASSERT_TRUE(driver->Flush().ok());
+  ASSERT_TRUE(Replay(client.get(), one).ok());
+  ASSERT_TRUE(client->Flush().ok());
 
-  auto after = driver->Query("ams_f2");
+  auto after = client->QueryScalar(f2);
   ASSERT_TRUE(after.ok());
-  auto stats = driver->ingestor().CacheStats("ams_f2");
+  auto stats = client->ingestor().CacheStats("ams_f2");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.value().rebuilds, 1u);
   EXPECT_EQ(stats.value().incremental, 1u);  // linear: unmerge + merge 1 shard
 
   // The refolded answer equals a from-scratch reference run.
   auto reference =
-      MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
-  ASSERT_TRUE(reference->Replay(s).ok());
-  ASSERT_TRUE(reference->Replay(one).ok());
+      MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 9), 8, 0);
+  ASSERT_TRUE(Replay(reference.get(), s).ok());
+  ASSERT_TRUE(Replay(reference.get(), one).ok());
   ASSERT_TRUE(reference->Finish().ok());
-  auto want = reference->Query("ams_f2");
+  auto want = reference->QueryScalar(reference->Handle("ams_f2").value());
   ASSERT_TRUE(want.ok());
-  EXPECT_EQ(after.value().scalar, want.value().scalar);
+  EXPECT_EQ(after.value().value, want.value().value);
   EXPECT_EQ(after.value().updates, want.value().updates);
 }
 
@@ -109,29 +98,33 @@ TEST(MergeCacheTest, NonInvertibleSketchFallsBackToRebuild) {
   wbs::RandomTape tape(11);
   auto s = stream::ZipfStream(universe, 10000, 1.1, &tape);
   SketchConfig cfg = TestConfig(universe, 13);
-  cfg.mg_counters = 512;  // no eviction: merged answer is exact
-  auto driver = MakeDriver({"misra_gries"}, cfg, 8, 0);
-  ASSERT_TRUE(driver->Replay(s).ok());
-  ASSERT_TRUE(driver->Flush().ok());
-  ASSERT_TRUE(driver->Query("misra_gries").ok());
+  cfg.misra_gries.counters = 512;  // no eviction: merged answer is exact
+  auto client = MakeClient({"misra_gries"}, cfg, 8, 0);
+  ASSERT_TRUE(Replay(client.get(), s).ok());
+  ASSERT_TRUE(client->Flush().ok());
+  auto mg = client->Handle("misra_gries").value();
+  ASSERT_TRUE(client->QueryTopK(mg, 1).ok());
 
   stream::TurnstileStream one{{17, 5}};
-  ASSERT_TRUE(driver->Replay(one).ok());
-  ASSERT_TRUE(driver->Flush().ok());
-  auto after = driver->Query("misra_gries");
-  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(Replay(client.get(), one).ok());
+  ASSERT_TRUE(client->Flush().ok());
 
-  auto stats = driver->ingestor().CacheStats("misra_gries");
-  ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats.value().incremental, 0u);
-  EXPECT_EQ(stats.value().rebuilds, 2u);
+  auto stats_before = client->ingestor().CacheStats("misra_gries");
+  ASSERT_TRUE(stats_before.ok());
 
   stream::FrequencyOracle truth(universe);
   truth.AddStream(s);
   truth.Add(17, 5);
   for (const auto& [item, f] : truth.frequencies()) {
-    EXPECT_DOUBLE_EQ(after.value().Estimate(item), double(f)) << item;
+    auto point = client->QueryPoint(mg, item);
+    ASSERT_TRUE(point.ok()) << item;
+    EXPECT_DOUBLE_EQ(point.value().estimate, double(f)) << item;
   }
+
+  auto stats = client->ingestor().CacheStats("misra_gries");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().incremental, 0u);
+  EXPECT_EQ(stats.value().rebuilds, 2u);
 }
 
 // ------------------------------------------- snapshot vs flushed reference --
@@ -147,17 +140,17 @@ TEST(SnapshotQueryTest, MatchesPostFlushReferenceOnZipfAndChurn) {
 
   for (const stream::TurnstileStream* s : {&zipf, &churn}) {
     SketchConfig cfg = TestConfig(universe, 77);
-    auto snap = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 2);
-    auto ref = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
-    ASSERT_TRUE(snap->Replay(*s).ok());
-    ASSERT_TRUE(ref->Replay(*s).ok());
+    auto snap = MakeClient({"ams_f2", "sis_l0"}, cfg, 4, 2);
+    auto ref = MakeClient({"ams_f2", "sis_l0"}, cfg, 1, 0);
+    ASSERT_TRUE(Replay(snap.get(), *s).ok());
+    ASSERT_TRUE(Replay(ref.get(), *s).ok());
     ASSERT_TRUE(snap->Flush().ok());  // quiescence makes snapshots exact
     ASSERT_TRUE(ref->Finish().ok());
     for (const char* name : {"ams_f2", "sis_l0"}) {
-      auto got = snap->Query(name);       // snapshot/cache path, post-Flush
-      auto want = ref->Summary(name);     // single-shard reference
+      auto got = snap->QueryScalar(snap->Handle(name).value());
+      auto want = ref->QueryScalar(ref->Handle(name).value());
       ASSERT_TRUE(got.ok() && want.ok()) << name;
-      EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+      EXPECT_EQ(got.value().value, want.value().value) << name;
       EXPECT_EQ(got.value().updates, want.value().updates) << name;
     }
     ASSERT_TRUE(snap->Finish().ok());
@@ -177,34 +170,34 @@ TEST(SnapshotQueryTest, MidStreamSnapshotEqualsPrefixReference) {
   for (const auto& u : items) s.push_back({u.item, 1});
   const size_t half = s.size() / 2;
 
-  DriverOptions opts;
+  ClientOptions opts;
   opts.ingest.num_shards = 4;
   opts.ingest.num_threads = 0;
   opts.ingest.snapshot_min_updates = 0;  // publish every batch boundary
   opts.ingest.sketches = {"ams_f2", "sis_l0"};
   opts.ingest.config = TestConfig(universe, 55);
-  opts.batch_size = 512;
-  auto driver = Driver::Create(opts);
-  ASSERT_TRUE(driver.ok());
+  auto client = Client::Create(opts);
+  ASSERT_TRUE(client.ok());
   stream::TurnstileStream prefix(s.begin(), s.begin() + half);
   stream::TurnstileStream suffix(s.begin() + half, s.end());
-  ASSERT_TRUE(driver.value()->Replay(prefix).ok());
+  ASSERT_TRUE(Replay(client.value().get(), prefix, 512).ok());
 
-  auto ref = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 55), 1, 0);
-  ASSERT_TRUE(ref->Replay(prefix).ok());
+  auto ref = MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 55), 1, 0);
+  ASSERT_TRUE(Replay(ref.get(), prefix, 512).ok());
   ASSERT_TRUE(ref->Finish().ok());
   for (const char* name : {"ams_f2", "sis_l0"}) {
-    auto got = driver.value()->Query(name);  // no Flush before this query
-    auto want = ref->Summary(name);
+    // No Flush before this query.
+    auto got = client.value()->QueryScalar(client.value()->Handle(name).value());
+    auto want = ref->QueryScalar(ref->Handle(name).value());
     ASSERT_TRUE(got.ok() && want.ok()) << name;
-    EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+    EXPECT_EQ(got.value().value, want.value().value) << name;
     EXPECT_EQ(got.value().updates, want.value().updates) << name;
   }
 
   // The engine keeps ingesting after the mid-stream query.
-  ASSERT_TRUE(driver.value()->Replay(suffix).ok());
-  ASSERT_TRUE(driver.value()->Finish().ok());
-  auto full = driver.value()->Query("ams_f2");
+  ASSERT_TRUE(Replay(client.value().get(), suffix, 512).ok());
+  ASSERT_TRUE(client.value()->Finish().ok());
+  auto full = client.value()->QueryScalar(client.value()->Handle("ams_f2").value());
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(full.value().updates, uint64_t(s.size()));
 }
@@ -220,14 +213,14 @@ TEST(SnapshotQueryTest, SummariesDeterministicAcrossThreadCounts) {
   // Turnstile-capable set so the churn stream can ride along (misra_gries
   // would reject its deletions; its determinism is covered in engine_test).
   auto run = [&](size_t threads) {
-    auto driver = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 2026),
-                             4, threads, 512);
-    EXPECT_TRUE(driver->Replay(zipf).ok());
-    EXPECT_TRUE(driver->Replay(churn).ok());
-    EXPECT_TRUE(driver->Finish().ok());
+    auto client = MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 2026),
+                             4, threads);
+    EXPECT_TRUE(Replay(client.get(), zipf, 512).ok());
+    EXPECT_TRUE(Replay(client.get(), churn, 512).ok());
+    EXPECT_TRUE(client->Finish().ok());
     std::vector<SketchSummary> out;
     for (const char* name : {"ams_f2", "sis_l0"}) {
-      auto summary = driver->Query(name);
+      auto summary = client->RawSummary(client->Handle(name).value());
       EXPECT_TRUE(summary.ok()) << name;
       out.push_back(std::move(summary).value());
     }
@@ -259,15 +252,15 @@ TEST(SnapshotQueryTest, QueriesSucceedWhileWorkersIngest) {
   wbs::RandomTape tape(51);
   auto s = stream::ZipfStream(universe, 200000, 1.2, &tape);
 
-  DriverOptions opts;
+  ClientOptions opts;
   opts.ingest.num_shards = 8;
   opts.ingest.num_threads = 4;
   opts.ingest.snapshot_min_updates = 256;
   opts.ingest.sketches = {"ams_f2", "sis_l0"};
   opts.ingest.config = TestConfig(universe, 99);
-  opts.batch_size = 2048;
-  auto driver = Driver::Create(opts);
-  ASSERT_TRUE(driver.ok());
+  auto client = Client::Create(opts);
+  ASSERT_TRUE(client.ok());
+  auto f2 = client.value()->Handle("ams_f2").value();
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> ok_queries{0};
@@ -276,7 +269,7 @@ TEST(SnapshotQueryTest, QueriesSucceedWhileWorkersIngest) {
   bool monotone = true;
   std::thread querier([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      auto r = driver.value()->Query("ams_f2");
+      auto r = client.value()->QueryScalar(f2);
       if (!r.ok()) {
         ++failed_queries;
         continue;
@@ -289,23 +282,27 @@ TEST(SnapshotQueryTest, QueriesSucceedWhileWorkersIngest) {
     }
   });
 
-  ASSERT_TRUE(driver.value()->Replay(s).ok());
+  // Submission is asynchronous now: Replay returns as soon as the batches
+  // are ticketed, so keep the querier running through Flush() — that is
+  // the window in which workers are actually ingesting.
+  ASSERT_TRUE(Replay(client.value().get(), s, 2048).ok());
+  ASSERT_TRUE(client.value()->Flush().ok());
   stop.store(true, std::memory_order_relaxed);
   querier.join();
-  ASSERT_TRUE(driver.value()->Finish().ok());
+  ASSERT_TRUE(client.value()->Finish().ok());
 
   EXPECT_EQ(failed_queries.load(), 0u);
   EXPECT_GT(ok_queries.load(), 0u);
   EXPECT_TRUE(monotone);
 
   // Final answer (post-Finish) matches a quiescent reference.
-  auto ref = MakeDriver({"ams_f2", "sis_l0"}, TestConfig(universe, 99), 1, 0);
-  ASSERT_TRUE(ref->Replay(s).ok());
+  auto ref = MakeClient({"ams_f2", "sis_l0"}, TestConfig(universe, 99), 1, 0);
+  ASSERT_TRUE(Replay(ref.get(), s).ok());
   ASSERT_TRUE(ref->Finish().ok());
-  auto got = driver.value()->Query("ams_f2");
-  auto want = ref->Summary("ams_f2");
+  auto got = client.value()->QueryScalar(f2);
+  auto want = ref->QueryScalar(ref->Handle("ams_f2").value());
   ASSERT_TRUE(got.ok() && want.ok());
-  EXPECT_EQ(got.value().scalar, want.value().scalar);
+  EXPECT_EQ(got.value().value, want.value().value);
   EXPECT_EQ(got.value().updates, uint64_t(s.size()));
 }
 
@@ -313,24 +310,24 @@ TEST(SnapshotQueryTest, QueriesSucceedWhileWorkersIngest) {
 
 TEST(SnapshotQueryTest, FlushPublishesLaggingShards) {
   const uint64_t universe = 1 << 10;
-  auto driver = MakeDriver({"ams_f2"}, TestConfig(universe, 3), 4, 0,
-                           /*batch=*/8);  // far below snapshot_min_updates
+  auto client = MakeClient({"ams_f2"}, TestConfig(universe, 3), 4, 0);
   wbs::RandomTape tape(3);
   auto s = stream::UniformStream(universe, 100, &tape);
-  ASSERT_TRUE(driver->Replay(s).ok());
+  ASSERT_TRUE(Replay(client.get(), s, /*batch=*/8).ok());
+  auto f2 = client->Handle("ams_f2").value();
   // 100 updates < snapshot_min_updates (1024): nothing published yet, so a
   // snapshot query sees the empty frontier...
-  auto before = driver->Query("ams_f2");
+  auto before = client->QueryScalar(f2);
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before.value().updates, 0u);
   uint64_t epochs_before = 0;
   for (size_t sh = 0; sh < 4; ++sh) {
-    epochs_before += driver->ingestor().ShardEpoch(sh);
+    epochs_before += client->ingestor().ShardEpoch(sh);
   }
   EXPECT_EQ(epochs_before, 0u);
   // ...and Flush() catches every lagging shard up.
-  ASSERT_TRUE(driver->Flush().ok());
-  auto after = driver->Query("ams_f2");
+  ASSERT_TRUE(client->Flush().ok());
+  auto after = client->QueryScalar(f2);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after.value().updates, 100u);
 }
@@ -339,17 +336,13 @@ TEST(SnapshotQueryTest, QueryReportsIngestionErrors) {
   // Once ingestion has errored, the quiescence-free query path must return
   // the error too — workers stop mutating state, so continuing to serve OK
   // answers would silently freeze the pipeline for its clients.
-  IngestorOptions opts;
-  opts.num_shards = 2;
-  opts.num_threads = 0;
-  opts.sketches = {"ams_f2"};
-  opts.config = TestConfig(/*universe=*/16, 1);
-  auto ingestor = ShardedIngestor::Create(opts);
-  ASSERT_TRUE(ingestor.ok());
-  ASSERT_TRUE(ingestor.value()->MergedSummary("ams_f2").ok());
-  stream::TurnstileUpdate bad{1 << 20, 1};  // out of universe
-  EXPECT_FALSE(ingestor.value()->Submit(&bad, 1).ok());
-  EXPECT_FALSE(ingestor.value()->MergedSummary("ams_f2").ok());
+  auto client = MakeClient({"ams_f2"}, TestConfig(/*universe=*/16, 1), 2, 0);
+  auto f2 = client->Handle("ams_f2").value();
+  ASSERT_TRUE(client->QueryScalar(f2).ok());
+  stream::TurnstileStream bad{{uint64_t{1} << 20, 1}};
+  EXPECT_FALSE(client->Submit(bad).ok());  // inline mode: fails synchronously
+  EXPECT_FALSE(client->QueryScalar(f2).ok());
+  EXPECT_FALSE(client->RawSummary(f2).ok());
 }
 
 }  // namespace

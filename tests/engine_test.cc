@@ -4,6 +4,8 @@
 // shard-merge correctness against single-instance references and exact
 // ground truth (Zipf, planted heavy hitters, insert/delete churn), and
 // bit-for-bit determinism under a fixed seed regardless of thread count.
+// Uses the typed engine::Client surface (handles + typed queries); the
+// deprecated Driver shim keeps its own coverage at the bottom.
 
 #include <gtest/gtest.h>
 
@@ -15,38 +17,25 @@
 
 #include "common/random.h"
 #include "distinct/l0_estimator.h"
+#include "engine/client.h"
 #include "engine/driver.h"
 #include "engine/registry.h"
 #include "engine/sharded_ingestor.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
 
+#include "engine_test_util.h"
+
 namespace wbs::engine {
 namespace {
 
 SketchConfig TestConfig(uint64_t universe, uint64_t seed) {
-  SketchConfig cfg;
-  cfg.universe = universe;
-  cfg.seed = seed;
-  cfg.eps = 0.1;
-  cfg.phi = 0.2;
-  cfg.mg_counters = 64;
-  cfg.ams_rows = 48;
-  return cfg;
-}
-
-std::unique_ptr<Driver> MakeDriver(std::vector<std::string> sketches,
-                                   const SketchConfig& cfg, size_t shards,
-                                   size_t threads, size_t batch = 1024) {
-  DriverOptions opts;
-  opts.ingest.num_shards = shards;
-  opts.ingest.num_threads = threads;
-  opts.ingest.sketches = std::move(sketches);
-  opts.ingest.config = cfg;
-  opts.batch_size = batch;
-  auto driver = Driver::Create(opts);
-  EXPECT_TRUE(driver.ok()) << driver.status().ToString();
-  return std::move(driver).value();
+  return SketchConfig{}
+      .WithUniverse(universe)
+      .WithSeed(seed)
+      .With(HeavyHitterOptions{}.WithEps(0.1).WithPhi(0.2))
+      .With(MisraGriesOptions{}.WithCounters(64))
+      .With(AmsOptions{}.WithRows(48));
 }
 
 // ---------------------------------------------------------------- registry --
@@ -58,6 +47,21 @@ TEST(SketchRegistryTest, BuiltinsRegistered) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), expected))
         << "missing builtin: " << expected;
   }
+}
+
+TEST(SketchRegistryTest, BuiltinFamiliesDeclared) {
+  auto family = [](const char* name) {
+    auto f = SketchRegistry::Global().FamilyOf(name);
+    EXPECT_TRUE(f.ok()) << name;
+    return f.value();
+  };
+  EXPECT_EQ(family("misra_gries"), SketchFamily::kHeavyHitter);
+  EXPECT_EQ(family("robust_hh"), SketchFamily::kHeavyHitter);
+  EXPECT_EQ(family("crhf_hh"), SketchFamily::kHeavyHitter);
+  EXPECT_EQ(family("ams_f2"), SketchFamily::kScalarEstimate);
+  EXPECT_EQ(family("sis_l0"), SketchFamily::kScalarEstimate);
+  EXPECT_EQ(family("rank_decision"), SketchFamily::kRankVerdict);
+  EXPECT_FALSE(SketchRegistry::Global().FamilyOf("no_such_sketch").ok());
 }
 
 TEST(SketchRegistryTest, CreateUnknownFails) {
@@ -75,7 +79,8 @@ TEST(SketchRegistryTest, DuplicateRegistrationRejected) {
 }
 
 TEST(SketchRegistryTest, CustomSketchRoundTrip) {
-  // A user-registered sketch participates in the engine like any builtin.
+  // A user-registered sketch participates in the engine like any builtin;
+  // with the default kGeneric family every typed query kind is allowed.
   class CountingSketch final : public Sketch {
    public:
     const std::string& name() const override {
@@ -108,14 +113,17 @@ TEST(SketchRegistryTest, CustomSketchRoundTrip) {
                               return std::make_unique<CountingSketch>();
                             })
                   .ok());
-  auto driver = MakeDriver({"test_counting"}, TestConfig(1 << 10, 7), 4, 0);
+  auto client = MakeClient({"test_counting"}, TestConfig(1 << 10, 7), 4, 0);
   wbs::RandomTape tape(7);
   auto s = stream::UniformStream(1 << 10, 5000, &tape);
-  ASSERT_TRUE(driver->Replay(s).ok());
-  ASSERT_TRUE(driver->Finish().ok());
-  auto summary = driver->Summary("test_counting");
-  ASSERT_TRUE(summary.ok());
-  EXPECT_DOUBLE_EQ(summary.value().scalar, 5000.0);
+  ASSERT_TRUE(Replay(client.get(), s).ok());
+  ASSERT_TRUE(client->Finish().ok());
+  auto handle = client->Handle("test_counting");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value().family(), SketchFamily::kGeneric);
+  auto scalar = client->QueryScalar(handle.value());
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_DOUBLE_EQ(scalar.value().value, 5000.0);
 }
 
 // ---------------------------------------------------------------- batching --
@@ -166,7 +174,8 @@ TEST(EngineBatchTest, BatchedMisraGriesKeepsDeterministicGuarantee) {
   ASSERT_TRUE(
       batched.value()->ApplyBatch({turnstile.data(), turnstile.size()}).ok());
   SketchSummary summary = batched.value()->Summary();
-  const double bound = double(s.size()) / double(cfg.mg_counters + 1);
+  const double bound =
+      double(s.size()) / double(cfg.misra_gries.counters + 1);
   for (const auto& [item, f] : truth.frequencies()) {
     const double est = summary.Estimate(item);
     EXPECT_LE(est, double(f) + 1e-9) << item;          // never overestimates
@@ -203,18 +212,18 @@ TEST(EngineMergeTest, LinearSketchesShardMergeExactOnZipf) {
   auto s = stream::ZipfStream(universe, 40000, 1.1, &tape);
   SketchConfig cfg = TestConfig(universe, 99);
 
-  auto sharded = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 0);
-  auto single = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
-  ASSERT_TRUE(sharded->Replay(s).ok());
-  ASSERT_TRUE(single->Replay(s).ok());
+  auto sharded = MakeClient({"ams_f2", "sis_l0"}, cfg, 4, 0);
+  auto single = MakeClient({"ams_f2", "sis_l0"}, cfg, 1, 0);
+  ASSERT_TRUE(Replay(sharded.get(), s).ok());
+  ASSERT_TRUE(Replay(single.get(), s).ok());
   ASSERT_TRUE(sharded->Finish().ok());
   ASSERT_TRUE(single->Finish().ok());
 
   for (const char* name : {"ams_f2", "sis_l0"}) {
-    auto merged = sharded->Summary(name);
-    auto reference = single->Summary(name);
+    auto merged = sharded->QueryScalar(sharded->Handle(name).value());
+    auto reference = single->QueryScalar(single->Handle(name).value());
     ASSERT_TRUE(merged.ok() && reference.ok()) << name;
-    EXPECT_EQ(merged.value().scalar, reference.value().scalar) << name;
+    EXPECT_EQ(merged.value().value, reference.value().value) << name;
     EXPECT_EQ(merged.value().updates, reference.value().updates) << name;
   }
 }
@@ -229,29 +238,29 @@ TEST(EngineMergeTest, LinearSketchesShardMergeExactOnChurn) {
   ASSERT_EQ(truth.L0(), 100u);  // deletions truly cancel
 
   SketchConfig cfg = TestConfig(universe, 7);
-  auto sharded = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, 0);
-  auto single = MakeDriver({"ams_f2", "sis_l0"}, cfg, 1, 0);
-  ASSERT_TRUE(sharded->Replay(s).ok());
-  ASSERT_TRUE(single->Replay(s).ok());
+  auto sharded = MakeClient({"ams_f2", "sis_l0"}, cfg, 4, 0);
+  auto single = MakeClient({"ams_f2", "sis_l0"}, cfg, 1, 0);
+  ASSERT_TRUE(Replay(sharded.get(), s).ok());
+  ASSERT_TRUE(Replay(single.get(), s).ok());
   ASSERT_TRUE(sharded->Finish().ok());
   ASSERT_TRUE(single->Finish().ok());
 
   for (const char* name : {"ams_f2", "sis_l0"}) {
-    auto merged = sharded->Summary(name);
-    auto reference = single->Summary(name);
+    auto merged = sharded->QueryScalar(sharded->Handle(name).value());
+    auto reference = single->QueryScalar(single->Handle(name).value());
     ASSERT_TRUE(merged.ok() && reference.ok()) << name;
-    EXPECT_EQ(merged.value().scalar, reference.value().scalar) << name;
+    EXPECT_EQ(merged.value().value, reference.value().value) << name;
   }
 
   // And both match ground truth within the configured guarantees:
   // SIS-L0 answers in [L0 / chunk_width, min(L0, num_chunks)].
-  auto l0 = sharded->Summary("sis_l0");
+  auto l0 = sharded->QueryScalar(sharded->Handle("sis_l0").value());
   ASSERT_TRUE(l0.ok());
   const auto params = distinct::SisL0Params::Derive(
-      universe, cfg.l0_eps, cfg.l0_c, cfg.l0_f_inf_bound);
-  EXPECT_GE(l0.value().scalar,
+      universe, cfg.sis_l0.eps, cfg.sis_l0.c, cfg.sis_l0.f_inf_bound);
+  EXPECT_GE(l0.value().value,
             double(truth.L0()) / double(params.chunk_width) - 1e-9);
-  EXPECT_LE(l0.value().scalar, double(truth.L0()) + 1e-9);
+  EXPECT_LE(l0.value().value, double(truth.L0()) + 1e-9);
 }
 
 TEST(EngineMergeTest, MisraGriesShardMergeExactWithoutEviction) {
@@ -265,21 +274,28 @@ TEST(EngineMergeTest, MisraGriesShardMergeExactWithoutEviction) {
   truth.AddStream(s);
 
   SketchConfig cfg = TestConfig(universe, 5);
-  cfg.mg_counters = 512;  // > universe: no eviction anywhere
-  auto sharded = MakeDriver({"misra_gries"}, cfg, 4, 0);
-  auto single = MakeDriver({"misra_gries"}, cfg, 1, 0);
-  ASSERT_TRUE(sharded->Replay(s).ok());
-  ASSERT_TRUE(single->Replay(s).ok());
+  cfg.misra_gries.counters = 512;  // > universe: no eviction anywhere
+  auto sharded = MakeClient({"misra_gries"}, cfg, 4, 0);
+  auto single = MakeClient({"misra_gries"}, cfg, 1, 0);
+  ASSERT_TRUE(Replay(sharded.get(), s).ok());
+  ASSERT_TRUE(Replay(single.get(), s).ok());
   ASSERT_TRUE(sharded->Finish().ok());
   ASSERT_TRUE(single->Finish().ok());
 
-  auto merged = sharded->Summary("misra_gries");
-  auto reference = single->Summary("misra_gries");
+  auto mg_sharded = sharded->Handle("misra_gries").value();
+  auto mg_single = single->Handle("misra_gries").value();
+  auto merged = sharded->RawSummary(mg_sharded);
+  auto reference = single->RawSummary(mg_single);
   ASSERT_TRUE(merged.ok() && reference.ok());
   ASSERT_EQ(merged.value().items.size(), reference.value().items.size());
   for (const auto& [item, f] : truth.frequencies()) {
-    EXPECT_DOUBLE_EQ(merged.value().Estimate(item), double(f)) << item;
-    EXPECT_DOUBLE_EQ(reference.value().Estimate(item), double(f)) << item;
+    // Typed point queries against both clients agree with exact truth.
+    auto a = sharded->QueryPoint(mg_sharded, item);
+    auto b = single->QueryPoint(mg_single, item);
+    ASSERT_TRUE(a.ok() && b.ok()) << item;
+    EXPECT_DOUBLE_EQ(a.value().estimate, double(f)) << item;
+    EXPECT_DOUBLE_EQ(b.value().estimate, double(f)) << item;
+    EXPECT_TRUE(a.value().tracked);
   }
 }
 
@@ -291,21 +307,21 @@ TEST(EngineMergeTest, MisraGriesShardMergeKeepsGuaranteeUnderEviction) {
   truth.AddStream(s);
 
   SketchConfig cfg = TestConfig(universe, 5);
-  cfg.mg_counters = 64;
-  auto sharded = MakeDriver({"misra_gries"}, cfg, 4, 0);
-  ASSERT_TRUE(sharded->Replay(s).ok());
+  cfg.misra_gries.counters = 64;
+  auto sharded = MakeClient({"misra_gries"}, cfg, 4, 0);
+  ASSERT_TRUE(Replay(sharded.get(), s).ok());
   ASSERT_TRUE(sharded->Finish().ok());
-  auto merged = sharded->Summary("misra_gries");
-  ASSERT_TRUE(merged.ok());
+  auto mg = sharded->Handle("misra_gries").value();
 
   // Merged summary: never overestimates; underestimates by at most the
   // per-shard bound plus the merge bound <= 2m/(k+1).
   const double bound =
-      2.0 * double(s.size()) / double(cfg.mg_counters + 1);
+      2.0 * double(s.size()) / double(cfg.misra_gries.counters + 1);
   for (const auto& [item, f] : truth.frequencies()) {
-    const double est = merged.value().Estimate(item);
-    EXPECT_LE(est, double(f) + 1e-9) << item;
-    EXPECT_GE(est, double(f) - bound - 1e-9) << item;
+    auto point = sharded->QueryPoint(mg, item);
+    ASSERT_TRUE(point.ok()) << item;
+    EXPECT_LE(point.value().estimate, double(f) + 1e-9) << item;
+    EXPECT_GE(point.value().estimate, double(f) - bound - 1e-9) << item;
   }
 }
 
@@ -319,24 +335,28 @@ TEST(EngineMergeTest, PlantedHeavyHittersRecoveredAfterShardMerge) {
     auto s = stream::PlantedHeavyHitterStream(universe, m, 3, 0.2, &tape,
                                               &planted);
     SketchConfig cfg = TestConfig(universe, 1000 + trial);
-    auto driver =
-        MakeDriver({"misra_gries", "robust_hh", "crhf_hh"}, cfg, 4, 0);
-    ASSERT_TRUE(driver->Replay(s).ok());
-    ASSERT_TRUE(driver->Finish().ok());
+    auto client =
+        MakeClient({"misra_gries", "robust_hh", "crhf_hh"}, cfg, 4, 0);
+    ASSERT_TRUE(Replay(client.get(), s).ok());
+    ASSERT_TRUE(client->Finish().ok());
 
     // Misra-Gries is deterministic: every 20%-heavy item must be reported
     // with an estimate above f - 2m/(k+1).
-    auto mg = driver->Summary("misra_gries");
-    ASSERT_TRUE(mg.ok());
-    const double mg_bound = 2.0 * double(m) / double(cfg.mg_counters + 1);
+    auto mg = client->Handle("misra_gries").value();
+    const double mg_bound =
+        2.0 * double(m) / double(cfg.misra_gries.counters + 1);
     for (uint64_t id : planted) {
-      EXPECT_GE(mg.value().Estimate(id), 0.2 * double(m) - mg_bound - 1e-9)
+      auto point = client->QueryPoint(mg, id);
+      ASSERT_TRUE(point.ok());
+      EXPECT_GE(point.value().estimate, 0.2 * double(m) - mg_bound - 1e-9)
           << "trial " << trial << " item " << id;
     }
     // Sampling sketches: candidate-list union across shards must contain the
-    // planted items with the configured probability; tally misses.
-    auto robust = driver->Summary("robust_hh");
-    auto crhf = driver->Summary("crhf_hh");
+    // planted items with the configured probability; tally misses via the
+    // typed top-k surface (k larger than any candidate list).
+    auto robust = client->QueryTopK(client->Handle("robust_hh").value(),
+                                    1 << 20);
+    auto crhf = client->QueryTopK(client->Handle("crhf_hh").value(), 1 << 20);
     ASSERT_TRUE(robust.ok() && crhf.ok());
     for (uint64_t id : planted) {
       std::set<uint64_t> robust_items, crhf_items;
@@ -351,26 +371,26 @@ TEST(EngineMergeTest, PlantedHeavyHittersRecoveredAfterShardMerge) {
 }
 
 TEST(EngineMergeTest, RankDecisionShardMergeExact) {
-  // Stream a diagonal matrix entry-wise: rank grows to rank_k; the sharded
+  // Stream a diagonal matrix entry-wise: rank grows to rank k; the sharded
   // merged sketch must agree with the single-shard run at every checkpoint.
   SketchConfig cfg = TestConfig(1, 17);
-  cfg.rank_n = 32;
-  cfg.rank_k = 8;
+  cfg.rank.n = 32;
+  cfg.rank.k = 8;
   stream::TurnstileStream diag;
   for (size_t i = 0; i < 8; ++i) {
-    diag.push_back({uint64_t(i) * cfg.rank_n + i, 1});  // A[i][i] += 1
+    diag.push_back({uint64_t(i) * cfg.rank.n + i, 1});  // A[i][i] += 1
   }
-  auto sharded = MakeDriver({"rank_decision"}, cfg, 4, 0, /*batch=*/3);
-  auto single = MakeDriver({"rank_decision"}, cfg, 1, 0, /*batch=*/3);
-  ASSERT_TRUE(sharded->Replay(diag).ok());
-  ASSERT_TRUE(single->Replay(diag).ok());
+  auto sharded = MakeClient({"rank_decision"}, cfg, 4, 0);
+  auto single = MakeClient({"rank_decision"}, cfg, 1, 0);
+  ASSERT_TRUE(Replay(sharded.get(), diag, /*batch=*/3).ok());
+  ASSERT_TRUE(Replay(single.get(), diag, /*batch=*/3).ok());
   ASSERT_TRUE(sharded->Finish().ok());
   ASSERT_TRUE(single->Finish().ok());
-  auto merged = sharded->Summary("rank_decision");
-  auto reference = single->Summary("rank_decision");
+  auto merged = sharded->QueryRank(sharded->Handle("rank_decision").value());
+  auto reference = single->QueryRank(single->Handle("rank_decision").value());
   ASSERT_TRUE(merged.ok() && reference.ok());
-  EXPECT_EQ(merged.value().scalar, reference.value().scalar);
-  EXPECT_EQ(merged.value().scalar, 1.0);  // rank 8 >= k = 8
+  EXPECT_EQ(merged.value().rank_at_least_k, reference.value().rank_at_least_k);
+  EXPECT_TRUE(merged.value().rank_at_least_k);  // rank 8 >= k = 8
 }
 
 // ------------------------------------------------------------- determinism --
@@ -384,13 +404,17 @@ TEST(EngineDeterminismTest, SummariesIdenticalAcrossThreadCounts) {
   auto run = [&](size_t threads) {
     SketchConfig cfg = TestConfig(universe, 2024);
     // Turnstile-capable set so the churn stream can ride along.
-    auto driver = MakeDriver({"ams_f2", "sis_l0"}, cfg, 4, threads, 512);
-    EXPECT_TRUE(driver->Replay(zipf).ok());
-    EXPECT_TRUE(driver->Replay(churn).ok());
-    EXPECT_TRUE(driver->Finish().ok());
-    auto summaries = driver->Summaries();
-    EXPECT_TRUE(summaries.ok());
-    return std::move(summaries).value();
+    auto client = MakeClient({"ams_f2", "sis_l0"}, cfg, 4, threads);
+    EXPECT_TRUE(Replay(client.get(), zipf, 512).ok());
+    EXPECT_TRUE(Replay(client.get(), churn, 512).ok());
+    EXPECT_TRUE(client->Finish().ok());
+    std::vector<ScalarEstimate> out;
+    for (const char* name : {"ams_f2", "sis_l0"}) {
+      auto scalar = client->QueryScalar(client->Handle(name).value());
+      EXPECT_TRUE(scalar.ok()) << name;
+      out.push_back(scalar.value());
+    }
+    return out;
   };
 
   auto reference = run(0);
@@ -398,10 +422,10 @@ TEST(EngineDeterminismTest, SummariesIdenticalAcrossThreadCounts) {
     auto got = run(threads);
     ASSERT_EQ(got.size(), reference.size()) << threads << " threads";
     for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].scalar, reference[i].scalar)
-          << got[i].sketch << " with " << threads << " threads";
+      EXPECT_EQ(got[i].value, reference[i].value)
+          << "sketch " << i << " with " << threads << " threads";
       EXPECT_EQ(got[i].updates, reference[i].updates)
-          << got[i].sketch << " with " << threads << " threads";
+          << "sketch " << i << " with " << threads << " threads";
     }
   }
 }
@@ -413,11 +437,13 @@ TEST(EngineDeterminismTest, SamplingSketchDeterministicAcrossThreadCounts) {
 
   auto run = [&](size_t threads) {
     SketchConfig cfg = TestConfig(universe, 77);
-    auto driver = MakeDriver({"robust_hh", "misra_gries"}, cfg, 4, threads);
-    EXPECT_TRUE(driver->Replay(s).ok());
-    EXPECT_TRUE(driver->Finish().ok());
-    auto robust = driver->Summary("robust_hh");
-    auto mg = driver->Summary("misra_gries");
+    auto client = MakeClient({"robust_hh", "misra_gries"}, cfg, 4, threads);
+    EXPECT_TRUE(Replay(client.get(), s).ok());
+    EXPECT_TRUE(client->Finish().ok());
+    auto robust = client->QueryTopK(client->Handle("robust_hh").value(),
+                                    1 << 20);
+    auto mg = client->QueryTopK(client->Handle("misra_gries").value(),
+                                1 << 20);
     EXPECT_TRUE(robust.ok() && mg.ok());
     return std::make_pair(std::move(robust).value(), std::move(mg).value());
   };
@@ -461,6 +487,7 @@ TEST(ShardedIngestorTest, SubmitAfterFinishFails) {
   ASSERT_TRUE(ingestor.value()->Finish().ok());
   stream::TurnstileUpdate u{1, 1};
   EXPECT_FALSE(ingestor.value()->Submit(&u, 1).ok());
+  EXPECT_FALSE(ingestor.value()->SubmitAsync(&u, 1).ok());
 }
 
 TEST(ShardedIngestorTest, WorkerErrorSurfacesOnFlush) {
@@ -487,12 +514,56 @@ TEST(ShardedIngestorTest, UnknownSketchNameRejectedAtCreate) {
 
 TEST(ShardedIngestorTest, SpaceBitsAccumulatesAcrossShards) {
   SketchConfig cfg = TestConfig(1 << 10, 9);
-  auto driver = MakeDriver({"misra_gries"}, cfg, 4, 0);
+  auto client = MakeClient({"misra_gries"}, cfg, 4, 0);
   wbs::RandomTape tape(9);
   auto s = stream::UniformStream(1 << 10, 2000, &tape);
-  ASSERT_TRUE(driver->Replay(s).ok());
-  ASSERT_TRUE(driver->Finish().ok());
-  EXPECT_GT(driver->ingestor().SpaceBits(), 0u);
+  ASSERT_TRUE(Replay(client.get(), s).ok());
+  ASSERT_TRUE(client->Finish().ok());
+  EXPECT_GT(client->ingestor().SpaceBits(), 0u);
+}
+
+// ------------------------------------------------------------- driver shim --
+
+// The deprecated Driver must stay a faithful shim: same answers as the
+// Client it wraps, Query/Summary aliases agreeing, and the legacy Replay
+// convenience intact.
+TEST(DriverShimTest, ReplayAndQueryMatchClientSurface) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(71);
+  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
+
+  DriverOptions opts;
+  opts.ingest.num_shards = 4;
+  opts.ingest.num_threads = 0;
+  opts.ingest.sketches = {"misra_gries", "ams_f2"};
+  opts.ingest.config = TestConfig(universe, 88);
+  opts.batch_size = 1024;
+  auto driver = Driver::Create(opts);
+  ASSERT_TRUE(driver.ok());
+  ASSERT_TRUE(driver.value()->Replay(s).ok());
+  ASSERT_TRUE(driver.value()->Finish().ok());
+  EXPECT_EQ(driver.value()->updates_replayed(), uint64_t(s.size()));
+
+  auto query = driver.value()->Query("ams_f2");
+  auto summary = driver.value()->Summary("ams_f2");  // deprecated alias
+  ASSERT_TRUE(query.ok() && summary.ok());
+  EXPECT_EQ(query.value().scalar, summary.value().scalar);
+  EXPECT_EQ(query.value().updates, summary.value().updates);
+
+  // The shim's answer is the Client's answer.
+  auto handle = driver.value()->client().Handle("ams_f2");
+  ASSERT_TRUE(handle.ok());
+  auto typed = driver.value()->client().QueryScalar(handle.value());
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed.value().value, query.value().scalar);
+
+  auto summaries = driver.value()->Summaries();
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_EQ(summaries.value().size(), 2u);
+
+  auto missing = driver.value()->Query("sis_l0");  // not configured
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
 }
 
 }  // namespace

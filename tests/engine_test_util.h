@@ -1,0 +1,59 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Shared helpers for the engine test suites: Client construction with
+// EXPECT-checked creation, and materialized-stream replay through the
+// ticketed Submit surface (the test-side equivalent of the deprecated
+// Driver::Replay loop).
+
+#ifndef WBS_TESTS_ENGINE_TEST_UTIL_H_
+#define WBS_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/client.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+inline std::unique_ptr<Client> MakeClient(std::vector<std::string> sketches,
+                                          const SketchConfig& cfg,
+                                          size_t shards, size_t threads) {
+  ClientOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = std::move(sketches);
+  opts.ingest.config = cfg;
+  auto client = Client::Create(opts);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+inline Status Replay(Client* client, const stream::TurnstileStream& s,
+                     size_t batch = 1024) {
+  for (size_t off = 0; off < s.size(); off += batch) {
+    auto t = client->Submit(s.data() + off, std::min(batch, s.size() - off));
+    if (!t.ok()) return t.status();
+  }
+  return Status::OK();
+}
+
+inline Status Replay(Client* client, const stream::ItemStream& s,
+                     size_t batch = 1024) {
+  for (size_t off = 0; off < s.size(); off += batch) {
+    auto t =
+        client->SubmitItems(s.data() + off, std::min(batch, s.size() - off));
+    if (!t.ok()) return t.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace wbs::engine
+
+#endif  // WBS_TESTS_ENGINE_TEST_UTIL_H_
