@@ -22,7 +22,11 @@
 #include "crypto/crhf.h"
 #include "crypto/sha256.h"
 #include "distinct/l0_estimator.h"
+#include "engine/backend.h"
 #include "engine/client.h"
+#include "engine/registry.h"
+#include "engine/remote_backend.h"
+#include "engine/wire.h"
 #include "heavyhitters/misra_gries.h"
 #include "heavyhitters/robust_hh.h"
 #include "hhh/hhh.h"
@@ -434,6 +438,196 @@ void RunEngineMultiProducerSweep(uint64_t num_updates) {
   }
 }
 
+// -------------------------------------------------------- shard backends --
+//
+// The pluggable ShardBackend boundary priced end to end: the same
+// multi-producer workload through the in-process backend (zero-copy apply,
+// the engine's original path) and the loopback-remote backend (every shard
+// behind a socketpair speaking the wire format — per-batch encode, two
+// socket hops, server-side apply, serialized snapshots on the query path).
+// The gap between the two rows is the cost of a process boundary per se;
+// a real network would add latency on top of exactly the same protocol.
+
+double RunEngineBackendMode(const char* backend_name,
+                            const wbs::engine::BackendFactory& factory,
+                            size_t producers,
+                            const wbs::stream::TurnstileStream& s,
+                            uint64_t universe) {
+  const size_t shards = 8, threads = 4, batch = 32768;
+  wbs::engine::ClientOptions opts =
+      EngineClientOptions(universe, shards, threads);
+  opts.ingest.backend = factory;
+  auto client = wbs::engine::Client::Create(opts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "engine backend client: %s\n",
+                 client.status().ToString().c_str());
+    return 0;
+  }
+  auto f2 = client.value()->Handle("ams_f2").value();
+  auto mg = client.value()->Handle("misra_gries").value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0}, query_errors{0};
+  std::thread querier([&] {
+    size_t qi = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool ok = (qi++ % 2 == 0)
+                          ? client.value()->QueryScalar(f2).ok()
+                          : client.value()->QueryTopK(mg, 16).ok();
+      ok ? ++queries : ++query_errors;
+    }
+  });
+
+  std::atomic<uint64_t> submit_errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pthreads;
+  pthreads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    pthreads.emplace_back([&, p] {
+      for (size_t off = p * batch; off < s.size();
+           off += producers * batch) {
+        const size_t n = std::min(batch, s.size() - off);
+        if (!client.value()->Submit(s.data() + off, n).ok()) {
+          ++submit_errors;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pthreads) t.join();
+  wbs::Status st = client.value()->Flush();
+  const auto t1 = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  querier.join();
+  if (st.ok()) st = client.value()->Finish();
+  if (!st.ok() || submit_errors.load() > 0) {
+    std::fprintf(stderr, "engine backend bench (%s): %s\n", backend_name,
+                 st.ToString().c_str());
+    return 0;
+  }
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double ups = double(s.size()) / seconds;
+  wbs::bench::JsonRow()
+      .Field("bench", "engine_backend")
+      .Field("backend", backend_name)
+      .Field("producers", uint64_t(producers))
+      .Field("shards", uint64_t(shards))
+      .Field("threads", uint64_t(threads))
+      .Field("batch", uint64_t(batch))
+      .Field("updates", uint64_t(s.size()))
+      .Field("seconds", seconds)
+      .Field("updates_per_sec", ups)
+      .Field("mid_ingest_queries", queries.load())
+      .Field("queries_per_sec", seconds > 0 ? double(queries.load()) / seconds
+                                            : 0)
+      .Field("query_errors", query_errors.load())
+      .Emit();
+  return ups;
+}
+
+void RunEngineBackendSweep(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_backend",
+      "pluggable ShardBackend boundary: inprocess (zero-copy) vs loopback "
+      "(socketpair + wire format) at 1/2/4 producers, typed queries "
+      "mid-ingest");
+  const uint64_t universe = 4096;
+  wbs::RandomTape tape(105);
+  tape.set_logging(false);
+  auto items = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+  wbs::stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+  for (size_t producers : {size_t(1), size_t(2), size_t(4)}) {
+    RunEngineBackendMode("inprocess", wbs::engine::InProcessBackendFactory(),
+                         producers, s, universe);
+    RunEngineBackendMode("loopback", wbs::engine::LoopbackBackendFactory(),
+                         producers, s, universe);
+  }
+}
+
+// -------------------------------------------------------- wire serialize --
+//
+// The serialization wire format itself: bytes and microseconds to
+// serialize / deserialize one snapshot per sketch family, on state built
+// from a Zipf ingest. This is the per-snapshot price a remote backend pays
+// on the query path (amortized by the merge cache's epoch dirty-checks).
+
+void RunWireSerializeBench(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "wire_serialize",
+      "sketch-state wire format: serialize/deserialize cost and snapshot "
+      "bytes per family (checksummed kSketchState frames)");
+  const uint64_t universe = 4096;
+  wbs::engine::SketchConfig cfg;
+  cfg.universe = universe;
+  cfg.seed = 2025;
+  cfg.shard_seed = 77;
+  cfg.rank.n = 64;
+  cfg.rank.k = 8;
+
+  wbs::RandomTape tape(106);
+  tape.set_logging(false);
+  const size_t ingest = size_t(std::min<uint64_t>(num_updates, 200000));
+  auto items = wbs::stream::ZipfStream(universe, ingest, 1.2, &tape);
+  wbs::stream::TurnstileStream zipf;
+  zipf.reserve(items.size());
+  for (const auto& u : items) zipf.push_back({u.item, 1});
+  // rank_decision streams matrix entries, not universe items.
+  wbs::stream::TurnstileStream rank_stream;
+  for (size_t i = 0; i < cfg.rank.k; ++i) {
+    rank_stream.push_back({uint64_t(i) * cfg.rank.n + i, 1});
+  }
+
+  for (const char* name : {"misra_gries", "ams_f2", "sis_l0",
+                           "rank_decision", "robust_hh", "crhf_hh"}) {
+    auto sketch = wbs::engine::SketchRegistry::Global().Create(name, cfg);
+    if (!sketch.ok()) continue;
+    const auto& stream_for =
+        std::strcmp(name, "rank_decision") == 0 ? rank_stream : zipf;
+    for (size_t off = 0; off < stream_for.size(); off += 4096) {
+      wbs::engine::UpdateBatch b;
+      b.data = stream_for.data() + off;
+      b.size = std::min<size_t>(4096, stream_for.size() - off);
+      if (!sketch.value()->ApplyBatch(b).ok()) break;
+    }
+
+    const int kReps = 50;
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    std::string frame;
+    for (int i = 0; i < kReps; ++i) {
+      auto f = wbs::engine::SerializeSketch(*sketch.value());
+      if (!f.ok()) {
+        frame.clear();
+        break;
+      }
+      frame = std::move(f).value();
+    }
+    auto t1 = clock::now();
+    if (frame.empty()) continue;
+    bool restored_ok = true;
+    for (int i = 0; i < kReps; ++i) {
+      auto restored = wbs::engine::DeserializeSketch(name, cfg, frame);
+      restored_ok &= restored.ok();
+    }
+    auto t2 = clock::now();
+    const double ser_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+    const double deser_us =
+        std::chrono::duration<double, std::micro>(t2 - t1).count() / kReps;
+    wbs::bench::JsonRow()
+        .Field("bench", "wire_serialize")
+        .Field("sketch", name)
+        .Field("ingested_updates", uint64_t(stream_for.size()))
+        .Field("state_bytes", uint64_t(frame.size()))
+        .Field("serialize_us", ser_us)
+        .Field("deserialize_us", deser_us)
+        .Field("round_trip_ok", restored_ok)
+        .Emit();
+  }
+}
+
 // ---------------------------------------------------------- merge cache --
 //
 // Cold rebuild vs cached re-query vs incremental single-shard refold of the
@@ -679,6 +873,8 @@ int main(int argc, char** argv) {
     RunEngineThroughput(engine_updates);
     RunEngineMixed(engine_updates);
     RunEngineMultiProducerSweep(engine_updates);
+    RunEngineBackendSweep(engine_updates);
+    RunWireSerializeBench(engine_updates);
     RunMergeCacheBench(engine_updates);
     RunBarrettKernels();
   }

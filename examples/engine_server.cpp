@@ -22,11 +22,19 @@
 // broken baseline from src/distinct/l0_estimator.h) reports every attacked
 // chunk empty.
 //
+// The shard backend is selectable: --backend=inprocess (default) keeps the
+// shards in this process; --backend=loopback runs every shard behind a
+// socketpair server speaking the engine wire format — same Client code,
+// same answers, shard state crossing a process-style boundary.
+//
 //   $ ./examples/engine_server
+//   $ ./examples/engine_server --backend=loopback
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,10 +42,27 @@
 #include "common/random.h"
 #include "distinct/l0_estimator.h"
 #include "engine/client.h"
+#include "engine/remote_backend.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string backend_name = "inprocess";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_name = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "usage: %s [--backend=inprocess|loopback]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  auto backend = wbs::engine::BackendFactoryByName(backend_name);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 2;
+  }
+
   const uint64_t universe = uint64_t{1} << 14;
   wbs::RandomTape tape(2026);
   tape.set_logging(false);
@@ -54,9 +79,11 @@ int main() {
   zipf.reserve(zipf_items.size());
   for (const auto& u : zipf_items) zipf.push_back({u.item, 1});
 
+  // live + churn must fit in the half-universe (the generator's
+  // precondition: churned items are distinct from live ones).
   auto churn =
       wbs::stream::InsertDeleteChurnStream(half, /*live=*/400,
-                                           /*churn=*/20'000, &tape);
+                                           /*churn=*/7'000, &tape);
 
   // Client C: for every top-half chunk, stream +1/-1 across PAIRS of
   // coordinates. Each pair leaves two live keys whose chunk-sum is zero —
@@ -80,6 +107,7 @@ int main() {
   opts.ingest.sketches = {"ams_f2", "sis_l0"};  // turnstile-capable group
   opts.ingest.config =
       wbs::engine::SketchConfig{}.WithUniverse(universe).WithSeed(7);
+  opts.ingest.backend = std::move(backend).value();
   auto client_or = wbs::engine::Client::Create(opts);
   if (!client_or.ok()) {
     std::fprintf(stderr, "engine: %s\n",
@@ -179,9 +207,10 @@ int main() {
 
   std::printf(
       "\nupdates ingested: %llu across %zu shards (%zu worker threads, "
-      "3 producer threads)\n",
+      "3 producer threads, %s backend)\n",
       (unsigned long long)client->updates_submitted(),
-      client->ingestor().num_shards(), client->ingestor().num_threads());
+      client->ingestor().num_shards(), client->ingestor().num_threads(),
+      client->ingestor().backend().name().c_str());
   // A raw query COUNT would be scheduling-dependent and the examples
   // double as determinism probes (byte-identical output across runs), so
   // report only the failure count — deterministically 0 when healthy.

@@ -98,6 +98,22 @@ Status SisSketchVector::UnmergeFrom(const SisSketchVector& other) {
   return Status::OK();
 }
 
+Status SisSketchVector::SetValue(const std::vector<uint64_t>& value) {
+  if (value.size() != v_.size()) {
+    return Status::InvalidArgument(
+        "SisSketchVector::SetValue: row count mismatch");
+  }
+  const uint64_t q = matrix_->params().q;
+  for (uint64_t x : value) {
+    if (x >= q) {
+      return Status::InvalidArgument(
+          "SisSketchVector::SetValue: entry not reduced mod q");
+    }
+  }
+  v_ = value;
+  return Status::OK();
+}
+
 bool SisSketchVector::IsZero() const {
   for (uint64_t x : v_) {
     if (x != 0) return false;

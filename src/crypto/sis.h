@@ -113,6 +113,11 @@ class SisSketchVector {
 
   const std::vector<uint64_t>& value() const { return v_; }
 
+  /// Replaces the sketch vector with a previously captured value() — the
+  /// deserialization half of shipping a sketch across a process boundary.
+  /// Rejects a size mismatch or any entry outside [0, q).
+  Status SetValue(const std::vector<uint64_t>& value);
+
   /// Bits to store the sketch vector (rows * ceil(log2 q)).
   uint64_t SpaceBits() const;
 

@@ -85,6 +85,14 @@ Status SisL0Estimator::UnmergeFrom(const SisL0Estimator& other) {
   return Status::OK();
 }
 
+Status SisL0Estimator::RestoreChunk(size_t chunk,
+                                    const std::vector<uint64_t>& value) {
+  if (chunk >= chunks_.size()) {
+    return Status::OutOfRange("SisL0Estimator::RestoreChunk: chunk index");
+  }
+  return chunks_[chunk].SetValue(value);
+}
+
 double SisL0Estimator::Query() const {
   uint64_t nonzero = 0;
   for (const auto& c : chunks_) {

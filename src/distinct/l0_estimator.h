@@ -87,6 +87,15 @@ class SisL0Estimator final
   const SisL0Params& params() const { return params_; }
   const crypto::SisMatrix& matrix() const { return matrix_; }
 
+  /// The per-chunk sketch vectors — the estimator's entire mutable state.
+  const std::vector<crypto::SisSketchVector>& chunks() const {
+    return chunks_;
+  }
+
+  /// Restores one chunk's sketch vector from a previously captured
+  /// value(); validates the chunk index, row count, and mod-q range.
+  Status RestoreChunk(size_t chunk, const std::vector<uint64_t>& value);
+
  private:
   SisL0Params params_;
   crypto::SisMatrix matrix_;

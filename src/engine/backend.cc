@@ -1,0 +1,260 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/backend.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/random.h"
+#include "engine/registry.h"
+
+namespace wbs::engine {
+namespace {
+
+// The engine's fixed seed schedule — unchanged from the pre-backend
+// ingestor so existing runs replay bit-for-bit.
+constexpr uint64_t kShardSeedSalt = 0x5ea5ea5ea5ea5ea5ULL;
+constexpr uint64_t kMergeSeedSalt = 0x3e63e63e63e63e63ULL;
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t salt, uint64_t index) {
+  uint64_t s = seed ^ salt ^ (index * 0xd1342543de82ef95ULL);
+  return SplitMix64(&s);
+}
+
+/// The engine's original process-local shard code behind the ShardBackend
+/// interface: raw-pointer apply, shared per-shard aggregation scratch,
+/// clone-based snapshot slots with an atomic epoch.
+class InProcessBackend final : public ShardBackend {
+ public:
+  static Result<std::unique_ptr<ShardBackend>> Create(
+      const BackendOptions& options) {
+    std::unique_ptr<InProcessBackend> backend(new InProcessBackend(options));
+    for (size_t shard = 0; shard < options.num_shards; ++shard) {
+      auto sh = std::make_unique<Shard>();
+      sh->cfg = options.shard_seeds_resolved
+                    ? options.config
+                    : ShardConfigFor(options.config, shard);
+      for (const std::string& name : options.sketches) {
+        auto sketch = SketchRegistry::Global().Create(name, sh->cfg);
+        if (!sketch.ok()) return sketch.status();
+        sh->sketches.push_back(std::move(sketch).value());
+      }
+      backend->shards_.push_back(std::move(sh));
+    }
+    return Result<std::unique_ptr<ShardBackend>>(std::move(backend));
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "inprocess";
+    return kName;
+  }
+
+  BackendCapabilities capabilities() const override {
+    return BackendCapabilities{/*zero_copy=*/true,
+                               /*crosses_process_boundary=*/false,
+                               wire::kFormatVersion};
+  }
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  Status ApplyBatch(size_t shard_index, const stream::TurnstileUpdate* data,
+                    size_t count) override {
+    if (shard_index >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    Shard& shard = *shards_[shard_index];
+    // Aggregate once per shard batch; every weight-equivalent sketch in the
+    // shard's group consumes the shared result instead of re-hashing the
+    // batch, which is where most of the engine's batching win comes from.
+    auto [effective, has_negative] =
+        AggregateUpdates(data, count, &shard.agg, &shard.agg_index);
+    UpdateBatch batch{data,           count,     shard.agg.data(),
+                      shard.agg.size(), effective, has_negative};
+    for (auto& sketch : shard.sketches) {
+      Status s = sketch->ApplyBatch(batch);
+      if (!s.ok()) return s;
+    }
+    shard.updates_since_publish += count;
+    if (shard.updates_since_publish >= options_.snapshot_min_updates) {
+      PublishShard(shard);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Epoch(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    return shards_[shard]->epoch.load(std::memory_order_acquire);
+  }
+
+  Result<ShardSnapshot> Snapshot(size_t shard_index,
+                                 size_t sketch_index) const override {
+    if (shard_index >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    if (sketch_index >= options_.sketches.size()) {
+      return Status::OutOfRange("inprocess backend: sketch out of range");
+    }
+    Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.snap_mu);
+    if (!shard.snap_error.ok()) return shard.snap_error;
+    ShardSnapshot snap;
+    snap.sketch = shard.snaps.empty() ? nullptr : shard.snaps[sketch_index];
+    snap.epoch = shard.epoch.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  Result<SerializedSnapshot> SnapshotSerialized(
+      size_t shard, size_t sketch_index) const override {
+    auto snap = Snapshot(shard, sketch_index);
+    if (!snap.ok()) return snap.status();
+    SerializedSnapshot out;
+    out.epoch = snap.value().epoch;
+    if (snap.value().sketch == nullptr) return out;  // never published
+    auto frame = SerializeSketch(*snap.value().sketch);
+    if (!frame.ok()) return frame.status();
+    out.state = std::move(frame).value();
+    return out;
+  }
+
+  Status Flush(size_t shard) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    if (shards_[shard]->updates_since_publish > 0) {
+      PublishShard(*shards_[shard]);
+    }
+    return Status::OK();
+  }
+
+  Result<SketchSummary> LiveSummary(size_t shard,
+                                    size_t sketch_index) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    if (sketch_index >= options_.sketches.size()) {
+      return Status::OutOfRange("inprocess backend: sketch out of range");
+    }
+    return shards_[shard]->sketches[sketch_index]->Summary();
+  }
+
+  uint64_t SpaceBits() const override {
+    uint64_t bits = 0;
+    for (const auto& shard : shards_) {
+      for (const auto& sketch : shard->sketches) bits += sketch->SpaceBits();
+    }
+    return bits;
+  }
+
+ private:
+  struct Shard {
+    std::vector<std::unique_ptr<Sketch>> sketches;
+    SketchConfig cfg;  ///< per-shard config (shard_seed resolved)
+    // Aggregation scratch, computed once per shard batch and shared with
+    // every weight-equivalent sketch via UpdateBatch. Touched only by the
+    // shard's single applier (see the ShardBackend contract).
+    std::vector<stream::TurnstileUpdate> agg;
+    std::unordered_map<uint64_t, size_t> agg_index;
+
+    // Snapshot slot. `snaps` are clones published at batch boundaries;
+    // `epoch` counts publications and is bumped (release) inside snap_mu,
+    // so (snaps, epoch) always read as a consistent pair under the mutex
+    // while lock-free epoch loads give cheap dirty checks.
+    uint64_t updates_since_publish = 0;  // applier-thread only
+    mutable std::mutex snap_mu;
+    std::vector<std::shared_ptr<const Sketch>> snaps;  // per sketch index
+    Status snap_error;  // first failed publish, under snap_mu
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  explicit InProcessBackend(BackendOptions options)
+      : options_(std::move(options)) {}
+
+  /// Clones every sketch of the shard into its snapshot slot and bumps the
+  /// epoch. Called by the shard's applier (or Flush at quiescence);
+  /// failures are stashed in the slot (they poison snapshot queries, not
+  /// ingestion).
+  void PublishShard(Shard& shard) {
+    // Clone = fresh registry instance + MergeFrom(live). State-mergeable
+    // sketches copy their state; answer-level sketches fold their current
+    // summary — exactly the representation the merge path consumes. Cloning
+    // happens outside the lock so readers are never blocked on it.
+    std::vector<std::shared_ptr<const Sketch>> snaps(shard.sketches.size());
+    for (size_t i = 0; i < shard.sketches.size(); ++i) {
+      auto fresh =
+          SketchRegistry::Global().Create(options_.sketches[i], shard.cfg);
+      Status s = fresh.ok() ? fresh.value()->MergeFrom(*shard.sketches[i])
+                            : fresh.status();
+      if (!s.ok()) {
+        // Bump the epoch so queries see the shard as dirty and surface the
+        // stashed error rather than silently serving the stale snapshot; a
+        // later successful publish clears it and recovers.
+        std::lock_guard<std::mutex> lock(shard.snap_mu);
+        shard.snap_error = s;
+        shard.epoch.fetch_add(1, std::memory_order_release);
+        return;
+      }
+      snaps[i] = std::move(fresh).value();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.snap_mu);
+      shard.snaps = std::move(snaps);
+      shard.snap_error = Status::OK();
+      shard.epoch.fetch_add(1, std::memory_order_release);
+    }
+    shard.updates_since_publish = 0;
+  }
+
+  BackendOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace
+
+BackendFactory InProcessBackendFactory() {
+  return [](const BackendOptions& options) {
+    return InProcessBackend::Create(options);
+  };
+}
+
+SketchConfig ShardConfigFor(const SketchConfig& base, size_t shard) {
+  SketchConfig cfg = base;
+  cfg.shard_seed = DeriveSeed(base.seed, kShardSeedSalt, shard);
+  return cfg;
+}
+
+uint64_t MergeSeedFor(const SketchConfig& base) {
+  return DeriveSeed(base.seed, kMergeSeedSalt, 0);
+}
+
+Result<std::string> SerializeSketch(const Sketch& sketch) {
+  wire::Writer w;
+  Status s = sketch.SerializeState(w);
+  if (!s.ok()) return s;
+  return wire::EncodeFrame(wire::kSketchState, w.data());
+}
+
+Result<std::unique_ptr<Sketch>> DeserializeSketch(const std::string& name,
+                                                  const SketchConfig& config,
+                                                  const std::string& frame) {
+  uint8_t type = 0;
+  std::string_view payload;
+  Status s = wire::DecodeFrame(frame, &type, &payload);
+  if (!s.ok()) return s;
+  if (type != wire::kSketchState) {
+    return Status::InvalidArgument("DeserializeSketch: not a state frame");
+  }
+  auto sketch = SketchRegistry::Global().Create(name, config);
+  if (!sketch.ok()) return sketch.status();
+  wire::Reader r(payload);
+  s = sketch.value()->DeserializeState(r);
+  if (!s.ok()) return s;
+  s = r.ExpectEnd();
+  if (!s.ok()) return s;
+  return sketch;
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,164 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// ShardBackend — the pluggable boundary between the engine's ingestion
+// pipeline and the place its shards actually live.
+//
+// ShardedIngestor used to hard-code a private, process-local `Shard` struct;
+// everything below the scatter/router/ticket machinery is now behind this
+// interface, so shards can live in this process (`InProcessBackend`, the
+// former code path, bit-identical, zero-copy), behind a socket speaking the
+// wire format (`LoopbackRemoteBackend` in remote_backend.h), or anywhere a
+// future transport puts them — without touching the engine core.
+//
+// Contract (what the ingestor guarantees / expects):
+//
+//   * ApplyBatch(shard, ...) is called by at most ONE thread at a time per
+//     shard (each shard is owned by one worker; inline mode serializes under
+//     the submit mutex). Different shards are applied concurrently.
+//   * Epoch / Snapshot / SnapshotSerialized may be called from ANY thread at
+//     any time, concurrently with ApplyBatch on the same shard — backends
+//     synchronize snapshot publication internally. (Snapshot.sketch,
+//     Snapshot.epoch) must be a consistent pair: the state really published
+//     at that epoch.
+//   * Epoch counts snapshot publications and only advances. A backend
+//     publishes at the first batch boundary after `snapshot_min_updates`
+//     updates since the last publication; Flush(shard) — called only at
+//     quiescence — publishes a lagging shard so queries become exact.
+//   * A failed publication must surface on the NEXT Snapshot call as its
+//     Status (after bumping the epoch so caches notice), never as a stale
+//     answer served silently.
+//   * LiveSummary and SpaceBits are only called at quiescence (the ingestor
+//     checks); they read live, worker-owned state.
+//
+// The in-process backend applies raw update pointers without a copy — the
+// fast path current benches measure. A remote backend encodes the batch
+// with wire::EncodeUpdates and ships frames; `capabilities()` tells callers
+// which world they are in.
+
+#ifndef WBS_ENGINE_BACKEND_H_
+#define WBS_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sketch.h"
+#include "engine/wire.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+/// Everything a backend needs to build its shards. The ingestor fills this
+/// from IngestorOptions after validation/clamping.
+struct BackendOptions {
+  size_t num_shards = 1;
+  std::vector<std::string> sketches;  ///< registry names, one group per shard
+  SketchConfig config;                ///< base config; see ShardConfigFor()
+  size_t snapshot_min_updates = 1024;
+  /// When true, `config.shard_seed` is already resolved and must be used
+  /// as-is instead of re-deriving per shard — set by the loopback shard
+  /// server, whose single shard receives the seed its client derived.
+  bool shard_seeds_resolved = false;
+};
+
+/// What a backend can and cannot do; callers use this for routing decisions
+/// and diagnostics, not correctness (the interface semantics are uniform).
+struct BackendCapabilities {
+  bool zero_copy = false;  ///< ApplyBatch consumes raw pointers, no encode
+  bool crosses_process_boundary = false;  ///< state ships via the wire format
+  uint8_t wire_version = wire::kFormatVersion;  ///< format the backend speaks
+};
+
+/// A consistent (published state, epoch) pair for one (shard, sketch).
+/// `sketch` is null when the shard has not published yet.
+struct ShardSnapshot {
+  std::shared_ptr<const Sketch> sketch;
+  uint64_t epoch = 0;
+};
+
+/// Snapshot state in serialized form — what an actual transport ships.
+/// `state` is a kSketchState frame, empty when the shard never published.
+struct SerializedSnapshot {
+  std::string state;
+  uint64_t epoch = 0;
+};
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Stable backend identifier ("inprocess", "loopback", ...).
+  virtual const std::string& name() const = 0;
+
+  virtual BackendCapabilities capabilities() const = 0;
+
+  virtual size_t num_shards() const = 0;
+
+  /// Applies `count` turnstile updates to `shard` (single caller per shard
+  /// at a time; see the contract above). The backend aggregates duplicates,
+  /// feeds every sketch of the shard's group, and publishes a snapshot when
+  /// the throttle allows.
+  virtual Status ApplyBatch(size_t shard, const stream::TurnstileUpdate* data,
+                            size_t count) = 0;
+
+  /// The shard's snapshot publication count. Monotone; cheap enough to poll
+  /// per query (an atomic load in process, one small frame over loopback).
+  virtual Result<uint64_t> Epoch(size_t shard) const = 0;
+
+  /// The published snapshot of one sketch, as a live Sketch instance the
+  /// merge path can fold (remote backends deserialize the shipped state).
+  virtual Result<ShardSnapshot> Snapshot(size_t shard,
+                                         size_t sketch_index) const = 0;
+
+  /// The published snapshot in wire form (diagnostics, tooling, benches).
+  virtual Result<SerializedSnapshot> SnapshotSerialized(
+      size_t shard, size_t sketch_index) const = 0;
+
+  /// Publishes the shard's snapshot if it lags live state. Quiescence only.
+  virtual Status Flush(size_t shard) = 0;
+
+  /// Live (not snapshot) summary of one sketch. Quiescence only.
+  virtual Result<SketchSummary> LiveSummary(size_t shard,
+                                            size_t sketch_index) const = 0;
+
+  /// Total state bits across all shards and sketches. Quiescence only.
+  virtual uint64_t SpaceBits() const = 0;
+};
+
+/// Builds a backend from options. IngestorOptions carries one of these;
+/// a default-constructed (empty) factory means InProcessBackendFactory().
+using BackendFactory =
+    std::function<Result<std::unique_ptr<ShardBackend>>(const BackendOptions&)>;
+
+/// The process-local backend — the engine's original shard code behind the
+/// new interface: zero-copy apply, shared per-shard aggregation, clone-based
+/// snapshot slots with atomic epochs. Bit-identical to the pre-backend
+/// engine for every workload.
+BackendFactory InProcessBackendFactory();
+
+/// Derives the per-shard config: `shard_seed` from (config.seed, shard) by
+/// the engine's fixed seed schedule. Every backend must use this so a shard
+/// samples identically no matter where it lives.
+SketchConfig ShardConfigFor(const SketchConfig& base, size_t shard);
+
+/// Seed for the merge-target instances the query path creates (distinct
+/// from every shard seed).
+uint64_t MergeSeedFor(const SketchConfig& base);
+
+/// Reconstructs a sketch from a kSketchState frame: creates `name` from the
+/// global registry with `config` (which must match the serializing side's),
+/// then restores the framed state. Checksum, version, name and dimension
+/// mismatches all surface as Status errors.
+Result<std::unique_ptr<Sketch>> DeserializeSketch(const std::string& name,
+                                                  const SketchConfig& config,
+                                                  const std::string& frame);
+
+/// Serializes a sketch into a kSketchState frame (the inverse).
+Result<std::string> SerializeSketch(const Sketch& sketch);
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_BACKEND_H_

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "distinct/l0_estimator.h"
 #include "engine/registry.h"
 #include "engine/sketch.h"
+#include "engine/wire.h"
 #include "heavyhitters/crhf_hh.h"
 #include "heavyhitters/misra_gries.h"
 #include "heavyhitters/robust_hh.h"
@@ -56,6 +58,11 @@ constexpr uint64_t kRankOracleDomain = 0x2a4c;
 // so a single adversarial delta cannot stall a worker thread forever.
 constexpr int64_t kMaxSamplingDeltaExpansion = int64_t{1} << 20;
 
+// Every builtin wire payload opens with the registry name and a per-family
+// state-version byte, so a peer can reject a foreign sketch or a layout it
+// does not speak before touching any state.
+constexpr uint8_t kStateVersion = 1;
+
 /// Shared wrapper plumbing: name, effective-update accounting, and a
 /// first-seen-order batch aggregator for weight-equivalent sketches.
 class SketchBase : public Sketch {
@@ -65,6 +72,29 @@ class SketchBase : public Sketch {
   const std::string& name() const override { return name_; }
 
  protected:
+  /// Emits the common payload header.
+  void PutStateHeader(wire::Writer& w) const {
+    w.Str(name_);
+    w.U8(kStateVersion);
+  }
+
+  /// Consumes and validates the common payload header.
+  Status CheckStateHeader(wire::Reader& r) const {
+    std::string_view got_name;
+    uint8_t version = 0;
+    if (Status s = r.Str(&got_name); !s.ok()) return s;
+    if (got_name != name_) {
+      return Status::InvalidArgument(name_ + ": state is for sketch \"" +
+                                     std::string(got_name) + "\"");
+    }
+    if (Status s = r.U8(&version); !s.ok()) return s;
+    if (version != kStateVersion) {
+      return Status::InvalidArgument(
+          name_ + ": unsupported state version " +
+          std::to_string(int(version)));
+    }
+    return Status::OK();
+  }
   /// The aggregated form of a batch: duplicate items combined in
   /// first-occurrence order. Only valid for sketches where one weighted
   /// update is equivalent to the corresponding run of unit updates.
@@ -114,6 +144,40 @@ struct AnswerAccumulator {
     return out;
   }
 };
+
+/// Answer-level wire state shared by the sampling heavy hitters: the
+/// candidate list with exact f64 estimates plus the update count. Sampling
+/// state (tapes, Morris clocks) never crosses the boundary — a snapshot is
+/// an answer, exactly like the in-process clone's merge accumulator.
+void SerializeAnswerState(const SketchSummary& summary, wire::Writer& w) {
+  w.U64(summary.updates);
+  w.U64(summary.items.size());
+  for (const auto& wi : summary.items) {
+    w.U64(wi.item);
+    w.F64(wi.estimate);
+  }
+}
+
+Status DeserializeAnswerState(const std::string& name, wire::Reader& r,
+                              AnswerAccumulator* out) {
+  uint64_t updates = 0, count = 0;
+  if (Status s = r.U64(&updates); !s.ok()) return s;
+  if (Status s = r.U64(&count); !s.ok()) return s;
+  std::map<uint64_t, double> estimates;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t item = 0;
+    double estimate = 0;
+    if (Status s = r.U64(&item); !s.ok()) return s;
+    if (Status s = r.F64(&estimate); !s.ok()) return s;
+    if (!estimates.emplace(item, estimate).second) {
+      return Status::InvalidArgument(name + ": duplicate candidate item");
+    }
+  }
+  out->active = true;
+  out->updates = updates;
+  out->estimates = std::move(estimates);
+  return Status::OK();
+}
 
 // ------------------------------------------------------------ misra_gries --
 
@@ -169,6 +233,52 @@ class MisraGriesSketch final : public SketchBase {
     Status s = mg_.MergeFrom(o->mg_);
     if (!s.ok()) return s;
     updates_applied_ += o->updates_applied_;
+    return Status::OK();
+  }
+
+  /// State: k, updates, processed weight, and the exact uint64 counters in
+  /// internal iteration order (so a restored summary replays merges in the
+  /// same order as an in-process clone).
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    w.U64(mg_.k());
+    w.U64(updates_applied_);
+    w.U64(mg_.processed());
+    const auto entries = mg_.CounterEntries();
+    w.U64(entries.size());
+    for (const auto& [item, c] : entries) {
+      w.U64(item);
+      w.U64(c);
+    }
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    uint64_t k = 0, updates = 0, processed = 0, count = 0;
+    if (Status s = r.U64(&k); !s.ok()) return s;
+    if (k != mg_.k()) {
+      return Status::InvalidArgument("misra_gries: counter capacity mismatch");
+    }
+    if (Status s = r.U64(&updates); !s.ok()) return s;
+    if (Status s = r.U64(&processed); !s.ok()) return s;
+    if (Status s = r.U64(&count); !s.ok()) return s;
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    if (count > k) {
+      return Status::InvalidArgument("misra_gries: more entries than k");
+    }
+    entries.reserve(size_t(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t item = 0, c = 0;
+      if (Status s = r.U64(&item); !s.ok()) return s;
+      if (Status s = r.U64(&c); !s.ok()) return s;
+      if (item >= cfg_.universe) {
+        return Status::OutOfRange("misra_gries: item out of universe");
+      }
+      entries.emplace_back(item, c);
+    }
+    if (Status s = mg_.RestoreState(processed, entries); !s.ok()) return s;
+    updates_applied_ = updates;
     return Status::OK();
   }
 
@@ -234,6 +344,40 @@ class AmsF2EngineSketch final : public SketchBase {
     Status s = ams_.UnmergeFrom(o->ams_);
     if (!s.ok()) return s;
     updates_applied_ -= o->updates_applied_;
+    return Status::OK();
+  }
+
+  /// State: the sign-seed fingerprint (shared randomness must agree or the
+  /// counters mean nothing) plus the raw counter vector.
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    w.U64(ams_.sign_seed());
+    w.U64(updates_applied_);
+    const auto& counters = ams_.counters();
+    w.U64(counters.size());
+    for (int64_t c : counters) w.I64(c);
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    uint64_t sign_seed = 0, updates = 0, rows = 0;
+    if (Status s = r.U64(&sign_seed); !s.ok()) return s;
+    if (sign_seed != ams_.sign_seed()) {
+      return Status::FailedPrecondition(
+          "ams_f2: sign matrix mismatch (different config seed)");
+    }
+    if (Status s = r.U64(&updates); !s.ok()) return s;
+    if (Status s = r.U64(&rows); !s.ok()) return s;
+    if (rows != ams_.rows()) {
+      return Status::InvalidArgument("ams_f2: row count mismatch");
+    }
+    std::vector<int64_t> counters(static_cast<size_t>(rows));
+    for (auto& c : counters) {
+      if (Status s = r.I64(&c); !s.ok()) return s;
+    }
+    if (Status s = ams_.RestoreCounters(counters); !s.ok()) return s;
+    updates_applied_ = updates;
     return Status::OK();
   }
 
@@ -309,6 +453,49 @@ class SisL0EngineSketch final : public SketchBase {
     Status s = est_.UnmergeFrom(o->est_);
     if (!s.ok()) return s;
     updates_applied_ -= o->updates_applied_;
+    return Status::OK();
+  }
+
+  /// State: derived chunking/modulus parameters (checked, since both sides
+  /// re-derive them from the config) plus every chunk's sketch vector.
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    const auto& p = est_.params();
+    w.U64(p.num_chunks);
+    w.U64(p.sketch_rows);
+    w.U64(p.q);
+    w.U64(oracle_.instance_id());
+    w.U64(updates_applied_);
+    for (const auto& chunk : est_.chunks()) {
+      for (uint64_t v : chunk.value()) w.U64(v);
+    }
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    const auto& p = est_.params();
+    uint64_t chunks = 0, rows = 0, q = 0, oracle_id = 0, updates = 0;
+    if (Status s = r.U64(&chunks); !s.ok()) return s;
+    if (Status s = r.U64(&rows); !s.ok()) return s;
+    if (Status s = r.U64(&q); !s.ok()) return s;
+    if (chunks != p.num_chunks || rows != p.sketch_rows || q != p.q) {
+      return Status::InvalidArgument("sis_l0: derived parameter mismatch");
+    }
+    if (Status s = r.U64(&oracle_id); !s.ok()) return s;
+    if (oracle_id != oracle_.instance_id()) {
+      return Status::FailedPrecondition(
+          "sis_l0: oracle mismatch (different config seed)");
+    }
+    if (Status s = r.U64(&updates); !s.ok()) return s;
+    std::vector<uint64_t> value(static_cast<size_t>(rows));
+    for (uint64_t c = 0; c < chunks; ++c) {
+      for (auto& v : value) {
+        if (Status s = r.U64(&v); !s.ok()) return s;
+      }
+      if (Status s = est_.RestoreChunk(size_t(c), value); !s.ok()) return s;
+    }
+    updates_applied_ = updates;
     return Status::OK();
   }
 
@@ -406,6 +593,44 @@ class RankDecisionEngineSketch final : public SketchBase {
     return Status::OK();
   }
 
+  /// State: (n, k, q) and the oracle fingerprint (H must agree), then the
+  /// k x n sketch S row-major.
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    const auto& m = sketch_.sketch();
+    w.U64(sketch_.n());
+    w.U64(sketch_.k());
+    w.U64(m.q());
+    w.U64(oracle_.instance_id());
+    w.U64(updates_applied_);
+    for (size_t i = 0; i < m.size(); ++i) w.U64(m.data()[i]);
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    uint64_t n = 0, k = 0, q = 0, oracle_id = 0, updates = 0;
+    if (Status s = r.U64(&n); !s.ok()) return s;
+    if (Status s = r.U64(&k); !s.ok()) return s;
+    if (Status s = r.U64(&q); !s.ok()) return s;
+    if (n != sketch_.n() || k != sketch_.k() || q != sketch_.sketch().q()) {
+      return Status::InvalidArgument("rank_decision: dimension mismatch");
+    }
+    if (Status s = r.U64(&oracle_id); !s.ok()) return s;
+    if (oracle_id != oracle_.instance_id()) {
+      return Status::FailedPrecondition(
+          "rank_decision: oracle mismatch (different config seed)");
+    }
+    if (Status s = r.U64(&updates); !s.ok()) return s;
+    std::vector<uint64_t> entries(size_t(n) * size_t(k));
+    for (auto& v : entries) {
+      if (Status s = r.U64(&v); !s.ok()) return s;
+    }
+    if (Status s = sketch_.RestoreSketch(entries); !s.ok()) return s;
+    updates_applied_ = updates;
+    return Status::OK();
+  }
+
   uint64_t SpaceBits() const override { return sketch_.SpaceBits(); }
 
  private:
@@ -477,6 +702,21 @@ class RobustHhEngineSketch final : public SketchBase {
     return Status::OK();
   }
 
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    SerializeAnswerState(Summary(), w);
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    if (updates_applied_ > 0 || merged_.active) {
+      return Status::FailedPrecondition(
+          "robust_hh: deserialize requires a fresh instance");
+    }
+    return DeserializeAnswerState(name_, r, &merged_);
+  }
+
   uint64_t SpaceBits() const override { return alg_.SpaceBits(); }
 
  private:
@@ -539,6 +779,21 @@ class CrhfHhEngineSketch final : public SketchBase {
     }
     merged_.Fold(o->Summary());
     return Status::OK();
+  }
+
+  Status SerializeState(wire::Writer& w) const override {
+    PutStateHeader(w);
+    SerializeAnswerState(Summary(), w);
+    return Status::OK();
+  }
+
+  Status DeserializeState(wire::Reader& r) override {
+    if (Status s = CheckStateHeader(r); !s.ok()) return s;
+    if (updates_applied_ > 0 || merged_.active) {
+      return Status::FailedPrecondition(
+          "crhf_hh: deserialize requires a fresh instance");
+    }
+    return DeserializeAnswerState(name_, r, &merged_);
   }
 
   uint64_t SpaceBits() const override { return alg_.SpaceBits(); }

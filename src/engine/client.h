@@ -124,6 +124,18 @@ class Client {
     return ingestor_->SubmitAsync(s);
   }
 
+  /// Non-blocking Submit: where Submit would wait on the engine's inflight
+  /// valves (IngestorOptions::max_inflight_tickets / max_inflight_bytes),
+  /// TrySubmit returns ResourceExhausted immediately and the caller owns
+  /// the retry policy — the fail-fast half of ticket-aware flow control.
+  Result<IngestTicket> TrySubmit(const stream::TurnstileUpdate* updates,
+                                 size_t count) {
+    return ingestor_->TrySubmitAsync(updates, count);
+  }
+  Result<IngestTicket> TrySubmit(const stream::TurnstileStream& s) {
+    return ingestor_->TrySubmitAsync(s);
+  }
+
   /// Insertion-only convenience: each item becomes a delta-1 update.
   Result<IngestTicket> SubmitItems(const stream::ItemUpdate* items,
                                    size_t count) {

@@ -1,0 +1,240 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/remote_backend.h"
+
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "engine/shard_server.h"
+#include "engine/wire.h"
+
+namespace wbs::engine {
+namespace {
+
+class LoopbackRemoteBackend final : public ShardBackend {
+ public:
+  static Result<std::unique_ptr<ShardBackend>> Create(
+      const BackendOptions& options) {
+    std::unique_ptr<LoopbackRemoteBackend> backend(
+        new LoopbackRemoteBackend(options));
+    for (size_t shard = 0; shard < options.num_shards; ++shard) {
+      auto rs = std::make_unique<RemoteShard>();
+      rs->cfg = options.shard_seeds_resolved
+                    ? options.config
+                    : ShardConfigFor(options.config, shard);
+      ShardServerOptions sopts;
+      sopts.sketches = options.sketches;
+      sopts.config = rs->cfg;
+      sopts.snapshot_min_updates = options.snapshot_min_updates;
+      auto server = ShardServer::Start(sopts);
+      if (!server.ok()) return server.status();
+      rs->server = std::move(server).value();
+      backend->shards_.push_back(std::move(rs));
+    }
+    return Result<std::unique_ptr<ShardBackend>>(std::move(backend));
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "loopback";
+    return kName;
+  }
+
+  BackendCapabilities capabilities() const override {
+    return BackendCapabilities{/*zero_copy=*/false,
+                               /*crosses_process_boundary=*/true,
+                               wire::kFormatVersion};
+  }
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  Status ApplyBatch(size_t shard, const stream::TurnstileUpdate* data,
+                    size_t count) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    wire::Writer w;
+    wire::EncodeUpdates(data, count, &w);
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/true,
+                         wire::kReqApply, w.data(), &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;  // trailing epoch is advisory; the dirty scan polls it
+  }
+
+  Result<uint64_t> Epoch(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/false,
+                         wire::kReqEpoch, {}, &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    uint64_t epoch = 0;
+    if (Status se = r.U64(&epoch); !se.ok()) return se;
+    return epoch;
+  }
+
+  Result<ShardSnapshot> Snapshot(size_t shard,
+                                 size_t sketch_index) const override {
+    auto serialized = SnapshotSerialized(shard, sketch_index);
+    if (!serialized.ok()) return serialized.status();
+    ShardSnapshot snap;
+    snap.epoch = serialized.value().epoch;
+    if (serialized.value().state.empty()) return snap;  // never published
+    auto sketch =
+        DeserializeSketch(options_.sketches[sketch_index],
+                          shards_[shard]->cfg, serialized.value().state);
+    if (!sketch.ok()) return sketch.status();
+    snap.sketch = std::shared_ptr<const Sketch>(std::move(sketch).value());
+    return snap;
+  }
+
+  Result<SerializedSnapshot> SnapshotSerialized(
+      size_t shard, size_t sketch_index) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    if (sketch_index >= options_.sketches.size()) {
+      return Status::OutOfRange("loopback backend: sketch out of range");
+    }
+    wire::Writer req;
+    req.U32(uint32_t(sketch_index));
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/false,
+                         wire::kReqSnapshot, req.data(), &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    SerializedSnapshot out;
+    if (Status se = r.U64(&out.epoch); !se.ok()) return se;
+    if (Status ss = r.Str(&out.state); !ss.ok()) return ss;
+    return out;
+  }
+
+  Status Flush(size_t shard) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/false,
+                         wire::kReqFlush, {}, &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Result<SketchSummary> LiveSummary(size_t shard,
+                                    size_t sketch_index) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    wire::Writer req;
+    req.U32(uint32_t(sketch_index));
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/false,
+                         wire::kReqSummary, req.data(), &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    SketchSummary summary;
+    if (Status ss = wire::DecodeSummary(&r, &summary); !ss.ok()) return ss;
+    return summary;
+  }
+
+  uint64_t SpaceBits() const override {
+    uint64_t bits = 0;
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      std::string resp;
+      if (!RoundTrip(*shards_[shard], false, wire::kReqSpaceBits, {}, &resp)
+               .ok()) {
+        return 0;
+      }
+      wire::Reader r(resp);
+      Status remote = Status::OK();
+      uint64_t shard_bits = 0;
+      if (!wire::DecodeStatus(&r, &remote).ok() || !remote.ok() ||
+          !r.U64(&shard_bits).ok()) {
+        return 0;
+      }
+      bits += shard_bits;
+    }
+    return bits;
+  }
+
+ private:
+  struct RemoteShard {
+    std::unique_ptr<ShardServer> server;
+    SketchConfig cfg;  ///< resolved shard config (for deserialization)
+    // The data channel has a single caller by the backend contract, but the
+    // mutex also covers inline mode and keeps the channel framing safe by
+    // construction; the control channel is shared by query threads.
+    mutable std::mutex data_mu;
+    mutable std::mutex control_mu;
+  };
+
+  explicit LoopbackRemoteBackend(BackendOptions options)
+      : options_(std::move(options)) {}
+
+  /// One request/response exchange on the shard's chosen channel. The
+  /// response payload (after frame validation) lands in `resp`.
+  Status RoundTrip(const RemoteShard& shard, bool data_channel, uint8_t type,
+                   std::string_view payload, std::string* resp) const {
+    std::mutex& mu = data_channel ? shard.data_mu : shard.control_mu;
+    const int fd = data_channel ? shard.server->data_fd()
+                                : shard.server->control_fd();
+    std::lock_guard<std::mutex> lock(mu);
+    Status s = wire::WriteFrameFd(fd, type, payload);
+    if (!s.ok()) return s;
+    uint8_t resp_type = 0;
+    std::string_view resp_payload;
+    s = wire::ReadFrameFd(fd, &frame_scratch(), &resp_type, &resp_payload);
+    if (!s.ok()) return s;
+    if (resp_type != wire::kResp) {
+      return Status::Internal("loopback backend: unexpected response type");
+    }
+    resp->assign(resp_payload);
+    return Status::OK();
+  }
+
+  /// Per-thread frame buffer so concurrent round trips (different shards /
+  /// channels) do not share scratch.
+  static std::string& frame_scratch() {
+    thread_local std::string buf;
+    return buf;
+  }
+
+  BackendOptions options_;
+  std::vector<std::unique_ptr<RemoteShard>> shards_;
+};
+
+}  // namespace
+
+BackendFactory LoopbackBackendFactory() {
+  return [](const BackendOptions& options) {
+    return LoopbackRemoteBackend::Create(options);
+  };
+}
+
+Result<BackendFactory> BackendFactoryByName(const std::string& name) {
+  if (name.empty() || name == "inprocess") return InProcessBackendFactory();
+  if (name == "loopback") return LoopbackBackendFactory();
+  return Status::InvalidArgument(
+      "unknown shard backend \"" + name + "\" (want inprocess | loopback)");
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,47 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// LoopbackRemoteBackend — a ShardBackend whose shards each live behind a
+// socketpair served by a ShardServer (shard_server.h), speaking the engine
+// wire format. Nothing engine-side touches shard memory: update batches are
+// encoded as kUpdateBatch payloads, snapshots come back as serialized
+// kSketchState frames and are reconstructed through the registry, and
+// epochs/summaries are request/response frames.
+//
+// This is the proof that the Client facade, merge cache, and snapshot/epoch
+// protocol survive a process-style boundary: for the state-mergeable
+// families (ams_f2, sis_l0, rank_decision, misra_gries) a loopback engine
+// answers BIT-IDENTICALLY to an in-process engine over the same
+// submissions, because the server applies the same batches in the same
+// order with the same derived shard seeds, and the wire format round-trips
+// state exactly. Sampling heavy hitters cross answer-level, like their
+// in-process snapshot clones. Swapping the socketpair for a TCP connection
+// to another machine changes none of the protocol — that is the point.
+//
+// Per shard, the backend holds the server plus two client channels (data
+// for ApplyBatch, control for queries), each guarded by its own mutex so
+// concurrent query threads serialize per shard without blocking ingest.
+
+#ifndef WBS_ENGINE_REMOTE_BACKEND_H_
+#define WBS_ENGINE_REMOTE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/backend.h"
+
+namespace wbs::engine {
+
+/// Factory for the loopback remote backend; plug into
+/// IngestorOptions::backend. Spawns one ShardServer (two serving threads)
+/// per shard.
+BackendFactory LoopbackBackendFactory();
+
+/// Resolves a backend factory by name: "inprocess" (or "") and "loopback".
+/// Unknown names are InvalidArgument — this backs --backend= flags and the
+/// WBS_ENGINE_BACKEND environment selection in tests and CI.
+Result<BackendFactory> BackendFactoryByName(const std::string& name);
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_REMOTE_BACKEND_H_

@@ -1,0 +1,200 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/shard_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "engine/wire.h"
+
+namespace wbs::engine {
+namespace {
+
+/// Builds the standard response payload prefix: an encoded Status.
+void PutStatus(const Status& s, wire::Writer* w) { wire::EncodeStatus(s, w); }
+
+}  // namespace
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Start(
+    const ShardServerOptions& options) {
+  std::unique_ptr<ShardServer> server(new ShardServer());
+
+  BackendOptions bopts;
+  bopts.num_shards = 1;
+  bopts.sketches = options.sketches;
+  bopts.config = options.config;
+  bopts.snapshot_min_updates = options.snapshot_min_updates;
+  bopts.shard_seeds_resolved = true;  // the client derived the seed already
+  auto shard = InProcessBackendFactory()(bopts);
+  if (!shard.ok()) return shard.status();
+  server->shard_ = std::move(shard).value();
+  server->num_sketches_ = options.sketches.size();
+
+  int data[2], control[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, data) != 0) {
+    return Status::Internal(std::string("ShardServer: socketpair: ") +
+                            std::strerror(errno));
+  }
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, control) != 0) {
+    ::close(data[0]);
+    ::close(data[1]);
+    return Status::Internal(std::string("ShardServer: socketpair: ") +
+                            std::strerror(errno));
+  }
+  server->server_data_fd_ = data[0];
+  server->client_data_fd_ = data[1];
+  server->server_control_fd_ = control[0];
+  server->client_control_fd_ = control[1];
+
+  ShardServer* raw = server.get();
+  server->data_thread_ =
+      std::thread([raw] { raw->Serve(raw->server_data_fd_); });
+  server->control_thread_ =
+      std::thread([raw] { raw->Serve(raw->server_control_fd_); });
+  return server;
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+void ShardServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Closing the client ends makes the serving loops' reads fail cleanly.
+  for (int* fd : {&client_data_fd_, &client_control_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  if (data_thread_.joinable()) data_thread_.join();
+  if (control_thread_.joinable()) control_thread_.join();
+  for (int* fd : {&server_data_fd_, &server_control_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void ShardServer::Serve(int fd) {
+  std::string frame_buf;
+  std::string resp;
+  for (;;) {
+    uint8_t type = 0;
+    std::string_view payload;
+    Status s = wire::ReadFrameFd(fd, &frame_buf, &type, &payload);
+    if (!s.ok()) {
+      // Peer closed (orderly shutdown), unrecoverable I/O error, or an
+      // unreadable frame (bad length / checksum / version — after which
+      // stream alignment cannot be trusted): kill the connection. The
+      // shutdown() makes a client blocked in its response read see EOF
+      // immediately and turn it into a Status, instead of hanging forever
+      // on a connection nobody will write to again; Stop() still owns the
+      // close().
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+    if (type == wire::kReqShutdown) {
+      (void)wire::WriteFrameFd(fd, wire::kResp, {});
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+    resp.clear();
+    Dispatch(type, payload, &resp);
+    if (!wire::WriteFrameFd(fd, wire::kResp, resp).ok()) {
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+void ShardServer::Dispatch(uint8_t type, std::string_view payload,
+                           std::string* resp) {
+  wire::Writer w;
+  // One mutex across both channels: an apply and a snapshot request are
+  // serialized exactly like worker-vs-query access to a local shard slot.
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (type) {
+    case wire::kReqApply: {
+      wire::Reader r(payload);
+      std::vector<stream::TurnstileUpdate> updates;
+      Status s = wire::DecodeUpdates(&r, &updates);
+      if (s.ok()) s = r.ExpectEnd();
+      if (s.ok()) s = shard_->ApplyBatch(0, updates.data(), updates.size());
+      PutStatus(s, &w);
+      w.U64(shard_->Epoch(0).value_or(0));
+      break;
+    }
+    case wire::kReqFlush: {
+      Status s = shard_->Flush(0);
+      PutStatus(s, &w);
+      w.U64(shard_->Epoch(0).value_or(0));
+      break;
+    }
+    case wire::kReqEpoch: {
+      PutStatus(Status::OK(), &w);
+      w.U64(shard_->Epoch(0).value_or(0));
+      break;
+    }
+    case wire::kReqSnapshot: {
+      wire::Reader r(payload);
+      uint32_t sketch_index = 0;
+      Status s = r.U32(&sketch_index);
+      if (s.ok()) s = r.ExpectEnd();
+      if (s.ok() && sketch_index >= num_sketches_) {
+        s = Status::OutOfRange("ShardServer: sketch index out of range");
+      }
+      if (!s.ok()) {
+        PutStatus(s, &w);
+        break;
+      }
+      auto snap = shard_->SnapshotSerialized(0, sketch_index);
+      if (!snap.ok()) {
+        PutStatus(snap.status(), &w);
+        break;
+      }
+      PutStatus(Status::OK(), &w);
+      w.U64(snap.value().epoch);
+      w.Str(snap.value().state);  // empty = never published
+      break;
+    }
+    case wire::kReqSummary: {
+      wire::Reader r(payload);
+      uint32_t sketch_index = 0;
+      Status s = r.U32(&sketch_index);
+      if (s.ok()) s = r.ExpectEnd();
+      if (!s.ok()) {
+        PutStatus(s, &w);
+        break;
+      }
+      auto summary = shard_->LiveSummary(0, sketch_index);
+      if (!summary.ok()) {
+        PutStatus(summary.status(), &w);
+        break;
+      }
+      PutStatus(Status::OK(), &w);
+      wire::EncodeSummary(summary.value(), &w);
+      break;
+    }
+    case wire::kReqSpaceBits: {
+      PutStatus(Status::OK(), &w);
+      w.U64(shard_->SpaceBits());
+      break;
+    }
+    default:
+      PutStatus(Status::InvalidArgument("ShardServer: unknown request type " +
+                                        std::to_string(int(type))),
+                &w);
+      break;
+  }
+  *resp = w.Take();
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,96 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// ShardServer — one engine shard served behind a socket, speaking the wire
+// format of wire.h. This is the server half of LoopbackRemoteBackend: the
+// shard's sketch group, aggregation scratch, and snapshot slot live on the
+// server side of a socketpair, and everything that crosses — update
+// batches, epochs, serialized snapshot states, summaries — crosses as
+// checksummed frames. In-process it proves the process-boundary protocol;
+// the same loop would serve a real TCP listener unchanged.
+//
+// Each server exposes TWO connections, mirroring how the ingestor drives a
+// shard:
+//
+//   * the DATA channel carries kReqApply — called by the shard's single
+//     owning worker, strictly request/response;
+//   * the CONTROL channel carries kReqFlush/kReqEpoch/kReqSnapshot/
+//     kReqSummary/kReqSpaceBits — called by query threads at any time.
+//
+// Both channels are served by their own thread against one shared shard
+// state under a mutex, so a snapshot request racing an apply sees either
+// the pre- or post-batch published state, never a torn one — the same
+// guarantee the in-process snap_mu gives. Internally the shard state IS an
+// InProcessBackend with a single shard, so apply/publish/epoch semantics
+// are identical to local shards by construction.
+//
+// Response frames carry a Status first; a request that fails (bad frame,
+// unknown sketch index, serialization error) answers with that Status and
+// the connection stays usable. The server exits its loops when the client
+// closes the socket or sends kReqShutdown.
+
+#ifndef WBS_ENGINE_SHARD_SERVER_H_
+#define WBS_ENGINE_SHARD_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/backend.h"
+
+namespace wbs::engine {
+
+struct ShardServerOptions {
+  std::vector<std::string> sketches;  ///< registry names of the shard group
+  /// Shard config with `shard_seed` ALREADY resolved by the client (via
+  /// ShardConfigFor) — the server must not re-derive it, or a relocated
+  /// shard would sample differently than its local twin.
+  SketchConfig config;
+  size_t snapshot_min_updates = 1024;
+};
+
+class ShardServer {
+ public:
+  /// Builds the shard state, creates the two socketpairs, and starts the
+  /// serving threads. The returned server owns the server-side ends.
+  static Result<std::unique_ptr<ShardServer>> Start(
+      const ShardServerOptions& options);
+
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Client-side fds (owned by the server object; closed on destruction).
+  int data_fd() const { return client_data_fd_; }
+  int control_fd() const { return client_control_fd_; }
+
+  /// Closes every fd and joins the serving threads. Idempotent.
+  void Stop();
+
+ private:
+  ShardServer() = default;
+
+  void Serve(int fd);
+  /// Handles one request frame; fills the response payload (Status first).
+  void Dispatch(uint8_t type, std::string_view payload, std::string* resp);
+
+  std::unique_ptr<ShardBackend> shard_;  // 1-shard InProcessBackend
+  size_t num_sketches_ = 0;
+  std::mutex mu_;  // serializes Dispatch across the two channel threads
+
+  int server_data_fd_ = -1;
+  int server_control_fd_ = -1;
+  int client_data_fd_ = -1;
+  int client_control_fd_ = -1;
+  std::thread data_thread_;
+  std::thread control_thread_;
+  bool stopped_ = false;
+  std::mutex stop_mu_;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_SHARD_SERVER_H_

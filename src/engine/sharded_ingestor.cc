@@ -4,20 +4,10 @@
 
 #include <algorithm>
 
+#include "engine/backend.h"
 #include "engine/registry.h"
 
 namespace wbs::engine {
-namespace {
-
-constexpr uint64_t kShardSeedSalt = 0x5ea5ea5ea5ea5ea5ULL;
-constexpr uint64_t kMergeSeedSalt = 0x3e63e63e63e63e63ULL;
-
-uint64_t DeriveSeed(uint64_t seed, uint64_t salt, uint64_t index) {
-  uint64_t s = seed ^ salt ^ (index * 0xd1342543de82ef95ULL);
-  return SplitMix64(&s);
-}
-
-}  // namespace
 
 Result<std::unique_ptr<ShardedIngestor>> ShardedIngestor::Create(
     const IngestorOptions& options) {
@@ -50,19 +40,20 @@ ShardedIngestor::ShardedIngestor(IngestorOptions options)
     : options_(std::move(options)) {}
 
 Status ShardedIngestor::Init() {
-  shards_.reserve(options_.num_shards);
   scatter_.resize(options_.num_shards);
-  for (size_t shard = 0; shard < options_.num_shards; ++shard) {
-    auto sh = std::make_unique<Shard>();
-    sh->cfg = options_.config;
-    sh->cfg.shard_seed =
-        DeriveSeed(options_.config.seed, kShardSeedSalt, shard);
-    for (const std::string& name : options_.sketches) {
-      auto sketch = SketchRegistry::Global().Create(name, sh->cfg);
-      if (!sketch.ok()) return sketch.status();
-      sh->sketches.push_back(std::move(sketch).value());
-    }
-    shards_.push_back(std::move(sh));
+  BackendOptions bopts;
+  bopts.num_shards = options_.num_shards;
+  bopts.sketches = options_.sketches;
+  bopts.config = options_.config;
+  bopts.snapshot_min_updates = options_.snapshot_min_updates;
+  BackendFactory factory =
+      options_.backend ? options_.backend : InProcessBackendFactory();
+  auto backend = factory(bopts);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(backend).value();
+  if (backend_ == nullptr || backend_->num_shards() != options_.num_shards) {
+    return Status::Internal(
+        "ShardedIngestor: backend factory returned a mismatched backend");
   }
   caches_.reserve(options_.sketches.size());
   for (size_t i = 0; i < options_.sketches.size(); ++i) {
@@ -109,60 +100,16 @@ size_t ShardedIngestor::SketchIndex(const std::string& sketch) const {
 Status ShardedIngestor::ApplyToShard(size_t shard_index,
                                      const stream::TurnstileUpdate* data,
                                      size_t count) {
-  Shard& shard = *shards_[shard_index];
-  // Aggregate once per shard batch; every weight-equivalent sketch in the
-  // shard's group consumes the shared result instead of re-hashing the
-  // batch, which is where most of the engine's batching win comes from.
-  auto [effective, has_negative] =
-      AggregateUpdates(data, count, &shard.agg, &shard.agg_index);
-  UpdateBatch batch{data,           count,     shard.agg.data(),
-                    shard.agg.size(), effective, has_negative};
-  for (auto& sketch : shard.sketches) {
-    Status s = sketch->ApplyBatch(batch);
-    if (!s.ok()) return s;
-  }
-  shard.updates_since_publish += count;
-  if (shard.updates_since_publish >= options_.snapshot_min_updates) {
-    PublishShard(shard_index);
-  }
-  return Status::OK();
+  return backend_->ApplyBatch(shard_index, data, count);
 }
 
-void ShardedIngestor::PublishShard(size_t shard_index) {
-  Shard& shard = *shards_[shard_index];
-  // Clone = fresh registry instance + MergeFrom(live). State-mergeable
-  // sketches copy their state; answer-level sketches fold their current
-  // summary — exactly the representation the merge path consumes. Cloning
-  // happens outside the lock so readers are never blocked on it.
-  std::vector<std::shared_ptr<const Sketch>> snaps(shard.sketches.size());
-  for (size_t i = 0; i < shard.sketches.size(); ++i) {
-    auto fresh =
-        SketchRegistry::Global().Create(options_.sketches[i], shard.cfg);
-    Status s = fresh.ok() ? fresh.value()->MergeFrom(*shard.sketches[i])
-                          : fresh.status();
-    if (!s.ok()) {
-      // Bump the epoch so queries see the shard as dirty and surface the
-      // stashed error rather than silently serving the stale snapshot; a
-      // later successful publish clears it and recovers.
-      std::lock_guard<std::mutex> lock(shard.snap_mu);
-      shard.snap_error = s;
-      shard.epoch.fetch_add(1, std::memory_order_release);
-      return;
-    }
-    snaps[i] = std::move(fresh).value();
-  }
-  {
-    std::lock_guard<std::mutex> lock(shard.snap_mu);
-    shard.snaps = std::move(snaps);
-    shard.snap_error = Status::OK();
-    shard.epoch.fetch_add(1, std::memory_order_release);
-  }
-  shard.updates_since_publish = 0;
-}
-
-void ShardedIngestor::CompleteTicket(uint64_t seq) {
+void ShardedIngestor::CompleteTicket(const TicketState& state) {
   std::lock_guard<std::mutex> lock(ticket_mu_);
-  done_out_of_order_.push(seq);
+  // The ticket's sub-batch buffers are freed once applied, so its bytes
+  // leave the valve here (physical completion) rather than at the
+  // watermark, which may lag behind an out-of-order finisher.
+  inflight_bytes_ -= state.bytes;
+  done_out_of_order_.push(state.seq);
   while (!done_out_of_order_.empty() &&
          done_out_of_order_.top() == completed_seq_ + 1) {
     done_out_of_order_.pop();
@@ -208,7 +155,7 @@ void ShardedIngestor::RouterLoop() {
     }
     if (dispatched == 0) {
       // Nothing to apply (all sub-batches empty): complete directly.
-      CompleteTicket(ticket.state->seq);
+      CompleteTicket(*ticket.state);
     }
   }
 }
@@ -238,7 +185,7 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
     }
     if (job.ticket != nullptr &&
         job.ticket->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      CompleteTicket(job.ticket->seq);
+      CompleteTicket(*job.ticket);
     }
     {
       std::lock_guard<std::mutex> lock(worker->mu);
@@ -277,33 +224,62 @@ Result<IngestTicket> ShardedIngestor::ApplyInline(size_t count) {
 }
 
 Result<IngestTicket> ShardedIngestor::EnqueueScattered(
-    std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count) {
+    std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count,
+    bool blocking) {
   size_t nonempty = 0;
   for (const auto& v : sub) nonempty += v.empty() ? 0 : 1;
+  const uint64_t bytes = uint64_t(count) * sizeof(stream::TurnstileUpdate);
 
-  // Memory safety valve: far above the worker-queue backpressure point; in
-  // the steady state producers run ahead of the router without ever
-  // touching this.
-  if (options_.max_inflight_tickets > 0) {
+  // Flow-control valves: a ticket-count cap (memory safety, far above the
+  // worker-queue backpressure point) and a total-bytes cap on the queued
+  // update data. An oversized batch is admitted when nothing is in flight
+  // so it can never deadlock the valve. Admission and the reservation of
+  // the counters happen under ONE continuous hold of ticket_mu_, so
+  // concurrent producers cannot both pass a nearly-full valve on stale
+  // counters and collectively overshoot the cap.
+  const auto admissible = [&] {
+    if (options_.max_inflight_tickets > 0 &&
+        inflight_tickets_ >= options_.max_inflight_tickets) {
+      return false;
+    }
+    if (options_.max_inflight_bytes > 0 && inflight_tickets_ > 0 &&
+        inflight_bytes_ + bytes > options_.max_inflight_bytes) {
+      return false;
+    }
+    return true;
+  };
+  {
     std::unique_lock<std::mutex> lock(ticket_mu_);
-    ticket_cv_.wait(lock, [&] {
-      return inflight_tickets_ < options_.max_inflight_tickets;
-    });
+    if (blocking) {
+      ticket_cv_.wait(lock, admissible);
+    } else if (!admissible()) {
+      return Status::ResourceExhausted(
+          "ShardedIngestor: inflight valve full (max_inflight_tickets / "
+          "max_inflight_bytes)");
+    }
+    ++inflight_tickets_;
+    inflight_bytes_ += bytes;
   }
 
   auto state = std::make_shared<TicketState>();
+  state->bytes = bytes;
   state->remaining.store(nonempty, std::memory_order_relaxed);
 
   uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status pre = PreSubmit();  // recheck: Finish may have won the race
-    if (!pre.ok()) return pre;
-    state->seq = seq = ++next_seq_;
-    {
-      std::lock_guard<std::mutex> tlock(ticket_mu_);
-      ++inflight_tickets_;
+    if (!pre.ok()) {
+      // Release the reservation: this ticket will never exist.
+      {
+        std::lock_guard<std::mutex> tlock(ticket_mu_);
+        --inflight_tickets_;
+        inflight_bytes_ -= bytes;
+      }
+      ticket_cv_.notify_all();
+      return pre;
     }
+    state->seq = seq = ++next_seq_;
     updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
     submit_queue_.push_back(PendingTicket{state, std::move(sub)});
   }
@@ -313,6 +289,16 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
 
 Result<IngestTicket> ShardedIngestor::SubmitAsync(
     const stream::TurnstileUpdate* updates, size_t count) {
+  return SubmitScattered(updates, count, /*blocking=*/true);
+}
+
+Result<IngestTicket> ShardedIngestor::TrySubmitAsync(
+    const stream::TurnstileUpdate* updates, size_t count) {
+  return SubmitScattered(updates, count, /*blocking=*/false);
+}
+
+Result<IngestTicket> ShardedIngestor::SubmitScattered(
+    const stream::TurnstileUpdate* updates, size_t count, bool blocking) {
   Status pre = PreSubmit();
   if (!pre.ok()) return pre;
   if (count == 0) return IngestTicket{};  // seq 0: always complete
@@ -344,7 +330,7 @@ Result<IngestTicket> ShardedIngestor::SubmitAsync(
       sub[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
     }
   }
-  return EnqueueScattered(std::move(sub), count);
+  return EnqueueScattered(std::move(sub), count, blocking);
 }
 
 Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
@@ -386,7 +372,7 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
       sub[ShardOf(items[i].item, num_shards)].push_back({items[i].item, 1});
     }
   }
-  return EnqueueScattered(std::move(sub), count);
+  return EnqueueScattered(std::move(sub), count, /*blocking=*/true);
 }
 
 Status ShardedIngestor::Wait(const IngestTicket& ticket) const {
@@ -424,8 +410,9 @@ Status ShardedIngestor::Flush() {
   }
   // Quiescent now (no in-flight tickets, empty queues): catch up any shard
   // whose snapshot lags its live state, so post-Flush queries are exact.
-  for (size_t shard = 0; shard < shards_.size(); ++shard) {
-    if (shards_[shard]->updates_since_publish > 0) PublishShard(shard);
+  for (size_t shard = 0; shard < options_.num_shards; ++shard) {
+    Status s = backend_->Flush(shard);
+    if (!s.ok()) RecordError(s);
   }
   return FirstError();
 }
@@ -510,12 +497,14 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   MergeCache& cache = *caches_[sketch_index];
   *lock = std::unique_lock<std::mutex>(cache.mu);
 
-  // Dirty scan: lock-free epoch loads against the epochs the cache folded.
+  // Dirty scan: backend epoch reads (an atomic load in process, one small
+  // frame over a remote transport) against the epochs the cache folded.
+  const size_t num_shards = options_.num_shards;
   std::vector<size_t> dirty;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s]->epoch.load(std::memory_order_acquire) != cache.epochs[s]) {
-      dirty.push_back(s);
-    }
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto epoch = backend_->Epoch(s);
+    if (!epoch.ok()) return epoch.status();
+    if (epoch.value() != cache.epochs[s]) dirty.push_back(s);
   }
   if (dirty.empty() && cache.valid) {
     ++cache.stats.hits;
@@ -526,11 +515,10 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   std::vector<std::shared_ptr<const Sketch>> fresh(dirty.size());
   std::vector<uint64_t> fresh_epochs(dirty.size());
   for (size_t d = 0; d < dirty.size(); ++d) {
-    Shard& shard = *shards_[dirty[d]];
-    std::lock_guard<std::mutex> slock(shard.snap_mu);
-    if (!shard.snap_error.ok()) return shard.snap_error;
-    fresh[d] = shard.snaps.empty() ? nullptr : shard.snaps[sketch_index];
-    fresh_epochs[d] = shard.epoch.load(std::memory_order_relaxed);
+    auto snap = backend_->Snapshot(dirty[d], sketch_index);
+    if (!snap.ok()) return snap.status();
+    fresh[d] = snap.value().sketch;
+    fresh_epochs[d] = snap.value().epoch;
   }
 
   // Incremental path: subtract each dirty shard's stale contribution and
@@ -539,7 +527,7 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   // shard pairs leave `merged` consistent, so falling through to a full
   // rebuild — which ignores `merged` — is always safe).
   bool incremental = cache.valid && cache.merged && cache.try_unmerge &&
-                     !dirty.empty() && dirty.size() < shards_.size();
+                     !dirty.empty() && dirty.size() < num_shards;
   if (incremental) {
     for (size_t d = 0; d < dirty.size() && incremental; ++d) {
       const size_t s = dirty[d];
@@ -575,7 +563,7 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
       cache.epochs[dirty[d]] = fresh_epochs[d];
     }
     SketchConfig cfg = options_.config;
-    cfg.shard_seed = DeriveSeed(options_.config.seed, kMergeSeedSalt, 0);
+    cfg.shard_seed = MergeSeedFor(options_.config);
     auto target =
         SketchRegistry::Global().Create(options_.sketches[sketch_index], cfg);
     if (!target.ok()) return target.status();
@@ -612,15 +600,16 @@ Result<MergeCacheStats> ShardedIngestor::CacheStats(
 }
 
 uint64_t ShardedIngestor::ShardEpoch(size_t shard) const {
-  if (shard >= shards_.size()) return 0;
-  return shards_[shard]->epoch.load(std::memory_order_acquire);
+  if (shard >= options_.num_shards) return 0;
+  auto epoch = backend_->Epoch(shard);
+  return epoch.ok() ? epoch.value() : 0;
 }
 
 Result<SketchSummary> ShardedIngestor::ShardSummary(
     size_t shard, const std::string& sketch) const {
   Status quiescent = CheckQuiescent();
   if (!quiescent.ok()) return quiescent;
-  if (shard >= shards_.size()) {
+  if (shard >= options_.num_shards) {
     return Status::OutOfRange("ShardedIngestor: shard index out of range");
   }
   const size_t index = SketchIndex(sketch);
@@ -628,15 +617,9 @@ Result<SketchSummary> ShardedIngestor::ShardSummary(
     return Status::NotFound("ShardedIngestor: sketch not configured: " +
                             sketch);
   }
-  return shards_[shard]->sketches[index]->Summary();
+  return backend_->LiveSummary(shard, index);
 }
 
-uint64_t ShardedIngestor::SpaceBits() const {
-  uint64_t bits = 0;
-  for (const auto& shard : shards_) {
-    for (const auto& sketch : shard->sketches) bits += sketch->SpaceBits();
-  }
-  return bits;
-}
+uint64_t ShardedIngestor::SpaceBits() const { return backend_->SpaceBits(); }
 
 }  // namespace wbs::engine

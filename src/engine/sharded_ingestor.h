@@ -10,6 +10,13 @@
 // FIFO queue — so every shard sees its sub-stream in submission order no
 // matter how many workers run.
 //
+// WHERE the shards live is behind the pluggable ShardBackend interface
+// (backend.h): the default InProcessBackend keeps them in this process
+// (zero-copy apply, the original code path bit-for-bit); the loopback
+// remote backend (remote_backend.h) runs each shard behind a socket
+// speaking the engine wire format. The scatter/router/ticket machinery,
+// merge cache, and snapshot/epoch protocol below are backend-agnostic.
+//
 // Submission is multi-producer and asynchronous: SubmitAsync scatters on
 // the calling thread, then hands the pre-scattered batch to an MPSC
 // submission queue under a short mutex and returns a sequence-numbered
@@ -70,6 +77,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "engine/backend.h"
 #include "engine/sketch.h"
 #include "stream/updates.h"
 
@@ -85,6 +93,12 @@ struct IngestorOptions {
   /// flow control (that is the router absorbing worker backpressure while
   /// producers run ahead). 0 = unbounded.
   size_t max_inflight_tickets = 256;
+  /// Total-bytes valve on the same queue: SubmitAsync blocks (and
+  /// TrySubmitAsync fails fast with ResourceExhausted) while the update
+  /// bytes of in-flight tickets would exceed this. A batch larger than the
+  /// whole valve is still admitted when nothing is in flight, so a single
+  /// oversized submission cannot deadlock. 0 = unbounded.
+  size_t max_inflight_bytes = 0;
   /// Snapshot throttle: a shard republishes its snapshot at the first batch
   /// boundary after this many updates (0 = every batch). Keeps the
   /// unbatched (batch_size == 1) path from cloning per update; Flush()
@@ -92,6 +106,10 @@ struct IngestorOptions {
   size_t snapshot_min_updates = 1024;
   std::vector<std::string> sketches;  ///< registry names to instantiate
   SketchConfig config;
+  /// Where the shards live. Empty = InProcessBackendFactory() (the
+  /// process-local zero-copy backend). See backend.h for the contract and
+  /// remote_backend.h for the loopback wire-format backend.
+  BackendFactory backend;
 };
 
 /// A sequence-numbered receipt for one asynchronous submission. Tickets are
@@ -138,6 +156,16 @@ class ShardedIngestor {
                                         size_t count);
   Result<IngestTicket> SubmitItemsAsync(const stream::ItemStream& s) {
     return SubmitItemsAsync(s.data(), s.size());
+  }
+
+  /// Non-blocking variant: where SubmitAsync would wait on the
+  /// max_inflight_tickets / max_inflight_bytes valves, TrySubmitAsync
+  /// returns ResourceExhausted immediately (the batch is NOT enqueued; the
+  /// producer owns the retry policy). Identical to SubmitAsync otherwise.
+  Result<IngestTicket> TrySubmitAsync(const stream::TurnstileUpdate* updates,
+                                      size_t count);
+  Result<IngestTicket> TrySubmitAsync(const stream::TurnstileStream& s) {
+    return TrySubmitAsync(s.data(), s.size());
   }
 
   /// Fire-and-forget wrappers (the pre-ticket surface): submit and discard
@@ -216,6 +244,9 @@ class ShardedIngestor {
   size_t num_threads() const { return options_.num_threads; }
   const IngestorOptions& options() const { return options_; }
 
+  /// The shard backend this engine runs on (diagnostics / capabilities).
+  const ShardBackend& backend() const { return *backend_; }
+
   /// The shard an item routes to: a fixed splitmix hash of the item, so the
   /// partition is stable across runs, thread counts and processes.
   static size_t ShardOf(uint64_t item, size_t num_shards) {
@@ -224,29 +255,10 @@ class ShardedIngestor {
   }
 
  private:
-  struct Shard {
-    std::vector<std::unique_ptr<Sketch>> sketches;
-    SketchConfig cfg;  ///< per-shard config (shard_seed resolved)
-    // Aggregation scratch, computed once per shard batch and shared with
-    // every weight-equivalent sketch via UpdateBatch. Touched only by the
-    // shard's owning worker (or under submit_mu_ in inline mode).
-    std::vector<stream::TurnstileUpdate> agg;
-    std::unordered_map<uint64_t, size_t> agg_index;
-
-    // Snapshot slot. `snaps` are clones published at batch boundaries;
-    // `epoch` counts publications and is bumped (release) inside snap_mu,
-    // so (snaps, epoch) always read as a consistent pair under the mutex
-    // while lock-free epoch loads give cheap dirty checks.
-    uint64_t updates_since_publish = 0;  // owner-thread only
-    mutable std::mutex snap_mu;
-    std::vector<std::shared_ptr<const Sketch>> snaps;  // per sketch index
-    Status snap_error;  // first failed publish, under snap_mu
-    std::atomic<uint64_t> epoch{0};
-  };
-
   /// Completion state shared between one ticket's scattered sub-batches.
   struct TicketState {
     uint64_t seq = 0;
+    uint64_t bytes = 0;  ///< update bytes charged to the inflight valve
     std::atomic<size_t> remaining{0};  ///< sub-batches not yet applied
   };
 
@@ -293,29 +305,34 @@ class ShardedIngestor {
   Status Init();
   void RouterLoop();
   void WorkerLoop(Worker* worker);
+  /// Forwards a sub-batch to the backend (which aggregates, applies to
+  /// every sketch of the shard's group, and publishes under its snapshot
+  /// throttle).
   Status ApplyToShard(size_t shard_index, const stream::TurnstileUpdate* data,
                       size_t count);
-  /// Clones every sketch of the shard into its snapshot slot and bumps the
-  /// epoch. Called by the shard's owner; failures are stashed in the slot
-  /// (they poison snapshot queries, not ingestion).
-  void PublishShard(size_t shard_index);
   /// Checks producer-side preconditions shared by the Submit variants.
   Status PreSubmit() const;
   /// Inline mode: applies the sub-batches staged in scatter_ synchronously.
   /// Caller holds submit_mu_. Returns the always-complete seq-0 ticket.
   Result<IngestTicket> ApplyInline(size_t count);
+  /// Shared body of SubmitAsync/TrySubmitAsync.
+  Result<IngestTicket> SubmitScattered(const stream::TurnstileUpdate* updates,
+                                       size_t count, bool blocking);
   /// Threaded mode: assigns a sequence number to `sub` and parks it on the
-  /// MPSC queue for the router.
+  /// MPSC queue for the router. When `blocking` is false, a full inflight
+  /// valve is ResourceExhausted instead of a wait.
   Result<IngestTicket> EnqueueScattered(
-      std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count);
-  /// Marks `seq` applied and advances the monotone completion watermark.
-  void CompleteTicket(uint64_t seq);
+      std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count,
+      bool blocking);
+  /// Marks the ticket applied, releases its valve bytes, and advances the
+  /// monotone completion watermark.
+  void CompleteTicket(const TicketState& state);
   void RecordError(const Status& s);
   Status FirstError() const;
   Status CheckQuiescent() const;
 
   IngestorOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ShardBackend> backend_;
   mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Inline-mode scatter scratch, reused across submissions under
@@ -344,6 +361,7 @@ class ShardedIngestor {
   mutable std::condition_variable ticket_cv_;
   uint64_t completed_seq_ = 0;  // all tickets <= this are applied
   uint64_t inflight_tickets_ = 0;
+  uint64_t inflight_bytes_ = 0;  // update bytes of physically pending tickets
   std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
       done_out_of_order_;
 

@@ -42,6 +42,11 @@
 
 namespace wbs::engine {
 
+namespace wire {
+class Writer;
+class Reader;
+}  // namespace wire
+
 /// Per-family configuration blocks. Each sketch family reads exactly one of
 /// these (plus the shared fields of SketchConfig), so a caller tuning the
 /// rank sketch never has to learn what `l0_c` means. Every block carries
@@ -323,6 +328,31 @@ class Sketch {
   virtual Status UnmergeFrom(const Sketch& other) {
     (void)other;
     return Status::Unimplemented(name() + ": UnmergeFrom not supported");
+  }
+
+  /// Serializes the sketch's state into the engine wire format (see
+  /// wire.h) so it can cross a process boundary and be restored by
+  /// DeserializeState on a peer constructed with the SAME SketchConfig.
+  /// Every builtin family implements the pair; the payload starts with the
+  /// registry name and a per-family state-version byte, and restoring it
+  /// must reproduce Summary() bit-identically (state-level for the linear
+  /// families and Misra-Gries; answer-level for the sampling heavy hitters,
+  /// whose deserialized form is a read-only merge accumulator — exactly
+  /// what the engine's snapshot/merge path consumes). The default returns
+  /// Unimplemented, which remote backends surface at snapshot time.
+  virtual Status SerializeState(wire::Writer& w) const {
+    (void)w;
+    return Status::Unimplemented(name() + ": SerializeState not supported");
+  }
+
+  /// Inverse of SerializeState. Only valid on a freshly constructed
+  /// instance (no updates, no merges); implementations validate the payload
+  /// against their configuration (name, dimensions, shared-randomness
+  /// fingerprints) and fail with a Status — never crash, never silently
+  /// accept — on any mismatch, truncation, or unknown state version.
+  virtual Status DeserializeState(wire::Reader& r) {
+    (void)r;
+    return Status::Unimplemented(name() + ": DeserializeState not supported");
   }
 
   /// Information-theoretic size of the wrapped state, in bits.

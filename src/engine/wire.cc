@@ -1,0 +1,375 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "engine/sketch.h"
+
+namespace wbs::engine::wire {
+namespace {
+
+constexpr size_t kLenBytes = 4;
+constexpr size_t kCrcBytes = 4;
+constexpr size_t kBodyHeaderBytes = 2;  // version + type
+/// Hard cap on one frame's body (64 MiB): a corrupted length field must not
+/// drive a gigabyte allocation before the checksum gets a chance to reject.
+constexpr uint32_t kMaxBodyLen = 64u << 20;
+
+uint32_t ReadU32Le(const char* p) {
+  return uint32_t(uint8_t(p[0])) | uint32_t(uint8_t(p[1])) << 8 |
+         uint32_t(uint8_t(p[2])) << 16 | uint32_t(uint8_t(p[3])) << 24;
+}
+
+}  // namespace
+
+void Writer::U32(uint32_t v) {
+  char b[4] = {char(v), char(v >> 8), char(v >> 16), char(v >> 24)};
+  buf_.append(b, 4);
+}
+
+void Writer::U64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = char(v >> (8 * i));
+  buf_.append(b, 8);
+}
+
+void Writer::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Bytes(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(uint32_t(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+Status Reader::Need(size_t n) const {
+  if (buf_.size() - pos_ < n) {
+    return Status::InvalidArgument("wire: truncated buffer");
+  }
+  return Status::OK();
+}
+
+Status Reader::U8(uint8_t* v) {
+  Status s = Need(1);
+  if (!s.ok()) return s;
+  *v = uint8_t(buf_[pos_++]);
+  return Status::OK();
+}
+
+Status Reader::U32(uint32_t* v) {
+  Status s = Need(4);
+  if (!s.ok()) return s;
+  *v = ReadU32Le(buf_.data() + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status Reader::U64(uint64_t* v) {
+  Status s = Need(8);
+  if (!s.ok()) return s;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= uint64_t(uint8_t(buf_[pos_ + i])) << (8 * i);
+  }
+  *v = out;
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Reader::I64(int64_t* v) {
+  uint64_t u;
+  Status s = U64(&u);
+  if (!s.ok()) return s;
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status Reader::F64(double* v) {
+  uint64_t bits;
+  Status s = U64(&bits);
+  if (!s.ok()) return s;
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status Reader::Str(std::string_view* out) {
+  uint32_t len;
+  Status s = U32(&len);
+  if (!s.ok()) return s;
+  s = Need(len);
+  if (!s.ok()) return s;
+  *out = buf_.substr(pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::Str(std::string* out) {
+  std::string_view v;
+  Status s = Str(&v);
+  if (!s.ok()) return s;
+  out->assign(v);
+  return Status::OK();
+}
+
+Status Reader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument("wire: trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  // Software CRC-32 (IEEE, reflected), table built on first use.
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  Writer w;
+  w.U32(uint32_t(kBodyHeaderBytes + payload.size()));
+  w.U8(kFormatVersion);
+  w.U8(type);
+  w.Bytes(payload.data(), payload.size());
+  const std::string& buf = w.data();
+  uint32_t crc = Crc32(buf.data() + kLenBytes, buf.size() - kLenBytes);
+  w.U32(crc);
+  return w.Take();
+}
+
+Status DecodeFrame(std::string_view frame, uint8_t* type,
+                   std::string_view* payload) {
+  if (frame.size() < kLenBytes + kBodyHeaderBytes + kCrcBytes) {
+    return Status::InvalidArgument("wire: truncated frame");
+  }
+  const uint32_t body_len = ReadU32Le(frame.data());
+  if (body_len < kBodyHeaderBytes || body_len > kMaxBodyLen ||
+      frame.size() != kLenBytes + size_t(body_len) + kCrcBytes) {
+    return Status::InvalidArgument("wire: frame length mismatch");
+  }
+  const uint32_t want_crc = ReadU32Le(frame.data() + kLenBytes + body_len);
+  const uint32_t got_crc = Crc32(frame.data() + kLenBytes, body_len);
+  if (want_crc != got_crc) {
+    return Status::InvalidArgument("wire: frame checksum mismatch");
+  }
+  const uint8_t version = uint8_t(frame[kLenBytes]);
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "wire: unsupported format version " + std::to_string(int(version)) +
+        " (this build speaks " + std::to_string(int(kFormatVersion)) + ")");
+  }
+  *type = uint8_t(frame[kLenBytes + 1]);
+  *payload = frame.substr(kLenBytes + kBodyHeaderBytes,
+                          body_len - kBodyHeaderBytes);
+  return Status::OK();
+}
+
+void EncodeUpdates(const stream::TurnstileUpdate* data, size_t count,
+                   Writer* w) {
+  w->U64(uint64_t(count));
+  for (size_t i = 0; i < count; ++i) {
+    w->U64(data[i].item);
+    w->I64(data[i].delta);
+  }
+}
+
+Status DecodeUpdates(Reader* r, std::vector<stream::TurnstileUpdate>* out) {
+  uint64_t count;
+  Status s = r->U64(&count);
+  if (!s.ok()) return s;
+  // Divide, don't multiply: a hostile count must not overflow past the
+  // guard and reach reserve() (the no-crash contract).
+  if (count > r->remaining() / 16) {
+    return Status::InvalidArgument("wire: update batch length mismatch");
+  }
+  out->clear();
+  out->reserve(size_t(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    stream::TurnstileUpdate u;
+    if (Status su = r->U64(&u.item); !su.ok()) return su;
+    if (Status sd = r->I64(&u.delta); !sd.ok()) return sd;
+    out->push_back(u);
+  }
+  return Status::OK();
+}
+
+void EncodeSummary(const SketchSummary& s, Writer* w) {
+  w->Str(s.sketch);
+  w->U8(s.has_scalar ? 1 : 0);
+  w->F64(s.scalar);
+  w->U64(s.updates);
+  w->U8(s.item_index.size() == s.items.size() && !s.items.empty() ? 1 : 0);
+  w->U64(uint64_t(s.items.size()));
+  for (const auto& wi : s.items) {
+    w->U64(wi.item);
+    w->F64(wi.estimate);
+  }
+}
+
+Status DecodeSummary(Reader* r, SketchSummary* out) {
+  *out = SketchSummary{};
+  uint8_t has_scalar = 0, has_index = 0;
+  uint64_t count = 0;
+  if (Status s = r->Str(&out->sketch); !s.ok()) return s;
+  if (Status s = r->U8(&has_scalar); !s.ok()) return s;
+  if (has_scalar > 1) {
+    return Status::InvalidArgument("wire: summary has_scalar not boolean");
+  }
+  out->has_scalar = has_scalar != 0;
+  if (Status s = r->F64(&out->scalar); !s.ok()) return s;
+  if (Status s = r->U64(&out->updates); !s.ok()) return s;
+  if (Status s = r->U8(&has_index); !s.ok()) return s;
+  if (Status s = r->U64(&count); !s.ok()) return s;
+  if (count > r->remaining() / 16) {
+    return Status::InvalidArgument("wire: summary item list length mismatch");
+  }
+  out->items.reserve(size_t(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    hh::WeightedItem wi;
+    if (Status s = r->U64(&wi.item); !s.ok()) return s;
+    if (Status s = r->F64(&wi.estimate); !s.ok()) return s;
+    out->items.push_back(wi);
+  }
+  // The producer's items were already in SortItems() order; re-sorting is
+  // idempotent and rebuilds the by-item index locally.
+  if (has_index != 0) out->SortItems();
+  return Status::OK();
+}
+
+void EncodeStatus(const Status& s, Writer* w) {
+  w->U8(uint8_t(s.code()));
+  w->Str(s.message());
+}
+
+Status DecodeStatus(Reader* r, Status* out) {
+  uint8_t code;
+  std::string message;
+  if (Status s = r->U8(&code); !s.ok()) return s;
+  if (Status s = r->Str(&message); !s.ok()) return s;
+  switch (Status::Code(code)) {
+    case Status::Code::kOk:
+      *out = Status::OK();
+      return Status::OK();
+    case Status::Code::kInvalidArgument:
+      *out = Status::InvalidArgument(std::move(message));
+      return Status::OK();
+    case Status::Code::kOutOfRange:
+      *out = Status::OutOfRange(std::move(message));
+      return Status::OK();
+    case Status::Code::kNotFound:
+      *out = Status::NotFound(std::move(message));
+      return Status::OK();
+    case Status::Code::kFailedPrecondition:
+      *out = Status::FailedPrecondition(std::move(message));
+      return Status::OK();
+    case Status::Code::kResourceExhausted:
+      *out = Status::ResourceExhausted(std::move(message));
+      return Status::OK();
+    case Status::Code::kInternal:
+      *out = Status::Internal(std::move(message));
+      return Status::OK();
+    case Status::Code::kUnimplemented:
+      *out = Status::Unimplemented(std::move(message));
+      return Status::OK();
+  }
+  return Status::InvalidArgument("wire: unknown status code");
+}
+
+namespace {
+
+Status WriteFull(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("wire: write failed: ") +
+                              std::strerror(errno));
+    }
+    off += size_t(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. `*eof` is set (and OK returned) only when the
+/// peer closed before the FIRST byte — mid-frame EOF is an error.
+Status ReadFull(int fd, char* data, size_t len, bool* eof) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("wire: read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::Internal("wire: connection closed mid-frame");
+    }
+    off += size_t(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrameFd(int fd, uint8_t type, std::string_view payload) {
+  // Enforce the frame size cap on the SENDING side: an oversized payload
+  // (e.g. a single multi-million-update sub-batch) gets a Status here
+  // instead of a frame the peer must reject and kill the connection over.
+  if (payload.size() > kMaxBodyLen - kBodyHeaderBytes) {
+    return Status::InvalidArgument(
+        "wire: frame payload exceeds the 64 MiB body cap");
+  }
+  std::string frame = EncodeFrame(type, payload);
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
+                   std::string_view* payload) {
+  char len_bytes[kLenBytes];
+  bool eof = false;
+  Status s = ReadFull(fd, len_bytes, kLenBytes, &eof);
+  if (!s.ok()) return s;
+  if (eof) return Status::FailedPrecondition("wire: connection closed");
+  const uint32_t body_len = ReadU32Le(len_bytes);
+  if (body_len < kBodyHeaderBytes || body_len > kMaxBodyLen) {
+    return Status::InvalidArgument("wire: frame length mismatch");
+  }
+  frame_buf->resize(kLenBytes + size_t(body_len) + kCrcBytes);
+  std::memcpy(frame_buf->data(), len_bytes, kLenBytes);
+  s = ReadFull(fd, frame_buf->data() + kLenBytes, body_len + kCrcBytes,
+               nullptr);
+  if (!s.ok()) return s;
+  return DecodeFrame(*frame_buf, type, payload);
+}
+
+}  // namespace wbs::engine::wire

@@ -1,0 +1,158 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The engine's serialization wire format — the byte-level contract a shard
+// backend speaks when shard state crosses a process boundary.
+//
+// Primitives are little-endian and fixed-width (u8/u32/u64; i64 as two's
+// complement; f64 as the IEEE-754 bit pattern), written by `Writer` and read
+// back by the bounds-checked `Reader` — a truncated or overlong buffer is a
+// Status error, never a crash or a silent partial read.
+//
+// Everything that crosses a boundary travels inside a *frame*:
+//
+//   [u32 body_len][u8 format_version][u8 type][payload...][u32 crc32(body)]
+//
+// where body = version byte + type byte + payload. DecodeFrame rejects a
+// wrong format-version byte (version negotiation: a peer speaking a newer
+// format is an InvalidArgument, not garbage reads), a length that disagrees
+// with the buffer, and any checksum mismatch (a single corrupted byte
+// anywhere in the body fails the CRC). The same frame layout is used for
+// update batches, serialized sketch states, query answers, and the
+// request/response messages of the loopback shard server.
+//
+// Compound codecs for the engine's value types (TurnstileUpdate batches,
+// SketchSummary, Status) live here too, so every backend and the tests
+// share one encoding.
+
+#ifndef WBS_ENGINE_WIRE_H_
+#define WBS_ENGINE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/updates.h"
+
+namespace wbs::engine {
+
+struct SketchSummary;  // sketch.h
+
+namespace wire {
+
+/// The wire format version this build speaks. Bump on any layout change;
+/// DecodeFrame rejects frames from a different version.
+inline constexpr uint8_t kFormatVersion = 1;
+
+/// Frame types. 1..31 are sketch/engine payloads; 32..63 are shard-server
+/// requests; 64+ are shard-server responses.
+enum FrameType : uint8_t {
+  kSketchState = 1,   ///< one sketch's serialized state
+  kUpdateBatch = 2,   ///< a batch of turnstile updates
+  kSummary = 3,       ///< a serialized SketchSummary
+
+  kReqApply = 32,     ///< apply an update batch to the shard
+  kReqFlush = 33,     ///< publish the shard's snapshot if it lags
+  kReqEpoch = 34,     ///< read the shard's snapshot epoch
+  kReqSnapshot = 35,  ///< fetch (epoch, serialized state) of one sketch
+  kReqSummary = 36,   ///< live summary of one sketch (quiescent callers)
+  kReqSpaceBits = 37, ///< total state bits of the shard
+  kReqShutdown = 38,  ///< close the connection
+
+  kResp = 64,         ///< response: Status followed by request-specific data
+};
+
+/// Appends fixed-width little-endian primitives into a growable buffer.
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(char(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern: doubles round-trip bit-identically.
+  void F64(double v);
+  void Bytes(const void* data, size_t len);
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reads over a non-owned buffer. Every getter fails with
+/// InvalidArgument("wire: truncated buffer") instead of reading past the
+/// end, so corrupted length fields cannot cause out-of-bounds access.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  /// Reads a u32 length prefix, then that many bytes (view into the buffer).
+  Status Str(std::string_view* s);
+  Status Str(std::string* s);
+
+  size_t remaining() const { return buf_.size() - pos_; }
+  /// InvalidArgument unless the buffer is fully consumed — catches payloads
+  /// with trailing garbage (e.g. a truncated length field).
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) of `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Wraps `payload` in a checksummed frame of the given type.
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+/// Validates length, format version, and checksum; hands back the type and
+/// a view of the payload (into `frame`). Corruption anywhere in the body is
+/// an InvalidArgument mentioning "checksum"; a foreign format-version byte
+/// is an InvalidArgument mentioning "version".
+Status DecodeFrame(std::string_view frame, uint8_t* type,
+                   std::string_view* payload);
+
+// ---- compound codecs -------------------------------------------------------
+
+/// Turnstile update batch: u64 count, then (u64 item, i64 delta) pairs.
+void EncodeUpdates(const stream::TurnstileUpdate* data, size_t count,
+                   Writer* w);
+Status DecodeUpdates(Reader* r, std::vector<stream::TurnstileUpdate>* out);
+
+/// SketchSummary, bit-exact (scalar and estimates as f64 bit patterns).
+void EncodeSummary(const SketchSummary& s, Writer* w);
+Status DecodeSummary(Reader* r, SketchSummary* out);
+
+/// Status: u8 code + message. Decoding an unknown code is an error.
+void EncodeStatus(const Status& s, Writer* w);
+Status DecodeStatus(Reader* r, Status* out);
+
+// ---- framed I/O over a file descriptor ------------------------------------
+
+/// Writes one frame (EncodeFrame layout) to `fd`, handling short writes and
+/// EINTR. Internal on failure (peer gone).
+Status WriteFrameFd(int fd, uint8_t type, std::string_view payload);
+
+/// Reads one frame from `fd` into `frame_buf` (resized), then decodes it.
+/// A cleanly closed peer (EOF before any byte) returns FailedPrecondition
+/// with "closed" in the message so servers can exit their loop quietly.
+Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
+                   std::string_view* payload);
+
+}  // namespace wire
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_WIRE_H_

@@ -48,8 +48,15 @@ Status MisraGries::MergeFrom(const MisraGries& other) {
     return Status::FailedPrecondition(
         "MisraGries::MergeFrom: summaries must have equal capacity");
   }
+  // Fold in canonical (item-ascending) order: when the merge overflows k
+  // and decrements fire, the result then depends only on the other
+  // summary's CONTENTS — not on its hash-map iteration order, which differs
+  // between an original and a deserialized copy of the same summary. This
+  // is what makes shard merges bit-identical across backends.
+  auto entries = other.CounterEntries();
+  std::sort(entries.begin(), entries.end());
   uint64_t counter_weight = 0;
-  for (const auto& [item, c] : other.counters_) {
+  for (const auto& [item, c] : entries) {
     Add(item, c);
     counter_weight += c;
   }
@@ -57,6 +64,43 @@ Status MisraGries::MergeFrom(const MisraGries& other) {
   // charge it anyway so processed() (and hence ErrorBound()) reflects the
   // full concatenated stream.
   processed_ += other.processed_ - counter_weight;
+  return Status::OK();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> MisraGries::CounterEntries()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, c] : counters_) out.emplace_back(item, c);
+  return out;
+}
+
+Status MisraGries::RestoreState(
+    uint64_t processed,
+    const std::vector<std::pair<uint64_t, uint64_t>>& entries) {
+  if (entries.size() > k_) {
+    return Status::InvalidArgument(
+        "MisraGries::RestoreState: more entries than counters");
+  }
+  uint64_t weight = 0;
+  std::unordered_map<uint64_t, uint64_t> restored;
+  restored.reserve(entries.size());
+  for (const auto& [item, c] : entries) {
+    if (c == 0) {
+      return Status::InvalidArgument(
+          "MisraGries::RestoreState: zero counter");
+    }
+    if (!restored.emplace(item, c).second) {
+      return Status::InvalidArgument(
+          "MisraGries::RestoreState: duplicate item");
+    }
+    if (__builtin_add_overflow(weight, c, &weight) || weight > processed) {
+      return Status::InvalidArgument(
+          "MisraGries::RestoreState: counter weight exceeds processed");
+    }
+  }
+  counters_ = std::move(restored);
+  processed_ = processed;
   return Status::OK();
 }
 

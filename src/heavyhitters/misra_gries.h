@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bits.h"
@@ -54,6 +55,19 @@ class MisraGries {
 
   /// Guaranteed additive error bound on estimates: processed / (k + 1).
   double ErrorBound() const { return double(processed_) / double(k_ + 1); }
+
+  /// The tracked (item, counter) pairs in internal iteration order — the
+  /// exact-state snapshot the engine's wire format ships (List() rounds
+  /// counters through double; these stay uint64_t).
+  std::vector<std::pair<uint64_t, uint64_t>> CounterEntries() const;
+
+  /// Replaces the summary's state with a previously captured snapshot.
+  /// Entries must be distinct items with nonzero counters, at most k of
+  /// them, and their weight must not exceed `processed`; violations are a
+  /// Status error and leave the summary unchanged.
+  Status RestoreState(
+      uint64_t processed,
+      const std::vector<std::pair<uint64_t, uint64_t>>& entries);
 
   /// Bits for the current state: per tracked item, an identifier from the
   /// universe plus its counter; plus nothing else (deterministic).

@@ -2,6 +2,7 @@
 
 #include "linalg/rank_sketch.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wbs::linalg {
@@ -53,6 +54,23 @@ Status RankDecisionSketch::UnmergeFrom(const RankDecisionSketch& other) {
   }
   SubtractMod(sketch_.data(), other.sketch_.data(), sketch_.size(),
               sketch_.q());
+  return Status::OK();
+}
+
+Status RankDecisionSketch::RestoreSketch(
+    const std::vector<uint64_t>& entries) {
+  if (entries.size() != sketch_.size()) {
+    return Status::InvalidArgument(
+        "RankDecisionSketch::RestoreSketch: dimension mismatch");
+  }
+  const uint64_t q = sketch_.q();
+  for (uint64_t v : entries) {
+    if (v >= q) {
+      return Status::InvalidArgument(
+          "RankDecisionSketch::RestoreSketch: entry not reduced mod q");
+    }
+  }
+  std::copy(entries.begin(), entries.end(), sketch_.data());
   return Status::OK();
 }
 

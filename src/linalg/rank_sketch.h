@@ -76,6 +76,11 @@ class RankDecisionSketch final : public core::StreamAlg<EntryUpdate, bool> {
   size_t k() const { return k_; }
   const MatrixZq& sketch() const { return sketch_; }
 
+  /// Restores S from `entries` (row-major, k*n values) previously read off
+  /// sketch().data(); validates the length and the mod-q range. The H
+  /// matrix is public oracle randomness and is unaffected.
+  Status RestoreSketch(const std::vector<uint64_t>& entries);
+
  private:
   size_t n_;
   size_t k_;

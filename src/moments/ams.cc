@@ -81,6 +81,15 @@ Status AmsF2Sketch::UnmergeFrom(const AmsF2Sketch& other) {
   return Status::OK();
 }
 
+Status AmsF2Sketch::RestoreCounters(const std::vector<int64_t>& counters) {
+  if (counters.size() != counters_.size()) {
+    return Status::InvalidArgument(
+        "AmsF2Sketch::RestoreCounters: row count mismatch");
+  }
+  counters_ = counters;
+  return Status::OK();
+}
+
 double AmsF2Sketch::Query() const {
   const size_t group = 6;
   std::vector<double> means;

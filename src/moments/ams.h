@@ -80,6 +80,14 @@ class AmsF2Sketch final
   uint64_t universe() const { return universe_; }
   uint64_t sign_seed() const { return sign_seed_; }
 
+  /// The raw counter vector — the sketch's entire mutable state (the sign
+  /// matrix is implied by sign_seed()).
+  const std::vector<int64_t>& counters() const { return counters_; }
+
+  /// Replaces the counter vector with a previously captured one; the row
+  /// count must match (the sign matrix is unaffected).
+  Status RestoreCounters(const std::vector<int64_t>& counters);
+
  private:
   uint64_t universe_;
   wbs::RandomTape* tape_;

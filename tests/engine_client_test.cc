@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "common/random.h"
+#include "engine/backend.h"
 #include "engine/client.h"
 #include "engine/driver.h"
 #include "engine/registry.h"
+#include "engine/remote_backend.h"
 #include "engine/sharded_ingestor.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
@@ -246,8 +248,11 @@ TEST(ClientTypedQueryTest, RankVerdictMatchesLegacy) {
 // concurrently. The engine's linear families (ams_f2, sis_l0) and
 // eviction-free Misra-Gries are order-insensitive, so the merged answers
 // must equal a single-threaded reference run bit-for-bit no matter how the
-// producers' batches interleave.
-TEST(ClientMultiProducerTest, ConcurrentProducersMatchSingleThreadedRun) {
+// producers' batches interleave. Runs against a caller-chosen shard backend
+// so the guarantee is pinned on BOTH the in-process and the loopback-remote
+// paths (the ShardBackend boundary must not change any answer).
+void CheckConcurrentProducersMatchSingleThreadedRun(
+    const BackendFactory& backend) {
   const uint64_t universe = 1 << 12;
   wbs::RandomTape tape(21);
   auto items = stream::ZipfStream(universe, 60000, 1.1, &tape);
@@ -260,12 +265,12 @@ TEST(ClientMultiProducerTest, ConcurrentProducersMatchSingleThreadedRun) {
   const std::vector<std::string> sketches = {"misra_gries", "ams_f2",
                                              "sis_l0"};
 
-  auto reference = MakeClient(sketches, cfg, 4, 0);
+  auto reference = MakeClient(sketches, cfg, 4, 0, backend);
   ASSERT_TRUE(Replay(reference.get(), s).ok());
   ASSERT_TRUE(reference->Finish().ok());
 
   for (size_t producers : {2u, 4u}) {
-    auto client = MakeClient(sketches, cfg, 4, 2);
+    auto client = MakeClient(sketches, cfg, 4, 2, backend);
     std::vector<std::thread> threads;
     std::atomic<bool> failed{false};
     const size_t batch = 512;
@@ -306,6 +311,14 @@ TEST(ClientMultiProducerTest, ConcurrentProducersMatchSingleThreadedRun) {
       }
     }
   }
+}
+
+TEST(ClientMultiProducerTest, ConcurrentProducersMatchOnInProcessBackend) {
+  CheckConcurrentProducersMatchSingleThreadedRun(InProcessBackendFactory());
+}
+
+TEST(ClientMultiProducerTest, ConcurrentProducersMatchOnLoopbackBackend) {
+  CheckConcurrentProducersMatchSingleThreadedRun(LoopbackBackendFactory());
 }
 
 // Producers racing with a typed-query thread: no errors, and the final

@@ -1,9 +1,10 @@
 // Copyright (c) wbstream authors. Licensed under the MIT license.
 //
 // Shared helpers for the engine test suites: Client construction with
-// EXPECT-checked creation, and materialized-stream replay through the
-// ticketed Submit surface (the test-side equivalent of the deprecated
-// Driver::Replay loop).
+// EXPECT-checked creation (and an environment-selected shard backend, so CI
+// can run every engine suite once per backend), and materialized-stream
+// replay through the ticketed Submit surface (the test-side equivalent of
+// the deprecated Driver::Replay loop).
 
 #ifndef WBS_TESTS_ENGINE_TEST_UTIL_H_
 #define WBS_TESTS_ENGINE_TEST_UTIL_H_
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -18,18 +20,35 @@
 
 #include "common/status.h"
 #include "engine/client.h"
+#include "engine/remote_backend.h"
 #include "stream/updates.h"
 
 namespace wbs::engine {
 
+/// The backend the suite runs against by default: WBS_ENGINE_BACKEND=
+/// inprocess (default) | loopback. CI sets the variable to run the engine
+/// suites once per backend; a bad value fails loudly instead of silently
+/// testing the default.
+inline BackendFactory BackendFactoryFromEnv() {
+  const char* env = std::getenv("WBS_ENGINE_BACKEND");
+  auto factory = BackendFactoryByName(env == nullptr ? "" : env);
+  EXPECT_TRUE(factory.ok()) << factory.status().ToString();
+  return factory.ok() ? std::move(factory).value() : BackendFactory{};
+}
+
+/// `backend` overrides the environment selection (used by the explicit
+/// cross-backend equivalence suites); leave empty to follow the env var.
 inline std::unique_ptr<Client> MakeClient(std::vector<std::string> sketches,
                                           const SketchConfig& cfg,
-                                          size_t shards, size_t threads) {
+                                          size_t shards, size_t threads,
+                                          BackendFactory backend = {}) {
   ClientOptions opts;
   opts.ingest.num_shards = shards;
   opts.ingest.num_threads = threads;
   opts.ingest.sketches = std::move(sketches);
   opts.ingest.config = cfg;
+  opts.ingest.backend =
+      backend ? std::move(backend) : BackendFactoryFromEnv();
   auto client = Client::Create(opts);
   EXPECT_TRUE(client.ok()) << client.status().ToString();
   return std::move(client).value();
