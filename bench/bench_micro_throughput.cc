@@ -245,7 +245,7 @@ void RunEngineThroughput(uint64_t num_updates) {
 // --------------------------------------------------- mixed read/write mode --
 //
 // One producer replays Zipf traffic through worker threads while a second
-// thread hammers Driver::Query — no Flush() anywhere. This exercises the
+// thread hammers the typed queries — no Flush() anywhere. This exercises the
 // epoch-snapshot path end to end and reports query latency percentiles
 // taken *during* ingestion, the number the quiescence-free redesign exists
 // for.
@@ -628,6 +628,150 @@ void RunWireSerializeBench(uint64_t num_updates) {
   }
 }
 
+// ------------------------------------------------------------ resharding --
+//
+// The dynamic topology priced end to end: (a) MoveShard handoff latency
+// per sketch family — drain, source publish, state serialization, and
+// destination import (in-process and loopback targets; the serialized
+// snapshot states are the transfer format), and (b) ingest throughput
+// around a live AddShards step: updates/sec before the step, the barrier
+// latency of the step itself (the only window ingest pauses), and
+// updates/sec after, on the grown topology.
+
+void RunEngineReshardBench(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_reshard",
+      "live topology ops: MoveShard handoff latency per family "
+      "(drain/flush/serialize/import + state bytes) and updates/sec "
+      "before/during/after a mid-ingest AddShards step");
+  using clock = std::chrono::steady_clock;
+  const uint64_t universe = 4096;
+
+  // ---- (a) handoff latency per family -----------------------------------
+  const size_t ingest = size_t(std::min<uint64_t>(num_updates, 200000));
+  for (const char* name : {"misra_gries", "ams_f2", "sis_l0",
+                           "rank_decision", "robust_hh", "crhf_hh"}) {
+    for (const char* target : {"inprocess", "loopback"}) {
+      wbs::engine::ClientOptions opts;
+      opts.ingest.num_shards = 2;
+      opts.ingest.num_threads = 2;
+      opts.ingest.sketches = {name};
+      opts.ingest.config.universe = universe;
+      opts.ingest.config.seed = 2025;
+      if (std::strcmp(name, "rank_decision") == 0) {
+        opts.ingest.config.rank.n = 64;
+        opts.ingest.config.rank.k = 8;
+      }
+      auto client = wbs::engine::Client::Create(opts);
+      if (!client.ok()) continue;
+
+      wbs::stream::TurnstileStream s;
+      if (std::strcmp(name, "rank_decision") == 0) {
+        for (size_t i = 0; i < opts.ingest.config.rank.k; ++i) {
+          s.push_back({uint64_t(i) * opts.ingest.config.rank.n + i, 1});
+        }
+      } else {
+        wbs::RandomTape tape(107);
+        tape.set_logging(false);
+        auto items = wbs::stream::ZipfStream(universe, ingest, 1.2, &tape);
+        s.reserve(items.size());
+        for (const auto& u : items) s.push_back({u.item, 1});
+      }
+      for (size_t off = 0; off < s.size(); off += 32768) {
+        if (!client.value()
+                 ->Submit(s.data() + off, std::min<size_t>(32768,
+                                                           s.size() - off))
+                 .ok()) {
+          break;
+        }
+      }
+      if (!client.value()->Flush().ok()) continue;
+
+      auto factory = std::strcmp(target, "loopback") == 0
+                         ? wbs::engine::LoopbackBackendFactory()
+                         : wbs::engine::InProcessBackendFactory();
+      wbs::engine::MoveShardStats stats;
+      const auto t0 = clock::now();
+      wbs::Status moved = client.value()->MoveShard(0, factory, &stats);
+      const auto t1 = clock::now();
+      (void)client.value()->Finish();
+      if (!moved.ok()) continue;
+      const double total_us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      const double phases_us = double(stats.flush_us) +
+                               double(stats.serialize_us) +
+                               double(stats.import_us);
+      wbs::bench::JsonRow()
+          .Field("bench", "engine_reshard")
+          .Field("op", "move_shard")
+          .Field("sketch", name)
+          .Field("target", target)
+          .Field("ingested_updates", uint64_t(s.size()))
+          .Field("state_bytes", stats.state_bytes)
+          .Field("flush_us", stats.flush_us)
+          .Field("serialize_us", stats.serialize_us)
+          .Field("import_us", stats.import_us)
+          .Field("drain_us", total_us > phases_us ? total_us - phases_us : 0)
+          .Field("total_us", total_us)
+          .Emit();
+    }
+  }
+
+  // ---- (b) throughput around a live AddShards step -----------------------
+  {
+    wbs::RandomTape tape(108);
+    tape.set_logging(false);
+    auto items = wbs::stream::ZipfStream(universe, num_updates, 1.2, &tape);
+    wbs::stream::TurnstileStream s;
+    s.reserve(items.size());
+    for (const auto& u : items) s.push_back({u.item, 1});
+
+    wbs::engine::ClientOptions opts =
+        EngineClientOptions(universe, /*shards=*/4, /*threads=*/4);
+    auto client = wbs::engine::Client::Create(opts);
+    if (!client.ok()) return;
+    const size_t batch = 32768;
+    const size_t half = (s.size() / 2 / batch) * batch;
+
+    auto replay_window = [&](size_t begin, size_t end) -> double {
+      const auto w0 = clock::now();
+      for (size_t off = begin; off < end; off += batch) {
+        if (!client.value()
+                 ->Submit(s.data() + off, std::min(batch, end - off))
+                 .ok()) {
+          return 0;
+        }
+      }
+      if (!client.value()->Flush().ok()) return 0;
+      const auto w1 = clock::now();
+      const double seconds =
+          std::chrono::duration<double>(w1 - w0).count();
+      return seconds > 0 ? double(end - begin) / seconds : 0;
+    };
+
+    const double ups_before = replay_window(0, half);
+    const auto a0 = clock::now();
+    wbs::Status grown = client.value()->AddShards(4);
+    const auto a1 = clock::now();
+    const double ups_after = replay_window(half, s.size());
+    (void)client.value()->Finish();
+    if (!grown.ok() || ups_before == 0 || ups_after == 0) return;
+    auto info = client.value()->Topology();
+    wbs::bench::JsonRow()
+        .Field("bench", "engine_reshard")
+        .Field("op", "add_shards")
+        .Field("shards_before", uint64_t(4))
+        .Field("shards_after", uint64_t(info.num_shards))
+        .Field("topology_generation", info.generation)
+        .Field("updates", uint64_t(s.size()))
+        .Field("updates_per_sec_before", ups_before)
+        .Field("add_shards_barrier_us",
+               std::chrono::duration<double, std::micro>(a1 - a0).count())
+        .Field("updates_per_sec_after", ups_after)
+        .Emit();
+  }
+}
+
 // ---------------------------------------------------------- merge cache --
 //
 // Cold rebuild vs cached re-query vs incremental single-shard refold of the
@@ -874,6 +1018,7 @@ int main(int argc, char** argv) {
     RunEngineMixed(engine_updates);
     RunEngineMultiProducerSweep(engine_updates);
     RunEngineBackendSweep(engine_updates);
+    RunEngineReshardBench(engine_updates);
     RunWireSerializeBench(engine_updates);
     RunMergeCacheBench(engine_updates);
     RunBarrettKernels();

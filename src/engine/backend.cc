@@ -130,6 +130,37 @@ class InProcessBackend final : public ShardBackend {
     return Status::OK();
   }
 
+  Status ImportShardState(size_t shard_index,
+                          const std::vector<std::string>& frames) override {
+    if (shard_index >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    if (frames.size() != options_.sketches.size()) {
+      return Status::InvalidArgument(
+          "inprocess backend: handoff frame count does not match the "
+          "configured sketch group");
+    }
+    Shard& shard = *shards_[shard_index];
+    // Decode everything into fresh instances BEFORE touching the live
+    // group, so a bad frame leaves the shard exactly as it was.
+    std::vector<std::unique_ptr<Sketch>> imported;
+    imported.reserve(frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      auto sketch =
+          DeserializeSketch(options_.sketches[i], shard.cfg, frames[i]);
+      if (!sketch.ok()) return sketch.status();
+      imported.push_back(std::move(sketch).value());
+    }
+    shard.sketches = std::move(imported);
+    shard.updates_since_publish = 0;
+    // Publish immediately: the imported history must be merge-visible the
+    // moment the new placement is routed to, or the shard's entire past
+    // would vanish from answers until its first post-handoff batch.
+    PublishShard(shard);
+    std::lock_guard<std::mutex> lock(shard.snap_mu);
+    return shard.snap_error;
+  }
+
   Result<SketchSummary> LiveSummary(size_t shard,
                                     size_t sketch_index) const override {
     if (shard >= shards_.size()) {
@@ -212,11 +243,137 @@ class InProcessBackend final : public ShardBackend {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// Mixed placement behind one ShardBackend: shard i delegates to a
+/// single-shard child built from the i-th placement factory (cycled). Each
+/// child receives the shard seed resolved for the GLOBAL shard id, so a
+/// shard's sampling is independent of which placement pattern hosts it —
+/// the composite engine's answers match a homogeneous engine exactly
+/// (bit-identically for the state-mergeable families).
+class CompositeBackend final : public ShardBackend {
+ public:
+  static Result<std::unique_ptr<ShardBackend>> Create(
+      const BackendOptions& options, std::vector<BackendFactory> placements) {
+    if (placements.empty()) {
+      return Status::InvalidArgument(
+          "composite backend: at least one placement factory required");
+    }
+    std::unique_ptr<CompositeBackend> backend(new CompositeBackend());
+    for (size_t shard = 0; shard < options.num_shards; ++shard) {
+      BackendOptions child_opts = options;
+      child_opts.num_shards = 1;
+      child_opts.config = options.shard_seeds_resolved
+                              ? options.config
+                              : ShardConfigFor(options.config, shard);
+      child_opts.shard_seeds_resolved = true;
+      auto child = placements[shard % placements.size()](child_opts);
+      if (!child.ok()) return child.status();
+      if (child.value() == nullptr || child.value()->num_shards() != 1) {
+        return Status::Internal(
+            "composite backend: placement factory returned a mismatched "
+            "child");
+      }
+      backend->children_.push_back(std::move(child).value());
+    }
+    return Result<std::unique_ptr<ShardBackend>>(std::move(backend));
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "composite";
+    return kName;
+  }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps{/*zero_copy=*/true,
+                             /*crosses_process_boundary=*/false,
+                             wire::kFormatVersion};
+    for (const auto& child : children_) {
+      const BackendCapabilities c = child->capabilities();
+      caps.zero_copy &= c.zero_copy;
+      caps.crosses_process_boundary |= c.crosses_process_boundary;
+    }
+    return caps;
+  }
+
+  size_t num_shards() const override { return children_.size(); }
+
+  Status ApplyBatch(size_t shard, const stream::TurnstileUpdate* data,
+                    size_t count) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->ApplyBatch(0, data, count);
+  }
+
+  Result<uint64_t> Epoch(size_t shard) const override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->Epoch(0);
+  }
+
+  Result<ShardSnapshot> Snapshot(size_t shard,
+                                 size_t sketch_index) const override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->Snapshot(0, sketch_index);
+  }
+
+  Result<SerializedSnapshot> SnapshotSerialized(
+      size_t shard, size_t sketch_index) const override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->SnapshotSerialized(0, sketch_index);
+  }
+
+  Status Flush(size_t shard) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->Flush(0);
+  }
+
+  Status ImportShardState(size_t shard,
+                          const std::vector<std::string>& frames) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->ImportShardState(0, frames);
+  }
+
+  Result<SketchSummary> LiveSummary(size_t shard,
+                                    size_t sketch_index) const override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->LiveSummary(0, sketch_index);
+  }
+
+  uint64_t SpaceBits() const override {
+    uint64_t bits = 0;
+    for (const auto& child : children_) bits += child->SpaceBits();
+    return bits;
+  }
+
+ private:
+  CompositeBackend() = default;
+
+  std::vector<std::unique_ptr<ShardBackend>> children_;
+};
+
 }  // namespace
 
 BackendFactory InProcessBackendFactory() {
   return [](const BackendOptions& options) {
     return InProcessBackend::Create(options);
+  };
+}
+
+BackendFactory CompositeBackendFactory(
+    std::vector<BackendFactory> placements) {
+  return [placements = std::move(placements)](const BackendOptions& options) {
+    return CompositeBackend::Create(options, placements);
   };
 }
 

@@ -120,6 +120,21 @@ class ShardBackend {
   /// Publishes the shard's snapshot if it lags live state. Quiescence only.
   virtual Status Flush(size_t shard) = 0;
 
+  /// Shard handoff import: replaces the shard's live sketch group with the
+  /// states decoded from `frames` (one kSketchState frame per configured
+  /// sketch, in sketch order — the wire handoff format produced by
+  /// SnapshotSerialized on the source), then publishes a snapshot so the
+  /// imported history is immediately merge-visible. Called only at a
+  /// topology barrier (no concurrent ApplyBatch on the shard). The default
+  /// is Unimplemented; both builtin backends support it.
+  virtual Status ImportShardState(size_t shard,
+                                  const std::vector<std::string>& frames) {
+    (void)shard;
+    (void)frames;
+    return Status::Unimplemented(name() +
+                                 " backend: ImportShardState not supported");
+  }
+
   /// Live (not snapshot) summary of one sketch. Quiescence only.
   virtual Result<SketchSummary> LiveSummary(size_t shard,
                                             size_t sketch_index) const = 0;
@@ -138,6 +153,16 @@ using BackendFactory =
 /// snapshot slots with atomic epochs. Bit-identical to the pre-backend
 /// engine for every workload.
 BackendFactory InProcessBackendFactory();
+
+/// Mixed placement: shard i is hosted by a single-shard child backend built
+/// from `placements[i % placements.size()]`, so one engine can keep some
+/// shards in-process and put others behind the loopback wire (or any other
+/// factory) SIMULTANEOUSLY. The composite resolves each child's shard seed
+/// from the global shard id before delegating, so a shard samples
+/// identically no matter which placement pattern hosts it. Capabilities
+/// report the conservative union (not zero-copy, crosses a process
+/// boundary) whenever any child does.
+BackendFactory CompositeBackendFactory(std::vector<BackendFactory> placements);
 
 /// Derives the per-shard config: `shard_seed` from (config.seed, shard) by
 /// the engine's fixed seed schedule. Every backend must use this so a shard

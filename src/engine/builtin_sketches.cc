@@ -158,6 +158,35 @@ void SerializeAnswerState(const SketchSummary& summary, wire::Writer& w) {
   }
 }
 
+/// The sampling families' summary in every life stage: a pure live sampler
+/// (no accumulator), a pure merge accumulator (fresh target / snapshot
+/// clone, no updates), or the post-handoff hybrid — frozen prefix answer
+/// folded with the live suffix sample.
+SketchSummary SamplingSummary(const std::string& name,
+                              const AnswerAccumulator& merged,
+                              uint64_t updates_applied,
+                              std::vector<hh::WeightedItem> live_items) {
+  SketchSummary s;
+  s.sketch = name;
+  if (merged.active && updates_applied == 0) {
+    s.items = merged.Items();
+    s.updates = merged.updates;
+  } else if (!merged.active) {
+    s.items = std::move(live_items);
+    s.updates = updates_applied;
+  } else {
+    AnswerAccumulator combined = merged;
+    SketchSummary live;
+    live.items = std::move(live_items);
+    live.updates = updates_applied;
+    combined.Fold(live);
+    s.items = combined.Items();
+    s.updates = combined.updates;
+  }
+  s.SortItems();
+  return s;
+}
+
 Status DeserializeAnswerState(const std::string& name, wire::Reader& r,
                               AnswerAccumulator* out) {
   uint64_t updates = 0, count = 0;
@@ -645,6 +674,15 @@ class RankDecisionEngineSketch final : public SketchBase {
 // weighted adds, so batches are applied update-by-update (the batch still
 // amortizes queueing and dispatch). Merging is answer-level and requires a
 // fresh target, which the ingestor's merge path always provides.
+//
+// Shard handoff: sampler internals (tapes, Morris clocks) never cross the
+// wire, so a deserialized instance carries its prior substream as a FROZEN
+// answer-level accumulator — and keeps ingesting new updates with a fresh
+// sampler. Summary() folds the frozen prefix with the live suffix answer,
+// which is exactly the paper's mergeable-summary semantics: the retired
+// placement's contribution keeps answering forever while new traffic is
+// sampled independently. (Engine merge targets and snapshot clones are
+// accumulators that simply never receive updates.)
 
 class RobustHhEngineSketch final : public SketchBase {
  public:
@@ -663,10 +701,6 @@ class RobustHhEngineSketch final : public SketchBase {
       return Status::InvalidArgument(
           "robust_hh: weighted delta exceeds the unit-expansion cap");
     }
-    if (merged_.active) {
-      return Status::FailedPrecondition(
-          "robust_hh: merge accumulator is read-only");
-    }
     for (int64_t i = 0; i < u.delta; ++i) {
       Status s = alg_.Update({u.item});
       if (!s.ok()) return s;
@@ -676,17 +710,7 @@ class RobustHhEngineSketch final : public SketchBase {
   }
 
   SketchSummary Summary() const override {
-    SketchSummary s;
-    s.sketch = name_;
-    if (merged_.active) {
-      s.items = merged_.Items();
-      s.updates = merged_.updates;
-    } else {
-      s.items = alg_.Query();
-      s.updates = updates_applied_;
-    }
-    s.SortItems();
-    return s;
+    return SamplingSummary(name_, merged_, updates_applied_, alg_.Query());
   }
 
   Status MergeFrom(const Sketch& other) override {
@@ -742,10 +766,6 @@ class CrhfHhEngineSketch final : public SketchBase {
       return Status::InvalidArgument(
           "crhf_hh: weighted delta exceeds the unit-expansion cap");
     }
-    if (merged_.active) {
-      return Status::FailedPrecondition(
-          "crhf_hh: merge accumulator is read-only");
-    }
     for (int64_t i = 0; i < u.delta; ++i) {
       Status s = alg_.Update({u.item});
       if (!s.ok()) return s;
@@ -755,17 +775,7 @@ class CrhfHhEngineSketch final : public SketchBase {
   }
 
   SketchSummary Summary() const override {
-    SketchSummary s;
-    s.sketch = name_;
-    if (merged_.active) {
-      s.items = merged_.Items();
-      s.updates = merged_.updates;
-    } else {
-      s.items = alg_.Query();
-      s.updates = updates_applied_;
-    }
-    s.SortItems();
-    return s;
+    return SamplingSummary(name_, merged_, updates_applied_, alg_.Query());
   }
 
   Status MergeFrom(const Sketch& other) override {

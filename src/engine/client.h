@@ -1,8 +1,8 @@
 // Copyright (c) wbstream authors. Licensed under the MIT license.
 //
 // engine::Client — the typed multi-producer facade over ShardedIngestor,
-// and the engine's public API. It replaces the three seed-era pain points
-// of the Driver surface:
+// and the engine's public API. It replaced the three seed-era pain points
+// of the (since-deleted) Driver surface:
 //
 //   * string-keyed queries: a `SketchHandle` is resolved ONCE (name ->
 //     sketch index + declared answer family) and then every query is an
@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -112,6 +113,12 @@ class Client {
 
   // ---- ingest (multi-producer, asynchronous) -----------------------------
 
+  /// Opens a producer session: its own FIFO lane in the submission stage,
+  /// drained round-robin against every other session by the router, so one
+  /// hot producer cannot starve the rest. Producers that skip this share
+  /// the default session (exactly the pre-session engine). Any thread.
+  Result<ProducerSession> OpenSession() { return ingestor_->OpenSession(); }
+
   /// Submits a batch of turnstile updates from ANY thread and returns a
   /// sequence-numbered ticket immediately; backpressure delays the ticket,
   /// not this call. Completion is monotone in sequence order: once
@@ -122,6 +129,15 @@ class Client {
   }
   Result<IngestTicket> Submit(const stream::TurnstileStream& s) {
     return ingestor_->SubmitAsync(s);
+  }
+  Result<IngestTicket> Submit(const ProducerSession& session,
+                              const stream::TurnstileUpdate* updates,
+                              size_t count) {
+    return ingestor_->SubmitAsync(session, updates, count);
+  }
+  Result<IngestTicket> Submit(const ProducerSession& session,
+                              const stream::TurnstileStream& s) {
+    return ingestor_->SubmitAsync(session, s.data(), s.size());
   }
 
   /// Non-blocking Submit: where Submit would wait on the engine's inflight
@@ -134,6 +150,15 @@ class Client {
   }
   Result<IngestTicket> TrySubmit(const stream::TurnstileStream& s) {
     return ingestor_->TrySubmitAsync(s);
+  }
+  Result<IngestTicket> TrySubmit(const ProducerSession& session,
+                                 const stream::TurnstileUpdate* updates,
+                                 size_t count) {
+    return ingestor_->TrySubmitAsync(session, updates, count);
+  }
+  Result<IngestTicket> TrySubmit(const ProducerSession& session,
+                                 const stream::TurnstileStream& s) {
+    return ingestor_->TrySubmitAsync(session, s.data(), s.size());
   }
 
   /// Insertion-only convenience: each item becomes a delta-1 update.
@@ -163,6 +188,37 @@ class Client {
   /// Flush + stop and join the pipeline. The client stays queryable;
   /// further Submits fail. Idempotent.
   Status Finish() { return ingestor_->Finish(); }
+
+  // ---- live topology (scale-out, handoff) --------------------------------
+  //
+  // Both operations are linearized at a batch boundary through the
+  // router: batches submitted before the call land under the old table,
+  // later ones under the new, and quiescence-free queries keep answering
+  // throughout (from the old view until the new one is installed).
+
+  /// Scale-out: adds `n` fresh shards (hosted by cells from `factory`;
+  /// empty = in-process) and rebalances hash slots onto them. Existing
+  /// shards keep their state and stay merge-visible, so answers remain a
+  /// correct merge over all substreams ever ingested.
+  Status AddShards(size_t n, BackendFactory factory = {}) {
+    return ingestor_->AddShards(n, std::move(factory));
+  }
+
+  /// Live handoff: drains shard `shard`, serializes its published state
+  /// (the engine wire format is the transfer format), imports it into a
+  /// fresh cell built by `factory`, and re-points the shard id. Summaries
+  /// immediately after the move are identical to immediately before; the
+  /// four state-exact families continue bit-identically, the sampling
+  /// heavy hitters continue as frozen-prefix + fresh-sampler mergeable
+  /// summaries. On failure the topology is unchanged.
+  Status MoveShard(size_t shard, BackendFactory factory,
+                   MoveShardStats* stats = nullptr) {
+    return ingestor_->MoveShard(shard, std::move(factory), stats);
+  }
+
+  /// The current routing table, described (generation, shard count, slot
+  /// ownership). Any thread.
+  TopologyInfo Topology() const { return ingestor_->Topology(); }
 
   // ---- typed queries (quiescence-free, any thread) -----------------------
   //

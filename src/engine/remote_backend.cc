@@ -136,6 +136,33 @@ class LoopbackRemoteBackend final : public ShardBackend {
     return remote;
   }
 
+  Status ImportShardState(size_t shard,
+                          const std::vector<std::string>& frames) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    if (frames.size() != options_.sketches.size()) {
+      return Status::InvalidArgument(
+          "loopback backend: handoff frame count does not match the "
+          "configured sketch group");
+    }
+    // The handoff frame: a kReqImport whose payload is the sketch-state
+    // frames, length-prefixed in sketch order. The server decodes and
+    // installs them atomically, then publishes, so the imported history is
+    // merge-visible on the first post-handoff query.
+    wire::Writer req;
+    req.U32(uint32_t(frames.size()));
+    for (const std::string& frame : frames) req.Str(frame);
+    std::string resp;
+    Status s = RoundTrip(*shards_[shard], /*data_channel=*/true,
+                         wire::kReqImport, req.data(), &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
   Result<SketchSummary> LiveSummary(size_t shard,
                                     size_t sketch_index) const override {
     if (shard >= shards_.size()) {
@@ -233,8 +260,14 @@ BackendFactory LoopbackBackendFactory() {
 Result<BackendFactory> BackendFactoryByName(const std::string& name) {
   if (name.empty() || name == "inprocess") return InProcessBackendFactory();
   if (name == "loopback") return LoopbackBackendFactory();
-  return Status::InvalidArgument(
-      "unknown shard backend \"" + name + "\" (want inprocess | loopback)");
+  if (name == "mixed") {
+    // Alternating placement: even shards in-process, odd shards behind the
+    // loopback wire — one engine spanning both worlds at once.
+    return CompositeBackendFactory(
+        {InProcessBackendFactory(), LoopbackBackendFactory()});
+  }
+  return Status::InvalidArgument("unknown shard backend \"" + name +
+                                 "\" (want inprocess | loopback | mixed)");
 }
 
 }  // namespace wbs::engine

@@ -37,9 +37,11 @@ namespace wbs::engine {
 /// per shard.
 BackendFactory LoopbackBackendFactory();
 
-/// Resolves a backend factory by name: "inprocess" (or "") and "loopback".
-/// Unknown names are InvalidArgument — this backs --backend= flags and the
-/// WBS_ENGINE_BACKEND environment selection in tests and CI.
+/// Resolves a backend factory by name: "inprocess" (or ""), "loopback",
+/// and "mixed" (alternating in-process / loopback placement via
+/// CompositeBackendFactory). Unknown names are InvalidArgument — this
+/// backs --backend= flags and the WBS_ENGINE_BACKEND environment
+/// selection in tests and CI.
 Result<BackendFactory> BackendFactoryByName(const std::string& name);
 
 }  // namespace wbs::engine

@@ -188,6 +188,29 @@ void ShardServer::Dispatch(uint8_t type, std::string_view payload,
       w.U64(shard_->SpaceBits());
       break;
     }
+    case wire::kReqImport: {
+      // Shard handoff: install the serialized sketch states shipped from
+      // the retiring placement, then publish (ImportShardState does both).
+      wire::Reader r(payload);
+      uint32_t count = 0;
+      Status s = r.U32(&count);
+      std::vector<std::string> frames;
+      if (s.ok() && count != num_sketches_) {
+        s = Status::InvalidArgument(
+            "ShardServer: handoff frame count does not match the sketch "
+            "group");
+      }
+      for (uint32_t i = 0; s.ok() && i < count; ++i) {
+        std::string frame;
+        s = r.Str(&frame);
+        if (s.ok()) frames.push_back(std::move(frame));
+      }
+      if (s.ok()) s = r.ExpectEnd();
+      if (s.ok()) s = shard_->ImportShardState(0, frames);
+      PutStatus(s, &w);
+      w.U64(shard_->Epoch(0).value_or(0));
+      break;
+    }
     default:
       PutStatus(Status::InvalidArgument("ShardServer: unknown request type " +
                                         std::to_string(int(type))),

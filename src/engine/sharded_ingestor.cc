@@ -3,6 +3,8 @@
 #include "engine/sharded_ingestor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "engine/backend.h"
 #include "engine/registry.h"
@@ -29,6 +31,7 @@ Result<std::unique_ptr<ShardedIngestor>> ShardedIngestor::Create(
   }
   IngestorOptions opts = options;
   if (opts.num_threads > opts.num_shards) opts.num_threads = opts.num_shards;
+  if (opts.slots_per_shard == 0) opts.slots_per_shard = 1;
   std::unique_ptr<ShardedIngestor> ingestor(
       new ShardedIngestor(std::move(opts)));
   Status s = ingestor->Init();
@@ -40,7 +43,6 @@ ShardedIngestor::ShardedIngestor(IngestorOptions options)
     : options_(std::move(options)) {}
 
 Status ShardedIngestor::Init() {
-  scatter_.resize(options_.num_shards);
   BackendOptions bopts;
   bopts.num_shards = options_.num_shards;
   bopts.sketches = options_.sketches;
@@ -55,13 +57,14 @@ Status ShardedIngestor::Init() {
     return Status::Internal(
         "ShardedIngestor: backend factory returned a mismatched backend");
   }
+  topology_ = std::make_unique<ShardTopology>(ShardTopology::MakeInitial(
+      options_.num_shards, options_.slots_per_shard, backend_.get()));
   caches_.reserve(options_.sketches.size());
   for (size_t i = 0; i < options_.sketches.size(); ++i) {
-    auto cache = std::make_unique<MergeCache>();
-    cache->folded.resize(options_.num_shards);
-    cache->epochs.assign(options_.num_shards, 0);
-    caches_.push_back(std::move(cache));
+    caches_.push_back(std::make_unique<MergeCache>());
   }
+  sessions_.push_back(std::make_unique<Session>());  // the shared session 0
+  session_count_.store(1, std::memory_order_release);
   workers_.reserve(options_.num_threads);
   for (size_t w = 0; w < options_.num_threads; ++w) {
     workers_.push_back(std::make_unique<Worker>());
@@ -97,10 +100,17 @@ size_t ShardedIngestor::SketchIndex(const std::string& sketch) const {
   return options_.sketches.size();
 }
 
-Status ShardedIngestor::ApplyToShard(size_t shard_index,
-                                     const stream::TurnstileUpdate* data,
-                                     size_t count) {
-  return backend_->ApplyBatch(shard_index, data, count);
+size_t ShardedIngestor::num_shards() const {
+  return topology_->View()->num_shards();
+}
+
+Result<ProducerSession> ShardedIngestor::OpenSession() {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  Status pre = PreSubmit();
+  if (!pre.ok()) return pre;
+  sessions_.push_back(std::make_unique<Session>());
+  session_count_.store(sessions_.size(), std::memory_order_release);
+  return ProducerSession{sessions_.size() - 1};
 }
 
 void ShardedIngestor::CompleteTicket(const TicketState& state) {
@@ -119,35 +129,113 @@ void ShardedIngestor::CompleteTicket(const TicketState& state) {
   ticket_cv_.notify_all();
 }
 
+void ShardedIngestor::DrainWorkers() {
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mu);
+    worker->cv_drained.wait(lock, [&] { return worker->pending == 0; });
+  }
+}
+
+void ShardedIngestor::ReScatter(PendingTicket* ticket,
+                                const TopologyView& view) {
+  // The ticket was scattered under an older table (its producer raced a
+  // topology change). Re-scatter so dispatch always matches the installed
+  // topology — a batch must never land on a placement that was handed off.
+  // Within-shard order follows the old shards' concatenation, which is a
+  // fixed permutation of the producer's batch.
+  std::vector<std::vector<stream::TurnstileUpdate>> fresh(view.num_shards());
+  for (const auto& old : ticket->sub) {
+    for (const stream::TurnstileUpdate& u : old) {
+      fresh[view.ShardFor(u.item)].push_back(u);
+    }
+  }
+  ticket->sub = std::move(fresh);
+  ticket->routing_generation = view.routing_generation;
+  size_t nonempty = 0;
+  for (const auto& v : ticket->sub) nonempty += v.empty() ? 0 : 1;
+  // Safe: the router owns the ticket and no worker has seen it yet.
+  ticket->state->remaining.store(nonempty, std::memory_order_relaxed);
+}
+
 void ShardedIngestor::RouterLoop() {
   for (;;) {
     PendingTicket ticket;
     {
       std::unique_lock<std::mutex> lock(submit_mu_);
-      router_cv_.wait(
-          lock, [&] { return router_stop_ || !submit_queue_.empty(); });
-      if (submit_queue_.empty()) {
+      router_cv_.wait(lock,
+                      [&] { return router_stop_ || queued_total_ > 0; });
+      if (queued_total_ == 0) {
         if (router_stop_) return;
         continue;
       }
-      ticket = std::move(submit_queue_.front());
-      submit_queue_.pop_front();
+      // Control barriers linearize topology changes at batch boundaries:
+      // every data ticket with a smaller sequence number is dispatched
+      // first, and none with a larger one before the barrier completes.
+      // Fencing on control_seqs_ (not on lane fronts) matters: a barrier
+      // parked behind earlier data in its own lane must still hold back
+      // later-seq tickets queued in OTHER lanes.
+      const uint64_t control_seq =
+          control_seqs_.empty() ? std::numeric_limits<uint64_t>::max()
+                                : control_seqs_.front();
+      // Round-robin across session lanes (fairness: a hot producer's lane
+      // cannot monopolize dispatch), FIFO within a lane.
+      const size_t n = sessions_.size();
+      size_t chosen = n;
+      for (size_t k = 0; k < n && chosen == n; ++k) {
+        const size_t i = (rr_cursor_ + k) % n;
+        const auto& q = sessions_[i]->queue;
+        if (q.empty() || q.front().control != nullptr) continue;
+        if (q.front().state->seq < control_seq) chosen = i;
+      }
+      if (chosen == n) {
+        for (size_t i = 0; i < n && chosen == n; ++i) {
+          const auto& q = sessions_[i]->queue;
+          if (!q.empty() && q.front().control != nullptr &&
+              q.front().state->seq == control_seq) {
+            chosen = i;
+          }
+        }
+      }
+      if (chosen == n) continue;
+      rr_cursor_ = (chosen + 1) % n;
+      ticket = std::move(sessions_[chosen]->queue.front());
+      sessions_[chosen]->queue.pop_front();
+      --queued_total_;
+      if (ticket.control != nullptr) control_seqs_.pop_front();
     }
-    // Forward the pre-scattered sub-batches to their owning workers in
-    // shard order. A full worker queue blocks *here* — the router is the
-    // thread that absorbs backpressure, so producers never stall in
-    // SubmitAsync and the pressure shows up as a later ticket completion.
+
+    if (ticket.control != nullptr) {
+      // Barrier: everything dispatched so far must be applied before the
+      // topology mutates (MoveShard serializes a quiescent shard).
+      DrainWorkers();
+      ticket.control->result = ticket.control->op();
+      CompleteTicket(*ticket.state);
+      continue;
+    }
+
+    std::shared_ptr<const TopologyView> view = topology_->View();
+    if (ticket.routing_generation != view->routing_generation) {
+      ReScatter(&ticket, *view);
+    }
+
+    // Forward the sub-batches to their owning workers in shard order,
+    // placements resolved against the installed table. A full worker queue
+    // blocks *here* — the router is the thread that absorbs backpressure,
+    // so producers never stall in SubmitAsync and the pressure shows up as
+    // a later ticket completion.
     size_t dispatched = 0;
     for (size_t shard = 0; shard < ticket.sub.size(); ++shard) {
       if (ticket.sub[shard].empty()) continue;
+      const ShardPlacement placement = view->placements[shard];
       Worker* worker = workers_[shard % workers_.size()].get();
       {
         std::unique_lock<std::mutex> lock(worker->mu);
         worker->cv_space.wait(lock, [&] {
           return worker->queue.size() < options_.max_queue_batches;
         });
-        worker->queue.push_back(
-            Job{shard, std::move(ticket.sub[shard]), ticket.state});
+        worker->queue.push_back(Job{placement.backend, placement.local,
+                                    std::move(ticket.sub[shard]),
+                                    ticket.state});
         ++worker->pending;
       }
       worker->cv_work.notify_one();
@@ -179,8 +267,8 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
     // deadlocks on backpressure and every ticket still completes) but stop
     // mutating state.
     if (!has_error_.load(std::memory_order_acquire)) {
-      Status s = ApplyToShard(job.shard, job.updates.data(),
-                              job.updates.size());
+      Status s = job.backend->ApplyBatch(job.local, job.updates.data(),
+                                         job.updates.size());
       if (!s.ok()) RecordError(s);
     }
     if (job.ticket != nullptr &&
@@ -202,19 +290,21 @@ Status ShardedIngestor::PreSubmit() const {
   return FirstError();
 }
 
-Result<IngestTicket> ShardedIngestor::ApplyInline(size_t count) {
+Result<IngestTicket> ShardedIngestor::ApplyInline(const TopologyView& view,
+                                                  size_t count) {
   // Inline mode (no workers): scatter_ already holds the sub-batches; apply
-  // them synchronously under submit_mu_ (held by the caller via
-  // inline_lock), so concurrent producers serialize and apply order is
-  // their arrival order. The returned ticket is the always-complete seq 0 —
-  // by the time SubmitAsync returns, the batch IS ingested, and errors
-  // surface synchronously. No ticket state is allocated: the unbatched
-  // single-producer path stays as cheap as the pre-ticket engine.
+  // them synchronously under submit_mu_ (held by the caller), so concurrent
+  // producers serialize and apply order is their arrival order. The
+  // returned ticket is the always-complete seq 0 — by the time SubmitAsync
+  // returns, the batch IS ingested, and errors surface synchronously. No
+  // ticket state is allocated: the unbatched single-producer path stays as
+  // cheap as the pre-ticket engine.
   updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
   for (size_t shard = 0; shard < scatter_.size(); ++shard) {
     if (scatter_[shard].empty()) continue;
-    Status s = ApplyToShard(shard, scatter_[shard].data(),
-                            scatter_[shard].size());
+    const ShardPlacement placement = view.placements[shard];
+    Status s = placement.backend->ApplyBatch(
+        placement.local, scatter_[shard].data(), scatter_[shard].size());
     if (!s.ok()) {
       RecordError(s);
       return s;
@@ -224,19 +314,29 @@ Result<IngestTicket> ShardedIngestor::ApplyInline(size_t count) {
 }
 
 Result<IngestTicket> ShardedIngestor::EnqueueScattered(
+    const ProducerSession& session,
     std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count,
-    bool blocking) {
+    bool blocking, uint64_t routing_generation) {
   size_t nonempty = 0;
   for (const auto& v : sub) nonempty += v.empty() ? 0 : 1;
   const uint64_t bytes = uint64_t(count) * sizeof(stream::TurnstileUpdate);
 
+  // Validate the session BEFORE the valve: a bad id must fail immediately,
+  // not block in the turnstile (holding a FIFO turn) until the backlog
+  // drains. Sessions are never removed, so the lock-free count is safe.
+  if (session.id >= session_count_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "ShardedIngestor: unknown producer session");
+  }
+
   // Flow-control valves: a ticket-count cap (memory safety, far above the
   // worker-queue backpressure point) and a total-bytes cap on the queued
   // update data. An oversized batch is admitted when nothing is in flight
-  // so it can never deadlock the valve. Admission and the reservation of
-  // the counters happen under ONE continuous hold of ticket_mu_, so
-  // concurrent producers cannot both pass a nearly-full valve on stale
-  // counters and collectively overshoot the cap.
+  // so it can never deadlock the valve. Admission is FAIR: blocked
+  // producers take a turnstile number and are admitted in arrival order,
+  // so a hot producer looping on Submit cannot starve a parked one (its
+  // next submission queues behind every earlier waiter). Admission and
+  // counter reservation happen under ONE continuous hold of ticket_mu_.
   const auto admissible = [&] {
     if (options_.max_inflight_tickets > 0 &&
         inflight_tickets_ >= options_.max_inflight_tickets) {
@@ -251,8 +351,13 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
   {
     std::unique_lock<std::mutex> lock(ticket_mu_);
     if (blocking) {
-      ticket_cv_.wait(lock, admissible);
-    } else if (!admissible()) {
+      const uint64_t turn = valve_next_++;
+      ticket_cv_.wait(
+          lock, [&] { return valve_serving_ == turn && admissible(); });
+      ++valve_serving_;
+    } else if (valve_next_ != valve_serving_ || !admissible()) {
+      // Fail fast on a full valve — or on queued waiters, which a
+      // non-blocking submission must not barge past.
       return Status::ResourceExhausted(
           "ShardedIngestor: inflight valve full (max_inflight_tickets / "
           "max_inflight_bytes)");
@@ -260,6 +365,8 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     ++inflight_tickets_;
     inflight_bytes_ += bytes;
   }
+  // Hand the turnstile to the next waiter (its turn predicate re-checks).
+  ticket_cv_.notify_all();
 
   auto state = std::make_shared<TicketState>();
   state->bytes = bytes;
@@ -269,6 +376,10 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status pre = PreSubmit();  // recheck: Finish may have won the race
+    if (pre.ok() && session.id >= sessions_.size()) {
+      pre = Status::InvalidArgument(
+          "ShardedIngestor: unknown producer session");
+    }
     if (!pre.ok()) {
       // Release the reservation: this ticket will never exist.
       {
@@ -281,86 +392,110 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     }
     state->seq = seq = ++next_seq_;
     updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
-    submit_queue_.push_back(PendingTicket{state, std::move(sub)});
+    PendingTicket ticket;
+    ticket.state = state;
+    ticket.sub = std::move(sub);
+    ticket.routing_generation = routing_generation;
+    sessions_[session.id]->queue.push_back(std::move(ticket));
+    ++queued_total_;
   }
   router_cv_.notify_one();
   return IngestTicket{seq};
 }
 
 Result<IngestTicket> ShardedIngestor::SubmitAsync(
-    const stream::TurnstileUpdate* updates, size_t count) {
-  return SubmitScattered(updates, count, /*blocking=*/true);
+    const ProducerSession& session, const stream::TurnstileUpdate* updates,
+    size_t count) {
+  return SubmitScattered(session, updates, count, /*blocking=*/true);
 }
 
 Result<IngestTicket> ShardedIngestor::TrySubmitAsync(
-    const stream::TurnstileUpdate* updates, size_t count) {
-  return SubmitScattered(updates, count, /*blocking=*/false);
+    const ProducerSession& session, const stream::TurnstileUpdate* updates,
+    size_t count) {
+  return SubmitScattered(session, updates, count, /*blocking=*/false);
 }
 
 Result<IngestTicket> ShardedIngestor::SubmitScattered(
-    const stream::TurnstileUpdate* updates, size_t count, bool blocking) {
+    const ProducerSession& session, const stream::TurnstileUpdate* updates,
+    size_t count, bool blocking) {
   Status pre = PreSubmit();
   if (!pre.ok()) return pre;
   if (count == 0) return IngestTicket{};  // seq 0: always complete
 
-  const size_t num_shards = options_.num_shards;
   if (workers_.empty()) {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status recheck = PreSubmit();
+    if (recheck.ok() && session.id >= sessions_.size()) {
+      recheck = Status::InvalidArgument(
+          "ShardedIngestor: unknown producer session");
+    }
     if (!recheck.ok()) return recheck;
-    if (num_shards == 1) {
+    std::shared_ptr<const TopologyView> view = topology_->View();
+    scatter_.resize(view->num_shards());
+    for (auto& v : scatter_) v.clear();
+    if (view->num_shards() == 1) {
       scatter_[0].assign(updates, updates + count);
     } else {
-      for (auto& v : scatter_) v.clear();
       for (size_t i = 0; i < count; ++i) {
-        scatter_[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
+        scatter_[view->ShardFor(updates[i].item)].push_back(updates[i]);
       }
     }
-    return ApplyInline(count);
+    return ApplyInline(*view, count);
   }
 
   // Scatter on the producer's thread — the parallelizable part of
   // submission, and the reason multiple producers scale: hashing `count`
-  // items happens outside every engine lock.
+  // items happens outside every engine lock. The view's generation rides
+  // along so the router can re-scatter if a topology change races us.
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  const size_t num_shards = view->num_shards();
   std::vector<std::vector<stream::TurnstileUpdate>> sub(num_shards);
   if (num_shards == 1) {
     sub[0].assign(updates, updates + count);
   } else {
     for (size_t i = 0; i < count; ++i) {
-      sub[ShardOf(updates[i].item, num_shards)].push_back(updates[i]);
+      sub[view->ShardFor(updates[i].item)].push_back(updates[i]);
     }
   }
-  return EnqueueScattered(std::move(sub), count, blocking);
+  return EnqueueScattered(session, std::move(sub), count, blocking,
+                          view->routing_generation);
 }
 
 Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
-    const stream::ItemUpdate* items, size_t count) {
+    const ProducerSession& session, const stream::ItemUpdate* items,
+    size_t count) {
   Status pre = PreSubmit();
   if (!pre.ok()) return pre;
   if (count == 0) return IngestTicket{};
 
   // Fused conversion + scatter: each item becomes a delta-1 turnstile
   // update directly in its shard's sub-batch (no intermediate copy).
-  const size_t num_shards = options_.num_shards;
   if (workers_.empty()) {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status recheck = PreSubmit();
+    if (recheck.ok() && session.id >= sessions_.size()) {
+      recheck = Status::InvalidArgument(
+          "ShardedIngestor: unknown producer session");
+    }
     if (!recheck.ok()) return recheck;
+    std::shared_ptr<const TopologyView> view = topology_->View();
+    scatter_.resize(view->num_shards());
     for (auto& v : scatter_) v.clear();
-    if (num_shards == 1) {
+    if (view->num_shards() == 1) {
       scatter_[0].reserve(count);
       for (size_t i = 0; i < count; ++i) {
         scatter_[0].push_back({items[i].item, 1});
       }
     } else {
       for (size_t i = 0; i < count; ++i) {
-        scatter_[ShardOf(items[i].item, num_shards)].push_back(
-            {items[i].item, 1});
+        scatter_[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
       }
     }
-    return ApplyInline(count);
+    return ApplyInline(*view, count);
   }
 
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  const size_t num_shards = view->num_shards();
   std::vector<std::vector<stream::TurnstileUpdate>> sub(num_shards);
   if (num_shards == 1) {
     sub[0].reserve(count);
@@ -369,11 +504,180 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
     }
   } else {
     for (size_t i = 0; i < count; ++i) {
-      sub[ShardOf(items[i].item, num_shards)].push_back({items[i].item, 1});
+      sub[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
     }
   }
-  return EnqueueScattered(std::move(sub), count, /*blocking=*/true);
+  return EnqueueScattered(session, std::move(sub), count, /*blocking=*/true,
+                          view->routing_generation);
 }
+
+// ---- topology operations ---------------------------------------------------
+
+BackendOptions ShardedIngestor::CellOptions(size_t shard) const {
+  BackendOptions bopts;
+  bopts.num_shards = 1;
+  bopts.sketches = options_.sketches;
+  // The cell receives the seed derived for the GLOBAL shard id, so the
+  // shard samples identically no matter where (or how often) it is homed.
+  bopts.config = ShardConfigFor(options_.config, shard);
+  bopts.snapshot_min_updates = options_.snapshot_min_updates;
+  bopts.shard_seeds_resolved = true;
+  return bopts;
+}
+
+Status ShardedIngestor::RunAtBarrier(std::function<Status()> op) {
+  if (workers_.empty()) {
+    // Inline mode: submit_mu_ serializes against every inline apply, so
+    // holding it IS the batch barrier.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status pre = PreSubmit();
+    if (!pre.ok()) return pre;
+    return op();
+  }
+  auto state = std::make_shared<TicketState>();
+  auto control = std::make_shared<ControlState>();
+  control->op = std::move(op);
+  {
+    // Barriers bypass the valves (a barrier must never deadlock behind a
+    // full valve it is about to help drain) but still count in flight so
+    // Flush and the watermark see them.
+    std::lock_guard<std::mutex> tlock(ticket_mu_);
+    ++inflight_tickets_;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status pre = PreSubmit();
+    if (!pre.ok()) {
+      {
+        std::lock_guard<std::mutex> tlock(ticket_mu_);
+        --inflight_tickets_;
+      }
+      ticket_cv_.notify_all();
+      return pre;
+    }
+    state->seq = seq = ++next_seq_;
+    PendingTicket ticket;
+    ticket.state = state;
+    ticket.control = control;
+    sessions_[0]->queue.push_back(std::move(ticket));
+    control_seqs_.push_back(seq);
+    ++queued_total_;
+  }
+  router_cv_.notify_one();
+  Status wait = Wait(IngestTicket{seq});
+  if (!control->result.ok()) return control->result;
+  return wait;
+}
+
+Status ShardedIngestor::AddShards(size_t n, BackendFactory factory) {
+  if (n == 0) return Status::OK();
+  return RunAtBarrier([this, n, factory = std::move(factory)] {
+    return DoAddShards(n, factory);
+  });
+}
+
+Status ShardedIngestor::MoveShard(size_t shard, BackendFactory factory,
+                                  MoveShardStats* stats) {
+  return RunAtBarrier([this, shard, factory = std::move(factory), stats] {
+    return DoMoveShard(shard, factory, stats);
+  });
+}
+
+Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  const BackendFactory f = factory ? factory : InProcessBackendFactory();
+  std::vector<std::unique_ptr<ShardBackend>> cells;
+  std::vector<ShardPlacement> added;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t shard = view->num_shards() + k;
+    auto cell = f(CellOptions(shard));
+    if (!cell.ok()) return cell.status();
+    if (cell.value() == nullptr || cell.value()->num_shards() != 1) {
+      return Status::Internal(
+          "ShardedIngestor: AddShards factory returned a mismatched cell");
+    }
+    added.push_back(ShardPlacement{cell.value().get(), 0});
+    cells.push_back(std::move(cell).value());
+  }
+  std::shared_ptr<const TopologyView> next =
+      ShardTopology::WithAddedShards(*view, added);
+  for (auto& cell : cells) extra_backends_.push_back(std::move(cell));
+  topology_->Install(std::move(next));
+  return Status::OK();
+}
+
+Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
+                                    MoveShardStats* stats) {
+  using clock = std::chrono::steady_clock;
+  const auto us = [](clock::time_point a, clock::time_point b) {
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+  };
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) {
+    return Status::OutOfRange("ShardedIngestor: MoveShard id out of range");
+  }
+  const ShardPlacement source = view->placements[shard];
+
+  // 1. The barrier already drained in-flight batches; publish the source's
+  //    snapshot so the serialized state is its exact live state.
+  const auto t0 = clock::now();
+  Status flushed = source.backend->Flush(source.local);
+  if (!flushed.ok()) return flushed;
+  const auto t1 = clock::now();
+
+  // 2. Serialize the shard's sketch group — the wire snapshot states ARE
+  //    the handoff transfer format. A shard that never ingested has no
+  //    published state; it moves as a fresh cell.
+  std::vector<std::string> frames;
+  frames.reserve(options_.sketches.size());
+  uint64_t state_bytes = 0;
+  bool published = false;
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    auto snap = source.backend->SnapshotSerialized(source.local, i);
+    if (!snap.ok()) return snap.status();
+    published |= !snap.value().state.empty();
+    state_bytes += snap.value().state.size();
+    frames.push_back(std::move(snap.value().state));
+  }
+  const auto t2 = clock::now();
+
+  // 3. Build the destination cell and import. Any failure leaves the
+  //    topology (and the source placement) exactly as it was.
+  const BackendFactory f = factory ? factory : InProcessBackendFactory();
+  auto cell = f(CellOptions(shard));
+  if (!cell.ok()) return cell.status();
+  if (cell.value() == nullptr || cell.value()->num_shards() != 1) {
+    return Status::Internal(
+        "ShardedIngestor: MoveShard factory returned a mismatched cell");
+  }
+  if (published) {
+    Status imported = cell.value()->ImportShardState(0, frames);
+    if (!imported.ok()) return imported;
+  }
+  const auto t3 = clock::now();
+
+  // 4. Re-point the shard id. The source cell's state is left in place —
+  //    readers holding an older topology view keep folding it until they
+  //    re-acquire; new views fold the destination, which now carries the
+  //    full history.
+  auto next = ShardTopology::WithMovedShard(
+      *view, shard, ShardPlacement{cell.value().get(), 0});
+  if (!next.ok()) return next.status();
+  extra_backends_.push_back(std::move(cell).value());
+  topology_->Install(std::move(next).value());
+
+  if (stats != nullptr) {
+    stats->flush_us = us(t0, t1);
+    stats->serialize_us = us(t1, t2);
+    stats->import_us = us(t2, t3);
+    stats->state_bytes = state_bytes;
+  }
+  return Status::OK();
+}
+
+// ---- completion / flush ----------------------------------------------------
 
 Status ShardedIngestor::Wait(const IngestTicket& ticket) const {
   {
@@ -397,21 +701,20 @@ Result<bool> ShardedIngestor::TryWait(const IngestTicket& ticket) const {
 }
 
 Status ShardedIngestor::Flush() {
-  // Wait for every assigned ticket to finish — that drains the submission
-  // queue, the router, and the worker queues in one condition (workers even
-  // drain after an error, so this terminates).
+  // Wait for every assigned ticket to finish — that drains the session
+  // queues, the router, and the worker queues in one condition (workers
+  // even drain after an error, so this terminates).
   {
     std::unique_lock<std::mutex> lock(ticket_mu_);
     ticket_cv_.wait(lock, [&] { return inflight_tickets_ == 0; });
   }
-  for (auto& worker : workers_) {
-    std::unique_lock<std::mutex> lock(worker->mu);
-    worker->cv_drained.wait(lock, [&] { return worker->pending == 0; });
-  }
+  DrainWorkers();
   // Quiescent now (no in-flight tickets, empty queues): catch up any shard
   // whose snapshot lags its live state, so post-Flush queries are exact.
-  for (size_t shard = 0; shard < options_.num_shards; ++shard) {
-    Status s = backend_->Flush(shard);
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  for (size_t shard = 0; shard < view->num_shards(); ++shard) {
+    const ShardPlacement placement = view->placements[shard];
+    Status s = placement.backend->Flush(placement.local);
     if (!s.ok()) RecordError(s);
   }
   return FirstError();
@@ -470,6 +773,8 @@ Status ShardedIngestor::CheckQuiescent() const {
   return Status::OK();
 }
 
+// ---- queries ---------------------------------------------------------------
+
 Result<SketchSummary> ShardedIngestor::MergedSummary(
     const std::string& sketch) const {
   const size_t index = SketchIndex(sketch);
@@ -494,15 +799,36 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   if (sketch_index >= options_.sketches.size()) {
     return Status::OutOfRange("ShardedIngestor: sketch index out of range");
   }
+  // The fold targets one consistent topology view; a change racing this
+  // query is picked up on the next call (the generation stamp below makes
+  // the cache notice).
+  std::shared_ptr<const TopologyView> view = topology_->View();
   MergeCache& cache = *caches_[sketch_index];
   *lock = std::unique_lock<std::mutex>(cache.mu);
 
+  // A stale view (loaded before a change another query already folded)
+  // must not roll the cache BACK a generation — reload instead; installs
+  // are monotone, so the reloaded view is at least the cache's generation.
+  if (view->generation < cache.generation) view = topology_->View();
+
+  // Topology changes invalidate wholesale: the shard count or a placement
+  // changed under the cache, so per-shard epoch bookkeeping from the old
+  // generation is meaningless (a handoff destination restarts its epochs).
+  const size_t num_shards = view->num_shards();
+  if (cache.generation != view->generation) {
+    cache.generation = view->generation;
+    cache.folded.assign(num_shards, nullptr);
+    cache.epochs.assign(num_shards, 0);
+    cache.valid = false;
+    cache.merged.reset();
+  }
+
   // Dirty scan: backend epoch reads (an atomic load in process, one small
   // frame over a remote transport) against the epochs the cache folded.
-  const size_t num_shards = options_.num_shards;
   std::vector<size_t> dirty;
   for (size_t s = 0; s < num_shards; ++s) {
-    auto epoch = backend_->Epoch(s);
+    const ShardPlacement placement = view->placements[s];
+    auto epoch = placement.backend->Epoch(placement.local);
     if (!epoch.ok()) return epoch.status();
     if (epoch.value() != cache.epochs[s]) dirty.push_back(s);
   }
@@ -515,7 +841,8 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   std::vector<std::shared_ptr<const Sketch>> fresh(dirty.size());
   std::vector<uint64_t> fresh_epochs(dirty.size());
   for (size_t d = 0; d < dirty.size(); ++d) {
-    auto snap = backend_->Snapshot(dirty[d], sketch_index);
+    const ShardPlacement placement = view->placements[dirty[d]];
+    auto snap = placement.backend->Snapshot(placement.local, sketch_index);
     if (!snap.ok()) return snap.status();
     fresh[d] = snap.value().sketch;
     fresh_epochs[d] = snap.value().epoch;
@@ -600,8 +927,10 @@ Result<MergeCacheStats> ShardedIngestor::CacheStats(
 }
 
 uint64_t ShardedIngestor::ShardEpoch(size_t shard) const {
-  if (shard >= options_.num_shards) return 0;
-  auto epoch = backend_->Epoch(shard);
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) return 0;
+  const ShardPlacement placement = view->placements[shard];
+  auto epoch = placement.backend->Epoch(placement.local);
   return epoch.ok() ? epoch.value() : 0;
 }
 
@@ -609,7 +938,8 @@ Result<SketchSummary> ShardedIngestor::ShardSummary(
     size_t shard, const std::string& sketch) const {
   Status quiescent = CheckQuiescent();
   if (!quiescent.ok()) return quiescent;
-  if (shard >= options_.num_shards) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) {
     return Status::OutOfRange("ShardedIngestor: shard index out of range");
   }
   const size_t index = SketchIndex(sketch);
@@ -617,9 +947,26 @@ Result<SketchSummary> ShardedIngestor::ShardSummary(
     return Status::NotFound("ShardedIngestor: sketch not configured: " +
                             sketch);
   }
-  return backend_->LiveSummary(shard, index);
+  const ShardPlacement placement = view->placements[shard];
+  return placement.backend->LiveSummary(placement.local, index);
 }
 
-uint64_t ShardedIngestor::SpaceBits() const { return backend_->SpaceBits(); }
+uint64_t ShardedIngestor::SpaceBits() const {
+  // Sum each backend hosting the current topology once. A monolithic
+  // backend retains (and counts) the state of shards that were moved out
+  // of it — that state stays merge-visible to readers of older views.
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  std::vector<const ShardBackend*> seen;
+  uint64_t bits = 0;
+  for (const ShardPlacement& placement : view->placements) {
+    if (std::find(seen.begin(), seen.end(), placement.backend) !=
+        seen.end()) {
+      continue;
+    }
+    seen.push_back(placement.backend);
+    bits += placement.backend->SpaceBits();
+  }
+  return bits;
+}
 
 }  // namespace wbs::engine

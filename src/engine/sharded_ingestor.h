@@ -2,61 +2,69 @@
 //
 // ShardedIngestor: the engine's parallel ingestion core.
 //
-// The universe [0, n) is hash-partitioned across `num_shards` shards; each
-// shard owns one instance of every configured sketch. Submitted update
-// batches are scattered by item hash into per-shard sub-batches and applied
-// either inline (num_threads == 0) or by worker threads, each of which owns
-// a fixed subset of shards (shard s -> worker s % num_threads) and drains a
-// FIFO queue — so every shard sees its sub-stream in submission order no
+// The universe is hash-partitioned across shards by the engine's ROUTING
+// LAYER (topology.h): item -> hash slot -> shard id -> backend placement,
+// published as an immutable, generation-stamped TopologyView. Each shard
+// owns one instance of every configured sketch. Submitted update batches
+// are scattered by slot into per-shard sub-batches and applied either
+// inline (num_threads == 0) or by worker threads, each of which owns a
+// fixed subset of shards (shard s -> worker s % num_threads) and drains a
+// FIFO queue — so every shard sees its sub-stream in dispatch order no
 // matter how many workers run.
 //
 // WHERE the shards live is behind the pluggable ShardBackend interface
-// (backend.h): the default InProcessBackend keeps them in this process
-// (zero-copy apply, the original code path bit-for-bit); the loopback
-// remote backend (remote_backend.h) runs each shard behind a socket
-// speaking the engine wire format. The scatter/router/ticket machinery,
-// merge cache, and snapshot/epoch protocol below are backend-agnostic.
+// (backend.h): InProcessBackend keeps them in this process (zero-copy
+// apply), LoopbackRemoteBackend (remote_backend.h) runs each shard behind
+// a socket speaking the engine wire format, and CompositeBackendFactory
+// mixes placements shard-by-shard. On top of that, the topology supports
+// two LIVE operations, both linearized at batch boundaries through the
+// router:
+//
+//   * AddShards(n): scale-out. Fresh shards (their own backend cells) join
+//     and hash slots are stolen evenly from existing owners. Old shards
+//     stay merge-visible forever, so answers remain a correct merge over
+//     every substream ever ingested (bit-identical for the linear
+//     families, mergeable-summary bounds for the rest).
+//   * MoveShard(id, factory): live handoff. The router drains the shard's
+//     in-flight batches, serializes its published state (the wire format
+//     of PR 4 is the transfer format), imports it into a cell built by
+//     `factory` (kReqImport over the wire for remote cells), and
+//     re-points the shard id — same slots, same derived shard seed, full
+//     history. Queries racing the handoff keep answering from the old
+//     placement until the new view is installed.
 //
 // Submission is multi-producer and asynchronous: SubmitAsync scatters on
-// the calling thread, then hands the pre-scattered batch to an MPSC
-// submission queue under a short mutex and returns a sequence-numbered
-// IngestTicket immediately. A router thread drains the submission queue in
-// ticket order and forwards sub-batches to the per-shard worker queues —
-// worker backpressure therefore blocks the *router* (and the ticket's
-// completion), never the producer's thread. Wait(ticket)/TryWait(ticket)
-// observe a monotone completion watermark: a ticket reports done only once
-// every ticket with a smaller sequence number has also been fully applied,
-// so `Wait(t)` returning means the stream prefix through `t` is ingested.
+// the calling thread, then hands the pre-scattered batch to a per-session
+// MPSC submission queue under a short mutex and returns a sequence-
+// numbered IngestTicket immediately. A router thread drains the session
+// queues ROUND-ROBIN (fairness across producer sessions — a hot producer
+// cannot monopolize dispatch) and forwards sub-batches to the per-shard
+// worker queues — worker backpressure therefore blocks the *router* (and
+// ticket completion), never the producer's thread. Producers that do not
+// open a session share session 0, whose queue drains FIFO exactly like the
+// pre-session engine. The inflight valves (max_inflight_tickets /
+// max_inflight_bytes) admit blocked producers in ARRIVAL ORDER (a FIFO
+// turnstile), so a hot producer re-submitting in a loop cannot starve a
+// parked one past the global valves. Wait(ticket)/TryWait(ticket) observe
+// a monotone completion watermark: a ticket reports done only once every
+// ticket with a smaller sequence number has also been fully applied.
 //
-// Determinism: shard assignment depends only on the item, per-shard
-// randomness only on (config seed, shard index), and per-shard apply order
-// only on ticket order. A run with a fixed seed and fixed num_shards is
-// therefore bit-for-bit reproducible for ANY num_threads given the same
-// ticket order; with one producer, ticket order is submission order, which
-// reproduces the legacy single-producer path exactly. With multiple
-// producers the arrival interleaving is scheduling-dependent, but
-// order-insensitive sketches (the linear families: ams_f2, sis_l0,
-// rank_decision) still produce bit-identical final state for every
-// interleaving of the same batches.
+// Determinism: slot assignment depends only on the item (and the initial
+// table reproduces the legacy hash-mod-shards partition bit-for-bit),
+// per-shard randomness only on (config seed, shard id), and per-shard
+// apply order only on dispatch order. With one producer session, dispatch
+// order is submission order, which reproduces the legacy single-producer
+// path exactly; topology operations issued from that producer land at
+// deterministic batch boundaries. With multiple sessions the round-robin
+// interleaving is deterministic given queue contents but arrival timing is
+// not; order-insensitive sketches (the linear families) still produce
+// bit-identical final state for every interleaving of the same batches.
 //
-// Snapshots: at batch boundaries (throttled by snapshot_min_updates) the
-// owning worker clones each shard-local sketch into an epoch-versioned
-// snapshot slot — the clone is a fresh registry instance merged from the
-// live one, so no new per-sketch API is needed. Flush() publishes any
-// lagging shard, making the published state exact at quiescence.
-//
-// Queries: MergedSummary(name) folds the published per-shard snapshots into
-// a per-sketch cached merge target WITHOUT requiring quiescence — it can
-// run from any thread while workers ingest, answering as of the latest
-// published epochs (each shard contributes a batch-boundary prefix of its
-// substream; any such epoch vector is a valid frontier of the global stream
-// because shards partition the universe). The cache tracks per-shard
-// epochs: an unchanged engine is answered from the cached summary, and
-// linear sketches re-fold only the shards whose epoch advanced
-// (UnmergeFrom stale + MergeFrom fresh), turning the per-query cost from
-// O(shards * state) into O(dirty * state). MergedSummaryView is the
-// zero-copy variant the typed query surface (engine::Client) uses: it
-// resolves by pre-bound sketch index instead of hashing a name per call.
+// Snapshots and queries are unchanged from the pre-topology engine except
+// for the cache key: MergedSummary folds the published per-shard snapshots
+// of the CURRENT topology view, and the per-sketch merge cache is keyed by
+// (topology generation, per-shard epochs) — a topology change invalidates
+// wholesale, a plain shard write refolds only the dirty shards.
 
 #ifndef WBS_ENGINE_SHARDED_INGESTOR_H_
 #define WBS_ENGINE_SHARDED_INGESTOR_H_
@@ -79,6 +87,7 @@
 #include "common/status.h"
 #include "engine/backend.h"
 #include "engine/sketch.h"
+#include "engine/topology.h"
 #include "stream/updates.h"
 
 namespace wbs::engine {
@@ -97,18 +106,25 @@ struct IngestorOptions {
   /// TrySubmitAsync fails fast with ResourceExhausted) while the update
   /// bytes of in-flight tickets would exceed this. A batch larger than the
   /// whole valve is still admitted when nothing is in flight, so a single
-  /// oversized submission cannot deadlock. 0 = unbounded.
+  /// oversized submission cannot deadlock. Blocked producers are admitted
+  /// in arrival order. 0 = unbounded.
   size_t max_inflight_bytes = 0;
   /// Snapshot throttle: a shard republishes its snapshot at the first batch
   /// boundary after this many updates (0 = every batch). Keeps the
   /// unbatched (batch_size == 1) path from cloning per update; Flush()
   /// always catches lagging shards up, so quiescent queries are exact.
   size_t snapshot_min_updates = 1024;
+  /// Routing granularity: the topology has num_shards * slots_per_shard
+  /// hash slots, so one AddShards step can rebalance in 1/slots_per_shard
+  /// fractions of a shard's range. The initial slot table reproduces the
+  /// legacy hash-mod-shards partition exactly for any value.
+  size_t slots_per_shard = 16;
   std::vector<std::string> sketches;  ///< registry names to instantiate
   SketchConfig config;
-  /// Where the shards live. Empty = InProcessBackendFactory() (the
-  /// process-local zero-copy backend). See backend.h for the contract and
-  /// remote_backend.h for the loopback wire-format backend.
+  /// Where the initial shards live. Empty = InProcessBackendFactory() (the
+  /// process-local zero-copy backend). See backend.h for the contract,
+  /// remote_backend.h for the loopback wire-format backend, and
+  /// CompositeBackendFactory for mixed placement.
   BackendFactory backend;
 };
 
@@ -122,11 +138,32 @@ struct IngestTicket {
   uint64_t seq = 0;
 };
 
+/// A producer session: its own FIFO lane in the submission stage, drained
+/// round-robin against every other session by the router. Open one per
+/// logical producer when fairness between producers matters; producers
+/// that skip it share the default session 0 (exactly the pre-session
+/// engine). Value type holding a plain lane id: ids are only meaningful to
+/// the engine that issued them (an id unknown to an engine is
+/// InvalidArgument; one that happens to exist routes into that engine's
+/// lane of the same number).
+struct ProducerSession {
+  uint64_t id = 0;
+};
+
 /// How the merge cache served MergedSummary calls for one sketch.
 struct MergeCacheStats {
   uint64_t hits = 0;         ///< no shard epoch advanced: cached summary
   uint64_t incremental = 0;  ///< only dirty shards re-folded (UnmergeFrom)
   uint64_t rebuilds = 0;     ///< full fold across all shards
+};
+
+/// Phase timings of one MoveShard handoff (drain happens before the op
+/// runs at the router barrier; callers time the whole call for the total).
+struct MoveShardStats {
+  uint64_t flush_us = 0;      ///< source publish at quiescence
+  uint64_t serialize_us = 0;  ///< SnapshotSerialized over the sketch group
+  uint64_t import_us = 0;     ///< destination cell create + ImportShardState
+  uint64_t state_bytes = 0;   ///< total handoff frame bytes
 };
 
 class ShardedIngestor {
@@ -139,31 +176,51 @@ class ShardedIngestor {
   ShardedIngestor(const ShardedIngestor&) = delete;
   ShardedIngestor& operator=(const ShardedIngestor&) = delete;
 
-  /// Scatters `count` updates into per-shard sub-batches and enqueues them,
-  /// returning a ticket that completes once the batch (and every earlier
-  /// ticket) has been applied. Multi-producer: safe to call concurrently
-  /// from any number of threads. Never blocks on worker backpressure (the
-  /// router absorbs it); only the max_inflight_tickets safety valve can
-  /// make it wait.
-  Result<IngestTicket> SubmitAsync(const stream::TurnstileUpdate* updates,
+  /// Opens a new producer session (its own round-robin lane). Any thread.
+  Result<ProducerSession> OpenSession();
+
+  /// Scatters `count` updates into per-shard sub-batches and enqueues them
+  /// on `session`'s lane, returning a ticket that completes once the batch
+  /// (and every earlier ticket) has been applied. Multi-producer: safe to
+  /// call concurrently from any number of threads (sharing a session is
+  /// fine; they interleave FIFO within it). Never blocks on worker
+  /// backpressure (the router absorbs it); only the inflight valves can
+  /// make it wait, and those admit waiters in arrival order.
+  Result<IngestTicket> SubmitAsync(const ProducerSession& session,
+                                   const stream::TurnstileUpdate* updates,
                                    size_t count);
+  Result<IngestTicket> SubmitAsync(const stream::TurnstileUpdate* updates,
+                                   size_t count) {
+    return SubmitAsync(ProducerSession{}, updates, count);
+  }
   Result<IngestTicket> SubmitAsync(const stream::TurnstileStream& s) {
     return SubmitAsync(s.data(), s.size());
   }
 
   /// Insertion-only convenience: each item becomes a delta-1 update.
-  Result<IngestTicket> SubmitItemsAsync(const stream::ItemUpdate* items,
+  Result<IngestTicket> SubmitItemsAsync(const ProducerSession& session,
+                                        const stream::ItemUpdate* items,
                                         size_t count);
+  Result<IngestTicket> SubmitItemsAsync(const stream::ItemUpdate* items,
+                                        size_t count) {
+    return SubmitItemsAsync(ProducerSession{}, items, count);
+  }
   Result<IngestTicket> SubmitItemsAsync(const stream::ItemStream& s) {
     return SubmitItemsAsync(s.data(), s.size());
   }
 
   /// Non-blocking variant: where SubmitAsync would wait on the
-  /// max_inflight_tickets / max_inflight_bytes valves, TrySubmitAsync
-  /// returns ResourceExhausted immediately (the batch is NOT enqueued; the
-  /// producer owns the retry policy). Identical to SubmitAsync otherwise.
-  Result<IngestTicket> TrySubmitAsync(const stream::TurnstileUpdate* updates,
+  /// max_inflight_tickets / max_inflight_bytes valves (or behind earlier
+  /// valve waiters), TrySubmitAsync returns ResourceExhausted immediately
+  /// (the batch is NOT enqueued; the producer owns the retry policy).
+  /// Identical to SubmitAsync otherwise.
+  Result<IngestTicket> TrySubmitAsync(const ProducerSession& session,
+                                      const stream::TurnstileUpdate* updates,
                                       size_t count);
+  Result<IngestTicket> TrySubmitAsync(const stream::TurnstileUpdate* updates,
+                                      size_t count) {
+    return TrySubmitAsync(ProducerSession{}, updates, count);
+  }
   Result<IngestTicket> TrySubmitAsync(const stream::TurnstileStream& s) {
     return TrySubmitAsync(s.data(), s.size());
   }
@@ -182,6 +239,36 @@ class ShardedIngestor {
   Status SubmitItems(const stream::ItemStream& s) {
     return SubmitItems(s.data(), s.size());
   }
+
+  // ---- live topology operations -----------------------------------------
+
+  /// Scale-out: adds `n` fresh shards, each hosted by a cell built from
+  /// `factory` (empty = in-process), and rebalances hash slots onto them.
+  /// Linearized at a batch barrier through the router: every batch
+  /// submitted before this call completes is applied under the old table,
+  /// every later one under the new. Existing shards keep their state and
+  /// stay merge-visible, so answers remain a correct merge over all
+  /// substreams ever. Blocks until the new table is installed.
+  Status AddShards(size_t n, BackendFactory factory = {});
+
+  /// Live handoff: drains shard `shard`'s in-flight batches, serializes
+  /// its published state, imports it into a fresh cell built by `factory`,
+  /// and re-points the shard id at the new cell. The shard keeps its hash
+  /// slots, derived seed, and full history; summaries immediately after
+  /// the move are identical to immediately before. Blocks until installed;
+  /// on failure the topology is unchanged. Optional `stats` receives phase
+  /// timings. Custom sketches without a wire format fail with
+  /// Unimplemented (and the topology stays as it was).
+  Status MoveShard(size_t shard, BackendFactory factory,
+                   MoveShardStats* stats = nullptr);
+
+  /// The current routing table, described (generation, shard count, slot
+  /// ownership). Any thread.
+  TopologyInfo Topology() const { return topology_->Describe(); }
+
+  uint64_t topology_generation() const { return topology_->generation(); }
+
+  // ---- completion, flush, queries ---------------------------------------
 
   /// Blocks until `ticket` and every earlier ticket has been applied, then
   /// returns the pipeline's first error (OK when healthy). Any thread.
@@ -203,10 +290,10 @@ class ShardedIngestor {
   Status Finish();
 
   /// Merges the published per-shard snapshots of `sketch` into one global
-  /// summary, as of the latest published epochs. Quiescence-free: safe to
-  /// call from any thread while workers ingest (after Flush()/Finish() the
-  /// answer is exact for the full stream). Served from the per-sketch merge
-  /// cache; see MergeCacheStats.
+  /// summary, as of the latest published epochs of the current topology.
+  /// Quiescence-free: safe to call from any thread while workers ingest
+  /// (after Flush()/Finish() the answer is exact for the full stream).
+  /// Served from the per-sketch merge cache; see MergeCacheStats.
   Result<SketchSummary> MergedSummary(const std::string& sketch) const;
 
   /// Zero-copy, index-addressed variant for pre-resolved handles: folds (if
@@ -220,15 +307,20 @@ class ShardedIngestor {
   /// Cache counters for `sketch` (tests, diagnostics).
   Result<MergeCacheStats> CacheStats(const std::string& sketch) const;
 
-  /// Number of snapshot publications shard `shard` has performed.
+  /// Number of snapshot publications shard `shard`'s CURRENT placement has
+  /// performed (restarts when a handoff re-homes the shard).
   uint64_t ShardEpoch(size_t shard) const;
 
-  /// A single shard's live summary (tests and diagnostics). Still requires
-  /// quiescence: it reads worker-owned state directly.
+  /// A single shard's live summary (tests and diagnostics), read from its
+  /// current placement. Still requires quiescence: it reads worker-owned
+  /// state directly.
   Result<SketchSummary> ShardSummary(size_t shard,
                                      const std::string& sketch) const;
 
-  /// Total state bits across all shards and sketches (quiescent callers).
+  /// Total state bits across the backends hosting the current topology
+  /// (quiescent callers). A monolithic backend retains — and counts — the
+  /// state of shards that were moved out of it; that state stays
+  /// merge-visible to readers of older topology views.
   uint64_t SpaceBits() const;
 
   /// Index of `sketch` in options().sketches, or sketches.size() if absent.
@@ -240,15 +332,18 @@ class ShardedIngestor {
   uint64_t updates_submitted() const {
     return updates_submitted_.load(std::memory_order_acquire);
   }
-  size_t num_shards() const { return options_.num_shards; }
+  /// CURRENT shard count (grows with AddShards); options().num_shards is
+  /// the initial count.
+  size_t num_shards() const;
   size_t num_threads() const { return options_.num_threads; }
   const IngestorOptions& options() const { return options_; }
 
-  /// The shard backend this engine runs on (diagnostics / capabilities).
+  /// The primary shard backend (hosting the initial shards).
   const ShardBackend& backend() const { return *backend_; }
 
-  /// The shard an item routes to: a fixed splitmix hash of the item, so the
-  /// partition is stable across runs, thread counts and processes.
+  /// The legacy fixed partition: hash % num_shards. The initial topology
+  /// reproduces it exactly; after AddShards the live table (slot routing)
+  /// is authoritative.
   static size_t ShardOf(uint64_t item, size_t num_shards) {
     uint64_t s = item ^ 0x9e3779b97f4a7c15ULL;
     return size_t(SplitMix64(&s) % num_shards);
@@ -262,15 +357,28 @@ class ShardedIngestor {
     std::atomic<size_t> remaining{0};  ///< sub-batches not yet applied
   };
 
-  /// One pre-scattered submission parked in the MPSC queue.
+  /// A topology operation riding the submission queue as a barrier ticket.
+  struct ControlState {
+    std::function<Status()> op;
+    Status result;  ///< written by the router before the ticket completes
+  };
+
+  /// One pre-scattered submission (or control barrier) parked in a session
+  /// queue.
   struct PendingTicket {
     std::shared_ptr<TicketState> state;
     std::vector<std::vector<stream::TurnstileUpdate>> sub;  // per shard
+    /// Slot-table (routing) generation the scatter used; a mismatch at
+    /// dispatch means slots moved (scale-out) and the batch re-scatters.
+    /// Handoffs bump only the placement generation, not this.
+    uint64_t routing_generation = 0;
+    std::shared_ptr<ControlState> control;  ///< set for barrier tickets
   };
 
-  /// One sub-batch in a worker's queue.
+  /// One sub-batch in a worker's queue, placement resolved at dispatch.
   struct Job {
-    size_t shard = 0;
+    ShardBackend* backend = nullptr;
+    uint32_t local = 0;
     std::vector<stream::TurnstileUpdate> updates;
     std::shared_ptr<TicketState> ticket;
   };
@@ -286,11 +394,19 @@ class ShardedIngestor {
     std::thread thread;
   };
 
+  /// One producer session's FIFO lane. Guarded by submit_mu_.
+  struct Session {
+    std::deque<PendingTicket> queue;
+  };
+
   // Per-sketch merge cache. `merged` is the fold of `folded` (one snapshot
-  // per shard, null = shard never published); `epochs` records which shard
-  // epochs are incorporated. All fields live under `mu`.
+  // per shard of generation `generation`, null = shard never published);
+  // `epochs` records which shard epochs are incorporated. A generation
+  // bump (topology change) invalidates wholesale. All fields live under
+  // `mu`.
   struct MergeCache {
     std::mutex mu;
+    uint64_t generation = 0;
     std::unique_ptr<Sketch> merged;
     std::vector<std::shared_ptr<const Sketch>> folded;
     std::vector<uint64_t> epochs;
@@ -305,25 +421,38 @@ class ShardedIngestor {
   Status Init();
   void RouterLoop();
   void WorkerLoop(Worker* worker);
-  /// Forwards a sub-batch to the backend (which aggregates, applies to
-  /// every sketch of the shard's group, and publishes under its snapshot
-  /// throttle).
-  Status ApplyToShard(size_t shard_index, const stream::TurnstileUpdate* data,
-                      size_t count);
+  /// Waits until every worker queue is empty and nothing is in flight.
+  void DrainWorkers();
+  /// Re-scatters a parked ticket whose scatter predates the current table.
+  static void ReScatter(PendingTicket* ticket, const TopologyView& view);
   /// Checks producer-side preconditions shared by the Submit variants.
   Status PreSubmit() const;
-  /// Inline mode: applies the sub-batches staged in scatter_ synchronously.
-  /// Caller holds submit_mu_. Returns the always-complete seq-0 ticket.
-  Result<IngestTicket> ApplyInline(size_t count);
+  /// Inline mode: applies the sub-batches staged in scatter_ synchronously
+  /// against `view`. Caller holds submit_mu_. Returns the always-complete
+  /// seq-0 ticket.
+  Result<IngestTicket> ApplyInline(const TopologyView& view, size_t count);
   /// Shared body of SubmitAsync/TrySubmitAsync.
-  Result<IngestTicket> SubmitScattered(const stream::TurnstileUpdate* updates,
+  Result<IngestTicket> SubmitScattered(const ProducerSession& session,
+                                       const stream::TurnstileUpdate* updates,
                                        size_t count, bool blocking);
-  /// Threaded mode: assigns a sequence number to `sub` and parks it on the
-  /// MPSC queue for the router. When `blocking` is false, a full inflight
-  /// valve is ResourceExhausted instead of a wait.
+  /// Threaded mode: assigns a sequence number to `sub` and parks it on
+  /// `session`'s lane for the router. When `blocking` is false, a full
+  /// inflight valve (or a queue of earlier valve waiters) is
+  /// ResourceExhausted instead of a wait.
   Result<IngestTicket> EnqueueScattered(
+      const ProducerSession& session,
       std::vector<std::vector<stream::TurnstileUpdate>> sub, size_t count,
-      bool blocking);
+      bool blocking, uint64_t routing_generation);
+  /// Runs `op` with all earlier tickets applied and workers drained —
+  /// inline under submit_mu_ when there is no router, as a control ticket
+  /// through it otherwise. Returns the op's status.
+  Status RunAtBarrier(std::function<Status()> op);
+  /// The barrier bodies (called with workers drained).
+  Status DoAddShards(size_t n, const BackendFactory& factory);
+  Status DoMoveShard(size_t shard, const BackendFactory& factory,
+                     MoveShardStats* stats);
+  /// Builds the 1-shard cell options for global shard id `shard`.
+  BackendOptions CellOptions(size_t shard) const;
   /// Marks the ticket applied, releases its valve bytes, and advances the
   /// monotone completion watermark.
   void CompleteTicket(const TicketState& state);
@@ -332,24 +461,40 @@ class ShardedIngestor {
   Status CheckQuiescent() const;
 
   IngestorOptions options_;
-  std::unique_ptr<ShardBackend> backend_;
+  std::unique_ptr<ShardBackend> backend_;  ///< primary (initial shards)
+  /// Cells created by topology operations. Only grows; a moved-out cell is
+  /// kept alive so readers of older topology views stay valid.
+  std::vector<std::unique_ptr<ShardBackend>> extra_backends_;
+  std::unique_ptr<ShardTopology> topology_;
   mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Inline-mode scatter scratch, reused across submissions under
   /// submit_mu_ (threaded submissions scatter into per-call buffers that
-  /// move through the MPSC queue instead).
+  /// move through the session queues instead).
   std::vector<std::vector<stream::TurnstileUpdate>> scatter_;
   std::atomic<uint64_t> updates_submitted_{0};
   std::atomic<bool> finished_{false};
 
-  // MPSC submission stage: producers append under submit_mu_ (which also
-  // serializes sequence assignment — queue order IS ticket order); the
-  // router pops in FIFO order. In inline mode submit_mu_ additionally
-  // serializes the apply itself, so ticket order and apply order coincide.
+  // MPSC submission stage: producers append to their session's lane under
+  // submit_mu_ (which also serializes sequence assignment); the router
+  // drains the lanes round-robin, FIFO within each lane, honoring control
+  // barriers (no ticket with a later sequence number is dispatched before
+  // a control ticket completes, and none with an earlier one after). In
+  // inline mode submit_mu_ additionally serializes the apply itself.
   std::mutex submit_mu_;
   std::condition_variable router_cv_;  // producer -> router: work available
-  std::deque<PendingTicket> submit_queue_;
-  uint64_t next_seq_ = 0;  // last assigned sequence number
+  std::vector<std::unique_ptr<Session>> sessions_;
+  /// Mirrors sessions_.size() (sessions are never removed) so the hot
+  /// submit path can pre-validate a session id without taking submit_mu_.
+  std::atomic<size_t> session_count_{0};
+  size_t queued_total_ = 0;  // tickets parked across all sessions
+  size_t rr_cursor_ = 0;     // next session the router looks at
+  /// Sequence numbers of queued control barriers, ascending. The router's
+  /// barrier rule fences on the FRONT of this queue, so a barrier parked
+  /// behind earlier data in its own lane still blocks every later-seq
+  /// ticket in every other lane.
+  std::deque<uint64_t> control_seqs_;
+  uint64_t next_seq_ = 0;    // last assigned sequence number
   bool router_stop_ = false;
   std::thread router_;
 
@@ -357,11 +502,14 @@ class ShardedIngestor {
   // sub-batches land on different workers), so finished seqs park in a
   // min-heap until the watermark reaches them — completed_seq_ advances
   // only in sequence order, giving Wait/TryWait their prefix semantics.
+  // valve_next_/valve_serving_ are the FIFO turnstile for valve admission.
   mutable std::mutex ticket_mu_;
   mutable std::condition_variable ticket_cv_;
   uint64_t completed_seq_ = 0;  // all tickets <= this are applied
   uint64_t inflight_tickets_ = 0;
   uint64_t inflight_bytes_ = 0;  // update bytes of physically pending tickets
+  uint64_t valve_next_ = 0;      // turnstile numbers handed to blockers
+  uint64_t valve_serving_ = 0;   // turnstile number allowed to admit
   std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
       done_out_of_order_;
 

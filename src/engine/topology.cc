@@ -1,0 +1,92 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/topology.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wbs::engine {
+
+std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
+    size_t num_shards, size_t slots_per_shard, ShardBackend* primary) {
+  auto view = std::make_shared<TopologyView>();
+  view->generation = 1;
+  view->routing_generation = 1;
+  const size_t num_slots = num_shards * std::max<size_t>(1, slots_per_shard);
+  view->slot_to_shard.resize(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    // slot % num_shards makes slot routing reproduce the legacy
+    // hash-mod-shards partition bit-for-bit (see topology.h).
+    view->slot_to_shard[slot] = uint32_t(slot % num_shards);
+  }
+  view->placements.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    view->placements[s] = ShardPlacement{primary, uint32_t(s)};
+  }
+  return view;
+}
+
+std::shared_ptr<const TopologyView> ShardTopology::WithAddedShards(
+    const TopologyView& base, const std::vector<ShardPlacement>& added) {
+  auto view = std::make_shared<TopologyView>(base);
+  view->generation = base.generation + 1;
+  view->routing_generation = base.routing_generation + 1;  // slots move
+  const size_t first_new = view->placements.size();
+  for (const ShardPlacement& p : added) view->placements.push_back(p);
+
+  // Steal slots for the new shards: each should own ~num_slots/num_shards.
+  // Deterministic greedy — repeatedly take the highest-index slot from the
+  // currently most-loaded owner (ties: lowest shard id). With more shards
+  // than slots the late shards own zero slots; they are still merge-visible
+  // and still valid handoff targets.
+  std::vector<size_t> owned(view->placements.size(), 0);
+  for (uint32_t owner : view->slot_to_shard) ++owned[owner];
+  const size_t target = view->num_slots() / view->num_shards();
+  for (size_t b = first_new; b < view->placements.size(); ++b) {
+    for (size_t take = 0; take < target; ++take) {
+      size_t donor = view->placements.size();
+      for (size_t s = 0; s < owned.size(); ++s) {
+        if (donor == view->placements.size() || owned[s] > owned[donor]) {
+          donor = s;
+        }
+      }
+      if (donor == view->placements.size() || owned[donor] <= target) break;
+      for (size_t slot = view->num_slots(); slot-- > 0;) {
+        if (view->slot_to_shard[slot] == donor) {
+          view->slot_to_shard[slot] = uint32_t(b);
+          --owned[donor];
+          ++owned[b];
+          break;
+        }
+      }
+    }
+  }
+  return view;
+}
+
+Result<std::shared_ptr<const TopologyView>> ShardTopology::WithMovedShard(
+    const TopologyView& base, size_t shard, ShardPlacement target) {
+  if (shard >= base.num_shards()) {
+    return Status::OutOfRange("ShardTopology: shard id out of range");
+  }
+  if (target.backend == nullptr) {
+    return Status::InvalidArgument("ShardTopology: null target placement");
+  }
+  auto view = std::make_shared<TopologyView>(base);
+  view->generation = base.generation + 1;
+  view->placements[shard] = target;
+  return Result<std::shared_ptr<const TopologyView>>(std::move(view));
+}
+
+TopologyInfo ShardTopology::Describe() const {
+  std::shared_ptr<const TopologyView> view = View();
+  TopologyInfo info;
+  info.generation = view->generation;
+  info.num_shards = view->num_shards();
+  info.num_slots = view->num_slots();
+  info.slots_per_shard.assign(view->num_shards(), 0);
+  for (uint32_t owner : view->slot_to_shard) ++info.slots_per_shard[owner];
+  return info;
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,162 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// ShardTopology — the engine's epoch-versioned routing layer.
+//
+// Before this layer existed, ShardedIngestor baked `num_shards` into its
+// scatter buffers, merge cache, and a single homogeneous ShardBackend: the
+// shard count and placement were frozen at construction. The topology
+// refactor makes routing an explicit, generation-stamped table
+//
+//   item --hash--> slot --slot_to_shard--> shard id --placement--> backend
+//
+// published as an immutable TopologyView that producers, the router, and
+// the query path each read with one atomic shared_ptr acquire. Mutations
+// (scale-out, shard handoff) build a NEW view and install it at a batch
+// barrier; readers holding the old view keep getting consistent answers,
+// exactly like the per-shard snapshot epochs one level below.
+//
+// Slot routing, not modulo routing. The hash space is split into
+// `num_slots = initial_shards * slots_per_shard` fixed slots; an item's
+// slot never changes, only the slot's owner does. The initial table maps
+// slot -> slot % initial_shards, which makes slot routing reproduce the
+// legacy `hash % num_shards` partition bit-for-bit ((h mod k*S) mod S ==
+// h mod S), so every pre-topology run replays identically.
+//
+// The two live operations:
+//
+//   * SCALE-OUT (AddShards): fresh shards join, and slots are stolen
+//     evenly from the most-loaded owners. An item whose slot moved has its
+//     substream split across the old and new owner — correct because the
+//     engine's answers are a MERGE OVER ALL SHARDS EVER: linear sketches
+//     (ams_f2, sis_l0, rank_decision) sum state and stay bit-identical to
+//     any partitioning; Misra-Gries keeps the mergeable-summaries bound;
+//     sampling heavy hitters union per-substream candidate lists (the
+//     paper's mergeable-summary semantics — a shard's sketch keeps
+//     answering for the substream it saw, forever).
+//   * HANDOFF (MoveShard): a shard id is re-pointed at a different
+//     backend cell. Its serialized snapshot state is the transfer format,
+//     so the id keeps its derived shard seed and its entire history; the
+//     old placement's state stays untouched for readers of older views.
+//
+// Generations are the cache key one level above snapshot epochs: the merge
+// cache folds (generation, per-shard epochs), and any generation bump
+// invalidates wholesale (shard count or placement changed under it).
+
+#ifndef WBS_ENGINE_TOPOLOGY_H_
+#define WBS_ENGINE_TOPOLOGY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace wbs::engine {
+
+class ShardBackend;
+
+/// Where one global shard id lives: a backend cell plus the shard's local
+/// index inside it (monolithic backends host many; handoff/scale-out cells
+/// host one). The pointer is non-owning — the ingestor owns every backend
+/// for its whole lifetime, so views can outlive topology changes.
+struct ShardPlacement {
+  ShardBackend* backend = nullptr;
+  uint32_t local = 0;
+};
+
+/// An immutable routing table. Shared (never mutated) between every thread
+/// that grabbed it; a topology change installs a new instance.
+struct TopologyView {
+  uint64_t generation = 0;  ///< bumped on every installed change
+  /// Bumped only when slot_to_shard changes (scale-out). A handoff bumps
+  /// `generation` but not this — producers' pre-scattered batches remain
+  /// correctly partitioned, so the router skips the re-scatter.
+  uint64_t routing_generation = 0;
+  /// slot_to_shard[h % num_slots()] is the owning shard id.
+  std::vector<uint32_t> slot_to_shard;
+  /// Placement per global shard id; size() is the current shard count.
+  std::vector<ShardPlacement> placements;
+
+  size_t num_slots() const { return slot_to_shard.size(); }
+  size_t num_shards() const { return placements.size(); }
+
+  /// The slot an item hashes to. Same splitmix as the legacy ShardOf, so
+  /// the initial table reproduces the legacy partition exactly.
+  static size_t SlotOf(uint64_t item, size_t num_slots) {
+    uint64_t s = item ^ 0x9e3779b97f4a7c15ULL;
+    return size_t(SplitMix64(&s) % num_slots);
+  }
+
+  size_t ShardFor(uint64_t item) const {
+    return slot_to_shard[SlotOf(item, slot_to_shard.size())];
+  }
+
+  /// Slots currently owned by `shard` (diagnostics, stealing, tests).
+  size_t SlotsOwnedBy(size_t shard) const {
+    size_t n = 0;
+    for (uint32_t owner : slot_to_shard) n += owner == shard ? 1 : 0;
+    return n;
+  }
+};
+
+/// A caller-facing description of the current table (tests, examples,
+/// benches); cheap copies, no backend pointers.
+struct TopologyInfo {
+  uint64_t generation = 0;
+  size_t num_shards = 0;
+  size_t num_slots = 0;
+  std::vector<size_t> slots_per_shard;  ///< indexed by shard id
+};
+
+/// The mutable holder: one atomically-swappable current view. All
+/// mutations go through Install() at a barrier chosen by the owner (the
+/// ingestor's router); readers call View() from any thread at any time —
+/// a lock-free atomic shared_ptr load, so the hot submit/query paths
+/// never contend on a routing mutex.
+class ShardTopology {
+ public:
+  /// The initial table: `num_shards` shards over `num_shards *
+  /// slots_per_shard` slots, slot -> slot % num_shards (the legacy
+  /// partition), all placed in `primary` with local == global id.
+  static std::shared_ptr<const TopologyView> MakeInitial(
+      size_t num_shards, size_t slots_per_shard, ShardBackend* primary);
+
+  /// A view with `added` new shards appended (placements supplied by the
+  /// caller, one cell per new shard) and slots stolen evenly from the
+  /// most-loaded owners so each new shard owns ~num_slots/num_shards.
+  static std::shared_ptr<const TopologyView> WithAddedShards(
+      const TopologyView& base, const std::vector<ShardPlacement>& added);
+
+  /// A view with shard `shard` re-pointed at `target`. Slot table is
+  /// unchanged — the id keeps its hash range and its derived seed.
+  static Result<std::shared_ptr<const TopologyView>> WithMovedShard(
+      const TopologyView& base, size_t shard, ShardPlacement target);
+
+  explicit ShardTopology(std::shared_ptr<const TopologyView> initial)
+      : view_(std::move(initial)) {}
+
+  /// The current table. Acquire-consistent: a view obtained here is
+  /// immutable and safe to route/fold against for as long as it is held.
+  std::shared_ptr<const TopologyView> View() const {
+    return view_.load(std::memory_order_acquire);
+  }
+
+  uint64_t generation() const { return View()->generation; }
+
+  /// Installs a successor view. Caller is responsible for ordering (the
+  /// ingestor installs only at router barriers).
+  void Install(std::shared_ptr<const TopologyView> next) {
+    view_.store(std::move(next), std::memory_order_release);
+  }
+
+  TopologyInfo Describe() const;
+
+ private:
+  std::atomic<std::shared_ptr<const TopologyView>> view_;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_TOPOLOGY_H_

@@ -59,6 +59,7 @@ enum FrameType : uint8_t {
   kReqSummary = 36,   ///< live summary of one sketch (quiescent callers)
   kReqSpaceBits = 37, ///< total state bits of the shard
   kReqShutdown = 38,  ///< close the connection
+  kReqImport = 39,    ///< shard handoff: install serialized sketch states
 
   kResp = 64,         ///< response: Status followed by request-specific data
 };

@@ -19,7 +19,6 @@
 #include "common/random.h"
 #include "engine/backend.h"
 #include "engine/client.h"
-#include "engine/driver.h"
 #include "engine/registry.h"
 #include "engine/remote_backend.h"
 #include "engine/sharded_ingestor.h"
@@ -120,31 +119,28 @@ TEST(ClientTypedQueryTest, TopKRequiresPositiveK) {
             Status::Code::kInvalidArgument);
 }
 
-// ------------------------------------------- typed vs legacy bit-identity --
+// ---------------------------------------- typed vs untyped bit-identity --
 
-// The typed results must be projections of exactly the answer the legacy
-// string-keyed Driver surface produces for the same options and stream —
+// The typed results must be projections of exactly the answer the untyped
+// string-keyed SketchSummary surface produces for the same options and
+// stream (RawSummary on an independently-run engine stands in for the
+// deleted Driver shim, which was a thin wrapper over the same path) —
 // scalar and update counts compare with ==, candidate lists element-wise.
 void CheckTypedMatchesLegacy(const stream::TurnstileStream& s,
                              const SketchConfig& cfg,
                              const std::vector<std::string>& sketches) {
-  DriverOptions dopts;
-  dopts.ingest.num_shards = 4;
-  dopts.ingest.num_threads = 2;
-  dopts.ingest.sketches = sketches;
-  dopts.ingest.config = cfg;
-  dopts.batch_size = 1024;
-  auto driver = Driver::Create(dopts);
-  ASSERT_TRUE(driver.ok());
-  ASSERT_TRUE(driver.value()->Replay(s).ok());
-  ASSERT_TRUE(driver.value()->Finish().ok());
+  auto reference = MakeClient(sketches, cfg, 4, 2);
+  ASSERT_TRUE(Replay(reference.get(), s).ok());
+  ASSERT_TRUE(reference->Finish().ok());
 
   auto client = MakeClient(sketches, cfg, 4, 2);
   ASSERT_TRUE(Replay(client.get(), s).ok());
   ASSERT_TRUE(client->Finish().ok());
 
   for (const std::string& name : sketches) {
-    auto legacy = driver.value()->Query(name);
+    auto ref_handle = reference->Handle(name);
+    ASSERT_TRUE(ref_handle.ok()) << name;
+    auto legacy = reference->RawSummary(ref_handle.value());
     ASSERT_TRUE(legacy.ok()) << name;
     auto handle = client->Handle(name);
     ASSERT_TRUE(handle.ok()) << name;

@@ -313,7 +313,10 @@ TEST(SnapshotQueryTest, FlushPublishesLaggingShards) {
   auto client = MakeClient({"ams_f2"}, TestConfig(universe, 3), 4, 0);
   wbs::RandomTape tape(3);
   auto s = stream::UniformStream(universe, 100, &tape);
-  ASSERT_TRUE(Replay(client.get(), s, /*batch=*/8).ok());
+  // Churn-mode opt-out: this test pins the "nothing published yet" state
+  // of the snapshot throttle, and an injected handoff publishes.
+  ASSERT_TRUE(Replay(client.get(), s, /*batch=*/8, ReplayChurn::kDisabled)
+                  .ok());
   auto f2 = client->Handle("ams_f2").value();
   // 100 updates < snapshot_min_updates (1024): nothing published yet, so a
   // snapshot query sees the empty frontier...

@@ -5,7 +5,8 @@
 // ground truth (Zipf, planted heavy hitters, insert/delete churn), and
 // bit-for-bit determinism under a fixed seed regardless of thread count.
 // Uses the typed engine::Client surface (handles + typed queries); the
-// deprecated Driver shim keeps its own coverage at the bottom.
+// seed-era Driver shim is gone (see src/engine/README.md for the
+// historical migration table).
 
 #include <gtest/gtest.h>
 
@@ -19,7 +20,6 @@
 #include "distinct/l0_estimator.h"
 #include "engine/backend.h"
 #include "engine/client.h"
-#include "engine/driver.h"
 #include "engine/registry.h"
 #include "engine/sharded_ingestor.h"
 #include "stream/frequency_oracle.h"
@@ -526,50 +526,6 @@ TEST(ShardedIngestorTest, SpaceBitsAccumulatesAcrossShards) {
   ASSERT_TRUE(Replay(client.get(), s).ok());
   ASSERT_TRUE(client->Finish().ok());
   EXPECT_GT(client->ingestor().SpaceBits(), 0u);
-}
-
-// ------------------------------------------------------------- driver shim --
-
-// The deprecated Driver must stay a faithful shim: same answers as the
-// Client it wraps, Query/Summary aliases agreeing, and the legacy Replay
-// convenience intact.
-TEST(DriverShimTest, ReplayAndQueryMatchClientSurface) {
-  const uint64_t universe = 1 << 12;
-  wbs::RandomTape tape(71);
-  auto s = stream::ZipfStream(universe, 20000, 1.2, &tape);
-
-  DriverOptions opts;
-  opts.ingest.num_shards = 4;
-  opts.ingest.num_threads = 0;
-  opts.ingest.sketches = {"misra_gries", "ams_f2"};
-  opts.ingest.config = TestConfig(universe, 88);
-  opts.batch_size = 1024;
-  auto driver = Driver::Create(opts);
-  ASSERT_TRUE(driver.ok());
-  ASSERT_TRUE(driver.value()->Replay(s).ok());
-  ASSERT_TRUE(driver.value()->Finish().ok());
-  EXPECT_EQ(driver.value()->updates_replayed(), uint64_t(s.size()));
-
-  auto query = driver.value()->Query("ams_f2");
-  auto summary = driver.value()->Summary("ams_f2");  // deprecated alias
-  ASSERT_TRUE(query.ok() && summary.ok());
-  EXPECT_EQ(query.value().scalar, summary.value().scalar);
-  EXPECT_EQ(query.value().updates, summary.value().updates);
-
-  // The shim's answer is the Client's answer.
-  auto handle = driver.value()->client().Handle("ams_f2");
-  ASSERT_TRUE(handle.ok());
-  auto typed = driver.value()->client().QueryScalar(handle.value());
-  ASSERT_TRUE(typed.ok());
-  EXPECT_EQ(typed.value().value, query.value().scalar);
-
-  auto summaries = driver.value()->Summaries();
-  ASSERT_TRUE(summaries.ok());
-  EXPECT_EQ(summaries.value().size(), 2u);
-
-  auto missing = driver.value()->Query("sis_l0");  // not configured
-  EXPECT_FALSE(missing.ok());
-  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
 }
 
 }  // namespace

@@ -2,9 +2,15 @@
 //
 // Shared helpers for the engine test suites: Client construction with
 // EXPECT-checked creation (and an environment-selected shard backend, so CI
-// can run every engine suite once per backend), and materialized-stream
-// replay through the ticketed Submit surface (the test-side equivalent of
-// the deprecated Driver::Replay loop).
+// can run every engine suite once per backend — inprocess, loopback, or
+// mixed placement), and materialized-stream replay through the ticketed
+// Submit surface.
+//
+// Topology churn mode: WBS_ENGINE_TOPOLOGY=churn makes every multi-batch
+// Replay() perform a live MoveShard(0) handoff halfway through the stream.
+// Every suite must still pass — the handoff transfers serialized state
+// exactly, so answers are preserved (custom sketches without a wire format
+// surface Unimplemented, which churn mode treats as "skip the move").
 
 #ifndef WBS_TESTS_ENGINE_TEST_UTIL_H_
 #define WBS_TESTS_ENGINE_TEST_UTIL_H_
@@ -54,9 +60,39 @@ inline std::unique_ptr<Client> MakeClient(std::vector<std::string> sketches,
   return std::move(client).value();
 }
 
+/// Whether WBS_ENGINE_TOPOLOGY=churn is active (CI runs the engine suites
+/// once with it, so every test path also survives a mid-stream handoff).
+inline bool TopologyChurnEnabled() {
+  const char* env = std::getenv("WBS_ENGINE_TOPOLOGY");
+  return env != nullptr && std::string(env) == "churn";
+}
+
+/// Tests whose assertions are incompatible with an injected topology op
+/// (e.g. they pin the snapshot throttle's "nothing published yet" state,
+/// which a handoff's publish would break) opt out explicitly.
+enum class ReplayChurn { kAuto, kDisabled };
+
+/// The churn-mode injection: a live handoff of shard 0 into a fresh
+/// in-process cell at a deterministic batch boundary. Unimplemented means
+/// a configured sketch has no wire format — the move is skipped, matching
+/// the engine's own behavior (topology unchanged on failure).
+inline Status MaybeChurnTopology(Client* client) {
+  Status s = client->MoveShard(0, InProcessBackendFactory());
+  if (!s.ok() && s.code() != Status::Code::kUnimplemented) return s;
+  return Status::OK();
+}
+
 inline Status Replay(Client* client, const stream::TurnstileStream& s,
-                     size_t batch = 1024) {
-  for (size_t off = 0; off < s.size(); off += batch) {
+                     size_t batch = 1024,
+                     ReplayChurn churn = ReplayChurn::kAuto) {
+  const size_t batches = s.empty() ? 0 : (s.size() + batch - 1) / batch;
+  const bool inject = churn == ReplayChurn::kAuto && batches >= 2 &&
+                      TopologyChurnEnabled();
+  size_t index = 0;
+  for (size_t off = 0; off < s.size(); off += batch, ++index) {
+    if (inject && index == batches / 2) {
+      if (Status cs = MaybeChurnTopology(client); !cs.ok()) return cs;
+    }
     auto t = client->Submit(s.data() + off, std::min(batch, s.size() - off));
     if (!t.ok()) return t.status();
   }
@@ -64,8 +100,16 @@ inline Status Replay(Client* client, const stream::TurnstileStream& s,
 }
 
 inline Status Replay(Client* client, const stream::ItemStream& s,
-                     size_t batch = 1024) {
-  for (size_t off = 0; off < s.size(); off += batch) {
+                     size_t batch = 1024,
+                     ReplayChurn churn = ReplayChurn::kAuto) {
+  const size_t batches = s.empty() ? 0 : (s.size() + batch - 1) / batch;
+  const bool inject = churn == ReplayChurn::kAuto && batches >= 2 &&
+                      TopologyChurnEnabled();
+  size_t index = 0;
+  for (size_t off = 0; off < s.size(); off += batch, ++index) {
+    if (inject && index == batches / 2) {
+      if (Status cs = MaybeChurnTopology(client); !cs.ok()) return cs;
+    }
     auto t =
         client->SubmitItems(s.data() + off, std::min(batch, s.size() - off));
     if (!t.ok()) return t.status();
