@@ -39,13 +39,25 @@
 // information-theoretic space line varies, since per-shard counter
 // magnitudes depend on how the suffix traffic split).
 //
+// Observability: --stats-interval=<ms> starts a live monitor that renders
+// the engine's metric table to stderr every interval (and once more at
+// shutdown); --stats-jsonl=<path> additionally appends every sample of
+// every tick as one JSON object per line, stamped with a `t_us` offset —
+// the machine-diffable stats stream CI validates. Both leave stdout
+// untouched: the examples double as determinism probes and their stdout
+// must stay byte-identical across runs.
+//
 //   $ ./examples/engine_server
 //   $ ./examples/engine_server --backend=loopback
+//   $ ./examples/engine_server --stats-interval=250 --stats-jsonl=stats.jsonl
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,17 +66,53 @@
 #include "common/random.h"
 #include "distinct/l0_estimator.h"
 #include "engine/client.h"
+#include "engine/metrics.h"
 #include "engine/remote_backend.h"
 #include "stream/frequency_oracle.h"
 #include "stream/workload.h"
 
+namespace {
+
+/// One stats tick: table to stderr, and (when `jsonl` is open) every sample
+/// as a JSON line with a `t_us` run-offset field spliced in.
+void EmitStats(const wbs::engine::Client& client, uint64_t t_us,
+               std::ofstream* jsonl) {
+  wbs::engine::MetricsSnapshot snap = client.Metrics();
+  std::ostringstream table;
+  table << "---- engine stats @ " << t_us << " us ----\n";
+  snap.WriteTable(table);
+  std::fputs(table.str().c_str(), stderr);
+  if (jsonl != nullptr && jsonl->is_open()) {
+    std::string line;
+    for (const auto& sample : snap.samples) {
+      line.clear();
+      wbs::engine::AppendSampleJson(sample, &line);
+      // The sample renders as {"metric":...}; stamp the tick's run offset
+      // as the first field so every stream row is self-describing.
+      line.insert(1, "\"t_us\":" + std::to_string(t_us) + ",");
+      *jsonl << line << "\n";
+    }
+    jsonl->flush();
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string backend_name = "inprocess";
+  uint64_t stats_interval_ms = 0;  // 0 = stats monitor off
+  std::string stats_jsonl_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend_name = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+      stats_interval_ms = std::strtoull(argv[i] + 17, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--stats-jsonl=", 14) == 0) {
+      stats_jsonl_path = argv[i] + 14;
     } else {
-      std::fprintf(stderr, "usage: %s [--backend=inprocess|loopback]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--backend=inprocess|loopback]"
+                   " [--stats-interval=<ms>] [--stats-jsonl=<path>]\n",
                    argv[0]);
       return 2;
     }
@@ -170,6 +218,33 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Live stats monitor: metric table to stderr each tick, samples to the
+  // JSONL stream. Runs concurrently with the producers and the reshard —
+  // Metrics() needs no quiescence.
+  std::ofstream stats_jsonl;
+  if (stats_interval_ms > 0 && !stats_jsonl_path.empty()) {
+    stats_jsonl.open(stats_jsonl_path, std::ios::trunc);
+    if (!stats_jsonl.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", stats_jsonl_path.c_str());
+      return 2;
+    }
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+  std::thread stats_thread;
+  if (stats_interval_ms > 0) {
+    stats_thread = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stats_interval_ms));
+        const uint64_t t_us =
+            uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - run_start)
+                         .count());
+        EmitStats(*client, t_us, &stats_jsonl);
+      }
+    });
+  }
+
   std::thread ta(producer, std::cref(zipf));
   std::thread tb(producer, std::cref(churn));
   std::thread tc(producer, std::cref(adversarial));
@@ -185,9 +260,19 @@ int main(int argc, char** argv) {
   auto handoff_target = backend_name == "loopback"
                             ? wbs::engine::InProcessBackendFactory()
                             : wbs::engine::LoopbackBackendFactory();
-  wbs::engine::MoveShardStats handoff;
-  if (!client->MoveShard(0, handoff_target, &handoff).ok()) {
+  if (!client->MoveShard(0, handoff_target).ok()) {
     ++reshard_failures;
+  }
+  // Handoff phase timings come from the recorded trace spans (the single
+  // source of truth — the old MoveShardStats out-param is deprecated).
+  // Timing is scheduling-dependent, so it goes to stderr, not the
+  // determinism-probed stdout.
+  for (const auto& span : client->TraceSpans()) {
+    if (span.name != "move_shard") continue;
+    std::fprintf(stderr,
+                 "move_shard: %llu us total, %llu bytes handed off\n",
+                 (unsigned long long)span.duration_us,
+                 (unsigned long long)span.Attr("state_bytes"));
   }
 
   ta.join();
@@ -195,6 +280,16 @@ int main(int argc, char** argv) {
   tc.join();
   stop.store(true, std::memory_order_relaxed);
   monitor.join();
+  if (stats_thread.joinable()) {
+    stats_thread.join();
+    // One final tick so short runs still produce a stream and the table
+    // reflects the complete ingest.
+    const uint64_t t_us =
+        uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - run_start)
+                     .count());
+    EmitStats(*client, t_us, &stats_jsonl);
+  }
   if (submit_failures.load() > 0 || reshard_failures > 0 ||
       !client->Finish().ok()) {
     std::fprintf(stderr, "engine ingest failed\n");

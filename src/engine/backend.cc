@@ -3,6 +3,7 @@
 #include "engine/backend.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -76,8 +77,12 @@ class InProcessBackend final : public ShardBackend {
       Status s = sketch->ApplyBatch(batch);
       if (!s.ok()) return s;
     }
-    shard.updates_since_publish += count;
-    if (shard.updates_since_publish >= options_.snapshot_min_updates) {
+    // Relaxed: the applier is the only writer; concurrent Metrics() readers
+    // just want a recent value for the snapshot-lag gauge.
+    const uint64_t since =
+        shard.updates_since_publish.load(std::memory_order_relaxed) + count;
+    shard.updates_since_publish.store(since, std::memory_order_relaxed);
+    if (since >= options_.snapshot_min_updates) {
       PublishShard(shard);
     }
     return Status::OK();
@@ -114,8 +119,13 @@ class InProcessBackend final : public ShardBackend {
     SerializedSnapshot out;
     out.epoch = snap.value().epoch;
     if (snap.value().sketch == nullptr) return out;  // never published
+    const auto t0 = std::chrono::steady_clock::now();
     auto frame = SerializeSketch(*snap.value().sketch);
     if (!frame.ok()) return frame.status();
+    shards_[shard]->serialize_us.Record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     out.state = std::move(frame).value();
     return out;
   }
@@ -124,7 +134,8 @@ class InProcessBackend final : public ShardBackend {
     if (shard >= shards_.size()) {
       return Status::OutOfRange("inprocess backend: shard out of range");
     }
-    if (shards_[shard]->updates_since_publish > 0) {
+    if (shards_[shard]->updates_since_publish.load(
+            std::memory_order_relaxed) > 0) {
       PublishShard(*shards_[shard]);
     }
     return Status::OK();
@@ -152,13 +163,28 @@ class InProcessBackend final : public ShardBackend {
       imported.push_back(std::move(sketch).value());
     }
     shard.sketches = std::move(imported);
-    shard.updates_since_publish = 0;
+    shard.updates_since_publish.store(0, std::memory_order_relaxed);
     // Publish immediately: the imported history must be merge-visible the
     // moment the new placement is routed to, or the shard's entire past
     // would vanish from answers until its first post-handoff batch.
     PublishShard(shard);
     std::lock_guard<std::mutex> lock(shard.snap_mu);
     return shard.snap_error;
+  }
+
+  Result<std::vector<MetricSample>> Metrics(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("inprocess backend: shard out of range");
+    }
+    const Shard& sh = *shards_[shard];
+    std::vector<MetricSample> out;
+    out.push_back(GaugeSample(
+        "epoch", int64_t(sh.epoch.load(std::memory_order_relaxed))));
+    out.push_back(GaugeSample(
+        "snapshot_lag_updates",
+        int64_t(sh.updates_since_publish.load(std::memory_order_relaxed))));
+    out.push_back(HistogramSample("serialize_us", sh.serialize_us));
+    return out;
   }
 
   Result<SketchSummary> LiveSummary(size_t shard,
@@ -194,7 +220,10 @@ class InProcessBackend final : public ShardBackend {
     // `epoch` counts publications and is bumped (release) inside snap_mu,
     // so (snaps, epoch) always read as a consistent pair under the mutex
     // while lock-free epoch loads give cheap dirty checks.
-    uint64_t updates_since_publish = 0;  // applier-thread only
+    // updates_since_publish is written only by the applier thread; the
+    // atomic exists so the snapshot-lag gauge can read it from any thread.
+    std::atomic<uint64_t> updates_since_publish{0};
+    mutable Histogram serialize_us;  ///< SnapshotSerialized encode latency
     mutable std::mutex snap_mu;
     std::vector<std::shared_ptr<const Sketch>> snaps;  // per sketch index
     Status snap_error;  // first failed publish, under snap_mu
@@ -236,7 +265,7 @@ class InProcessBackend final : public ShardBackend {
       shard.snap_error = Status::OK();
       shard.epoch.fetch_add(1, std::memory_order_release);
     }
-    shard.updates_since_publish = 0;
+    shard.updates_since_publish.store(0, std::memory_order_relaxed);
   }
 
   BackendOptions options_;
@@ -340,6 +369,13 @@ class CompositeBackend final : public ShardBackend {
       return Status::OutOfRange("composite backend: shard out of range");
     }
     return children_[shard]->ImportShardState(0, frames);
+  }
+
+  Result<std::vector<MetricSample>> Metrics(size_t shard) const override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->Metrics(0);
   }
 
   Result<SketchSummary> LiveSummary(size_t shard,

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/metrics.h"
 #include "engine/sketch.h"
 #include "engine/wire.h"
 #include "stream/updates.h"
@@ -133,6 +134,18 @@ class ShardBackend {
     (void)frames;
     return Status::Unimplemented(name() +
                                  " backend: ImportShardState not supported");
+  }
+
+  /// Observability: the shard's metric samples, safe from any thread
+  /// concurrently with ApplyBatch (backends read relaxed atomics or go
+  /// through their own control channel). Names are UNPREFIXED per-shard
+  /// identifiers ("epoch", "snapshot_lag_updates", "serialize_us",
+  /// "wire.bytes_out_total", ...); the engine prepends
+  /// `engine.shard.<global id>.` when assembling its snapshot. The default
+  /// reports nothing — a backend without instrumentation is still valid.
+  virtual Result<std::vector<MetricSample>> Metrics(size_t shard) const {
+    (void)shard;
+    return std::vector<MetricSample>{};
   }
 
   /// Live (not snapshot) summary of one sketch. Quiescence only.

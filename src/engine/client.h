@@ -245,6 +245,25 @@ class Client {
   /// typed projections are tested against. Prefer the typed queries.
   Result<SketchSummary> RawSummary(const SketchHandle& handle) const;
 
+  // ---- observability -----------------------------------------------------
+
+  /// A point-in-time read of the engine's full metric surface: every
+  /// engine.* instrument, derived health gauges (uptime, inflight
+  /// tickets/bytes, valve waiters, topology generation, per-shard
+  /// updates/sec), per-shard backend samples (epoch, snapshot lag, wire
+  /// traffic), and merge-cache counters. Any thread, no quiescence needed.
+  MetricsSnapshot Metrics() const { return ingestor_->Metrics(); }
+
+  /// Renders Metrics() as a human-readable table (default) or JSONL.
+  void DumpMetrics(std::ostream& os, MetricsDumpFormat format =
+                                         MetricsDumpFormat::kTable) const {
+    ingestor_->DumpMetrics(os, format);
+  }
+
+  /// The retained control-plane trace spans (AddShards / MoveShard phases),
+  /// oldest first.
+  std::vector<TraceSpan> TraceSpans() const { return ingestor_->TraceSpans(); }
+
   // ---- introspection ----------------------------------------------------
 
   const ShardedIngestor& ingestor() const { return *ingestor_; }

@@ -2,7 +2,9 @@
 
 #include "engine/remote_backend.h"
 
+#include <chrono>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -90,10 +92,12 @@ class LoopbackRemoteBackend final : public ShardBackend {
     ShardSnapshot snap;
     snap.epoch = serialized.value().epoch;
     if (serialized.value().state.empty()) return snap;  // never published
+    const auto t0 = std::chrono::steady_clock::now();
     auto sketch =
         DeserializeSketch(options_.sketches[sketch_index],
                           shards_[shard]->cfg, serialized.value().state);
     if (!sketch.ok()) return sketch.status();
+    shards_[shard]->deserialize_us.Record(ElapsedUs(t0));
     snap.sketch = std::shared_ptr<const Sketch>(std::move(sketch).value());
     return snap;
   }
@@ -183,6 +187,36 @@ class LoopbackRemoteBackend final : public ShardBackend {
     return summary;
   }
 
+  Result<std::vector<MetricSample>> Metrics(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    const RemoteShard& rs = *shards_[shard];
+    // The shard's own samples (epoch, snapshot lag, serialize latency)
+    // report THROUGH the control channel — the remote cell is the source
+    // of truth for its state, exactly like every other query.
+    std::string resp;
+    Status s = RoundTrip(rs, /*data_channel=*/false, wire::kReqMetrics, {},
+                         &resp);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    std::vector<MetricSample> out;
+    if (Status sm = wire::DecodeMetricSamples(&r, &out); !sm.ok()) return sm;
+    // Client-side channel counters ride along under the wire.* prefix.
+    out.push_back(CounterSample("wire.frames_out_total", rs.frames_out));
+    out.push_back(CounterSample("wire.frames_in_total", rs.frames_in));
+    out.push_back(CounterSample("wire.bytes_out_total", rs.bytes_out));
+    out.push_back(CounterSample("wire.bytes_in_total", rs.bytes_in));
+    out.push_back(CounterSample("wire.crc_rejects_total", rs.crc_rejects));
+    out.push_back(CounterSample("wire.recv_errors_total", rs.recv_errors));
+    out.push_back(HistogramSample("wire.roundtrip_us", rs.roundtrip_us));
+    out.push_back(HistogramSample("wire.deserialize_us", rs.deserialize_us));
+    return out;
+  }
+
   uint64_t SpaceBits() const override {
     uint64_t bits = 0;
     for (size_t shard = 0; shard < shards_.size(); ++shard) {
@@ -212,10 +246,30 @@ class LoopbackRemoteBackend final : public ShardBackend {
     // construction; the control channel is shared by query threads.
     mutable std::mutex data_mu;
     mutable std::mutex control_mu;
+    // Client-side channel observability (relaxed atomics, safe from both
+    // channels at once). Counted per round trip in RoundTrip().
+    mutable Counter frames_out;
+    mutable Counter frames_in;
+    mutable Counter bytes_out;  ///< framed bytes written (incl. headers/CRC)
+    mutable Counter bytes_in;
+    mutable Counter crc_rejects;  ///< responses rejected for a bad checksum
+    mutable Counter recv_errors;  ///< other failed response reads
+    mutable Histogram roundtrip_us;
+    mutable Histogram deserialize_us;  ///< snapshot state decode latency
   };
 
   explicit LoopbackRemoteBackend(BackendOptions options)
       : options_(std::move(options)) {}
+
+  static uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  }
+
+  /// Bytes one frame occupies on the wire for a payload of `n` bytes:
+  /// u32 length + version + type + payload + u32 crc.
+  static uint64_t FramedBytes(size_t n) { return uint64_t(n) + 10; }
 
   /// One request/response exchange on the shard's chosen channel. The
   /// response payload (after frame validation) lands in `resp`.
@@ -224,13 +278,28 @@ class LoopbackRemoteBackend final : public ShardBackend {
     std::mutex& mu = data_channel ? shard.data_mu : shard.control_mu;
     const int fd = data_channel ? shard.server->data_fd()
                                 : shard.server->control_fd();
+    const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu);
     Status s = wire::WriteFrameFd(fd, type, payload);
     if (!s.ok()) return s;
+    shard.frames_out.Inc();
+    shard.bytes_out.Inc(FramedBytes(payload.size()));
     uint8_t resp_type = 0;
     std::string_view resp_payload;
     s = wire::ReadFrameFd(fd, &frame_scratch(), &resp_type, &resp_payload);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // A checksum reject means the bytes arrived but failed validation —
+      // the corruption counter the ISSUE's health surface watches.
+      if (s.message().find("checksum") != std::string::npos) {
+        shard.crc_rejects.Inc();
+      } else {
+        shard.recv_errors.Inc();
+      }
+      return s;
+    }
+    shard.frames_in.Inc();
+    shard.bytes_in.Inc(FramedBytes(resp_payload.size()));
+    shard.roundtrip_us.Record(ElapsedUs(t0));
     if (resp_type != wire::kResp) {
       return Status::Internal("loopback backend: unexpected response type");
     }

@@ -188,6 +188,20 @@ void ShardServer::Dispatch(uint8_t type, std::string_view payload,
       w.U64(shard_->SpaceBits());
       break;
     }
+    case wire::kReqMetrics: {
+      // Observability: the inner in-process cell's per-shard samples
+      // (epoch, snapshot lag, serialize latency) ship to the client, which
+      // prefixes them with the global shard id and appends its own wire
+      // counters for the channel.
+      auto samples = shard_->Metrics(0);
+      if (!samples.ok()) {
+        PutStatus(samples.status(), &w);
+        break;
+      }
+      PutStatus(Status::OK(), &w);
+      wire::EncodeMetricSamples(samples.value(), &w);
+      break;
+    }
     case wire::kReqImport: {
       // Shard handoff: install the serialized sketch states shipped from
       // the retiring placement, then publish (ImportShardState does both).

@@ -42,7 +42,24 @@ Result<std::unique_ptr<ShardedIngestor>> ShardedIngestor::Create(
 ShardedIngestor::ShardedIngestor(IngestorOptions options)
     : options_(std::move(options)) {}
 
+namespace {
+
+using MonoClock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(MonoClock::time_point t0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      MonoClock::now() - t0)
+                      .count());
+}
+
+}  // namespace
+
 Status ShardedIngestor::Init() {
+  start_time_ = MonoClock::now();
+  tracer_ = std::make_unique<Tracer>(options_.trace_capacity);
+  if (options_.metrics_enabled) {
+    metrics_ = std::make_unique<EngineMetrics>();
+  }
   BackendOptions bopts;
   bopts.num_shards = options_.num_shards;
   bopts.sketches = options_.sketches;
@@ -64,10 +81,12 @@ Status ShardedIngestor::Init() {
     caches_.push_back(std::make_unique<MergeCache>());
   }
   sessions_.push_back(std::make_unique<Session>());  // the shared session 0
+  if (metrics_ != nullptr) sessions_[0]->metrics = metrics_->session(0);
   session_count_.store(1, std::memory_order_release);
   workers_.reserve(options_.num_threads);
   for (size_t w = 0; w < options_.num_threads; ++w) {
     workers_.push_back(std::make_unique<Worker>());
+    if (metrics_ != nullptr) workers_[w]->metrics = metrics_->worker(w);
   }
   for (size_t w = 0; w < options_.num_threads; ++w) {
     Worker* worker = workers_[w].get();
@@ -109,11 +128,17 @@ Result<ProducerSession> ShardedIngestor::OpenSession() {
   Status pre = PreSubmit();
   if (!pre.ok()) return pre;
   sessions_.push_back(std::make_unique<Session>());
+  if (metrics_ != nullptr) {
+    sessions_.back()->metrics = metrics_->session(sessions_.size() - 1);
+  }
   session_count_.store(sessions_.size(), std::memory_order_release);
   return ProducerSession{sessions_.size() - 1};
 }
 
 void ShardedIngestor::CompleteTicket(const TicketState& state) {
+  if (state.session_metrics != nullptr) {
+    state.session_metrics->tickets_outstanding->Add(-1);
+  }
   std::lock_guard<std::mutex> lock(ticket_mu_);
   // The ticket's sub-batch buffers are freed once applied, so its bytes
   // leave the valve here (physical completion) rather than at the
@@ -157,7 +182,28 @@ void ShardedIngestor::ReScatter(PendingTicket* ticket,
   ticket->state->remaining.store(nonempty, std::memory_order_relaxed);
 }
 
+void ShardedIngestor::RefreshShardMetricsCache(
+    std::vector<ShardIngestMetrics*>* cache, size_t num_shards) {
+  if (metrics_ == nullptr) return;
+  while (cache->size() < num_shards) {
+    cache->push_back(metrics_->shard(cache->size()));
+  }
+}
+
+void ShardedIngestor::RecordApply(ShardIngestMetrics* m, size_t count,
+                                  uint64_t elapsed_us) {
+  if (m == nullptr) return;
+  m->updates_total->Inc(count);
+  m->batches_total->Inc();
+  m->apply_us->Record(elapsed_us);
+  m->batch_size->Record(count);
+}
+
 void ShardedIngestor::RouterLoop() {
+  RouterMetrics* rm = metrics_ == nullptr ? nullptr : metrics_->router();
+  // Shard-id -> instrument bundle cache, refreshed when the topology grows
+  // (router-thread local, so no lock on the dispatch path).
+  std::vector<ShardIngestMetrics*> shard_metrics;
   for (;;) {
     PendingTicket ticket;
     {
@@ -196,7 +242,12 @@ void ShardedIngestor::RouterLoop() {
           }
         }
       }
-      if (chosen == n) continue;
+      if (chosen == n) {
+        // Work is queued but nothing is dispatchable this round — every
+        // eligible lane is fenced behind a pending barrier.
+        if (rm != nullptr) rm->parked_rounds_total->Inc();
+        continue;
+      }
       rr_cursor_ = (chosen + 1) % n;
       ticket = std::move(sessions_[chosen]->queue.front());
       sessions_[chosen]->queue.pop_front();
@@ -206,17 +257,27 @@ void ShardedIngestor::RouterLoop() {
 
     if (ticket.control != nullptr) {
       // Barrier: everything dispatched so far must be applied before the
-      // topology mutates (MoveShard serializes a quiescent shard).
+      // topology mutates (MoveShard serializes a quiescent shard). The
+      // barrier latency includes the worker drain — that wait IS the cost
+      // a control op imposes on the pipeline.
+      const auto t0 = rm == nullptr ? MonoClock::time_point{}
+                                    : MonoClock::now();
       DrainWorkers();
       ticket.control->result = ticket.control->op();
+      if (rm != nullptr) {
+        rm->barriers_total->Inc();
+        rm->barrier_us->Record(ElapsedUs(t0));
+      }
       CompleteTicket(*ticket.state);
       continue;
     }
 
     std::shared_ptr<const TopologyView> view = topology_->View();
     if (ticket.routing_generation != view->routing_generation) {
+      if (rm != nullptr) rm->rescatters_total->Inc();
       ReScatter(&ticket, *view);
     }
+    RefreshShardMetricsCache(&shard_metrics, view->num_shards());
 
     // Forward the sub-batches to their owning workers in shard order,
     // placements resolved against the installed table. A full worker queue
@@ -235,12 +296,18 @@ void ShardedIngestor::RouterLoop() {
         });
         worker->queue.push_back(Job{placement.backend, placement.local,
                                     std::move(ticket.sub[shard]),
-                                    ticket.state});
+                                    ticket.state,
+                                    rm == nullptr ? nullptr
+                                                  : shard_metrics[shard]});
+        if (worker->metrics != nullptr) {
+          worker->metrics->queue_depth->Set(int64_t(worker->queue.size()));
+        }
         ++worker->pending;
       }
       worker->cv_work.notify_one();
       ++dispatched;
     }
+    if (rm != nullptr) rm->dispatches_total->Inc();
     if (dispatched == 0) {
       // Nothing to apply (all sub-batches empty): complete directly.
       CompleteTicket(*ticket.state);
@@ -261,15 +328,24 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
       }
       job = std::move(worker->queue.front());
       worker->queue.pop_front();
+      if (worker->metrics != nullptr) {
+        worker->metrics->queue_depth->Set(int64_t(worker->queue.size()));
+      }
     }
     worker->cv_space.notify_one();
     // Once a shard sketch has errored, keep draining (so the router never
     // deadlocks on backpressure and every ticket still completes) but stop
     // mutating state.
     if (!has_error_.load(std::memory_order_acquire)) {
+      const auto t0 = job.metrics == nullptr ? MonoClock::time_point{}
+                                             : MonoClock::now();
       Status s = job.backend->ApplyBatch(job.local, job.updates.data(),
                                          job.updates.size());
-      if (!s.ok()) RecordError(s);
+      if (!s.ok()) {
+        RecordError(s);
+      } else if (job.metrics != nullptr) {
+        RecordApply(job.metrics, job.updates.size(), ElapsedUs(t0));
+      }
     }
     if (job.ticket != nullptr &&
         job.ticket->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -300,15 +376,20 @@ Result<IngestTicket> ShardedIngestor::ApplyInline(const TopologyView& view,
   // ticket state is allocated: the unbatched single-producer path stays as
   // cheap as the pre-ticket engine.
   updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
+  RefreshShardMetricsCache(&inline_shard_metrics_, scatter_.size());
   for (size_t shard = 0; shard < scatter_.size(); ++shard) {
     if (scatter_[shard].empty()) continue;
     const ShardPlacement placement = view.placements[shard];
+    ShardIngestMetrics* m =
+        metrics_ == nullptr ? nullptr : inline_shard_metrics_[shard];
+    const auto t0 = m == nullptr ? MonoClock::time_point{} : MonoClock::now();
     Status s = placement.backend->ApplyBatch(
         placement.local, scatter_[shard].data(), scatter_[shard].size());
     if (!s.ok()) {
       RecordError(s);
       return s;
     }
+    if (m != nullptr) RecordApply(m, scatter_[shard].size(), ElapsedUs(t0));
   }
   return IngestTicket{};
 }
@@ -328,6 +409,12 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     return Status::InvalidArgument(
         "ShardedIngestor: unknown producer session");
   }
+  // Bundle lookup before the valve so the wait itself can be timed. This
+  // is per SUBMIT (not per update) and the bundle accessor's lock is a
+  // short uncontended index — noise next to the valve + seq mutexes the
+  // submit path already takes; the instruments behind it are lock-free.
+  SessionMetrics* sm =
+      metrics_ == nullptr ? nullptr : metrics_->session(session.id);
 
   // Flow-control valves: a ticket-count cap (memory safety, far above the
   // worker-queue backpressure point) and a total-bytes cap on the queued
@@ -352,12 +439,23 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     std::unique_lock<std::mutex> lock(ticket_mu_);
     if (blocking) {
       const uint64_t turn = valve_next_++;
-      ticket_cv_.wait(
-          lock, [&] { return valve_serving_ == turn && admissible(); });
-      ++valve_serving_;
+      if (valve_serving_ == turn && admissible()) {
+        ++valve_serving_;
+      } else {
+        // Valve pressure: this producer parks. Count the wait and time it
+        // (the clock reads happen only on this already-blocking path).
+        const auto t0 = sm == nullptr ? MonoClock::time_point{}
+                                      : MonoClock::now();
+        if (sm != nullptr) sm->valve_waits_total->Inc();
+        ticket_cv_.wait(
+            lock, [&] { return valve_serving_ == turn && admissible(); });
+        ++valve_serving_;
+        if (sm != nullptr) sm->valve_wait_us->Record(ElapsedUs(t0));
+      }
     } else if (valve_next_ != valve_serving_ || !admissible()) {
       // Fail fast on a full valve — or on queued waiters, which a
       // non-blocking submission must not barge past.
+      if (sm != nullptr) sm->try_rejections_total->Inc();
       return Status::ResourceExhausted(
           "ShardedIngestor: inflight valve full (max_inflight_tickets / "
           "max_inflight_bytes)");
@@ -371,6 +469,8 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
   auto state = std::make_shared<TicketState>();
   state->bytes = bytes;
   state->remaining.store(nonempty, std::memory_order_relaxed);
+  state->session_metrics = sm;
+  if (sm != nullptr) sm->tickets_outstanding->Add(1);
 
   uint64_t seq = 0;
   {
@@ -382,6 +482,7 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     }
     if (!pre.ok()) {
       // Release the reservation: this ticket will never exist.
+      if (sm != nullptr) sm->tickets_outstanding->Add(-1);
       {
         std::lock_guard<std::mutex> tlock(ticket_mu_);
         --inflight_tickets_;
@@ -392,6 +493,10 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
     }
     state->seq = seq = ++next_seq_;
     updates_submitted_.fetch_add(count, std::memory_order_acq_rel);
+    // Counted here — not before the valve — so submits_total is exactly
+    // the tickets that got a sequence number (rejections and races with
+    // Finish have their own accounting).
+    if (sm != nullptr) sm->submits_total->Inc();
     PendingTicket ticket;
     ticket.state = state;
     ticket.sub = std::move(sub);
@@ -430,6 +535,9 @@ Result<IngestTicket> ShardedIngestor::SubmitScattered(
           "ShardedIngestor: unknown producer session");
     }
     if (!recheck.ok()) return recheck;
+    if (metrics_ != nullptr) {
+      metrics_->session(session.id)->submits_total->Inc();
+    }
     std::shared_ptr<const TopologyView> view = topology_->View();
     scatter_.resize(view->num_shards());
     for (auto& v : scatter_) v.clear();
@@ -478,6 +586,9 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
           "ShardedIngestor: unknown producer session");
     }
     if (!recheck.ok()) return recheck;
+    if (metrics_ != nullptr) {
+      metrics_->session(session.id)->submits_total->Inc();
+    }
     std::shared_ptr<const TopologyView> view = topology_->View();
     scatter_.resize(view->num_shards());
     for (auto& v : scatter_) v.clear();
@@ -532,7 +643,14 @@ Status ShardedIngestor::RunAtBarrier(std::function<Status()> op) {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status pre = PreSubmit();
     if (!pre.ok()) return pre;
-    return op();
+    RouterMetrics* rm = metrics_ == nullptr ? nullptr : metrics_->router();
+    const auto t0 = rm == nullptr ? MonoClock::time_point{} : MonoClock::now();
+    Status s = op();
+    if (rm != nullptr) {
+      rm->barriers_total->Inc();
+      rm->barrier_us->Record(ElapsedUs(t0));
+    }
+    return s;
   }
   auto state = std::make_shared<TicketState>();
   auto control = std::make_shared<ControlState>();
@@ -585,6 +703,8 @@ Status ShardedIngestor::MoveShard(size_t shard, BackendFactory factory,
 }
 
 Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
+  Tracer::Span span = tracer_->StartSpan("add_shards");
+  span.Attr("count", n);
   std::shared_ptr<const TopologyView> view = topology_->View();
   const BackendFactory f = factory ? factory : InProcessBackendFactory();
   std::vector<std::unique_ptr<ShardBackend>> cells;
@@ -604,32 +724,37 @@ Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
       ShardTopology::WithAddedShards(*view, added);
   for (auto& cell : cells) extra_backends_.push_back(std::move(cell));
   topology_->Install(std::move(next));
+  span.Attr("generation", topology_->View()->generation);
+  span.End();
   return Status::OK();
 }
 
 Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
                                     MoveShardStats* stats) {
-  using clock = std::chrono::steady_clock;
-  const auto us = [](clock::time_point a, clock::time_point b) {
-    return uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
-  };
   std::shared_ptr<const TopologyView> view = topology_->View();
   if (shard >= view->num_shards()) {
     return Status::OutOfRange("ShardedIngestor: MoveShard id out of range");
   }
   const ShardPlacement source = view->placements[shard];
 
+  // Each phase runs under its own child span; the span durations are the
+  // single source of timing truth — the deprecated MoveShardStats fields are
+  // filled from them below, so external re-measurement can never disagree
+  // with what the tracer reports.
+  Tracer::Span move = tracer_->StartSpan("move_shard");
+  move.Attr("shard", shard);
+
   // 1. The barrier already drained in-flight batches; publish the source's
   //    snapshot so the serialized state is its exact live state.
-  const auto t0 = clock::now();
+  Tracer::Span flush = tracer_->StartSpan("move_shard.flush", move.id());
   Status flushed = source.backend->Flush(source.local);
   if (!flushed.ok()) return flushed;
-  const auto t1 = clock::now();
+  const uint64_t flush_us = flush.End();
 
   // 2. Serialize the shard's sketch group — the wire snapshot states ARE
   //    the handoff transfer format. A shard that never ingested has no
   //    published state; it moves as a fresh cell.
+  Tracer::Span serialize = tracer_->StartSpan("move_shard.serialize", move.id());
   std::vector<std::string> frames;
   frames.reserve(options_.sketches.size());
   uint64_t state_bytes = 0;
@@ -641,10 +766,12 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
     state_bytes += snap.value().state.size();
     frames.push_back(std::move(snap.value().state));
   }
-  const auto t2 = clock::now();
+  serialize.Attr("state_bytes", state_bytes);
+  const uint64_t serialize_us = serialize.End();
 
   // 3. Build the destination cell and import. Any failure leaves the
   //    topology (and the source placement) exactly as it was.
+  Tracer::Span import = tracer_->StartSpan("move_shard.import", move.id());
   const BackendFactory f = factory ? factory : InProcessBackendFactory();
   auto cell = f(CellOptions(shard));
   if (!cell.ok()) return cell.status();
@@ -656,7 +783,7 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
     Status imported = cell.value()->ImportShardState(0, frames);
     if (!imported.ok()) return imported;
   }
-  const auto t3 = clock::now();
+  const uint64_t import_us = import.End();
 
   // 4. Re-point the shard id. The source cell's state is left in place —
   //    readers holding an older topology view keep folding it until they
@@ -668,10 +795,14 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
   extra_backends_.push_back(std::move(cell).value());
   topology_->Install(std::move(next).value());
 
+  move.Attr("state_bytes", state_bytes);
+  move.Attr("generation", topology_->View()->generation);
+  move.End();
+
   if (stats != nullptr) {
-    stats->flush_us = us(t0, t1);
-    stats->serialize_us = us(t1, t2);
-    stats->import_us = us(t2, t3);
+    stats->flush_us = flush_us;
+    stats->serialize_us = serialize_us;
+    stats->import_us = import_us;
     stats->state_bytes = state_bytes;
   }
   return Status::OK();
@@ -924,6 +1055,108 @@ Result<MergeCacheStats> ShardedIngestor::CacheStats(
   MergeCache& cache = *caches_[index];
   std::lock_guard<std::mutex> lock(cache.mu);
   return cache.stats;
+}
+
+namespace {
+
+MetricSample RawCounter(std::string name, uint64_t value) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.kind = MetricKind::kCounter;
+  s.value = value;
+  return s;
+}
+
+}  // namespace
+
+MetricsSnapshot ShardedIngestor::Metrics() const {
+  MetricsSnapshot snap;
+  snap.uptime_us = ElapsedUs(start_time_);
+
+  // 1. The registered engine.* instruments (relaxed loads, no locks).
+  if (metrics_ != nullptr) {
+    snap.samples = metrics_->registry().Snapshot();
+  }
+
+  // 2. Derived health gauges. The valve/inflight levels live under
+  //    ticket_mu_ (they are the turnstile's bookkeeping, not instruments);
+  //    one short lock reads them consistently.
+  snap.samples.push_back(
+      GaugeSample("engine.uptime_us", int64_t(snap.uptime_us)));
+  snap.samples.push_back(
+      RawCounter("engine.updates_submitted_total", updates_submitted()));
+  {
+    std::lock_guard<std::mutex> lock(ticket_mu_);
+    snap.samples.push_back(
+        GaugeSample("engine.inflight_tickets", int64_t(inflight_tickets_)));
+    snap.samples.push_back(
+        GaugeSample("engine.inflight_bytes", int64_t(inflight_bytes_)));
+    snap.samples.push_back(GaugeSample(
+        "engine.valve.waiters", int64_t(valve_next_ - valve_serving_)));
+  }
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  snap.samples.push_back(
+      GaugeSample("engine.topology.generation", int64_t(view->generation)));
+  snap.samples.push_back(
+      GaugeSample("engine.topology.num_shards", int64_t(view->num_shards())));
+
+  // 3. Per-shard ingest rate, derived from the shard counters and uptime.
+  if (metrics_ != nullptr && snap.uptime_us > 0) {
+    const size_t tracked = metrics_->shard_count();
+    for (size_t s = 0; s < tracked; ++s) {
+      const uint64_t updates = metrics_->shard(s)->updates_total->Value();
+      const uint64_t per_sec = updates * 1000000 / snap.uptime_us;
+      snap.samples.push_back(
+          GaugeSample("engine.shard." + std::to_string(s) + ".updates_per_sec",
+                      int64_t(per_sec)));
+    }
+  }
+
+  // 4. Per-shard backend samples (epoch, snapshot lag, serialize latency;
+  //    wire traffic for remote cells), prefixed with the GLOBAL shard id. A
+  //    shard whose backend cannot report (e.g. a torn-down remote channel)
+  //    is skipped rather than failing the whole snapshot — observability
+  //    must degrade, not block.
+  for (size_t s = 0; s < view->num_shards(); ++s) {
+    const ShardPlacement placement = view->placements[s];
+    auto samples = placement.backend->Metrics(placement.local);
+    if (!samples.ok()) continue;
+    const std::string prefix = "engine.shard." + std::to_string(s) + ".";
+    for (MetricSample& sample : samples.value()) {
+      sample.name = prefix + sample.name;
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+
+  // 5. Per-sketch merge-cache counters — read from the caches' own
+  //    bookkeeping under their mutexes (the query path maintains them; no
+  //    double accounting).
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    MergeCacheStats stats;
+    {
+      MergeCache& cache = *caches_[i];
+      std::lock_guard<std::mutex> lock(cache.mu);
+      stats = cache.stats;
+    }
+    const std::string prefix =
+        "engine.sketch." + options_.sketches[i] + ".merge_cache.";
+    snap.samples.push_back(RawCounter(prefix + "hits_total", stats.hits));
+    snap.samples.push_back(
+        RawCounter(prefix + "incremental_total", stats.incremental));
+    snap.samples.push_back(
+        RawCounter(prefix + "rebuilds_total", stats.rebuilds));
+  }
+  return snap;
+}
+
+void ShardedIngestor::DumpMetrics(std::ostream& os,
+                                  MetricsDumpFormat format) const {
+  MetricsSnapshot snap = Metrics();
+  if (format == MetricsDumpFormat::kJsonl) {
+    snap.WriteJsonl(os);
+  } else {
+    snap.WriteTable(os);
+  }
 }
 
 uint64_t ShardedIngestor::ShardEpoch(size_t shard) const {

@@ -70,6 +70,7 @@
 #define WBS_ENGINE_SHARDED_INGESTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -86,8 +87,10 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/backend.h"
+#include "engine/metrics.h"
 #include "engine/sketch.h"
 #include "engine/topology.h"
+#include "engine/trace.h"
 #include "stream/updates.h"
 
 namespace wbs::engine {
@@ -126,6 +129,15 @@ struct IngestorOptions {
   /// remote_backend.h for the loopback wire-format backend, and
   /// CompositeBackendFactory for mixed placement.
   BackendFactory backend;
+  /// Observability: when true (the default) the engine registers and
+  /// maintains the engine.* instruments (metrics.h) — relaxed atomic
+  /// increments on the hot path, no locks. False skips every
+  /// instrumentation site (and its clock reads) via a predicted branch;
+  /// Metrics() then reports only derived and backend-sourced samples. The
+  /// `engine_metrics_overhead` bench row guards the instrumented cost.
+  bool metrics_enabled = true;
+  /// Completed control-plane trace spans retained (trace.h ring buffer).
+  size_t trace_capacity = 256;
 };
 
 /// A sequence-numbered receipt for one asynchronous submission. Tickets are
@@ -151,6 +163,10 @@ struct ProducerSession {
 };
 
 /// How the merge cache served MergedSummary calls for one sketch.
+/// DEPRECATED (PR 6): the same counters are exported through the metrics
+/// snapshot as `engine.sketch.<name>.merge_cache.{hits_total,
+/// incremental_total,rebuilds_total}` — prefer Metrics(); this struct (and
+/// CacheStats()) remains one PR as a thin alias and then goes away.
 struct MergeCacheStats {
   uint64_t hits = 0;         ///< no shard epoch advanced: cached summary
   uint64_t incremental = 0;  ///< only dirty shards re-folded (UnmergeFrom)
@@ -159,6 +175,10 @@ struct MergeCacheStats {
 
 /// Phase timings of one MoveShard handoff (drain happens before the op
 /// runs at the router barrier; callers time the whole call for the total).
+/// DEPRECATED (PR 6): filled FROM the recorded trace spans ("move_shard"
+/// and its flush/serialize/import children — see TraceSpans()), which are
+/// the single source of truth for handoff phase timings; this out-param
+/// remains one PR as a thin alias and then goes away.
 struct MoveShardStats {
   uint64_t flush_us = 0;      ///< source publish at quiescence
   uint64_t serialize_us = 0;  ///< SnapshotSerialized over the sketch group
@@ -304,8 +324,30 @@ class ShardedIngestor {
   Result<const SketchSummary*> MergedSummaryView(
       size_t sketch_index, std::unique_lock<std::mutex>* lock) const;
 
-  /// Cache counters for `sketch` (tests, diagnostics).
+  /// DEPRECATED alias for the merge-cache metric samples
+  /// (`engine.sketch.<name>.merge_cache.*` in Metrics()); kept one PR.
   Result<MergeCacheStats> CacheStats(const std::string& sketch) const;
+
+  // ---- observability -----------------------------------------------------
+
+  /// A point-in-time read of the engine's full metric surface: every
+  /// registered engine.* instrument, the derived health gauges (uptime,
+  /// inflight tickets/bytes, valve waiters, topology generation, per-shard
+  /// updates/sec), per-shard backend samples (epoch, snapshot lag, wire
+  /// traffic — prefixed `engine.shard.<id>.`), and the per-sketch merge
+  /// cache counters. Safe from any thread, concurrently with ingest and
+  /// topology changes — no quiescence required (counters are relaxed
+  /// atomics; remote shards report through their control channel).
+  MetricsSnapshot Metrics() const;
+
+  /// Renders Metrics() as a human-readable table or JSONL (one JSON object
+  /// per metric line).
+  void DumpMetrics(std::ostream& os,
+                   MetricsDumpFormat format = MetricsDumpFormat::kTable) const;
+
+  /// The retained control-plane trace spans, oldest first: AddShards /
+  /// MoveShard operations and their phases (trace.h). Any thread.
+  std::vector<TraceSpan> TraceSpans() const { return tracer_->Snapshot(); }
 
   /// Number of snapshot publications shard `shard`'s CURRENT placement has
   /// performed (restarts when a handoff re-homes the shard).
@@ -355,6 +397,9 @@ class ShardedIngestor {
     uint64_t seq = 0;
     uint64_t bytes = 0;  ///< update bytes charged to the inflight valve
     std::atomic<size_t> remaining{0};  ///< sub-batches not yet applied
+    /// Issuing session's instruments (null when metrics are disabled or
+    /// for barrier tickets): tickets_outstanding drops on completion.
+    SessionMetrics* session_metrics = nullptr;
   };
 
   /// A topology operation riding the submission queue as a barrier ticket.
@@ -381,6 +426,9 @@ class ShardedIngestor {
     uint32_t local = 0;
     std::vector<stream::TurnstileUpdate> updates;
     std::shared_ptr<TicketState> ticket;
+    /// GLOBAL shard id's ingest instruments (null = metrics disabled),
+    /// resolved by the router so the worker's apply loop never locks.
+    ShardIngestMetrics* metrics = nullptr;
   };
 
   struct Worker {
@@ -391,12 +439,14 @@ class ShardedIngestor {
     std::deque<Job> queue;
     size_t pending = 0;  // queued + in-flight batches
     bool stop = false;
+    WorkerMetrics* metrics = nullptr;  // null = metrics disabled
     std::thread thread;
   };
 
   /// One producer session's FIFO lane. Guarded by submit_mu_.
   struct Session {
     std::deque<PendingTicket> queue;
+    SessionMetrics* metrics = nullptr;  // null = metrics disabled
   };
 
   // Per-sketch merge cache. `merged` is the fold of `folded` (one snapshot
@@ -460,7 +510,22 @@ class ShardedIngestor {
   Status FirstError() const;
   Status CheckQuiescent() const;
 
+  /// Refreshes the shard-id -> bundle pointer cache `cache` to cover
+  /// `num_shards` entries (no-op when metrics are disabled).
+  void RefreshShardMetricsCache(std::vector<ShardIngestMetrics*>* cache,
+                                size_t num_shards);
+  /// Instruments one applied sub-batch (no-op when `m` is null).
+  static void RecordApply(ShardIngestMetrics* m, size_t count,
+                          uint64_t elapsed_us);
+
   IngestorOptions options_;
+  /// Observability. metrics_ is null when options_.metrics_enabled is
+  /// false — every instrumentation site is behind a null check, so the
+  /// disabled engine pays one predicted branch per site and skips the
+  /// clock reads. The tracer always exists (control-plane rate only).
+  std::unique_ptr<EngineMetrics> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::chrono::steady_clock::time_point start_time_;
   std::unique_ptr<ShardBackend> backend_;  ///< primary (initial shards)
   /// Cells created by topology operations. Only grows; a moved-out cell is
   /// kept alive so readers of older topology views stay valid.
@@ -472,6 +537,9 @@ class ShardedIngestor {
   /// submit_mu_ (threaded submissions scatter into per-call buffers that
   /// move through the session queues instead).
   std::vector<std::vector<stream::TurnstileUpdate>> scatter_;
+  /// Inline-mode shard-metrics pointer cache (under submit_mu_); the
+  /// router thread keeps its own local equivalent.
+  std::vector<ShardIngestMetrics*> inline_shard_metrics_;
   std::atomic<uint64_t> updates_submitted_{0};
   std::atomic<bool> finished_{false};
 

@@ -1,0 +1,100 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "engine/trace.h"
+
+#include <ostream>
+
+namespace wbs::engine {
+
+uint64_t TraceSpan::Attr(const std::string& key, uint64_t fallback) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::SinceEpochUs(std::chrono::steady_clock::time_point t) const {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      t - epoch_)
+                      .count());
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    name_ = std::move(other.name_);
+    start_ = other.start_;
+    attrs_ = std::move(other.attrs_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Tracer::Span& Tracer::Span::Attr(std::string key, uint64_t value) {
+  if (tracer_ != nullptr) {
+    attrs_.emplace_back(std::move(key), value);
+  }
+  return *this;
+}
+
+uint64_t Tracer::Span::End() {
+  if (tracer_ == nullptr) return 0;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const auto end = std::chrono::steady_clock::now();
+  TraceSpan span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = std::move(name_);
+  span.start_us = tracer->SinceEpochUs(start_);
+  span.duration_us = uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count());
+  span.attrs = std::move(attrs_);
+  const uint64_t duration = span.duration_us;
+  tracer->Record(std::move(span));
+  return duration;
+}
+
+Tracer::Span Tracer::StartSpan(std::string name, uint64_t parent) {
+  Span span;
+  span.tracer_ = this;
+  span.id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_ = parent;
+  span.name_ = std::move(name);
+  span.start_ = std::chrono::steady_clock::now();
+  return span;
+}
+
+void Tracer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceSpan>(ring_.begin(), ring_.end());
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  for (const TraceSpan& s : Snapshot()) {
+    os << "{\"span\":\"" << s.name << "\",\"id\":" << s.id
+       << ",\"parent\":" << s.parent << ",\"start_us\":" << s.start_us
+       << ",\"duration_us\":" << s.duration_us << ",\"attrs\":{";
+    for (size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << s.attrs[i].first << "\":" << s.attrs[i].second;
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace wbs::engine

@@ -1,0 +1,114 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// engine::Tracer — a lightweight span tracer for the engine's CONTROL
+// plane: topology operations (AddShards, MoveShard and its flush /
+// serialize / import phases), barriers, and anything else that happens at
+// per-operation rather than per-batch rate. Spans carry a name, wall-clock
+// offsets relative to the tracer's creation, a parent id (so an operation's
+// phases nest), and integer attributes (shard ids, byte counts,
+// generations).
+//
+// Completed spans land in a bounded in-memory ring buffer (oldest evicted
+// first) guarded by a mutex — deliberately NOT lock-free, because spans
+// fire at control-plane rate and a mutex keeps the ring trivially
+// consistent for concurrent Snapshot() readers. Never put a span on the
+// per-batch ingest path; that is what the relaxed-atomic metrics
+// (metrics.h) are for.
+//
+// Spans are the engine's single source of truth for control-op phase
+// timings: MoveShardStats is now derived FROM the recorded spans, and
+// benches read the same spans instead of re-measuring phases externally.
+
+#ifndef WBS_ENGINE_TRACE_H_
+#define WBS_ENGINE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wbs::engine {
+
+/// A completed span, as read back from the ring.
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root
+  std::string name;
+  uint64_t start_us = 0;     ///< offset from tracer creation
+  uint64_t duration_us = 0;  ///< End() - start
+  std::vector<std::pair<std::string, uint64_t>> attrs;
+
+  /// Value of attribute `key`, or `fallback` when absent.
+  uint64_t Attr(const std::string& key, uint64_t fallback = 0) const;
+};
+
+class Tracer {
+ public:
+  /// `capacity`: spans retained before the oldest is evicted.
+  explicit Tracer(size_t capacity = 256);
+
+  /// RAII span handle: records into the tracer's ring on End() (or
+  /// destruction). Movable, not copyable; a default-constructed or
+  /// moved-from span is inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    /// Attaches an integer attribute. Chainable.
+    Span& Attr(std::string key, uint64_t value);
+
+    /// Completes the span and records it; idempotent. Returns the span's
+    /// duration in microseconds (0 on repeat calls / inert spans).
+    uint64_t End();
+
+    uint64_t id() const { return id_; }
+    bool active() const { return tracer_ != nullptr; }
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    uint64_t id_ = 0;
+    uint64_t parent_ = 0;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, uint64_t>> attrs_;
+  };
+
+  /// Starts a span; `parent` is another span's id() for nesting (0 = root).
+  Span StartSpan(std::string name, uint64_t parent = 0);
+
+  /// The retained spans, oldest first. Spans are recorded at End() time,
+  /// so a parent appears AFTER the phases it encloses.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// One JSON object per span:
+  /// {"span":"move_shard","id":3,"parent":0,"start_us":...,"duration_us":...,
+  ///  "attrs":{"shard":1,...}}
+  void WriteJsonl(std::ostream& os) const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Record(TraceSpan span);
+  uint64_t SinceEpochUs(std::chrono::steady_clock::time_point t) const;
+
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<TraceSpan> ring_;
+};
+
+}  // namespace wbs::engine
+
+#endif  // WBS_ENGINE_TRACE_H_

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "engine/metrics.h"
 #include "engine/sketch.h"
 
 namespace wbs::engine::wire {
@@ -298,6 +299,74 @@ Status DecodeStatus(Reader* r, Status* out) {
       return Status::OK();
   }
   return Status::InvalidArgument("wire: unknown status code");
+}
+
+void EncodeMetricSamples(const std::vector<MetricSample>& samples, Writer* w) {
+  w->U32(uint32_t(samples.size()));
+  for (const MetricSample& s : samples) {
+    w->Str(s.name);
+    w->U8(uint8_t(s.kind));
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        w->U64(s.value);
+        break;
+      case MetricKind::kHistogram: {
+        w->U64(s.count);
+        w->U64(s.sum);
+        // Trailing zero buckets are elided; the decoder zero-pads.
+        size_t last = s.buckets.size();
+        while (last > 0 && s.buckets[last - 1] == 0) --last;
+        w->U32(uint32_t(last));
+        for (size_t i = 0; i < last; ++i) w->U64(s.buckets[i]);
+        break;
+      }
+    }
+  }
+}
+
+Status DecodeMetricSamples(Reader* r, std::vector<MetricSample>* out) {
+  uint32_t count = 0;
+  if (Status s = r->U32(&count); !s.ok()) return s;
+  // Each sample is at least name-length (4) + kind (1) + one u64.
+  if (count > r->remaining() / 13) {
+    return Status::InvalidArgument("wire: metric sample count mismatch");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MetricSample sample;
+    uint8_t kind = 0;
+    if (Status s = r->Str(&sample.name); !s.ok()) return s;
+    if (Status s = r->U8(&kind); !s.ok()) return s;
+    if (kind > uint8_t(MetricKind::kHistogram)) {
+      return Status::InvalidArgument("wire: unknown metric kind");
+    }
+    sample.kind = MetricKind(kind);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        if (Status s = r->U64(&sample.value); !s.ok()) return s;
+        break;
+      case MetricKind::kHistogram: {
+        uint32_t buckets = 0;
+        if (Status s = r->U64(&sample.count); !s.ok()) return s;
+        if (Status s = r->U64(&sample.sum); !s.ok()) return s;
+        if (Status s = r->U32(&buckets); !s.ok()) return s;
+        if (buckets > Histogram::kBuckets || buckets > r->remaining() / 8) {
+          return Status::InvalidArgument(
+              "wire: metric histogram bucket count mismatch");
+        }
+        sample.buckets.assign(Histogram::kBuckets, 0);
+        for (uint32_t b = 0; b < buckets; ++b) {
+          if (Status s = r->U64(&sample.buckets[b]); !s.ok()) return s;
+        }
+        break;
+      }
+    }
+    out->push_back(std::move(sample));
+  }
+  return Status::OK();
 }
 
 namespace {

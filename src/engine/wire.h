@@ -38,6 +38,7 @@
 namespace wbs::engine {
 
 struct SketchSummary;  // sketch.h
+struct MetricSample;   // metrics.h
 
 namespace wire {
 
@@ -60,6 +61,7 @@ enum FrameType : uint8_t {
   kReqSpaceBits = 37, ///< total state bits of the shard
   kReqShutdown = 38,  ///< close the connection
   kReqImport = 39,    ///< shard handoff: install serialized sketch states
+  kReqMetrics = 40,   ///< read the shard's metric samples (observability)
 
   kResp = 64,         ///< response: Status followed by request-specific data
 };
@@ -140,6 +142,12 @@ Status DecodeSummary(Reader* r, SketchSummary* out);
 /// Status: u8 code + message. Decoding an unknown code is an error.
 void EncodeStatus(const Status& s, Writer* w);
 Status DecodeStatus(Reader* r, Status* out);
+
+/// Metric samples (metrics.h), the payload of a kReqMetrics response: u32
+/// count, then per sample name, kind, and the kind's value fields
+/// (histograms ship count/sum plus length-prefixed bucket counts).
+void EncodeMetricSamples(const std::vector<MetricSample>& samples, Writer* w);
+Status DecodeMetricSamples(Reader* r, std::vector<MetricSample>* out);
 
 // ---- framed I/O over a file descriptor ------------------------------------
 

@@ -50,10 +50,21 @@ TEST(MergeCacheTest, SecondQueryOfUnchangedEngineIsACacheHit) {
     ASSERT_TRUE(first.ok() && second.ok()) << name;
     EXPECT_EQ(first.value().value, second.value().value) << name;
     EXPECT_EQ(first.value().updates, second.value().updates) << name;
+    const auto metrics = client->Metrics();
+    const std::string prefix =
+        std::string("engine.sketch.") + name + ".merge_cache.";
+    EXPECT_EQ(metrics.Value(prefix + "rebuilds_total"), 1u)
+        << name;  // first query folds
+    EXPECT_EQ(metrics.Value(prefix + "hits_total"), 1u)
+        << name;  // second is served cached
+    // The deprecated CacheStats() alias reports the same counters.
     auto stats = client->ingestor().CacheStats(name);
     ASSERT_TRUE(stats.ok());
-    EXPECT_EQ(stats.value().rebuilds, 1u) << name;  // first query folds
-    EXPECT_EQ(stats.value().hits, 1u) << name;      // second is served cached
+    EXPECT_EQ(stats.value().rebuilds,
+              metrics.Value(prefix + "rebuilds_total"))
+        << name;
+    EXPECT_EQ(stats.value().hits, metrics.Value(prefix + "hits_total"))
+        << name;
   }
 }
 
@@ -74,10 +85,13 @@ TEST(MergeCacheTest, PerShardWriteInvalidatesAndRefoldsOnlyDirtyShards) {
 
   auto after = client->QueryScalar(f2);
   ASSERT_TRUE(after.ok());
-  auto stats = client->ingestor().CacheStats("ams_f2");
-  ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats.value().rebuilds, 1u);
-  EXPECT_EQ(stats.value().incremental, 1u);  // linear: unmerge + merge 1 shard
+  const auto metrics = client->Metrics();
+  EXPECT_EQ(metrics.Value("engine.sketch.ams_f2.merge_cache.rebuilds_total"),
+            1u);
+  // linear: unmerge + merge 1 shard
+  EXPECT_EQ(
+      metrics.Value("engine.sketch.ams_f2.merge_cache.incremental_total"),
+      1u);
 
   // The refolded answer equals a from-scratch reference run.
   auto reference =
@@ -109,8 +123,10 @@ TEST(MergeCacheTest, NonInvertibleSketchFallsBackToRebuild) {
   ASSERT_TRUE(Replay(client.get(), one).ok());
   ASSERT_TRUE(client->Flush().ok());
 
-  auto stats_before = client->ingestor().CacheStats("misra_gries");
-  ASSERT_TRUE(stats_before.ok());
+  const auto metrics_before = client->Metrics();
+  ASSERT_NE(metrics_before.Find(
+                "engine.sketch.misra_gries.merge_cache.rebuilds_total"),
+            nullptr);
 
   stream::FrequencyOracle truth(universe);
   truth.AddStream(s);
@@ -121,10 +137,13 @@ TEST(MergeCacheTest, NonInvertibleSketchFallsBackToRebuild) {
     EXPECT_DOUBLE_EQ(point.value().estimate, double(f)) << item;
   }
 
-  auto stats = client->ingestor().CacheStats("misra_gries");
-  ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats.value().incremental, 0u);
-  EXPECT_EQ(stats.value().rebuilds, 2u);
+  const auto metrics = client->Metrics();
+  EXPECT_EQ(
+      metrics.Value("engine.sketch.misra_gries.merge_cache.incremental_total"),
+      0u);
+  EXPECT_EQ(
+      metrics.Value("engine.sketch.misra_gries.merge_cache.rebuilds_total"),
+      2u);
 }
 
 // ------------------------------------------- snapshot vs flushed reference --
