@@ -264,7 +264,7 @@ int main(int argc, char** argv) {
     ++reshard_failures;
   }
   // Handoff phase timings come from the recorded trace spans (the single
-  // source of truth — the old MoveShardStats out-param is deprecated).
+  // source of truth for control-op phase timings).
   // Timing is scheduling-dependent, so it goes to stderr, not the
   // determinism-probed stdout.
   for (const auto& span : client->TraceSpans()) {

@@ -25,6 +25,8 @@ class Status {
     kResourceExhausted,
     kInternal,
     kUnimplemented,
+    kUnavailable,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +53,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -75,6 +83,8 @@ class Status {
       case Code::kResourceExhausted: return "ResourceExhausted";
       case Code::kInternal: return "Internal";
       case Code::kUnimplemented: return "Unimplemented";
+      case Code::kUnavailable: return "Unavailable";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

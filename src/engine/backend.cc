@@ -378,6 +378,20 @@ class CompositeBackend final : public ShardBackend {
     return children_[shard]->Metrics(0);
   }
 
+  Status Heartbeat(size_t shard, uint64_t timeout_ms) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->Heartbeat(0, timeout_ms);
+  }
+
+  Status InjectCrash(size_t shard, bool torn) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->InjectCrash(0, torn);
+  }
+
   Result<SketchSummary> LiveSummary(size_t shard,
                                     size_t sketch_index) const override {
     if (shard >= children_.size()) {

@@ -148,6 +148,27 @@ class ShardBackend {
     return std::vector<MetricSample>{};
   }
 
+  /// Liveness probe for one shard, bounded by `timeout_ms`, safe from any
+  /// thread. OK means the shard answered in time; DeadlineExceeded /
+  /// Unavailable mean it did not (the supervisor's failure signal). The
+  /// default answers OK immediately — an in-process shard cannot die
+  /// separately from the engine, so it is always live.
+  virtual Status Heartbeat(size_t shard, uint64_t timeout_ms) {
+    (void)shard;
+    (void)timeout_ms;
+    return Status::OK();
+  }
+
+  /// Fault injection for tests and drills: kills the shard's serving loop
+  /// (see ShardServer crash modes); `torn` first emits a checksum-corrupted
+  /// frame. Unimplemented by default — backends whose shards cannot crash
+  /// independently (in-process) cannot fake it either.
+  virtual Status InjectCrash(size_t shard, bool torn) {
+    (void)shard;
+    (void)torn;
+    return Status::Unimplemented(name() + " backend: InjectCrash not supported");
+  }
+
   /// Live (not snapshot) summary of one sketch. Quiescence only.
   virtual Result<SketchSummary> LiveSummary(size_t shard,
                                             size_t sketch_index) const = 0;

@@ -82,6 +82,7 @@ Result<PointEstimate> Client::QueryPoint(const SketchHandle& handle,
   out.estimate = summary.Estimate(item);  // O(log n) via the by-item index
   out.tracked = out.estimate != 0;
   out.updates = summary.updates;
+  out.stale = summary.stale;
   return out;
 }
 
@@ -100,6 +101,7 @@ Result<TopK> Client::QueryTopK(const SketchHandle& handle, size_t k) const {
   const SketchSummary& summary = *view.value();
   TopK out;
   out.updates = summary.updates;
+  out.stale = summary.stale;
   const size_t n = std::min(k, summary.items.size());
   if (summary.item_index.size() == summary.items.size()) {
     // Producer called SortItems(): items are already estimate-descending.
@@ -134,7 +136,7 @@ Result<ScalarEstimate> Client::QueryScalar(const SketchHandle& handle) const {
         "Client: sketch " + ingestor_->sketch_names()[handle.index_] +
         " produced no scalar answer");
   }
-  return ScalarEstimate{summary.scalar, summary.updates};
+  return ScalarEstimate{summary.scalar, summary.updates, summary.stale};
 }
 
 Result<RankVerdict> Client::QueryRank(const SketchHandle& handle) const {
@@ -152,7 +154,7 @@ Result<RankVerdict> Client::QueryRank(const SketchHandle& handle) const {
         "Client: sketch " + ingestor_->sketch_names()[handle.index_] +
         " produced no rank verdict");
   }
-  return RankVerdict{summary.scalar != 0, summary.updates};
+  return RankVerdict{summary.scalar != 0, summary.updates, summary.stale};
 }
 
 Result<SketchSummary> Client::RawSummary(const SketchHandle& handle) const {

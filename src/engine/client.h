@@ -81,6 +81,9 @@ struct PointEstimate {
   double estimate = 0;   ///< 0 when the item is not a tracked candidate
   bool tracked = false;  ///< candidate list holds a nonzero estimate for item
   uint64_t updates = 0;  ///< effective updates the answer summarizes
+  /// Degraded serve: at least one shard was unreachable and its last folded
+  /// snapshot answered in its place (supervision on; see FailoverOptions).
+  bool stale = false;
 };
 
 /// Result of a top-k query: the k highest-estimate candidates,
@@ -88,12 +91,14 @@ struct PointEstimate {
 struct TopK {
   std::vector<hh::WeightedItem> items;
   uint64_t updates = 0;
+  bool stale = false;  ///< degraded serve (see PointEstimate::stale)
 };
 
 /// Result of a scalar-estimate query (F2 moment, L0 distinct count, ...).
 struct ScalarEstimate {
   double value = 0;
   uint64_t updates = 0;
+  bool stale = false;  ///< degraded serve (see PointEstimate::stale)
 };
 
 /// Result of a rank-decision query: whether the streamed matrix has rank at
@@ -101,6 +106,7 @@ struct ScalarEstimate {
 struct RankVerdict {
   bool rank_at_least_k = false;
   uint64_t updates = 0;
+  bool stale = false;  ///< degraded serve (see PointEstimate::stale)
 };
 
 class Client {
@@ -176,6 +182,12 @@ class Client {
     return ingestor_->Wait(ticket);
   }
 
+  /// Wait with a deadline: DeadlineExceeded if the ticket has not completed
+  /// within `timeout_ms` (the ticket stays valid — callers may re-wait).
+  Status WaitFor(const IngestTicket& ticket, uint64_t timeout_ms) const {
+    return ingestor_->WaitFor(ticket, timeout_ms);
+  }
+
   /// Non-blocking completion probe for `ticket`.
   Result<bool> TryWait(const IngestTicket& ticket) const {
     return ingestor_->TryWait(ticket);
@@ -210,15 +222,47 @@ class Client {
   /// immediately after the move are identical to immediately before; the
   /// four state-exact families continue bit-identically, the sampling
   /// heavy hitters continue as frozen-prefix + fresh-sampler mergeable
-  /// summaries. On failure the topology is unchanged.
-  Status MoveShard(size_t shard, BackendFactory factory,
-                   MoveShardStats* stats = nullptr) {
-    return ingestor_->MoveShard(shard, std::move(factory), stats);
+  /// summaries. On failure the topology is unchanged. Phase timings are
+  /// recorded as trace spans ("move_shard" + children; see TraceSpans()).
+  Status MoveShard(size_t shard, BackendFactory factory) {
+    return ingestor_->MoveShard(shard, std::move(factory));
   }
 
   /// The current routing table, described (generation, shard count, slot
   /// ownership). Any thread.
   TopologyInfo Topology() const { return ingestor_->Topology(); }
+
+  // ---- fault tolerance ----------------------------------------------------
+  //
+  // See FailoverOptions (sharded_ingestor.h) for the model: heartbeat
+  // supervision, barrier checkpoints, and MoveShard-based recovery with
+  // exact bounded-loss accounting.
+
+  /// Checkpoints every reachable shard's full state at a batch barrier.
+  Status Checkpoint() { return ingestor_->Checkpoint(); }
+
+  /// Re-homes shard `shard` from its last checkpoint into a fresh cell.
+  Status RecoverShard(size_t shard, BackendFactory factory = {}) {
+    return ingestor_->RecoverShard(shard, std::move(factory));
+  }
+
+  /// Checkpoint + crash + recover `shard` at ONE barrier: a provably
+  /// loss-free failure exercise. Unimplemented for in-process placements.
+  Status FailoverDrill(size_t shard, bool torn = false,
+                       BackendFactory factory = {}) {
+    return ingestor_->FailoverDrill(shard, torn, std::move(factory));
+  }
+
+  /// Crashes shard `shard`'s placement NOW (no barrier — in-flight batches
+  /// die mid-stream). Unimplemented for in-process placements.
+  Status InjectShardCrash(size_t shard, bool torn = false) {
+    return ingestor_->InjectShardCrash(shard, torn);
+  }
+
+  /// The supervisor's current verdict and loss accounting for `shard`.
+  ShardHealthInfo Health(size_t shard) const {
+    return ingestor_->Health(shard);
+  }
 
   // ---- typed queries (quiescence-free, any thread) -----------------------
   //

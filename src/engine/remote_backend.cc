@@ -2,6 +2,7 @@
 
 #include "engine/remote_backend.h"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <string>
@@ -167,6 +168,55 @@ class LoopbackRemoteBackend final : public ShardBackend {
     return remote;
   }
 
+  Status Heartbeat(size_t shard, uint64_t timeout_ms) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    const RemoteShard& rs = *shards_[shard];
+    if (rs.poisoned.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "loopback shard unreachable (poisoned channel)");
+    }
+    std::lock_guard<std::mutex> lock(rs.control_mu);
+    const int fd = rs.server->control_fd();
+    Status s = wire::WriteFrameFd(fd, wire::kReqHeartbeat, {});
+    if (!s.ok()) return TransportFailure(rs, s);
+    rs.frames_out.Inc();
+    rs.bytes_out.Inc(FramedBytes(0));
+    uint8_t resp_type = 0;
+    std::string_view resp_payload;
+    s = wire::ReadFrameFdTimeout(fd, int(timeout_ms), &frame_scratch(),
+                                 &resp_type, &resp_payload);
+    if (s.code() == Status::Code::kDeadlineExceeded) {
+      // The deadline passed with no answer. A LATE answer arriving after we
+      // give up would desync the channel framing for the next caller, so
+      // the shard's channels are poisoned — every later call fails fast as
+      // Unavailable until the placement is re-homed.
+      rs.recv_errors.Inc();
+      rs.poisoned.store(true, std::memory_order_release);
+      return s;
+    }
+    if (!s.ok()) return TransportFailure(rs, s);
+    rs.frames_in.Inc();
+    rs.bytes_in.Inc(FramedBytes(resp_payload.size()));
+    if (resp_type != wire::kResp) {
+      return TransportFailure(
+          rs, Status::Internal("loopback backend: unexpected response type"));
+    }
+    wire::Reader r(resp_payload);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Status InjectCrash(size_t shard, bool torn) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("loopback backend: shard out of range");
+    }
+    shards_[shard]->server->CrashNow(torn);
+    return Status::OK();
+  }
+
   Result<SketchSummary> LiveSummary(size_t shard,
                                     size_t sketch_index) const override {
     if (shard >= shards_.size()) {
@@ -256,6 +306,11 @@ class LoopbackRemoteBackend final : public ShardBackend {
     mutable Counter recv_errors;  ///< other failed response reads
     mutable Histogram roundtrip_us;
     mutable Histogram deserialize_us;  ///< snapshot state decode latency
+    /// Sticky failure flag: set on the first transport-level failure
+    /// (failed write, failed/corrupt read, heartbeat timeout). Once the
+    /// stream alignment cannot be trusted, every later call on the shard
+    /// fails fast with Unavailable instead of reading a stale frame.
+    mutable std::atomic<bool> poisoned{false};
   };
 
   explicit LoopbackRemoteBackend(BackendOptions options)
@@ -271,37 +326,50 @@ class LoopbackRemoteBackend final : public ShardBackend {
   /// u32 length + version + type + payload + u32 crc.
   static uint64_t FramedBytes(size_t n) { return uint64_t(n) + 10; }
 
+  /// Classifies and records a transport-level failure, poisons the shard's
+  /// channels, and maps it to Unavailable — the code the engine's failover
+  /// layer keys off to distinguish "the placement is unreachable" (degrade,
+  /// recover) from "the sketch rejected the request" (poison the pipeline).
+  Status TransportFailure(const RemoteShard& shard, const Status& s) const {
+    // A checksum reject means the bytes arrived but failed validation —
+    // the corruption counter the health surface watches. Everything else
+    // (EOF, EPIPE, short frame, protocol desync) is a receive error.
+    if (s.message().find("checksum") != std::string::npos) {
+      shard.crc_rejects.Inc();
+    } else {
+      shard.recv_errors.Inc();
+    }
+    shard.poisoned.store(true, std::memory_order_release);
+    return Status::Unavailable("loopback shard unreachable: " + s.ToString());
+  }
+
   /// One request/response exchange on the shard's chosen channel. The
   /// response payload (after frame validation) lands in `resp`.
   Status RoundTrip(const RemoteShard& shard, bool data_channel, uint8_t type,
                    std::string_view payload, std::string* resp) const {
+    if (shard.poisoned.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "loopback shard unreachable (poisoned channel)");
+    }
     std::mutex& mu = data_channel ? shard.data_mu : shard.control_mu;
     const int fd = data_channel ? shard.server->data_fd()
                                 : shard.server->control_fd();
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu);
     Status s = wire::WriteFrameFd(fd, type, payload);
-    if (!s.ok()) return s;
+    if (!s.ok()) return TransportFailure(shard, s);
     shard.frames_out.Inc();
     shard.bytes_out.Inc(FramedBytes(payload.size()));
     uint8_t resp_type = 0;
     std::string_view resp_payload;
     s = wire::ReadFrameFd(fd, &frame_scratch(), &resp_type, &resp_payload);
-    if (!s.ok()) {
-      // A checksum reject means the bytes arrived but failed validation —
-      // the corruption counter the ISSUE's health surface watches.
-      if (s.message().find("checksum") != std::string::npos) {
-        shard.crc_rejects.Inc();
-      } else {
-        shard.recv_errors.Inc();
-      }
-      return s;
-    }
+    if (!s.ok()) return TransportFailure(shard, s);
     shard.frames_in.Inc();
     shard.bytes_in.Inc(FramedBytes(resp_payload.size()));
     shard.roundtrip_us.Record(ElapsedUs(t0));
     if (resp_type != wire::kResp) {
-      return Status::Internal("loopback backend: unexpected response type");
+      return TransportFailure(
+          shard, Status::Internal("loopback backend: unexpected response type"));
     }
     resp->assign(resp_payload);
     return Status::OK();

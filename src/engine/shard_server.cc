@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "engine/wire.h"
@@ -50,6 +53,28 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Start(
   server->server_control_fd_ = control[0];
   server->client_control_fd_ = control[1];
 
+  // Crash injection armed at birth: WBS_ENGINE_CRASH="after=N[,torn]".
+  // Any other value of the variable (e.g. "replay", which the test util
+  // consumes to drive failover drills) leaves the server healthy.
+  if (const char* crash = std::getenv("WBS_ENGINE_CRASH")) {
+    std::string_view spec(crash);
+    if (spec.rfind("after=", 0) == 0) {
+      spec.remove_prefix(6);
+      bool torn = false;
+      if (size_t pos = spec.find(','); pos != std::string_view::npos) {
+        torn = spec.substr(pos + 1) == "torn";
+        spec = spec.substr(0, pos);
+      }
+      int64_t n = -1;
+      auto [ptr, ec] =
+          std::from_chars(spec.data(), spec.data() + spec.size(), n);
+      if (ec == std::errc() && ptr == spec.data() + spec.size() && n >= 0) {
+        server->crash_torn_.store(torn, std::memory_order_relaxed);
+        server->crash_after_.store(n, std::memory_order_relaxed);
+      }
+    }
+  }
+
   ShardServer* raw = server.get();
   server->data_thread_ =
       std::thread([raw] { raw->Serve(raw->server_data_fd_); });
@@ -83,6 +108,37 @@ void ShardServer::Stop() {
   }
 }
 
+void ShardServer::CrashAfter(int64_t n_frames, bool torn) {
+  if (n_frames < 0) n_frames = 0;
+  crash_torn_.store(torn, std::memory_order_relaxed);
+  crash_after_.store(frames_served_.load(std::memory_order_relaxed) + n_frames,
+                     std::memory_order_relaxed);
+}
+
+void ShardServer::CrashNow(bool torn) {
+  // stop_mu_ keeps this safe against a concurrent Stop(): once stopped_,
+  // the fds may already be closed (or reused) and must not be touched.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  crashed_.store(true, std::memory_order_release);
+  if (torn && server_data_fd_ >= 0) WriteTornFrame(server_data_fd_);
+  for (int fd : {server_data_fd_, server_control_fd_}) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void ShardServer::WriteTornFrame(int fd) {
+  // A length-valid frame whose body was corrupted after the checksum was
+  // computed — the client MUST reject it via CRC32, not via framing. A
+  // single small write on a SOCK_STREAM socketpair; a short write only
+  // makes the tear more realistic.
+  std::string frame = wire::EncodeFrame(wire::kResp, "torn");
+  frame[frame.size() - 5] ^= 0x5a;  // flip a payload byte, keep the CRC
+  // MSG_NOSIGNAL: the client may already have hung up; EPIPE is fine here,
+  // SIGPIPE is not.
+  (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+}
+
 void ShardServer::Serve(int fd) {
   std::string frame_buf;
   std::string resp;
@@ -90,6 +146,22 @@ void ShardServer::Serve(int fd) {
     uint8_t type = 0;
     std::string_view payload;
     Status s = wire::ReadFrameFd(fd, &frame_buf, &type, &payload);
+    if (s.ok()) {
+      const int64_t served =
+          1 + frames_served_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t crash_at = crash_after_.load(std::memory_order_relaxed);
+      if (crash_at >= 0 && served >= crash_at) {
+        // Mid-stream death: the request that crossed the threshold was
+        // read but is never answered — exactly the window a real process
+        // crash between recv and send leaves behind. Both channels die so
+        // the control plane (heartbeats) sees it too.
+        crashed_.store(true, std::memory_order_release);
+        if (crash_torn_.load(std::memory_order_relaxed)) WriteTornFrame(fd);
+        ::shutdown(server_data_fd_, SHUT_RDWR);
+        ::shutdown(server_control_fd_, SHUT_RDWR);
+        return;
+      }
+    }
     if (!s.ok()) {
       // Peer closed (orderly shutdown), unrecoverable I/O error, or an
       // unreadable frame (bad length / checksum / version — after which
@@ -186,6 +258,15 @@ void ShardServer::Dispatch(uint8_t type, std::string_view payload,
     case wire::kReqSpaceBits: {
       PutStatus(Status::OK(), &w);
       w.U64(shard_->SpaceBits());
+      break;
+    }
+    case wire::kReqHeartbeat: {
+      // Liveness probe: answering at all is the signal; the epoch rides
+      // along so supervisors can watch progress for free. Deliberately
+      // served through the same mutex as every other request — a shard
+      // wedged inside Dispatch fails its heartbeat deadline too.
+      PutStatus(Status::OK(), &w);
+      w.U64(shard_->Epoch(0).value_or(0));
       break;
     }
     case wire::kReqMetrics: {

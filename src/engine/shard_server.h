@@ -31,6 +31,8 @@
 #ifndef WBS_ENGINE_SHARD_SERVER_H_
 #define WBS_ENGINE_SHARD_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -70,10 +72,34 @@ class ShardServer {
   /// Closes every fd and joins the serving threads. Idempotent.
   void Stop();
 
+  // ---- fault injection -----------------------------------------------------
+  //
+  // Crash modes kill the SERVING loops mid-stream — the request that crosses
+  // the threshold is read but never answered, exactly what a process death
+  // between recv and send looks like to the client. With `torn` set, the
+  // server first emits a frame whose body no longer matches its checksum, so
+  // the client's CRC32 check (not just EOF detection) is exercised. The
+  // server object stays alive and Stop() still reclaims fds and threads.
+  //
+  // Also armable at birth via env WBS_ENGINE_CRASH="after=N[,torn]" (other
+  // values of the variable are ignored here; the test util consumes them).
+
+  /// Arms a crash after `n_frames` more request frames, counted across both
+  /// channels. n_frames == 0 crashes on the next frame.
+  void CrashAfter(int64_t n_frames, bool torn = false);
+
+  /// Crashes immediately, callable from any thread. No-op after Stop().
+  void CrashNow(bool torn = false);
+
+  /// True once a crash mode has fired (never reset).
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
  private:
   ShardServer() = default;
 
   void Serve(int fd);
+  /// Emits the torn frame of the `torn` crash flavor onto `fd`.
+  static void WriteTornFrame(int fd);
   /// Handles one request frame; fills the response payload (Status first).
   void Dispatch(uint8_t type, std::string_view payload, std::string* resp);
 
@@ -89,6 +115,13 @@ class ShardServer {
   std::thread control_thread_;
   bool stopped_ = false;
   std::mutex stop_mu_;
+
+  // Fault injection state. crash_after_ is an absolute frames_served_
+  // threshold (-1 = disarmed); the serving loop that crosses it dies.
+  std::atomic<int64_t> crash_after_{-1};
+  std::atomic<int64_t> frames_served_{0};
+  std::atomic<bool> crash_torn_{false};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace wbs::engine

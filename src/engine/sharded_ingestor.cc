@@ -75,7 +75,7 @@ Status ShardedIngestor::Init() {
         "ShardedIngestor: backend factory returned a mismatched backend");
   }
   topology_ = std::make_unique<ShardTopology>(ShardTopology::MakeInitial(
-      options_.num_shards, options_.slots_per_shard, backend_.get()));
+      options_.num_shards, options_.slots_per_shard, backend_));
   caches_.reserve(options_.sketches.size());
   for (size_t i = 0; i < options_.sketches.size(); ++i) {
     caches_.push_back(std::make_unique<MergeCache>());
@@ -94,6 +94,9 @@ Status ShardedIngestor::Init() {
   }
   if (!workers_.empty()) {
     router_ = std::thread([this] { RouterLoop(); });
+  }
+  if (supervision_enabled() || options_.failover.checkpoint_interval_ms > 0) {
+    supervisor_ = std::thread([this] { SupervisorLoop(); });
   }
   return Status::OK();
 }
@@ -202,8 +205,10 @@ void ShardedIngestor::RecordApply(ShardIngestMetrics* m, size_t count,
 void ShardedIngestor::RouterLoop() {
   RouterMetrics* rm = metrics_ == nullptr ? nullptr : metrics_->router();
   // Shard-id -> instrument bundle cache, refreshed when the topology grows
-  // (router-thread local, so no lock on the dispatch path).
+  // (router-thread local, so no lock on the dispatch path). shard_health
+  // mirrors it for the supervision accounting pointers.
   std::vector<ShardIngestMetrics*> shard_metrics;
+  std::vector<ShardHealthState*> shard_health;
   for (;;) {
     PendingTicket ticket;
     {
@@ -278,6 +283,13 @@ void ShardedIngestor::RouterLoop() {
       ReScatter(&ticket, *view);
     }
     RefreshShardMetricsCache(&shard_metrics, view->num_shards());
+    // Health state rides on every job regardless of supervision: the
+    // applied counters are what make checkpoint exposure windows and
+    // recovery loss accounting exact, and explicit Checkpoint()/
+    // RecoverShard() work on unsupervised engines too.
+    while (shard_health.size() < view->num_shards()) {
+      shard_health.push_back(&HealthFor(shard_health.size()));
+    }
 
     // Forward the sub-batches to their owning workers in shard order,
     // placements resolved against the installed table. A full worker queue
@@ -294,11 +306,11 @@ void ShardedIngestor::RouterLoop() {
         worker->cv_space.wait(lock, [&] {
           return worker->queue.size() < options_.max_queue_batches;
         });
-        worker->queue.push_back(Job{placement.backend, placement.local,
-                                    std::move(ticket.sub[shard]),
-                                    ticket.state,
-                                    rm == nullptr ? nullptr
-                                                  : shard_metrics[shard]});
+        worker->queue.push_back(
+            Job{placement.backend, placement.local,
+                std::move(ticket.sub[shard]), ticket.state,
+                rm == nullptr ? nullptr : shard_metrics[shard],
+                shard_health[shard]});
         if (worker->metrics != nullptr) {
           worker->metrics->queue_depth->Set(int64_t(worker->queue.size()));
         }
@@ -337,14 +349,42 @@ void ShardedIngestor::WorkerLoop(Worker* worker) {
     // deadlocks on backpressure and every ticket still completes) but stop
     // mutating state.
     if (!has_error_.load(std::memory_order_acquire)) {
-      const auto t0 = job.metrics == nullptr ? MonoClock::time_point{}
-                                             : MonoClock::now();
-      Status s = job.backend->ApplyBatch(job.local, job.updates.data(),
-                                         job.updates.size());
-      if (!s.ok()) {
-        RecordError(s);
-      } else if (job.metrics != nullptr) {
-        RecordApply(job.metrics, job.updates.size(), ElapsedUs(t0));
+      // Degraded mode: a shard already declared dead drops its sub-batches
+      // without touching the backend (fast, and a poisoned loopback channel
+      // would only fail again). The drops are counted — they become
+      // updates_lost_total at the next recovery.
+      if (job.health != nullptr &&
+          job.health->health.load(std::memory_order_acquire) ==
+              uint8_t(ShardHealth::kDead)) {
+        job.health->dropped.fetch_add(job.updates.size(),
+                                      std::memory_order_relaxed);
+      } else {
+        const auto t0 = job.metrics == nullptr ? MonoClock::time_point{}
+                                               : MonoClock::now();
+        Status s = job.backend->ApplyBatch(job.local, job.updates.data(),
+                                           job.updates.size());
+        if (s.ok()) {
+          if (job.health != nullptr) {
+            job.health->applied.fetch_add(job.updates.size(),
+                                          std::memory_order_relaxed);
+          }
+          if (job.metrics != nullptr) {
+            RecordApply(job.metrics, job.updates.size(), ElapsedUs(t0));
+          }
+        } else if (job.health != nullptr && supervision_enabled() &&
+                   s.code() == Status::Code::kUnavailable) {
+          // Supervised engines degrade instead of poisoning the pipeline:
+          // the placement is unreachable, so this batch is dropped (counted)
+          // and the shard flagged for the supervisor to confirm and re-home.
+          job.health->dropped.fetch_add(job.updates.size(),
+                                        std::memory_order_relaxed);
+          uint8_t healthy = uint8_t(ShardHealth::kHealthy);
+          job.health->health.compare_exchange_strong(
+              healthy, uint8_t(ShardHealth::kSuspect),
+              std::memory_order_acq_rel);
+        } else {
+          RecordError(s);
+        }
       }
     }
     if (job.ticket != nullptr &&
@@ -380,15 +420,33 @@ Result<IngestTicket> ShardedIngestor::ApplyInline(const TopologyView& view,
   for (size_t shard = 0; shard < scatter_.size(); ++shard) {
     if (scatter_[shard].empty()) continue;
     const ShardPlacement placement = view.placements[shard];
+    ShardHealthState* health = &HealthFor(shard);
+    if (health->health.load(std::memory_order_acquire) ==
+        uint8_t(ShardHealth::kDead)) {
+      health->dropped.fetch_add(scatter_[shard].size(),
+                                std::memory_order_relaxed);
+      continue;  // degraded: drop, count, keep the other shards flowing
+    }
     ShardIngestMetrics* m =
         metrics_ == nullptr ? nullptr : inline_shard_metrics_[shard];
     const auto t0 = m == nullptr ? MonoClock::time_point{} : MonoClock::now();
     Status s = placement.backend->ApplyBatch(
         placement.local, scatter_[shard].data(), scatter_[shard].size());
     if (!s.ok()) {
+      if (supervision_enabled() && s.code() == Status::Code::kUnavailable) {
+        health->dropped.fetch_add(scatter_[shard].size(),
+                                  std::memory_order_relaxed);
+        uint8_t healthy = uint8_t(ShardHealth::kHealthy);
+        health->health.compare_exchange_strong(healthy,
+                                               uint8_t(ShardHealth::kSuspect),
+                                               std::memory_order_acq_rel);
+        continue;
+      }
       RecordError(s);
       return s;
     }
+    health->applied.fetch_add(scatter_[shard].size(),
+                              std::memory_order_relaxed);
     if (m != nullptr) RecordApply(m, scatter_[shard].size(), ElapsedUs(t0));
   }
   return IngestTicket{};
@@ -408,6 +466,22 @@ Result<IngestTicket> ShardedIngestor::EnqueueScattered(
   if (session.id >= session_count_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument(
         "ShardedIngestor: unknown producer session");
+  }
+  // Graceful-degradation fail-fast: a NON-BLOCKING submission touching a
+  // dead shard is rejected with Unavailable before it takes a valve turn —
+  // the producer owns the retry/route-around policy. (Blocking submissions
+  // are accepted; the dead shard's share is dropped and counted as loss,
+  // matching what happens to batches already in flight when a shard dies.)
+  if (!blocking && supervision_enabled()) {
+    for (size_t shard = 0; shard < sub.size(); ++shard) {
+      if (sub[shard].empty()) continue;
+      if (HealthFor(shard).health.load(std::memory_order_acquire) ==
+          uint8_t(ShardHealth::kDead)) {
+        return Status::Unavailable("ShardedIngestor: shard " +
+                                   std::to_string(shard) +
+                                   " is dead (awaiting recovery)");
+      }
+    }
   }
   // Bundle lookup before the valve so the wait itself can be timed. This
   // is per SUBMIT (not per update) and the bundle accessor's lock is a
@@ -695,10 +769,9 @@ Status ShardedIngestor::AddShards(size_t n, BackendFactory factory) {
   });
 }
 
-Status ShardedIngestor::MoveShard(size_t shard, BackendFactory factory,
-                                  MoveShardStats* stats) {
-  return RunAtBarrier([this, shard, factory = std::move(factory), stats] {
-    return DoMoveShard(shard, factory, stats);
+Status ShardedIngestor::MoveShard(size_t shard, BackendFactory factory) {
+  return RunAtBarrier([this, shard, factory = std::move(factory)] {
+    return DoMoveShard(shard, factory);
   });
 }
 
@@ -707,7 +780,6 @@ Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
   span.Attr("count", n);
   std::shared_ptr<const TopologyView> view = topology_->View();
   const BackendFactory f = factory ? factory : InProcessBackendFactory();
-  std::vector<std::unique_ptr<ShardBackend>> cells;
   std::vector<ShardPlacement> added;
   for (size_t k = 0; k < n; ++k) {
     const size_t shard = view->num_shards() + k;
@@ -717,30 +789,27 @@ Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
       return Status::Internal(
           "ShardedIngestor: AddShards factory returned a mismatched cell");
     }
-    added.push_back(ShardPlacement{cell.value().get(), 0});
-    cells.push_back(std::move(cell).value());
+    // The views are the cells' only owners (see ShardPlacement).
+    added.push_back(ShardPlacement{std::move(cell).value(), 0});
   }
   std::shared_ptr<const TopologyView> next =
       ShardTopology::WithAddedShards(*view, added);
-  for (auto& cell : cells) extra_backends_.push_back(std::move(cell));
   topology_->Install(std::move(next));
   span.Attr("generation", topology_->View()->generation);
   span.End();
   return Status::OK();
 }
 
-Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
-                                    MoveShardStats* stats) {
+Status ShardedIngestor::DoMoveShard(size_t shard,
+                                    const BackendFactory& factory) {
   std::shared_ptr<const TopologyView> view = topology_->View();
   if (shard >= view->num_shards()) {
     return Status::OutOfRange("ShardedIngestor: MoveShard id out of range");
   }
   const ShardPlacement source = view->placements[shard];
 
-  // Each phase runs under its own child span; the span durations are the
-  // single source of timing truth — the deprecated MoveShardStats fields are
-  // filled from them below, so external re-measurement can never disagree
-  // with what the tracer reports.
+  // Each phase runs under its own child span; the span durations (see
+  // TraceSpans()) are the single source of timing truth for the handoff.
   Tracer::Span move = tracer_->StartSpan("move_shard");
   move.Attr("shard", shard);
 
@@ -749,7 +818,7 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
   Tracer::Span flush = tracer_->StartSpan("move_shard.flush", move.id());
   Status flushed = source.backend->Flush(source.local);
   if (!flushed.ok()) return flushed;
-  const uint64_t flush_us = flush.End();
+  flush.End();
 
   // 2. Serialize the shard's sketch group — the wire snapshot states ARE
   //    the handoff transfer format. A shard that never ingested has no
@@ -767,7 +836,7 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
     frames.push_back(std::move(snap.value().state));
   }
   serialize.Attr("state_bytes", state_bytes);
-  const uint64_t serialize_us = serialize.End();
+  serialize.End();
 
   // 3. Build the destination cell and import. Any failure leaves the
   //    topology (and the source placement) exactly as it was.
@@ -783,29 +852,344 @@ Status ShardedIngestor::DoMoveShard(size_t shard, const BackendFactory& factory,
     Status imported = cell.value()->ImportShardState(0, frames);
     if (!imported.ok()) return imported;
   }
-  const uint64_t import_us = import.End();
+  import.End();
 
   // 4. Re-point the shard id. The source cell's state is left in place —
   //    readers holding an older topology view keep folding it until they
   //    re-acquire; new views fold the destination, which now carries the
-  //    full history.
+  //    full history. The retired placement is reclaimed when the last view
+  //    referencing it drops (shared ownership, see ShardPlacement).
   auto next = ShardTopology::WithMovedShard(
-      *view, shard, ShardPlacement{cell.value().get(), 0});
+      *view, shard, ShardPlacement{std::move(cell).value(), 0});
   if (!next.ok()) return next.status();
-  extra_backends_.push_back(std::move(cell).value());
   topology_->Install(std::move(next).value());
 
   move.Attr("state_bytes", state_bytes);
   move.Attr("generation", topology_->View()->generation);
   move.End();
-
-  if (stats != nullptr) {
-    stats->flush_us = flush_us;
-    stats->serialize_us = serialize_us;
-    stats->import_us = import_us;
-    stats->state_bytes = state_bytes;
-  }
   return Status::OK();
+}
+
+// ---- fault tolerance -------------------------------------------------------
+
+ShardedIngestor::ShardHealthState& ShardedIngestor::HealthFor(
+    size_t shard) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  while (health_.size() <= shard) health_.emplace_back();
+  return health_[shard];  // deque: stable for the ingestor's lifetime
+}
+
+ShardHealthInfo ShardedIngestor::Health(size_t shard) const {
+  ShardHealthState& h = HealthFor(shard);
+  ShardHealthInfo info;
+  info.health = ShardHealth(h.health.load(std::memory_order_acquire));
+  info.missed_heartbeats = h.missed.load(std::memory_order_relaxed);
+  const uint64_t applied = h.applied.load(std::memory_order_relaxed);
+  const uint64_t at_ckpt =
+      h.applied_at_checkpoint.load(std::memory_order_relaxed);
+  info.updates_acked_unsnapshotted = applied > at_ckpt ? applied - at_ckpt : 0;
+  info.dropped_updates = h.dropped.load(std::memory_order_relaxed);
+  info.recoveries = h.recoveries.load(std::memory_order_relaxed);
+  info.updates_lost_total = h.lost_total.load(std::memory_order_relaxed);
+  return info;
+}
+
+Status ShardedIngestor::Checkpoint() {
+  return RunAtBarrier([this] { return DoCheckpoint(); });
+}
+
+Status ShardedIngestor::DoCheckpoint() {
+  Tracer::Span span = tracer_->StartSpan("checkpoint");
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  size_t snapshotted = 0;
+  for (size_t shard = 0; shard < view->num_shards(); ++shard) {
+    Status s = DoCheckpointShard(shard, *view);
+    if (s.ok()) {
+      ++snapshotted;
+      continue;
+    }
+    // An unreachable shard keeps its previous checkpoint — skipping it is
+    // the point of checkpointing the others; any non-transport failure
+    // aborts (the cut would be inconsistent).
+    if (s.code() != Status::Code::kUnavailable) return s;
+  }
+  span.Attr("shards_snapshotted", snapshotted);
+  span.End();
+  return Status::OK();
+}
+
+Status ShardedIngestor::DoCheckpointShard(size_t shard,
+                                          const TopologyView& view) {
+  ShardHealthState& h = HealthFor(shard);
+  // kSuspect is an unconfirmed verdict (one missed probe, possibly against
+  // a just-retired placement) — attempt the cut and let the transport
+  // decide; only a confirmed-dead shard is skipped outright.
+  if (h.health.load(std::memory_order_acquire) ==
+      uint8_t(ShardHealth::kDead)) {
+    return Status::Unavailable(
+        "ShardedIngestor: shard unreachable; previous checkpoint kept");
+  }
+  const ShardPlacement placement = view.placements[shard];
+  // Publish first so the serialized frames are the shard's exact live
+  // state — the caller is at a barrier, so the state is quiescent and the
+  // applied counter read below is exactly the cut the frames capture.
+  Status flushed = placement.backend->Flush(placement.local);
+  if (!flushed.ok()) return flushed;
+  ShardCheckpoint ckpt;
+  ckpt.frames.reserve(options_.sketches.size());
+  for (size_t i = 0; i < options_.sketches.size(); ++i) {
+    auto snap = placement.backend->SnapshotSerialized(placement.local, i);
+    if (!snap.ok()) return snap.status();
+    ckpt.frames.push_back(std::move(snap.value().state));
+  }
+  const uint64_t applied = h.applied.load(std::memory_order_acquire);
+  ckpt.applied = applied;
+  ckpt.valid = true;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (checkpoints_.size() <= shard) checkpoints_.resize(shard + 1);
+    checkpoints_[shard] = std::move(ckpt);
+  }
+  h.applied_at_checkpoint.store(applied, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedIngestor::RecoverShard(size_t shard, BackendFactory factory) {
+  return RunAtBarrier([this, shard, factory = std::move(factory)] {
+    return DoRecoverShard(shard, factory);
+  });
+}
+
+Status ShardedIngestor::DoRecoverShard(size_t shard,
+                                       const BackendFactory& factory,
+                                       const ShardBackend* expected) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) {
+    return Status::OutOfRange("ShardedIngestor: RecoverShard id out of range");
+  }
+  if (expected != nullptr &&
+      view->placements[shard].backend.get() != expected) {
+    // The placement this death verdict referred to was already re-homed by
+    // a concurrent drill or manual rescue — recovering again would roll the
+    // NEW cell back to an older checkpoint, discarding acked updates. Undo
+    // the stale verdict instead: the current placement was never observed
+    // unhealthy.
+    ShardHealthState& h = HealthFor(shard);
+    h.missed.store(0, std::memory_order_release);
+    uint8_t dead = uint8_t(ShardHealth::kDead);
+    h.health.compare_exchange_strong(dead, uint8_t(ShardHealth::kHealthy),
+                                     std::memory_order_acq_rel);
+    return Status::OK();
+  }
+  Tracer::Span span = tracer_->StartSpan("recover_shard");
+  span.Attr("shard", shard);
+
+  ShardCheckpoint ckpt;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (shard < checkpoints_.size()) ckpt = checkpoints_[shard];
+  }
+
+  // Build the replacement cell and restore the checkpointed cut into it —
+  // the MoveShard transfer format, with the dead placement's role played
+  // by its last checkpoint. No checkpoint = an empty (but correctly
+  // seeded) cell: the shard restarts its history rather than blocking.
+  const BackendFactory f =
+      factory ? factory
+              : (options_.failover.recovery_backend
+                     ? options_.failover.recovery_backend
+                     : InProcessBackendFactory());
+  auto cell = f(CellOptions(shard));
+  if (!cell.ok()) return cell.status();
+  if (cell.value() == nullptr || cell.value()->num_shards() != 1) {
+    return Status::Internal(
+        "ShardedIngestor: recovery factory returned a mismatched cell");
+  }
+  bool restored = false;
+  if (ckpt.valid) {
+    for (const std::string& frame : ckpt.frames) restored |= !frame.empty();
+    if (restored) {
+      Status imported = cell.value()->ImportShardState(0, ckpt.frames);
+      if (!imported.ok()) return imported;
+    }
+  }
+  auto next = ShardTopology::WithMovedShard(
+      *view, shard, ShardPlacement{std::move(cell).value(), 0});
+  if (!next.ok()) return next.status();
+  topology_->Install(std::move(next).value());
+
+  // Exact bounded-loss accounting: every update acked after the restored
+  // cut, plus everything dropped while degraded, is gone. The baseline
+  // resets to the checkpoint the new cell actually carries.
+  ShardHealthState& h = HealthFor(shard);
+  const uint64_t base = ckpt.valid ? ckpt.applied : 0;
+  const uint64_t applied = h.applied.load(std::memory_order_acquire);
+  const uint64_t lost = (applied > base ? applied - base : 0) +
+                        h.dropped.exchange(0, std::memory_order_acq_rel);
+  h.lost_total.fetch_add(lost, std::memory_order_relaxed);
+  h.recoveries.fetch_add(1, std::memory_order_relaxed);
+  h.applied.store(base, std::memory_order_release);
+  h.applied_at_checkpoint.store(base, std::memory_order_release);
+  h.missed.store(0, std::memory_order_release);
+  h.health.store(uint8_t(ShardHealth::kHealthy), std::memory_order_release);
+
+  span.Attr("updates_lost", lost);
+  span.Attr("restored", restored ? 1 : 0);
+  span.Attr("generation", topology_->View()->generation);
+  span.End();
+  return Status::OK();
+}
+
+Status ShardedIngestor::FailoverDrill(size_t shard, bool torn,
+                                      BackendFactory factory) {
+  return RunAtBarrier([this, shard, torn, factory = std::move(factory)] {
+    std::shared_ptr<const TopologyView> view = topology_->View();
+    if (shard >= view->num_shards()) {
+      return Status::OutOfRange(
+          "ShardedIngestor: FailoverDrill id out of range");
+    }
+    Tracer::Span span = tracer_->StartSpan("failover_drill");
+    span.Attr("shard", shard);
+    // Checkpoint and crash share this one barrier, so the crash loses
+    // exactly nothing: the recovery below restores the cut taken here and
+    // queued producer batches only dispatch after the drill completes.
+    Status ck = DoCheckpointShard(shard, *view);
+    if (!ck.ok()) return ck;
+    const ShardPlacement placement = view->placements[shard];
+    Status crash = placement.backend->InjectCrash(placement.local, torn);
+    if (!crash.ok()) return crash;  // Unimplemented for in-process cells
+    // Observe the death the way live traffic would: a torn frame must be
+    // rejected by the data channel's CRC check (wire.crc_rejects_total), a
+    // clean crash by a failed control-channel heartbeat.
+    if (torn) {
+      (void)placement.backend->ApplyBatch(placement.local, nullptr, 0);
+    } else {
+      (void)placement.backend->Heartbeat(
+          placement.local, options_.failover.heartbeat_timeout_ms);
+    }
+    HealthFor(shard).health.store(uint8_t(ShardHealth::kDead),
+                                  std::memory_order_release);
+    Status rec = DoRecoverShard(shard, factory);
+    span.End();
+    return rec;
+  });
+}
+
+Status ShardedIngestor::InjectShardCrash(size_t shard, bool torn) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) {
+    return Status::OutOfRange(
+        "ShardedIngestor: InjectShardCrash id out of range");
+  }
+  const ShardPlacement placement = view->placements[shard];
+  return placement.backend->InjectCrash(placement.local, torn);
+}
+
+void ShardedIngestor::SupervisorLoop() {
+  const FailoverOptions& fo = options_.failover;
+  const auto interval = std::chrono::milliseconds(
+      fo.heartbeat_interval_ms > 0 ? fo.heartbeat_interval_ms
+                                   : fo.checkpoint_interval_ms);
+  auto next_checkpoint =
+      MonoClock::now() + std::chrono::milliseconds(fo.checkpoint_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(sup_mu_);
+      sup_cv_.wait_for(lock, interval, [&] { return supervisor_stop_; });
+      if (supervisor_stop_) return;
+    }
+    if (has_error_.load(std::memory_order_acquire)) continue;
+    const auto now = MonoClock::now();
+    if (supervision_enabled()) {
+      std::shared_ptr<const TopologyView> view = topology_->View();
+      for (size_t shard = 0; shard < view->num_shards(); ++shard) {
+        ShardHealthState& h = HealthFor(shard);
+        const uint8_t state = h.health.load(std::memory_order_acquire);
+        if (state == uint8_t(ShardHealth::kDead)) continue;  // awaiting rescue
+        if (now < h.next_probe) continue;  // exponential backoff in effect
+        const ShardPlacement placement = view->placements[shard];
+        Status hb = placement.backend->Heartbeat(placement.local,
+                                                 fo.heartbeat_timeout_ms);
+        if (hb.ok()) {
+          h.missed.store(0, std::memory_order_release);
+          h.backoff_misses = 0;
+          h.next_probe = now;
+          uint8_t suspect = uint8_t(ShardHealth::kSuspect);
+          h.health.compare_exchange_strong(suspect,
+                                           uint8_t(ShardHealth::kHealthy),
+                                           std::memory_order_acq_rel);
+          continue;
+        }
+        if (topology_->View()->generation != view->generation) {
+          // The topology moved under this sweep: the probe may have hit a
+          // placement that was retired (and legitimately crashed by a
+          // drill) while the sweep ran. The verdict is void — the next
+          // sweep re-probes the shard's CURRENT placement.
+          continue;
+        }
+        const uint64_t missed =
+            1 + h.missed.fetch_add(1, std::memory_order_acq_rel);
+        h.backoff_misses = missed;
+        const uint64_t cap = std::max<uint64_t>(1, fo.backoff_max_multiplier);
+        const uint64_t mult =
+            std::min<uint64_t>(missed < 63 ? uint64_t(1) << missed : cap, cap);
+        h.next_probe = now + interval * mult;
+        if (missed >= fo.dead_after_misses) {
+          const uint8_t prev = h.health.exchange(uint8_t(ShardHealth::kDead),
+                                                 std::memory_order_acq_rel);
+          if (prev != uint8_t(ShardHealth::kDead)) {
+            Tracer::Span dead = tracer_->StartSpan("shard_dead");
+            dead.Attr("shard", shard);
+            dead.Attr("missed_heartbeats", missed);
+            dead.End();
+            if (fo.auto_recover) {
+              // Pin the recovery to the placement that was observed dead:
+              // if someone re-homes the shard before the barrier admits
+              // this op, it must not roll the fresh cell back. The
+              // observed placement's shared_ptr (`placement`) outlives the
+              // blocking call, so the pointer cannot be recycled.
+              const ShardBackend* observed = placement.backend.get();
+              Status rec = RunAtBarrier([this, shard, observed, &fo] {
+                return DoRecoverShard(shard, fo.recovery_backend, observed);
+              });
+              // FailedPrecondition = the engine is finishing; not an error.
+              if (!rec.ok() &&
+                  rec.code() != Status::Code::kFailedPrecondition) {
+                RecordError(rec);
+              }
+            }
+          }
+        } else {
+          uint8_t healthy = uint8_t(ShardHealth::kHealthy);
+          if (h.health.compare_exchange_strong(healthy,
+                                               uint8_t(ShardHealth::kSuspect),
+                                               std::memory_order_acq_rel)) {
+            Tracer::Span sus = tracer_->StartSpan("shard_suspect");
+            sus.Attr("shard", shard);
+            sus.Attr("missed_heartbeats", missed);
+            sus.End();
+          }
+        }
+      }
+    }
+    if (fo.checkpoint_interval_ms > 0 && MonoClock::now() >= next_checkpoint) {
+      Status ck = Checkpoint();
+      if (!ck.ok() && ck.code() != Status::Code::kFailedPrecondition) {
+        RecordError(ck);
+      }
+      next_checkpoint = MonoClock::now() +
+                        std::chrono::milliseconds(fo.checkpoint_interval_ms);
+    }
+  }
+}
+
+void ShardedIngestor::StopSupervisor() {
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    supervisor_stop_ = true;
+  }
+  sup_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
 }
 
 // ---- completion / flush ----------------------------------------------------
@@ -814,6 +1198,19 @@ Status ShardedIngestor::Wait(const IngestTicket& ticket) const {
   {
     std::unique_lock<std::mutex> lock(ticket_mu_);
     ticket_cv_.wait(lock, [&] { return completed_seq_ >= ticket.seq; });
+  }
+  return FirstError();
+}
+
+Status ShardedIngestor::WaitFor(const IngestTicket& ticket,
+                                uint64_t timeout_ms) const {
+  {
+    std::unique_lock<std::mutex> lock(ticket_mu_);
+    if (!ticket_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] { return completed_seq_ >= ticket.seq; })) {
+      return Status::DeadlineExceeded(
+          "ShardedIngestor: ticket not complete within deadline");
+    }
   }
   return FirstError();
 }
@@ -846,7 +1243,14 @@ Status ShardedIngestor::Flush() {
   for (size_t shard = 0; shard < view->num_shards(); ++shard) {
     const ShardPlacement placement = view->placements[shard];
     Status s = placement.backend->Flush(placement.local);
-    if (!s.ok()) RecordError(s);
+    if (!s.ok()) {
+      // Degraded mode: an unreachable shard's last published snapshot
+      // keeps serving (stale-flagged); it must not poison the pipeline.
+      if (supervision_enabled() && s.code() == Status::Code::kUnavailable) {
+        continue;
+      }
+      RecordError(s);
+    }
   }
   return FirstError();
 }
@@ -864,6 +1268,11 @@ Status ShardedIngestor::Finish() {
                                          std::memory_order_acq_rel)) {
     return FirstError();
   }
+  // The supervisor goes first: it must not start new barrier operations
+  // while the pipeline tears down. An in-flight one (auto-recovery or a
+  // periodic checkpoint) drains through the still-running router before
+  // the join returns; one attempted after the CAS fails PreSubmit cleanly.
+  StopSupervisor();
   { std::lock_guard<std::mutex> lock(submit_mu_); }
   Status s = Flush();
   {
@@ -956,15 +1365,28 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
 
   // Dirty scan: backend epoch reads (an atomic load in process, one small
   // frame over a remote transport) against the epochs the cache folded.
+  // With supervision on, an unreachable shard does NOT fail the query —
+  // its last folded snapshot keeps answering and the summary is flagged
+  // stale until the shard recovers (the recovery's generation bump then
+  // forces a fresh fold, which clears the flag).
+  bool unreachable = false;
   std::vector<size_t> dirty;
   for (size_t s = 0; s < num_shards; ++s) {
     const ShardPlacement placement = view->placements[s];
     auto epoch = placement.backend->Epoch(placement.local);
-    if (!epoch.ok()) return epoch.status();
+    if (!epoch.ok()) {
+      if (supervision_enabled() &&
+          epoch.status().code() == Status::Code::kUnavailable) {
+        unreachable = true;
+        continue;  // serve the shard's last folded state
+      }
+      return epoch.status();
+    }
     if (epoch.value() != cache.epochs[s]) dirty.push_back(s);
   }
   if (dirty.empty() && cache.valid) {
-    ++cache.stats.hits;
+    ++cache.hits;
+    cache.summary.stale = unreachable;  // recomputed on every serve
     return &cache.summary;
   }
 
@@ -974,7 +1396,18 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
   for (size_t d = 0; d < dirty.size(); ++d) {
     const ShardPlacement placement = view->placements[dirty[d]];
     auto snap = placement.backend->Snapshot(placement.local, sketch_index);
-    if (!snap.ok()) return snap.status();
+    if (!snap.ok()) {
+      if (supervision_enabled() &&
+          snap.status().code() == Status::Code::kUnavailable) {
+        // The shard died between the epoch read and the snapshot fetch:
+        // keep its previous fold (a no-op refold below) and flag staleness.
+        unreachable = true;
+        fresh[d] = cache.folded[dirty[d]];
+        fresh_epochs[d] = cache.epochs[dirty[d]];
+        continue;
+      }
+      return snap.status();
+    }
     fresh[d] = snap.value().sketch;
     fresh_epochs[d] = snap.value().epoch;
   }
@@ -1035,26 +1468,15 @@ Result<const SketchSummary*> ShardedIngestor::MergedSummaryView(
         return st;
       }
     }
-    ++cache.stats.rebuilds;
+    ++cache.rebuilds;
   } else {
-    ++cache.stats.incremental;
+    ++cache.incremental;
   }
 
   cache.summary = cache.merged->Summary();
+  cache.summary.stale = unreachable;
   cache.valid = true;
   return &cache.summary;
-}
-
-Result<MergeCacheStats> ShardedIngestor::CacheStats(
-    const std::string& sketch) const {
-  const size_t index = SketchIndex(sketch);
-  if (index == options_.sketches.size()) {
-    return Status::NotFound("ShardedIngestor: sketch not configured: " +
-                            sketch);
-  }
-  MergeCache& cache = *caches_[index];
-  std::lock_guard<std::mutex> lock(cache.mu);
-  return cache.stats;
 }
 
 namespace {
@@ -1113,38 +1535,71 @@ MetricsSnapshot ShardedIngestor::Metrics() const {
   }
 
   // 4. Per-shard backend samples (epoch, snapshot lag, serialize latency;
-  //    wire traffic for remote cells), prefixed with the GLOBAL shard id. A
-  //    shard whose backend cannot report (e.g. a torn-down remote channel)
-  //    is skipped rather than failing the whole snapshot — observability
-  //    must degrade, not block.
+  //    wire traffic for remote cells), prefixed with the GLOBAL shard id,
+  //    plus the health/failover surface. A shard whose backend cannot
+  //    report (e.g. a torn-down remote channel) is skipped rather than
+  //    failing the whole snapshot — observability must degrade, not block —
+  //    but the failed poll is COUNTED (metrics_errors_total): a placement
+  //    that stops reporting is itself a signal.
+  uint64_t recoveries_total = 0;
+  uint64_t updates_lost_total = 0;
   for (size_t s = 0; s < view->num_shards(); ++s) {
     const ShardPlacement placement = view->placements[s];
-    auto samples = placement.backend->Metrics(placement.local);
-    if (!samples.ok()) continue;
     const std::string prefix = "engine.shard." + std::to_string(s) + ".";
-    for (MetricSample& sample : samples.value()) {
-      sample.name = prefix + sample.name;
-      snap.samples.push_back(std::move(sample));
+    auto samples = placement.backend->Metrics(placement.local);
+    if (!samples.ok()) {
+      HealthFor(s).metrics_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (MetricSample& sample : samples.value()) {
+        sample.name = prefix + sample.name;
+        snap.samples.push_back(std::move(sample));
+      }
     }
+    const ShardHealthInfo info = Health(s);
+    recoveries_total += info.recoveries;
+    updates_lost_total += info.updates_lost_total;
+    snap.samples.push_back(
+        GaugeSample(prefix + "health", int64_t(info.health)));
+    snap.samples.push_back(GaugeSample(prefix + "missed_heartbeats",
+                                       int64_t(info.missed_heartbeats)));
+    snap.samples.push_back(
+        GaugeSample(prefix + "updates_acked_unsnapshotted",
+                    int64_t(info.updates_acked_unsnapshotted)));
+    snap.samples.push_back(GaugeSample(prefix + "dropped_updates",
+                                       int64_t(info.dropped_updates)));
+    snap.samples.push_back(
+        RawCounter(prefix + "recoveries_total", info.recoveries));
+    snap.samples.push_back(
+        RawCounter(prefix + "updates_lost_total", info.updates_lost_total));
+    snap.samples.push_back(RawCounter(
+        prefix + "metrics_errors_total",
+        HealthFor(s).metrics_errors.load(std::memory_order_relaxed)));
   }
+  snap.samples.push_back(
+      RawCounter("engine.failover.recoveries_total", recoveries_total));
+  snap.samples.push_back(
+      RawCounter("engine.failover.updates_lost_total", updates_lost_total));
 
   // 5. Per-sketch merge-cache counters — read from the caches' own
   //    bookkeeping under their mutexes (the query path maintains them; no
   //    double accounting).
   for (size_t i = 0; i < options_.sketches.size(); ++i) {
-    MergeCacheStats stats;
+    uint64_t hits = 0;
+    uint64_t incremental = 0;
+    uint64_t rebuilds = 0;
     {
       MergeCache& cache = *caches_[i];
       std::lock_guard<std::mutex> lock(cache.mu);
-      stats = cache.stats;
+      hits = cache.hits;
+      incremental = cache.incremental;
+      rebuilds = cache.rebuilds;
     }
     const std::string prefix =
         "engine.sketch." + options_.sketches[i] + ".merge_cache.";
-    snap.samples.push_back(RawCounter(prefix + "hits_total", stats.hits));
+    snap.samples.push_back(RawCounter(prefix + "hits_total", hits));
     snap.samples.push_back(
-        RawCounter(prefix + "incremental_total", stats.incremental));
-    snap.samples.push_back(
-        RawCounter(prefix + "rebuilds_total", stats.rebuilds));
+        RawCounter(prefix + "incremental_total", incremental));
+    snap.samples.push_back(RawCounter(prefix + "rebuilds_total", rebuilds));
   }
   return snap;
 }
@@ -1192,11 +1647,11 @@ uint64_t ShardedIngestor::SpaceBits() const {
   std::vector<const ShardBackend*> seen;
   uint64_t bits = 0;
   for (const ShardPlacement& placement : view->placements) {
-    if (std::find(seen.begin(), seen.end(), placement.backend) !=
+    if (std::find(seen.begin(), seen.end(), placement.backend.get()) !=
         seen.end()) {
       continue;
     }
-    seen.push_back(placement.backend);
+    seen.push_back(placement.backend.get());
     bits += placement.backend->SpaceBits();
   }
   return bits;

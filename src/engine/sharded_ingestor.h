@@ -95,6 +95,35 @@
 
 namespace wbs::engine {
 
+/// Failure-handling knobs: heartbeat supervision, periodic checkpoints, and
+/// automatic MoveShard-based recovery. Supervision is OFF by default
+/// (heartbeat_interval_ms == 0), which preserves the legacy contract: any
+/// shard failure poisons the pipeline as the first error. With supervision
+/// on, a placement failure (Unavailable) degrades instead: its batches are
+/// dropped with explicit loss accounting, queries serve the last folded
+/// state with a staleness flag, and the supervisor re-homes the shard from
+/// its last checkpoint through the MoveShard machinery.
+struct FailoverOptions {
+  /// Supervisor probe period. 0 disables the supervisor thread entirely.
+  uint64_t heartbeat_interval_ms = 0;
+  /// Deadline for one heartbeat probe (time to the response's first byte).
+  uint64_t heartbeat_timeout_ms = 50;
+  /// Consecutive missed heartbeats before kSuspect becomes kDead.
+  size_t dead_after_misses = 3;
+  /// Exponential backoff cap between probes of a suspect shard: the probe
+  /// interval stretches to interval * min(2^misses, this).
+  uint64_t backoff_max_multiplier = 8;
+  /// Periodic checkpoint period (supervisor-driven, runs at a router
+  /// barrier, so each checkpoint is an exact cut of the acked stream).
+  /// 0 = only explicit Checkpoint() calls (and FailoverDrill's).
+  uint64_t checkpoint_interval_ms = 0;
+  /// Re-home a dead shard automatically from its last checkpoint. When
+  /// false the shard stays kDead (degraded) until RecoverShard is called.
+  bool auto_recover = true;
+  /// Cell factory for recovered shards; empty = in-process.
+  BackendFactory recovery_backend;
+};
+
 struct IngestorOptions {
   size_t num_shards = 4;
   size_t num_threads = 0;  ///< 0: apply inline on the submitting thread
@@ -138,6 +167,8 @@ struct IngestorOptions {
   bool metrics_enabled = true;
   /// Completed control-plane trace spans retained (trace.h ring buffer).
   size_t trace_capacity = 256;
+  /// Failure handling: supervision off by default (see FailoverOptions).
+  FailoverOptions failover;
 };
 
 /// A sequence-numbered receipt for one asynchronous submission. Tickets are
@@ -162,28 +193,24 @@ struct ProducerSession {
   uint64_t id = 0;
 };
 
-/// How the merge cache served MergedSummary calls for one sketch.
-/// DEPRECATED (PR 6): the same counters are exported through the metrics
-/// snapshot as `engine.sketch.<name>.merge_cache.{hits_total,
-/// incremental_total,rebuilds_total}` — prefer Metrics(); this struct (and
-/// CacheStats()) remains one PR as a thin alias and then goes away.
-struct MergeCacheStats {
-  uint64_t hits = 0;         ///< no shard epoch advanced: cached summary
-  uint64_t incremental = 0;  ///< only dirty shards re-folded (UnmergeFrom)
-  uint64_t rebuilds = 0;     ///< full fold across all shards
-};
+/// Liveness verdict the supervisor maintains per shard. Healthy shards
+/// answer heartbeats; a missed deadline makes a shard suspect; after
+/// FailoverOptions::dead_after_misses consecutive misses it is dead and
+/// (with auto_recover) re-homed from its last checkpoint.
+enum class ShardHealth : uint8_t { kHealthy = 0, kSuspect = 1, kDead = 2 };
 
-/// Phase timings of one MoveShard handoff (drain happens before the op
-/// runs at the router barrier; callers time the whole call for the total).
-/// DEPRECATED (PR 6): filled FROM the recorded trace spans ("move_shard"
-/// and its flush/serialize/import children — see TraceSpans()), which are
-/// the single source of truth for handoff phase timings; this out-param
-/// remains one PR as a thin alias and then goes away.
-struct MoveShardStats {
-  uint64_t flush_us = 0;      ///< source publish at quiescence
-  uint64_t serialize_us = 0;  ///< SnapshotSerialized over the sketch group
-  uint64_t import_us = 0;     ///< destination cell create + ImportShardState
-  uint64_t state_bytes = 0;   ///< total handoff frame bytes
+/// Point-in-time health and loss accounting for one shard (Health()).
+struct ShardHealthInfo {
+  ShardHealth health = ShardHealth::kHealthy;
+  uint64_t missed_heartbeats = 0;  ///< consecutive misses (resets on success)
+  /// Updates acked to producers but not yet covered by a checkpoint — the
+  /// exposure window: exactly these are lost if the shard dies right now.
+  uint64_t updates_acked_unsnapshotted = 0;
+  /// Updates dropped while the shard was unreachable (degraded mode);
+  /// folded into updates_lost_total at the next recovery.
+  uint64_t dropped_updates = 0;
+  uint64_t recoveries = 0;         ///< times this shard id was re-homed
+  uint64_t updates_lost_total = 0; ///< cumulative bounded loss across them
 };
 
 class ShardedIngestor {
@@ -276,11 +303,11 @@ class ShardedIngestor {
   /// and re-points the shard id at the new cell. The shard keeps its hash
   /// slots, derived seed, and full history; summaries immediately after
   /// the move are identical to immediately before. Blocks until installed;
-  /// on failure the topology is unchanged. Optional `stats` receives phase
-  /// timings. Custom sketches without a wire format fail with
+  /// on failure the topology is unchanged. Phase timings are recorded as
+  /// trace spans ("move_shard" and its flush/serialize/import children —
+  /// see TraceSpans()). Custom sketches without a wire format fail with
   /// Unimplemented (and the topology stays as it was).
-  Status MoveShard(size_t shard, BackendFactory factory,
-                   MoveShardStats* stats = nullptr);
+  Status MoveShard(size_t shard, BackendFactory factory);
 
   /// The current routing table, described (generation, shard count, slot
   /// ownership). Any thread.
@@ -288,11 +315,55 @@ class ShardedIngestor {
 
   uint64_t topology_generation() const { return topology_->generation(); }
 
+  // ---- fault tolerance ---------------------------------------------------
+  //
+  // See FailoverOptions for the model. Checkpoints and recoveries are
+  // barrier operations through the router (like AddShards/MoveShard), so
+  // each is an exact cut of the acked update stream — loss accounting is
+  // exact, not estimated.
+
+  /// Snapshots every reachable shard's full sketch state (serialized wire
+  /// frames) at a router barrier. A shard's next recovery restores this
+  /// cut; updates acked after it are the bounded loss. An unreachable
+  /// shard keeps its previous checkpoint (skipped, not an error).
+  Status Checkpoint();
+
+  /// Re-homes shard `shard` into a fresh cell built by `factory` (empty =
+  /// failover.recovery_backend, then in-process), restoring its last
+  /// checkpoint (empty state if none was ever taken). Runs at a router
+  /// barrier; installs a new topology view (generation bump), resets the
+  /// shard to kHealthy, and folds the exposure window into
+  /// updates_lost_total. This is the manual/rescue path — with
+  /// auto_recover the supervisor calls it for dead shards.
+  Status RecoverShard(size_t shard, BackendFactory factory = {});
+
+  /// One atomic failure exercise at a single barrier: checkpoint `shard`,
+  /// crash its placement (optionally leaving a torn frame on the data
+  /// channel so the CRC path rejects it), then recover from the checkpoint
+  /// just taken — provably zero update loss, even with producers racing.
+  /// Unimplemented when the placement cannot crash (in-process cells).
+  Status FailoverDrill(size_t shard, bool torn = false,
+                       BackendFactory factory = {});
+
+  /// Crashes shard `shard`'s current placement NOW, from any thread, with
+  /// no barrier — the realistic failure: in-flight batches die mid-stream.
+  /// Unimplemented for in-process placements.
+  Status InjectShardCrash(size_t shard, bool torn = false);
+
+  /// The supervisor's current verdict and loss accounting for `shard`.
+  /// Any thread; meaningful (non-default) once supervision or checkpoints
+  /// have touched the shard.
+  ShardHealthInfo Health(size_t shard) const;
+
   // ---- completion, flush, queries ---------------------------------------
 
   /// Blocks until `ticket` and every earlier ticket has been applied, then
   /// returns the pipeline's first error (OK when healthy). Any thread.
   Status Wait(const IngestTicket& ticket) const;
+
+  /// Wait with a deadline: DeadlineExceeded if the ticket has not completed
+  /// within `timeout_ms` (the ticket remains valid — callers may re-wait).
+  Status WaitFor(const IngestTicket& ticket, uint64_t timeout_ms) const;
 
   /// Non-blocking completion probe: true once `ticket` (and every earlier
   /// ticket) is applied. Reports the pipeline's first error once the ticket
@@ -313,7 +384,11 @@ class ShardedIngestor {
   /// summary, as of the latest published epochs of the current topology.
   /// Quiescence-free: safe to call from any thread while workers ingest
   /// (after Flush()/Finish() the answer is exact for the full stream).
-  /// Served from the per-sketch merge cache; see MergeCacheStats.
+  /// Served from the per-sketch merge cache (hit/incremental/rebuild
+  /// counters surface as `engine.sketch.<name>.merge_cache.*` in
+  /// Metrics()). With supervision on, an unreachable shard does not fail
+  /// the query: its last folded snapshot keeps answering and the returned
+  /// summary carries `stale = true` until the shard recovers.
   Result<SketchSummary> MergedSummary(const std::string& sketch) const;
 
   /// Zero-copy, index-addressed variant for pre-resolved handles: folds (if
@@ -323,10 +398,6 @@ class ShardedIngestor {
   /// stays held; drop the lock as soon as the answer is projected.
   Result<const SketchSummary*> MergedSummaryView(
       size_t sketch_index, std::unique_lock<std::mutex>* lock) const;
-
-  /// DEPRECATED alias for the merge-cache metric samples
-  /// (`engine.sketch.<name>.merge_cache.*` in Metrics()); kept one PR.
-  Result<MergeCacheStats> CacheStats(const std::string& sketch) const;
 
   // ---- observability -----------------------------------------------------
 
@@ -420,15 +491,22 @@ class ShardedIngestor {
     std::shared_ptr<ControlState> control;  ///< set for barrier tickets
   };
 
+  struct ShardHealthState;  // fwd (private, defined below)
+
   /// One sub-batch in a worker's queue, placement resolved at dispatch.
+  /// Holds shared ownership of the backend cell: a topology view retired
+  /// while the job sits queued cannot reclaim the cell under the worker.
   struct Job {
-    ShardBackend* backend = nullptr;
+    std::shared_ptr<ShardBackend> backend;
     uint32_t local = 0;
     std::vector<stream::TurnstileUpdate> updates;
     std::shared_ptr<TicketState> ticket;
     /// GLOBAL shard id's ingest instruments (null = metrics disabled),
     /// resolved by the router so the worker's apply loop never locks.
     ShardIngestMetrics* metrics = nullptr;
+    /// GLOBAL shard id's health/loss accounting (null = supervision off,
+    /// the legacy poison-on-error contract), resolved like `metrics`.
+    ShardHealthState* health = nullptr;
   };
 
   struct Worker {
@@ -463,7 +541,38 @@ class ShardedIngestor {
     SketchSummary summary;
     bool valid = false;
     bool try_unmerge = true;  // sticky false after the first Unimplemented
-    MergeCacheStats stats;
+    /// Serving counters, exported as engine.sketch.<name>.merge_cache.*.
+    uint64_t hits = 0;         // no shard epoch advanced: cached summary
+    uint64_t incremental = 0;  // only dirty shards re-folded (UnmergeFrom)
+    uint64_t rebuilds = 0;     // full fold across all shards
+  };
+
+  /// Per-shard health/loss accounting (indexed by GLOBAL shard id). Lives
+  /// in a deque so pointers handed to jobs stay stable as shards grow.
+  /// Atomics: workers, the supervisor, queries, and Metrics() all touch it
+  /// without the health map lock.
+  struct ShardHealthState {
+    std::atomic<uint8_t> health{0};  // ShardHealth
+    std::atomic<uint64_t> missed{0};
+    /// Updates applied+acked since the last recovery baseline. Together
+    /// with applied_at_checkpoint this is the exposure window.
+    std::atomic<uint64_t> applied{0};
+    std::atomic<uint64_t> applied_at_checkpoint{0};
+    std::atomic<uint64_t> dropped{0};  // degraded-mode drops since recovery
+    std::atomic<uint64_t> recoveries{0};
+    std::atomic<uint64_t> lost_total{0};
+    std::atomic<uint64_t> metrics_errors{0};  // failed backend Metrics() polls
+    /// Supervisor-thread-only backoff state (no atomics needed).
+    uint64_t backoff_misses = 0;
+    std::chrono::steady_clock::time_point next_probe{};
+  };
+
+  /// One shard's checkpoint: the serialized wire frames of its full sketch
+  /// group plus the acked-update count the cut covers. Guarded by ckpt_mu_.
+  struct ShardCheckpoint {
+    bool valid = false;
+    std::vector<std::string> frames;
+    uint64_t applied = 0;
   };
 
   explicit ShardedIngestor(IngestorOptions options);
@@ -499,8 +608,26 @@ class ShardedIngestor {
   Status RunAtBarrier(std::function<Status()> op);
   /// The barrier bodies (called with workers drained).
   Status DoAddShards(size_t n, const BackendFactory& factory);
-  Status DoMoveShard(size_t shard, const BackendFactory& factory,
-                     MoveShardStats* stats);
+  Status DoMoveShard(size_t shard, const BackendFactory& factory);
+  Status DoCheckpoint();
+  /// Checkpoints one shard against `view` (caller is at a barrier).
+  Status DoCheckpointShard(size_t shard, const TopologyView& view);
+  /// `expected` (when non-null) pins the recovery to the placement whose
+  /// death was observed: if the shard has since been re-homed (concurrent
+  /// drill / manual rescue), the verdict is stale and the recovery is a
+  /// benign no-op instead of a rollback to an older checkpoint.
+  Status DoRecoverShard(size_t shard, const BackendFactory& factory,
+                        const ShardBackend* expected = nullptr);
+  /// Supervisor thread: heartbeat probes with timeout+backoff, suspect/dead
+  /// transitions, auto-recovery, and periodic checkpoints.
+  void SupervisorLoop();
+  void StopSupervisor();
+  bool supervision_enabled() const {
+    return options_.failover.heartbeat_interval_ms > 0;
+  }
+  /// The health slot for GLOBAL shard id `shard` (grown on demand; the
+  /// returned reference is stable for the ingestor's lifetime).
+  ShardHealthState& HealthFor(size_t shard) const;
   /// Builds the 1-shard cell options for global shard id `shard`.
   BackendOptions CellOptions(size_t shard) const;
   /// Marks the ticket applied, releases its valve bytes, and advances the
@@ -526,10 +653,11 @@ class ShardedIngestor {
   std::unique_ptr<EngineMetrics> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::chrono::steady_clock::time_point start_time_;
-  std::unique_ptr<ShardBackend> backend_;  ///< primary (initial shards)
-  /// Cells created by topology operations. Only grows; a moved-out cell is
-  /// kept alive so readers of older topology views stay valid.
-  std::vector<std::unique_ptr<ShardBackend>> extra_backends_;
+  /// Primary backend (hosting the initial shards). Shared with every
+  /// topology view's placements; cells created by topology operations are
+  /// owned ONLY by the views referencing them (see ShardPlacement), so a
+  /// retired cell is reclaimed when the last view drops — not kept forever.
+  std::shared_ptr<ShardBackend> backend_;
   std::unique_ptr<ShardTopology> topology_;
   mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -584,6 +712,20 @@ class ShardedIngestor {
   std::atomic<bool> has_error_{false};
   mutable std::mutex error_mu_;
   Status first_error_;
+
+  // Fault tolerance. health_ is a deque for pointer stability (jobs and
+  // the supervisor hold raw pointers into it); health_mu_ guards only its
+  // GROWTH — the states themselves are atomics. checkpoints_ holds the
+  // last serialized cut per shard. The supervisor thread exists only when
+  // supervision or periodic checkpoints are configured.
+  mutable std::mutex health_mu_;
+  mutable std::deque<ShardHealthState> health_;
+  std::mutex ckpt_mu_;
+  std::vector<ShardCheckpoint> checkpoints_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool supervisor_stop_ = false;
+  std::thread supervisor_;
 };
 
 }  // namespace wbs::engine

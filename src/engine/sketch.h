@@ -249,6 +249,11 @@ struct SketchSummary {
   /// never called SortItems() (Estimate then falls back to scanning).
   std::vector<uint32_t> item_index;
   uint64_t updates = 0;      ///< effective (nonzero-delta) updates summarized
+  /// Degradation marker: true when one or more shards were unreachable and
+  /// the answer was served from the last successfully folded state instead
+  /// of the live epochs (see ShardedIngestor failover docs). Always false
+  /// for healthy engines; propagated onto the typed query results.
+  bool stale = false;
 
   /// Estimated frequency of `item` from the candidate list (0 if absent).
   double Estimate(uint64_t item) const {

@@ -8,7 +8,8 @@
 namespace wbs::engine {
 
 std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
-    size_t num_shards, size_t slots_per_shard, ShardBackend* primary) {
+    size_t num_shards, size_t slots_per_shard,
+    std::shared_ptr<ShardBackend> primary) {
   auto view = std::make_shared<TopologyView>();
   view->generation = 1;
   view->routing_generation = 1;
@@ -23,7 +24,7 @@ std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
   for (size_t s = 0; s < num_shards; ++s) {
     view->placements[s] = ShardPlacement{primary, uint32_t(s)};
   }
-  return view;
+  return view;  // every placement shares ownership of the primary cell
 }
 
 std::shared_ptr<const TopologyView> ShardTopology::WithAddedShards(

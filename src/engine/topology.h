@@ -59,10 +59,14 @@ class ShardBackend;
 
 /// Where one global shard id lives: a backend cell plus the shard's local
 /// index inside it (monolithic backends host many; handoff/scale-out cells
-/// host one). The pointer is non-owning — the ingestor owns every backend
-/// for its whole lifetime, so views can outlive topology changes.
+/// host one). Views SHARE ownership of the cell: a retired placement (its
+/// shard moved away, or its peer crashed and was re-homed) lives exactly as
+/// long as the last TopologyView referencing it, then its destructor
+/// reclaims the cell — including a loopback server's threads and fds. A
+/// long-lived engine that reshards and recovers continuously therefore
+/// holds a bounded set of cells, not one per change ever made.
 struct ShardPlacement {
-  ShardBackend* backend = nullptr;
+  std::shared_ptr<ShardBackend> backend;
   uint32_t local = 0;
 };
 
@@ -121,7 +125,8 @@ class ShardTopology {
   /// slots_per_shard` slots, slot -> slot % num_shards (the legacy
   /// partition), all placed in `primary` with local == global id.
   static std::shared_ptr<const TopologyView> MakeInitial(
-      size_t num_shards, size_t slots_per_shard, ShardBackend* primary);
+      size_t num_shards, size_t slots_per_shard,
+      std::shared_ptr<ShardBackend> primary);
 
   /// A view with `added` new shards appended (placements supplied by the
   /// caller, one cell per new shard) and slots stolen evenly from the

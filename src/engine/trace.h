@@ -16,8 +16,8 @@
 // (metrics.h) are for.
 //
 // Spans are the engine's single source of truth for control-op phase
-// timings: MoveShardStats is now derived FROM the recorded spans, and
-// benches read the same spans instead of re-measuring phases externally.
+// timings: benches and examples read the recorded spans instead of
+// re-measuring phases externally.
 
 #ifndef WBS_ENGINE_TRACE_H_
 #define WBS_ENGINE_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include "engine/wire.h"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -221,6 +223,7 @@ Status DecodeUpdates(Reader* r, std::vector<stream::TurnstileUpdate>* out) {
 
 void EncodeSummary(const SketchSummary& s, Writer* w) {
   w->Str(s.sketch);
+  w->U8(s.stale ? 1 : 0);
   w->U8(s.has_scalar ? 1 : 0);
   w->F64(s.scalar);
   w->U64(s.updates);
@@ -234,9 +237,14 @@ void EncodeSummary(const SketchSummary& s, Writer* w) {
 
 Status DecodeSummary(Reader* r, SketchSummary* out) {
   *out = SketchSummary{};
-  uint8_t has_scalar = 0, has_index = 0;
+  uint8_t stale = 0, has_scalar = 0, has_index = 0;
   uint64_t count = 0;
   if (Status s = r->Str(&out->sketch); !s.ok()) return s;
+  if (Status s = r->U8(&stale); !s.ok()) return s;
+  if (stale > 1) {
+    return Status::InvalidArgument("wire: summary stale not boolean");
+  }
+  out->stale = stale != 0;
   if (Status s = r->U8(&has_scalar); !s.ok()) return s;
   if (has_scalar > 1) {
     return Status::InvalidArgument("wire: summary has_scalar not boolean");
@@ -296,6 +304,12 @@ Status DecodeStatus(Reader* r, Status* out) {
       return Status::OK();
     case Status::Code::kUnimplemented:
       *out = Status::Unimplemented(std::move(message));
+      return Status::OK();
+    case Status::Code::kUnavailable:
+      *out = Status::Unavailable(std::move(message));
+      return Status::OK();
+    case Status::Code::kDeadlineExceeded:
+      *out = Status::DeadlineExceeded(std::move(message));
       return Status::OK();
   }
   return Status::InvalidArgument("wire: unknown status code");
@@ -374,7 +388,10 @@ namespace {
 Status WriteFull(int fd, const char* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
+    // MSG_NOSIGNAL: writing to a peer that died (a crashed shard cell)
+    // must surface as EPIPE for the failover layer to classify — never as
+    // a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("wire: write failed: ") +
@@ -439,6 +456,24 @@ Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
                nullptr);
   if (!s.ok()) return s;
   return DecodeFrame(*frame_buf, type, payload);
+}
+
+Status ReadFrameFdTimeout(int fd, int timeout_ms, std::string* frame_buf,
+                          uint8_t* type, std::string_view* payload) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // full timeout restarts: liveness only
+      return Status::Internal(std::string("wire: poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (rc == 0) return Status::DeadlineExceeded("wire: read timed out");
+    break;  // readable, hung up, or errored — ReadFrameFd classifies which
+  }
+  return ReadFrameFd(fd, frame_buf, type, payload);
 }
 
 }  // namespace wbs::engine::wire

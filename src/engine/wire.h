@@ -62,6 +62,7 @@ enum FrameType : uint8_t {
   kReqShutdown = 38,  ///< close the connection
   kReqImport = 39,    ///< shard handoff: install serialized sketch states
   kReqMetrics = 40,   ///< read the shard's metric samples (observability)
+  kReqHeartbeat = 41, ///< liveness probe: responds OK + current epoch
 
   kResp = 64,         ///< response: Status followed by request-specific data
 };
@@ -160,6 +161,15 @@ Status WriteFrameFd(int fd, uint8_t type, std::string_view payload);
 /// with "closed" in the message so servers can exit their loop quietly.
 Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
                    std::string_view* payload);
+
+/// ReadFrameFd with a bound on the time to the frame's FIRST byte: waits up
+/// to `timeout_ms` for the fd to become readable, then reads the frame like
+/// ReadFrameFd. Returns DeadlineExceeded("wire: read timed out") when
+/// nothing arrives in time — the liveness signal heartbeat probes key off.
+/// (Only time-to-first-byte is bounded; a peer that sends a partial frame
+/// and stalls is caught by the next probe's deadline instead.)
+Status ReadFrameFdTimeout(int fd, int timeout_ms, std::string* frame_buf,
+                          uint8_t* type, std::string_view* payload);
 
 }  // namespace wire
 }  // namespace wbs::engine

@@ -370,8 +370,7 @@ TEST(TracerTest, EngineRecordsTopologySpans) {
   ASSERT_TRUE(Replay(client.get(), s, 1024, ReplayChurn::kDisabled).ok());
   ASSERT_TRUE(client->Flush().ok());
   ASSERT_TRUE(client->AddShards(1).ok());
-  MoveShardStats stats;
-  ASSERT_TRUE(client->MoveShard(0, InProcessBackendFactory(), &stats).ok());
+  ASSERT_TRUE(client->MoveShard(0, InProcessBackendFactory()).ok());
 
   bool saw_add = false;
   TraceSpan move;
@@ -393,12 +392,8 @@ TEST(TracerTest, EngineRecordsTopologySpans) {
   EXPECT_TRUE(saw_add);
   ASSERT_EQ(move.name, "move_shard");
   EXPECT_GT(move.Attr("state_bytes"), 0u);
-  // MoveShardStats is derived FROM the spans — they must agree exactly.
-  EXPECT_EQ(stats.flush_us, flush_us);
-  EXPECT_EQ(stats.serialize_us, serialize_us);
-  EXPECT_EQ(stats.import_us, import_us);
-  EXPECT_EQ(stats.state_bytes, move.Attr("state_bytes"));
-  // The parent covers its phases.
+  // The spans are the single source of handoff phase timings: each phase
+  // child must be present, and the parent covers them all.
   EXPECT_GE(move.duration_us, flush_us + serialize_us + import_us);
   ASSERT_TRUE(client->Finish().ok());
 }

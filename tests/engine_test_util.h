@@ -11,6 +11,14 @@
 // Every suite must still pass — the handoff transfers serialized state
 // exactly, so answers are preserved (custom sketches without a wire format
 // surface Unimplemented, which churn mode treats as "skip the move").
+//
+// Crash replay mode: WBS_ENGINE_CRASH=replay makes every multi-batch
+// Replay() run a FailoverDrill(0) — checkpoint, crash injection, and
+// MoveShard-based recovery at one barrier — three quarters of the way
+// through the stream, with heartbeat supervision enabled on every client.
+// The drill is provably loss-free, so every suite's answers must still be
+// exact (in-process placements cannot crash; the drill's Unimplemented is
+// treated as "skip", mirroring churn mode).
 
 #ifndef WBS_TESTS_ENGINE_TEST_UTIL_H_
 #define WBS_TESTS_ENGINE_TEST_UTIL_H_
@@ -42,6 +50,15 @@ inline BackendFactory BackendFactoryFromEnv() {
   return factory.ok() ? std::move(factory).value() : BackendFactory{};
 }
 
+/// Whether WBS_ENGINE_CRASH=replay is active (CI runs the engine suites
+/// once with it against the loopback backend, so every test path also
+/// survives a checkpoint + crash + recovery cycle). Values of the form
+/// "after=N[,torn]" arm the ShardServer directly and are not replay mode.
+inline bool CrashReplayEnabled() {
+  const char* env = std::getenv("WBS_ENGINE_CRASH");
+  return env != nullptr && std::string(env) == "replay";
+}
+
 /// `backend` overrides the environment selection (used by the explicit
 /// cross-backend equivalence suites); leave empty to follow the env var.
 inline std::unique_ptr<Client> MakeClient(std::vector<std::string> sketches,
@@ -55,6 +72,13 @@ inline std::unique_ptr<Client> MakeClient(std::vector<std::string> sketches,
   opts.ingest.config = cfg;
   opts.ingest.backend =
       backend ? std::move(backend) : BackendFactoryFromEnv();
+  if (CrashReplayEnabled()) {
+    // Supervision on everywhere in crash-replay mode: shard failures must
+    // degrade (drop + recover) rather than poison, and the supervisor's
+    // probes must never perturb a healthy run's answers.
+    opts.ingest.failover.heartbeat_interval_ms = 20;
+    opts.ingest.failover.heartbeat_timeout_ms = 100;
+  }
   auto client = Client::Create(opts);
   EXPECT_TRUE(client.ok()) << client.status().ToString();
   return std::move(client).value();
@@ -82,16 +106,31 @@ inline Status MaybeChurnTopology(Client* client) {
   return Status::OK();
 }
 
+/// The crash-replay injection: one loss-free FailoverDrill of shard 0
+/// (checkpoint + crash + recover at a single barrier), re-homing into the
+/// env-selected backend so placement stays homogeneous. Unimplemented means
+/// the placement cannot crash (in-process) — skipped, like churn mode.
+inline Status MaybeCrashShard(Client* client) {
+  Status s = client->FailoverDrill(0, /*torn=*/false, BackendFactoryFromEnv());
+  if (!s.ok() && s.code() != Status::Code::kUnimplemented) return s;
+  return Status::OK();
+}
+
 inline Status Replay(Client* client, const stream::TurnstileStream& s,
                      size_t batch = 1024,
                      ReplayChurn churn = ReplayChurn::kAuto) {
   const size_t batches = s.empty() ? 0 : (s.size() + batch - 1) / batch;
   const bool inject = churn == ReplayChurn::kAuto && batches >= 2 &&
                       TopologyChurnEnabled();
+  const bool crash = churn == ReplayChurn::kAuto && batches >= 2 &&
+                     CrashReplayEnabled();
   size_t index = 0;
   for (size_t off = 0; off < s.size(); off += batch, ++index) {
     if (inject && index == batches / 2) {
       if (Status cs = MaybeChurnTopology(client); !cs.ok()) return cs;
+    }
+    if (crash && index == (batches * 3) / 4) {
+      if (Status cs = MaybeCrashShard(client); !cs.ok()) return cs;
     }
     auto t = client->Submit(s.data() + off, std::min(batch, s.size() - off));
     if (!t.ok()) return t.status();
@@ -105,10 +144,15 @@ inline Status Replay(Client* client, const stream::ItemStream& s,
   const size_t batches = s.empty() ? 0 : (s.size() + batch - 1) / batch;
   const bool inject = churn == ReplayChurn::kAuto && batches >= 2 &&
                       TopologyChurnEnabled();
+  const bool crash = churn == ReplayChurn::kAuto && batches >= 2 &&
+                     CrashReplayEnabled();
   size_t index = 0;
   for (size_t off = 0; off < s.size(); off += batch, ++index) {
     if (inject && index == batches / 2) {
       if (Status cs = MaybeChurnTopology(client); !cs.ok()) return cs;
+    }
+    if (crash && index == (batches * 3) / 4) {
+      if (Status cs = MaybeCrashShard(client); !cs.ok()) return cs;
     }
     auto t =
         client->SubmitItems(s.data() + off, std::min(batch, s.size() - off));

@@ -180,12 +180,9 @@ TEST(TopologyHandoffTest, SummariesIdenticalAcrossTheMove) {
   const uint64_t generation = client->Topology().generation;
 
   for (size_t shard = 0; shard < 2; ++shard) {  // move two of the four
-    // The deprecated MoveShardStats out-param is filled FROM the recorded
-    // trace spans; assert both surfaces agree while the alias lives.
-    MoveShardStats stats;
-    ASSERT_TRUE(
-        client->MoveShard(shard, InProcessBackendFactory(), &stats).ok());
-    EXPECT_GT(stats.state_bytes, 0u);
+    ASSERT_TRUE(client->MoveShard(shard, InProcessBackendFactory()).ok());
+    // The recorded trace spans are the single source of handoff phase
+    // timings and transfer sizes.
     TraceSpan move;
     for (const auto& span : client->TraceSpans()) {
       if (span.name == "move_shard" && span.Attr("shard") == shard) {
@@ -193,7 +190,7 @@ TEST(TopologyHandoffTest, SummariesIdenticalAcrossTheMove) {
       }
     }
     ASSERT_EQ(move.name, "move_shard") << "shard " << shard;
-    EXPECT_EQ(move.Attr("state_bytes"), stats.state_bytes);
+    EXPECT_GT(move.Attr("state_bytes"), 0u);
   }
   EXPECT_EQ(client->Topology().generation, generation + 2);
 
