@@ -530,8 +530,8 @@ void RunEngineBackendSweep(uint64_t num_updates) {
   wbs::bench::Banner(
       "engine_backend",
       "pluggable ShardBackend boundary: inprocess (zero-copy) vs loopback "
-      "(socketpair + wire format) at 1/2/4 producers, typed queries "
-      "mid-ingest");
+      "(socketpair + wire format) vs tcp (localhost sockets + handshake) at "
+      "1/2/4 producers, typed queries mid-ingest");
   const uint64_t universe = 4096;
   wbs::RandomTape tape(105);
   tape.set_logging(false);
@@ -544,6 +544,131 @@ void RunEngineBackendSweep(uint64_t num_updates) {
                          producers, s, universe);
     RunEngineBackendMode("loopback", wbs::engine::LoopbackBackendFactory(),
                          producers, s, universe);
+    RunEngineBackendMode("tcp", wbs::engine::TcpBackendFactory(),
+                         producers, s, universe);
+  }
+}
+
+// ------------------------------------------------------------ tcp transport --
+//
+// The TCP transport's own price sheet (tcp_transport.h): query and control
+// round-trip latency over real localhost sockets vs the loopback
+// socketpair, and the cost of the reconnect-resync path (a severed
+// connection redialed + handshaken, state intact) vs a full MoveShard
+// re-home (state serialized and transferred) — the number that justifies
+// distinguishing transient partitions from dead peers.
+
+void RunEngineTcpBench(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_tcp",
+      "TCP transport: query p50/p99 and heartbeat RTT vs loopback; "
+      "reconnect-resync cost vs full MoveShard re-home");
+  using clock = std::chrono::steady_clock;
+  const uint64_t universe = 4096;
+  const size_t ingest = size_t(std::min<uint64_t>(num_updates, 100000));
+  wbs::RandomTape tape(113);
+  tape.set_logging(false);
+  auto items = wbs::stream::ZipfStream(universe, ingest, 1.2, &tape);
+  wbs::stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+
+  // Query + heartbeat latency, one client per transport over an identical
+  // ingested state. Queries are served from merged snapshots, so each
+  // sample pays the transport only when a shard's epoch moved — Flush()
+  // first, then the steady-state samples measure the wire floor.
+  for (const char* transport : {"loopback", "tcp"}) {
+    wbs::engine::ClientOptions opts =
+        EngineClientOptions(universe, /*shards=*/4, /*threads=*/2);
+    opts.ingest.backend = std::strcmp(transport, "tcp") == 0
+                              ? wbs::engine::TcpBackendFactory()
+                              : wbs::engine::LoopbackBackendFactory();
+    auto client = wbs::engine::Client::Create(opts);
+    if (!client.ok()) return;
+    if (!client.value()->Submit(s).ok() || !client.value()->Flush().ok()) {
+      return;
+    }
+
+    const size_t kQueries = 2000;
+    std::vector<double> query_us;
+    query_us.reserve(kQueries);
+    for (size_t i = 0; i < kQueries; ++i) {
+      // Touch one shard's live summary per sample so the transport is on
+      // the measured path (merged-snapshot queries would be memory reads).
+      const auto t0 = clock::now();
+      auto est = client.value()->ingestor().ShardSummary(i % 4, "ams_f2");
+      const auto t1 = clock::now();
+      if (!est.ok()) return;
+      query_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    std::sort(query_us.begin(), query_us.end());
+    auto pct = [&](double q) {
+      return query_us[std::min(query_us.size() - 1,
+                               size_t(q * double(query_us.size())))];
+    };
+    // Control-plane RTT: a bare heartbeat probe against shard 0.
+    auto probe = opts.ingest.backend(wbs::engine::BackendOptions{
+        1, opts.ingest.sketches, opts.ingest.config, 1024, false});
+    if (!probe.ok()) return;
+    const size_t kProbes = 2000;
+    const auto h0 = clock::now();
+    for (size_t i = 0; i < kProbes; ++i) {
+      if (!probe.value()->Heartbeat(0, 1000).ok()) return;
+    }
+    const auto h1 = clock::now();
+    const double heartbeat_us =
+        std::chrono::duration<double, std::micro>(h1 - h0).count() /
+        double(kProbes);
+    wbs::bench::JsonRow()
+        .Field("bench", "engine_tcp")
+        .Field("mode", "latency")
+        .Field("transport", transport)
+        .Field("queries", uint64_t(kQueries))
+        .Field("query_p50_us", pct(0.50))
+        .Field("query_p99_us", pct(0.99))
+        .Field("heartbeat_rtt_us", heartbeat_us)
+        .Emit();
+    (void)client.value()->Finish();
+  }
+
+  // Reconnect-resync vs full re-home, on one tcp engine with real state.
+  {
+    wbs::engine::ClientOptions opts =
+        EngineClientOptions(universe, /*shards=*/4, /*threads=*/2);
+    opts.ingest.backend = wbs::engine::TcpBackendFactory();
+    auto client = wbs::engine::Client::Create(opts);
+    if (!client.ok()) return;
+    if (!client.value()->Submit(s).ok() || !client.value()->Flush().ok()) {
+      return;
+    }
+    // Transient partition: sever shard 0's connections, then the next
+    // operation pays dial + handshake + resync. Session state never moves.
+    const auto r0 = clock::now();
+    if (!client.value()->InjectShardPartition(0).ok()) return;
+    if (!client.value()->ingestor().ShardSummary(0, "ams_f2").ok()) return;
+    const auto r1 = clock::now();
+    const double resync_us =
+        std::chrono::duration<double, std::micro>(r1 - r0).count();
+    // Full re-home: serialize every sketch of shard 0, ship it into a
+    // fresh tcp placement, flip the routing table at a barrier.
+    const auto m0 = clock::now();
+    if (!client.value()->MoveShard(0, wbs::engine::TcpBackendFactory()).ok()) {
+      return;
+    }
+    const auto m1 = clock::now();
+    const double rehome_us =
+        std::chrono::duration<double, std::micro>(m1 - m0).count();
+    wbs::bench::JsonRow()
+        .Field("bench", "engine_tcp")
+        .Field("mode", "partition_recovery")
+        .Field("ingested_updates", uint64_t(s.size()))
+        .Field("resync_us", resync_us)
+        .Field("rehome_us", rehome_us)
+        .Field("rehome_over_resync", resync_us > 0 ? rehome_us / resync_us
+                                                   : 0)
+        .Emit();
+    (void)client.value()->Finish();
   }
 }
 
@@ -1266,6 +1391,7 @@ int main(int argc, char** argv) {
     RunEngineMixed(engine_updates);
     RunEngineMultiProducerSweep(engine_updates);
     RunEngineBackendSweep(engine_updates);
+    RunEngineTcpBench(engine_updates);
     RunEngineReshardBench(engine_updates);
     RunEngineFailoverBench(engine_updates);
     RunWireSerializeBench(engine_updates);

@@ -105,13 +105,20 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend_name = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      // Endpoint(s) of running engine_shardd daemons; implies --backend=tcp.
+      // Two-terminal demo:
+      //   terminal 1: ./examples/engine_shardd --port=7841
+      //   terminal 2: ./examples/engine_server --connect=127.0.0.1:7841
+      backend_name = std::string("tcp:") + (argv[i] + 10);
     } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
       stats_interval_ms = std::strtoull(argv[i] + 17, nullptr, 10);
     } else if (std::strncmp(argv[i], "--stats-jsonl=", 14) == 0) {
       stats_jsonl_path = argv[i] + 14;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--backend=inprocess|loopback]"
+                   "usage: %s [--backend=inprocess|loopback|mixed|tcp]"
+                   " [--connect=<host:port>[,<host:port>...]]"
                    " [--stats-interval=<ms>] [--stats-jsonl=<path>]\n",
                    argv[0]);
       return 2;

@@ -1,0 +1,21 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// engine_shardd — the standalone shard daemon: a TcpShardHost
+// (src/engine/tcp_transport.h) serving the engine's wire protocol on a real
+// TCP listener. Shard state arrives with each dialer's kReqHello handshake
+// (sketch group + resolved config), so one daemon hosts any number of
+// shards from any number of engines without configuration.
+//
+// Two-terminal demo:
+//
+//   terminal 1: ./examples/engine_shardd --port=7841
+//   terminal 2: ./examples/engine_server --connect=127.0.0.1:7841
+//
+// Prints "LISTENING <port>" on stdout once ready (launchers and the kill -9
+// recovery test block on this line), then serves until SIGTERM/SIGINT.
+
+#include "engine/tcp_transport.h"
+
+int main(int argc, char** argv) {
+  return wbs::engine::ShardDaemonMain(argc, argv);
+}

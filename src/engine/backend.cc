@@ -392,6 +392,18 @@ class CompositeBackend final : public ShardBackend {
     return children_[shard]->InjectCrash(0, torn);
   }
 
+  Status InjectPartition(size_t shard) override {
+    if (shard >= children_.size()) {
+      return Status::OutOfRange("composite backend: shard out of range");
+    }
+    return children_[shard]->InjectPartition(0);
+  }
+
+  std::string Endpoint(size_t shard) const override {
+    if (shard >= children_.size()) return std::string();
+    return children_[shard]->Endpoint(0);
+  }
+
   Result<SketchSummary> LiveSummary(size_t shard,
                                     size_t sketch_index) const override {
     if (shard >= children_.size()) {

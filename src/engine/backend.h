@@ -169,6 +169,26 @@ class ShardBackend {
     return Status::Unimplemented(name() + " backend: InjectCrash not supported");
   }
 
+  /// Transient-partition injection: severs the shard's live connections
+  /// WITHOUT killing the peer, so a reconnecting transport can resync with
+  /// no state loss and no re-home. Unimplemented by default — only
+  /// transports with real connections (TCP) can be partitioned.
+  virtual Status InjectPartition(size_t shard) {
+    (void)shard;
+    return Status::Unimplemented(name() +
+                                 " backend: InjectPartition not supported");
+  }
+
+  /// The network endpoint ("host:port") serving this shard, or "" for
+  /// shards with no endpoint (in-process, socketpair loopback). Placements
+  /// record this so supervision can group shards into per-host failure
+  /// domains: when one shard on an endpoint misses a heartbeat, every
+  /// placement on that endpoint goes kSuspect together.
+  virtual std::string Endpoint(size_t shard) const {
+    (void)shard;
+    return std::string();
+  }
+
   /// Live (not snapshot) summary of one sketch. Quiescence only.
   virtual Result<SketchSummary> LiveSummary(size_t shard,
                                             size_t sketch_index) const = 0;

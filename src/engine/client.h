@@ -259,6 +259,13 @@ class Client {
     return ingestor_->InjectShardCrash(shard, torn);
   }
 
+  /// Severs shard `shard`'s live connections without killing the peer (a
+  /// transient partition; the transport resyncs). Unimplemented for
+  /// backends without real connections.
+  Status InjectShardPartition(size_t shard) {
+    return ingestor_->InjectShardPartition(shard);
+  }
+
   /// The supervisor's current verdict and loss accounting for `shard`.
   ShardHealthInfo Health(size_t shard) const {
     return ingestor_->Health(shard);

@@ -2,15 +2,21 @@
 
 #include "engine/remote_backend.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "engine/shard_server.h"
+#include "engine/tcp_transport.h"
 #include "engine/wire.h"
 
 namespace wbs::engine {
@@ -386,11 +392,553 @@ class LoopbackRemoteBackend final : public ShardBackend {
   std::vector<std::unique_ptr<RemoteShard>> shards_;
 };
 
+// ---- TCP backend -----------------------------------------------------------
+
+/// Session tokens must be unique per (process, shard instance): a daemon
+/// keyed on a colliding token would hand a foreign session to the dialer.
+uint64_t NewSessionToken() {
+  static std::atomic<uint64_t> counter{1};
+  uint64_t state = (uint64_t(::getpid()) << 32) ^
+                   counter.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t token = SplitMix64(&state);
+  return token == 0 ? 1 : token;
+}
+
+/// A ShardBackend whose shards live behind TCP sessions (tcp_transport.h).
+/// The channel discipline mirrors loopback (data channel for applies and
+/// handoff imports, control channel for queries, one mutex each), but a
+/// broken connection is REDIALED inside the failing call's deadline and the
+/// handshake's last_applied_seq resyncs in-flight applies exactly-once —
+/// transient partitions heal with no re-home and no topology churn.
+class TcpRemoteBackend final : public ShardBackend {
+ public:
+  static Result<std::unique_ptr<ShardBackend>> Create(
+      const BackendOptions& options, const TcpBackendOptions& topts) {
+    std::unique_ptr<TcpRemoteBackend> backend(
+        new TcpRemoteBackend(options, topts.dialer));
+    for (size_t shard = 0; shard < options.num_shards; ++shard) {
+      auto ts = std::make_unique<TcpShard>();
+      ts->cfg = options.shard_seeds_resolved
+                    ? options.config
+                    : ShardConfigFor(options.config, shard);
+      ts->shard_id = shard;
+      ts->token = NewSessionToken();
+      ts->spec.sketches = options.sketches;
+      ts->spec.config = ts->cfg;
+      ts->spec.snapshot_min_updates = options.snapshot_min_updates;
+      if (topts.endpoints.empty()) {
+        auto host = TcpShardHost::Start(TcpShardHostOptions{});
+        if (!host.ok()) return host.status();
+        ts->self_host = std::move(host).value();
+        ts->host = "127.0.0.1";
+        ts->port = ts->self_host->port();
+        ts->endpoint_str = ts->self_host->endpoint();
+      } else {
+        ts->endpoint_str = topts.endpoints[shard % topts.endpoints.size()];
+        Status s = SplitEndpoint(ts->endpoint_str, &ts->host, &ts->port);
+        if (!s.ok()) return s;
+      }
+      backend->shards_.push_back(std::move(ts));
+    }
+    return Result<std::unique_ptr<ShardBackend>>(std::move(backend));
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "tcp";
+    return kName;
+  }
+
+  BackendCapabilities capabilities() const override {
+    return BackendCapabilities{/*zero_copy=*/false,
+                               /*crosses_process_boundary=*/true,
+                               wire::kFormatVersion};
+  }
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  Status ApplyBatch(size_t shard, const stream::TurnstileUpdate* data,
+                    size_t count) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    TcpShard& ts = *shards_[shard];
+    // Single caller per shard by the backend contract, so the sequence
+    // counter needs no lock; consumed even when the call fails, so an
+    // abandoned batch leaves a GAP — the host never sees its sequence, and
+    // the dropped-update accounting of the supervision layer owns the loss.
+    const uint64_t seq = ts.next_apply_seq++;
+    wire::Writer w;
+    w.U64(seq);
+    wire::EncodeUpdates(data, count, &w);
+    std::string resp;
+    Status s = Call(ts, /*data_channel=*/true, wire::kReqApplySeq, w.data(),
+                    &resp, dialer_.op_deadline_ms, seq);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Result<uint64_t> Epoch(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    std::string resp;
+    Status s = Call(*shards_[shard], /*data_channel=*/false, wire::kReqEpoch,
+                    {}, &resp, dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    uint64_t epoch = 0;
+    if (Status se = r.U64(&epoch); !se.ok()) return se;
+    shards_[shard]->last_epoch.store(epoch, std::memory_order_relaxed);
+    return epoch;
+  }
+
+  Result<ShardSnapshot> Snapshot(size_t shard,
+                                 size_t sketch_index) const override {
+    auto serialized = SnapshotSerialized(shard, sketch_index);
+    if (!serialized.ok()) return serialized.status();
+    ShardSnapshot snap;
+    snap.epoch = serialized.value().epoch;
+    if (serialized.value().state.empty()) return snap;  // never published
+    const auto t0 = std::chrono::steady_clock::now();
+    auto sketch =
+        DeserializeSketch(options_.sketches[sketch_index],
+                          shards_[shard]->cfg, serialized.value().state);
+    if (!sketch.ok()) return sketch.status();
+    shards_[shard]->deserialize_us.Record(ElapsedUs(t0));
+    snap.sketch = std::shared_ptr<const Sketch>(std::move(sketch).value());
+    return snap;
+  }
+
+  Result<SerializedSnapshot> SnapshotSerialized(
+      size_t shard, size_t sketch_index) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    if (sketch_index >= options_.sketches.size()) {
+      return Status::OutOfRange("tcp backend: sketch out of range");
+    }
+    wire::Writer req;
+    req.U32(uint32_t(sketch_index));
+    std::string resp;
+    Status s = Call(*shards_[shard], /*data_channel=*/false,
+                    wire::kReqSnapshot, req.data(), &resp,
+                    dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    SerializedSnapshot out;
+    if (Status se = r.U64(&out.epoch); !se.ok()) return se;
+    if (Status ss = r.Str(&out.state); !ss.ok()) return ss;
+    return out;
+  }
+
+  Status Flush(size_t shard) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    std::string resp;
+    Status s = Call(*shards_[shard], /*data_channel=*/false, wire::kReqFlush,
+                    {}, &resp, dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Status ImportShardState(size_t shard,
+                          const std::vector<std::string>& frames) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    if (frames.size() != options_.sketches.size()) {
+      return Status::InvalidArgument(
+          "tcp backend: handoff frame count does not match the configured "
+          "sketch group");
+    }
+    wire::Writer req;
+    req.U32(uint32_t(frames.size()));
+    for (const std::string& frame : frames) req.Str(frame);
+    std::string resp;
+    Status s = Call(*shards_[shard], /*data_channel=*/true, wire::kReqImport,
+                    req.data(), &resp, dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Status Heartbeat(size_t shard, uint64_t timeout_ms) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    std::string resp;
+    // The probe's timeout IS the call deadline: a dead peer costs exactly
+    // the supervisor's probe budget, never the full op deadline.
+    Status s = Call(*shards_[shard], /*data_channel=*/false,
+                    wire::kReqHeartbeat, {}, &resp, int(timeout_ms));
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    return remote;
+  }
+
+  Status InjectCrash(size_t shard, bool torn) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    if (shards_[shard]->self_host == nullptr) {
+      return Status::Unimplemented(
+          "tcp backend: InjectCrash requires self-hosted shards (kill the "
+          "external daemon instead)");
+    }
+    shards_[shard]->self_host->CrashNow(torn);
+    return Status::OK();
+  }
+
+  Status InjectPartition(size_t shard) override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    TcpShard& ts = *shards_[shard];
+    if (ts.self_host != nullptr) {
+      // Server-side severance: the host kills the sockets but keeps the
+      // listener and all session state — the dialer notices on its next
+      // call and resyncs.
+      ts.self_host->DropConnections();
+      return Status::OK();
+    }
+    for (TcpChannel* ch : {&ts.data, &ts.control}) {
+      std::lock_guard<std::mutex> lock(ch->mu);
+      if (ch->fd >= 0) {
+        ::shutdown(ch->fd, SHUT_RDWR);
+        ::close(ch->fd);
+        ch->fd = -1;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string Endpoint(size_t shard) const override {
+    if (shard >= shards_.size()) return std::string();
+    return shards_[shard]->endpoint_str;
+  }
+
+  Result<SketchSummary> LiveSummary(size_t shard,
+                                    size_t sketch_index) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    wire::Writer req;
+    req.U32(uint32_t(sketch_index));
+    std::string resp;
+    Status s = Call(*shards_[shard], /*data_channel=*/false, wire::kReqSummary,
+                    req.data(), &resp, dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    SketchSummary summary;
+    if (Status ss = wire::DecodeSummary(&r, &summary); !ss.ok()) return ss;
+    return summary;
+  }
+
+  Result<std::vector<MetricSample>> Metrics(size_t shard) const override {
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("tcp backend: shard out of range");
+    }
+    const TcpShard& ts = *shards_[shard];
+    std::string resp;
+    Status s = Call(ts, /*data_channel=*/false, wire::kReqMetrics, {}, &resp,
+                    dialer_.op_deadline_ms);
+    if (!s.ok()) return s;
+    wire::Reader r(resp);
+    Status remote = Status::OK();
+    if (Status sd = wire::DecodeStatus(&r, &remote); !sd.ok()) return sd;
+    if (!remote.ok()) return remote;
+    std::vector<MetricSample> out;
+    if (Status sm = wire::DecodeMetricSamples(&r, &out); !sm.ok()) return sm;
+    out.push_back(CounterSample("wire.frames_out_total", ts.frames_out));
+    out.push_back(CounterSample("wire.frames_in_total", ts.frames_in));
+    out.push_back(CounterSample("wire.bytes_out_total", ts.bytes_out));
+    out.push_back(CounterSample("wire.bytes_in_total", ts.bytes_in));
+    out.push_back(CounterSample("wire.crc_rejects_total", ts.crc_rejects));
+    out.push_back(CounterSample("wire.recv_errors_total", ts.recv_errors));
+    out.push_back(CounterSample("tcp.reconnects_total", ts.reconnects));
+    out.push_back(CounterSample("tcp.resyncs_total", ts.resyncs));
+    out.push_back(HistogramSample("wire.roundtrip_us", ts.roundtrip_us));
+    out.push_back(HistogramSample("wire.deserialize_us", ts.deserialize_us));
+    return out;
+  }
+
+  uint64_t SpaceBits() const override {
+    uint64_t bits = 0;
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      std::string resp;
+      if (!Call(*shards_[shard], false, wire::kReqSpaceBits, {}, &resp,
+                dialer_.op_deadline_ms)
+               .ok()) {
+        return 0;
+      }
+      wire::Reader r(resp);
+      Status remote = Status::OK();
+      uint64_t shard_bits = 0;
+      if (!wire::DecodeStatus(&r, &remote).ok() || !remote.ok() ||
+          !r.U64(&shard_bits).ok()) {
+        return 0;
+      }
+      bits += shard_bits;
+    }
+    return bits;
+  }
+
+ private:
+  struct TcpChannel {
+    mutable std::mutex mu;
+    int fd = -1;  ///< -1 = not connected (dialed lazily / after failure)
+  };
+
+  struct TcpShard {
+    std::string host;
+    uint16_t port = 0;
+    std::string endpoint_str;  ///< "host:port" for placement failure domains
+    uint64_t token = 0;
+    uint64_t shard_id = 0;
+    SketchConfig cfg;   ///< resolved shard config (for deserialization)
+    TcpShardSpec spec;  ///< shipped with the FIRST hello only
+    std::unique_ptr<TcpShardHost> self_host;  ///< null in endpoint mode
+
+    TcpChannel data;
+    TcpChannel control;
+    /// Set once any channel's hello succeeded: from then on hellos carry no
+    /// spec, so a host that lost the session answers NotFound instead of
+    /// silently recreating an empty shard.
+    mutable std::atomic<bool> established{false};
+    uint64_t next_apply_seq = 1;  ///< single caller per the backend contract
+    mutable std::atomic<uint64_t> last_epoch{0};
+
+    mutable Counter frames_out;
+    mutable Counter frames_in;
+    mutable Counter bytes_out;
+    mutable Counter bytes_in;
+    mutable Counter crc_rejects;
+    mutable Counter recv_errors;
+    mutable Counter reconnects;  ///< successful REdials (not first connects)
+    mutable Counter resyncs;     ///< applies acked from the hello's seq cursor
+    mutable Histogram roundtrip_us;
+    mutable Histogram deserialize_us;
+
+    ~TcpShard() {
+      for (TcpChannel* ch : {&data, &control}) {
+        std::lock_guard<std::mutex> lock(ch->mu);
+        if (ch->fd >= 0) ::close(ch->fd);
+      }
+    }
+  };
+
+  TcpRemoteBackend(BackendOptions options, TcpDialerOptions dialer)
+      : options_(std::move(options)), dialer_(dialer) {}
+
+  static uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  }
+
+  static uint64_t FramedBytes(size_t n) { return uint64_t(n) + 10; }
+
+  static int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+    return ms <= 0 ? 0 : int(ms);
+  }
+
+  /// A connect/handshake failure that retrying inside the deadline can fix:
+  /// timeouts, resets, dropped sockets. NOT a refused connection (the
+  /// listener is GONE — retrying burns the caller's deadline for nothing)
+  /// and NOT a handshake rejection (NotFound/InvalidArgument from the host
+  /// is authoritative).
+  static bool RetryableConnectFailure(const Status& s) {
+    switch (s.code()) {
+      case Status::Code::kUnavailable:
+        return s.message().find("connection refused") == std::string::npos;
+      case Status::Code::kDeadlineExceeded:
+      case Status::Code::kInternal:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Dials and handshakes the channel. ch.mu must be held. On success the
+  /// channel fd is connected and `reply` holds the host's epoch + apply
+  /// cursor (the resync decision inputs).
+  Status ConnectLocked(const TcpShard& ts, TcpChannel& ch, bool data_channel,
+                       std::chrono::steady_clock::time_point deadline,
+                       TcpHelloReply* reply) const {
+    const int remaining = RemainingMs(deadline);
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("tcp: no deadline left to connect");
+    }
+    auto fd = TcpConnectFd(ts.host, ts.port,
+                           std::min(dialer_.connect_timeout_ms, remaining));
+    if (!fd.ok()) return fd.status();
+    TcpHello hello;
+    hello.channel = data_channel ? 0 : 1;
+    hello.session_token = ts.token;
+    hello.shard_id = ts.shard_id;
+    hello.last_acked_epoch = ts.last_epoch.load(std::memory_order_relaxed);
+    hello.has_spec = !ts.established.load(std::memory_order_acquire);
+    if (hello.has_spec) hello.spec = ts.spec;
+    wire::Writer w;
+    EncodeHello(hello, &w);
+    Status s = wire::WriteFrameFd(fd.value(), wire::kReqHello, w.data());
+    uint8_t type = 0;
+    std::string_view payload;
+    if (s.ok()) {
+      s = wire::ReadFrameFdTimeout(fd.value(),
+                                   std::max(1, RemainingMs(deadline)),
+                                   &frame_scratch(), &type, &payload);
+    }
+    if (s.ok() && type != wire::kResp) {
+      s = Status::Internal("tcp: unexpected handshake response type");
+    }
+    Status remote = Status::OK();
+    if (s.ok()) {
+      wire::Reader r(payload);
+      s = wire::DecodeStatus(&r, &remote);
+      if (s.ok() && remote.ok()) {
+        if (!(s = r.U64(&reply->epoch)).ok() ||
+            !(s = r.U64(&reply->last_applied_seq)).ok()) {
+          s = Status::Internal("tcp: truncated handshake response");
+        }
+      }
+    }
+    if (!s.ok()) {
+      ::close(fd.value());
+      return s;  // transport-level → retryable by classification above
+    }
+    if (!remote.ok()) {
+      ::close(fd.value());
+      return remote;  // host rejection → authoritative, not retryable
+    }
+    ts.established.store(true, std::memory_order_release);
+    ts.last_epoch.store(reply->epoch, std::memory_order_relaxed);
+    ch.fd = fd.value();
+    return Status::OK();
+  }
+
+  /// One request/response on the shard's chosen channel, with reconnect —
+  /// the channel is (re)dialed and handshaken inside `deadline_ms`, with
+  /// exponential backoff between attempts. For kReqApplySeq calls,
+  /// `apply_seq` lets a reconnect detect that the host already applied the
+  /// batch (its ack was lost) and synthesize the ack instead of resending.
+  Status Call(const TcpShard& ts, bool data_channel, uint8_t type,
+              std::string_view payload, std::string* resp, int deadline_ms,
+              uint64_t apply_seq = 0) const {
+    TcpChannel& ch =
+        const_cast<TcpChannel&>(data_channel ? ts.data : ts.control);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    std::lock_guard<std::mutex> lock(ch.mu);
+    int backoff_ms = dialer_.backoff_initial_ms;
+    bool redialing = false;
+    for (;;) {
+      if (ch.fd < 0) {
+        TcpHelloReply reply;
+        Status c = ConnectLocked(ts, ch, data_channel, deadline, &reply);
+        if (!c.ok()) {
+          if (!RetryableConnectFailure(c) || RemainingMs(deadline) <= 0) {
+            return Status::Unavailable("tcp shard unreachable: " +
+                                       c.ToString());
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min(backoff_ms, std::max(1, RemainingMs(deadline)))));
+          backoff_ms = std::min(backoff_ms * 2, dialer_.backoff_max_ms);
+          continue;
+        }
+        if (redialing) ts.reconnects.Inc();
+        if (apply_seq != 0 && reply.last_applied_seq >= apply_seq) {
+          // The host applied this batch before the connection broke — the
+          // ack was lost, not the update. Synthesize it; resending would be
+          // answered from the host's cache anyway.
+          ts.resyncs.Inc();
+          wire::Writer w;
+          wire::EncodeStatus(Status::OK(), &w);
+          w.U64(reply.epoch);
+          *resp = w.Take();
+          return Status::OK();
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      Status s = wire::WriteFrameFd(ch.fd, type, payload);
+      uint8_t resp_type = 0;
+      std::string_view resp_payload;
+      if (s.ok()) {
+        ts.frames_out.Inc();
+        ts.bytes_out.Inc(FramedBytes(payload.size()));
+        s = wire::ReadFrameFdTimeout(ch.fd, std::max(1, RemainingMs(deadline)),
+                                     &frame_scratch(), &resp_type,
+                                     &resp_payload);
+      }
+      if (s.ok() && resp_type != wire::kResp) {
+        s = Status::Internal("tcp backend: unexpected response type");
+      }
+      if (!s.ok()) {
+        if (s.message().find("checksum") != std::string::npos) {
+          ts.crc_rejects.Inc();
+        } else {
+          ts.recv_errors.Inc();
+        }
+        ::close(ch.fd);
+        ch.fd = -1;
+        redialing = true;
+        if (RemainingMs(deadline) <= 0) {
+          return Status::Unavailable("tcp shard unreachable: " + s.ToString());
+        }
+        continue;  // redial + handshake resync within the same call
+      }
+      ts.frames_in.Inc();
+      ts.bytes_in.Inc(FramedBytes(resp_payload.size()));
+      ts.roundtrip_us.Record(ElapsedUs(t0));
+      resp->assign(resp_payload);
+      return Status::OK();
+    }
+  }
+
+  static std::string& frame_scratch() {
+    thread_local std::string buf;
+    return buf;
+  }
+
+  BackendOptions options_;
+  TcpDialerOptions dialer_;
+  std::vector<std::unique_ptr<TcpShard>> shards_;
+};
+
 }  // namespace
 
 BackendFactory LoopbackBackendFactory() {
   return [](const BackendOptions& options) {
     return LoopbackRemoteBackend::Create(options);
+  };
+}
+
+BackendFactory TcpBackendFactory(TcpBackendOptions topts) {
+  return [topts](const BackendOptions& options) {
+    return TcpRemoteBackend::Create(options, topts);
   };
 }
 
@@ -403,8 +951,29 @@ Result<BackendFactory> BackendFactoryByName(const std::string& name) {
     return CompositeBackendFactory(
         {InProcessBackendFactory(), LoopbackBackendFactory()});
   }
-  return Status::InvalidArgument("unknown shard backend \"" + name +
-                                 "\" (want inprocess | loopback | mixed)");
+  if (name == "tcp") return TcpBackendFactory();
+  if (name.rfind("tcp:", 0) == 0) {
+    // "tcp:HOST:PORT[,HOST:PORT...]" — external engine_shardd daemons,
+    // shard i homed on endpoint i % n.
+    TcpBackendOptions topts;
+    std::string rest = name.substr(4);
+    size_t pos = 0;
+    while (pos <= rest.size()) {
+      const size_t comma = rest.find(',', pos);
+      const std::string ep = rest.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      std::string host;
+      uint16_t port = 0;
+      if (Status s = SplitEndpoint(ep, &host, &port); !s.ok()) return s;
+      topts.endpoints.push_back(ep);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return TcpBackendFactory(std::move(topts));
+  }
+  return Status::InvalidArgument(
+      "unknown shard backend \"" + name +
+      "\" (want inprocess | loopback | mixed | tcp | tcp:HOST:PORT,...)");
 }
 
 }  // namespace wbs::engine

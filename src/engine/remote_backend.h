@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/backend.h"
@@ -37,11 +38,43 @@ namespace wbs::engine {
 /// per shard.
 BackendFactory LoopbackBackendFactory();
 
+/// Reconnection policy of the TCP dialer. Unlike the loopback channels —
+/// which poison on the first transport failure, forcing a MoveShard re-home
+/// — a TCP channel that breaks is redialed WITHIN the failing call's
+/// deadline: connect, kReqHello handshake, resync from the host's
+/// last_applied_seq, retransmit. Only a peer that stays unreachable past
+/// `op_deadline_ms` (or actively refuses — its listener is gone) surfaces
+/// Unavailable and feeds the supervision/re-home path.
+struct TcpDialerOptions {
+  int connect_timeout_ms = 1000;  ///< per connect() attempt
+  int op_deadline_ms = 1000;      ///< whole-call budget incl. redials
+  int backoff_initial_ms = 1;     ///< doubles per failed redial...
+  int backoff_max_ms = 50;        ///< ...up to this cap
+};
+
+struct TcpBackendOptions {
+  /// Daemon endpoints ("host:port"); shard i is homed on endpoint
+  /// i % endpoints.size(). EMPTY = self-host: the backend starts one
+  /// in-process TcpShardHost per shard on an ephemeral 127.0.0.1 port and
+  /// dials it over real sockets — the full handshake/resync stack with no
+  /// external daemon, which is how tests and CI run it.
+  std::vector<std::string> endpoints;
+  TcpDialerOptions dialer;
+};
+
+/// Factory for the TCP remote backend (TcpRemoteBackend): each shard lives
+/// behind a TcpShardHost session (tcp_transport.h), created via the
+/// kReqHello spec on first contact. Bit-identical to loopback/in-process
+/// for the state-mergeable families by the same argument — same batches,
+/// same order, same resolved seeds, exact wire round-trip.
+BackendFactory TcpBackendFactory(TcpBackendOptions options = {});
+
 /// Resolves a backend factory by name: "inprocess" (or ""), "loopback",
-/// and "mixed" (alternating in-process / loopback placement via
-/// CompositeBackendFactory). Unknown names are InvalidArgument — this
-/// backs --backend= flags and the WBS_ENGINE_BACKEND environment
-/// selection in tests and CI.
+/// "mixed" (alternating in-process / loopback placement via
+/// CompositeBackendFactory), "tcp" (self-hosted TCP sockets), and
+/// "tcp:HOST:PORT[,HOST:PORT...]" (external engine_shardd daemons).
+/// Unknown names are InvalidArgument — this backs --backend= flags and the
+/// WBS_ENGINE_BACKEND environment selection in tests and CI.
 Result<BackendFactory> BackendFactoryByName(const std::string& name);
 
 }  // namespace wbs::engine

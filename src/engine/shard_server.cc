@@ -22,6 +22,37 @@ void PutStatus(const Status& s, wire::Writer* w) { wire::EncodeStatus(s, w); }
 
 }  // namespace
 
+bool ParseCrashEnvSpec(const char* value, int64_t* after, bool* torn) {
+  if (value == nullptr) return false;
+  std::string_view spec(value);
+  if (spec.rfind("after=", 0) != 0) return false;
+  spec.remove_prefix(6);
+  bool torn_flag = false;
+  if (size_t pos = spec.find(','); pos != std::string_view::npos) {
+    torn_flag = spec.substr(pos + 1) == "torn";
+    spec = spec.substr(0, pos);
+  }
+  int64_t n = -1;
+  auto [ptr, ec] = std::from_chars(spec.data(), spec.data() + spec.size(), n);
+  if (ec != std::errc() || ptr != spec.data() + spec.size() || n < 0) {
+    return false;
+  }
+  *after = n;
+  *torn = torn_flag;
+  return true;
+}
+
+void WriteTornFrameFd(int fd) {
+  // A length-valid frame whose body was corrupted after the checksum was
+  // computed — the client MUST reject it via CRC32, not via framing. A
+  // short write only makes the tear more realistic.
+  std::string frame = wire::EncodeFrame(wire::kResp, "torn");
+  frame[frame.size() - 5] ^= 0x5a;  // flip a payload byte, keep the CRC
+  // MSG_NOSIGNAL: the client may already have hung up; EPIPE is fine here,
+  // SIGPIPE is not.
+  (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+}
+
 Result<std::unique_ptr<ShardServer>> ShardServer::Start(
     const ShardServerOptions& options) {
   std::unique_ptr<ShardServer> server(new ShardServer());
@@ -56,23 +87,12 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Start(
   // Crash injection armed at birth: WBS_ENGINE_CRASH="after=N[,torn]".
   // Any other value of the variable (e.g. "replay", which the test util
   // consumes to drive failover drills) leaves the server healthy.
-  if (const char* crash = std::getenv("WBS_ENGINE_CRASH")) {
-    std::string_view spec(crash);
-    if (spec.rfind("after=", 0) == 0) {
-      spec.remove_prefix(6);
-      bool torn = false;
-      if (size_t pos = spec.find(','); pos != std::string_view::npos) {
-        torn = spec.substr(pos + 1) == "torn";
-        spec = spec.substr(0, pos);
-      }
-      int64_t n = -1;
-      auto [ptr, ec] =
-          std::from_chars(spec.data(), spec.data() + spec.size(), n);
-      if (ec == std::errc() && ptr == spec.data() + spec.size() && n >= 0) {
-        server->crash_torn_.store(torn, std::memory_order_relaxed);
-        server->crash_after_.store(n, std::memory_order_relaxed);
-      }
-    }
+  int64_t crash_after = -1;
+  bool crash_torn = false;
+  if (ParseCrashEnvSpec(std::getenv("WBS_ENGINE_CRASH"), &crash_after,
+                        &crash_torn)) {
+    server->crash_torn_.store(crash_torn, std::memory_order_relaxed);
+    server->crash_after_.store(crash_after, std::memory_order_relaxed);
   }
 
   ShardServer* raw = server.get();
@@ -127,17 +147,7 @@ void ShardServer::CrashNow(bool torn) {
   }
 }
 
-void ShardServer::WriteTornFrame(int fd) {
-  // A length-valid frame whose body was corrupted after the checksum was
-  // computed — the client MUST reject it via CRC32, not via framing. A
-  // single small write on a SOCK_STREAM socketpair; a short write only
-  // makes the tear more realistic.
-  std::string frame = wire::EncodeFrame(wire::kResp, "torn");
-  frame[frame.size() - 5] ^= 0x5a;  // flip a payload byte, keep the CRC
-  // MSG_NOSIGNAL: the client may already have hung up; EPIPE is fine here,
-  // SIGPIPE is not.
-  (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
-}
+void ShardServer::WriteTornFrame(int fd) { WriteTornFrameFd(fd); }
 
 void ShardServer::Serve(int fd) {
   std::string frame_buf;
@@ -193,6 +203,16 @@ void ShardServer::Dispatch(uint8_t type, std::string_view payload,
   // One mutex across both channels: an apply and a snapshot request are
   // serialized exactly like worker-vs-query access to a local shard slot.
   std::lock_guard<std::mutex> lock(mu_);
+  DispatchShardRequest(*shard_, num_sketches_, type, payload, &w);
+  *resp = w.Take();
+}
+
+void DispatchShardRequest(ShardBackend& shard, size_t num_sketches,
+                          uint8_t type, std::string_view payload,
+                          wire::Writer* resp_writer) {
+  ShardBackend* const shard_ = &shard;
+  const size_t num_sketches_ = num_sketches;
+  wire::Writer& w = *resp_writer;
   switch (type) {
     case wire::kReqApply: {
       wire::Reader r(payload);
@@ -312,7 +332,6 @@ void ShardServer::Dispatch(uint8_t type, std::string_view payload,
                 &w);
       break;
   }
-  *resp = w.Take();
 }
 
 }  // namespace wbs::engine

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,30 @@
 #include "engine/backend.h"
 
 namespace wbs::engine {
+
+namespace wire {
+class Writer;
+}  // namespace wire
+
+/// Handles one shard request frame against a 1-shard cell and appends the
+/// response payload (Status first, then request-specific data) to `w`. This
+/// is the transport-agnostic half of the shard protocol: ShardServer calls
+/// it behind its socketpairs, TcpShardHost (tcp_transport.h) behind real
+/// TCP connections. The caller owns serialization — requests against one
+/// cell must not run concurrently (both servers hold a per-shard mutex).
+void DispatchShardRequest(ShardBackend& shard, size_t num_sketches,
+                          uint8_t type, std::string_view payload,
+                          wire::Writer* w);
+
+/// Parses a WBS_ENGINE_CRASH value of the form "after=N[,torn]" into an
+/// armed crash spec. Returns false (outputs untouched) for any other value
+/// — e.g. "replay", which the test util consumes to drive failover drills.
+bool ParseCrashEnvSpec(const char* value, int64_t* after, bool* torn);
+
+/// Emits a length-valid frame whose body was corrupted AFTER the checksum
+/// was computed — the `torn` crash flavor. The receiver MUST reject it via
+/// CRC32, not via framing.
+void WriteTornFrameFd(int fd);
 
 struct ShardServerOptions {
   std::vector<std::string> sketches;  ///< registry names of the shard group

@@ -790,7 +790,9 @@ Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
           "ShardedIngestor: AddShards factory returned a mismatched cell");
     }
     // The views are the cells' only owners (see ShardPlacement).
-    added.push_back(ShardPlacement{std::move(cell).value(), 0});
+    std::unique_ptr<ShardBackend> owned = std::move(cell).value();
+    std::string endpoint = owned->Endpoint(0);
+    added.push_back(ShardPlacement{std::move(owned), 0, std::move(endpoint)});
   }
   std::shared_ptr<const TopologyView> next =
       ShardTopology::WithAddedShards(*view, added);
@@ -859,8 +861,10 @@ Status ShardedIngestor::DoMoveShard(size_t shard,
   //    re-acquire; new views fold the destination, which now carries the
   //    full history. The retired placement is reclaimed when the last view
   //    referencing it drops (shared ownership, see ShardPlacement).
+  std::unique_ptr<ShardBackend> dest = std::move(cell).value();
+  std::string endpoint = dest->Endpoint(0);
   auto next = ShardTopology::WithMovedShard(
-      *view, shard, ShardPlacement{std::move(cell).value(), 0});
+      *view, shard, ShardPlacement{std::move(dest), 0, std::move(endpoint)});
   if (!next.ok()) return next.status();
   topology_->Install(std::move(next).value());
 
@@ -1013,8 +1017,10 @@ Status ShardedIngestor::DoRecoverShard(size_t shard,
       if (!imported.ok()) return imported;
     }
   }
+  std::unique_ptr<ShardBackend> fresh = std::move(cell).value();
+  std::string endpoint = fresh->Endpoint(0);
   auto next = ShardTopology::WithMovedShard(
-      *view, shard, ShardPlacement{std::move(cell).value(), 0});
+      *view, shard, ShardPlacement{std::move(fresh), 0, std::move(endpoint)});
   if (!next.ok()) return next.status();
   topology_->Install(std::move(next).value());
 
@@ -1085,6 +1091,16 @@ Status ShardedIngestor::InjectShardCrash(size_t shard, bool torn) {
   return placement.backend->InjectCrash(placement.local, torn);
 }
 
+Status ShardedIngestor::InjectShardPartition(size_t shard) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (shard >= view->num_shards()) {
+    return Status::OutOfRange(
+        "ShardedIngestor: InjectShardPartition id out of range");
+  }
+  const ShardPlacement placement = view->placements[shard];
+  return placement.backend->InjectPartition(placement.local);
+}
+
 void ShardedIngestor::SupervisorLoop() {
   const FailoverOptions& fo = options_.failover;
   const auto interval = std::chrono::milliseconds(
@@ -1134,6 +1150,28 @@ void ShardedIngestor::SupervisorLoop() {
         const uint64_t mult =
             std::min<uint64_t>(missed < 63 ? uint64_t(1) << missed : cap, cap);
         h.next_probe = now + interval * mult;
+        if (!placement.endpoint.empty()) {
+          // Per-host failure domain: one missed probe on an endpoint
+          // implicates every placement it hosts — a dead machine takes all
+          // its shards down together, so they all go suspect now instead
+          // of one probe victim per sweep. Each still earns its own death
+          // verdict (dead_after_misses consecutive misses of ITS probes).
+          for (size_t other = 0; other < view->num_shards(); ++other) {
+            if (other == shard) continue;
+            if (view->placements[other].endpoint != placement.endpoint) {
+              continue;
+            }
+            uint8_t healthy = uint8_t(ShardHealth::kHealthy);
+            if (HealthFor(other).health.compare_exchange_strong(
+                    healthy, uint8_t(ShardHealth::kSuspect),
+                    std::memory_order_acq_rel)) {
+              Tracer::Span hs = tracer_->StartSpan("host_suspect");
+              hs.Attr("shard", other);
+              hs.Attr("via_shard", shard);
+              hs.End();
+            }
+          }
+        }
         if (missed >= fo.dead_after_misses) {
           const uint8_t prev = h.health.exchange(uint8_t(ShardHealth::kDead),
                                                  std::memory_order_acq_rel);

@@ -350,6 +350,11 @@ class ShardedIngestor {
   /// Unimplemented for in-process placements.
   Status InjectShardCrash(size_t shard, bool torn = false);
 
+  /// Severs shard `shard`'s live connections WITHOUT killing the peer — a
+  /// transient partition. A reconnecting transport (TCP) resyncs with no
+  /// state loss and no topology change; Unimplemented elsewhere.
+  Status InjectShardPartition(size_t shard);
+
   /// The supervisor's current verdict and loss accounting for `shard`.
   /// Any thread; meaningful (non-default) once supervision or checkpoints
   /// have touched the shard.

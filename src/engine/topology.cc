@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/backend.h"
+
 namespace wbs::engine {
 
 std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
@@ -22,7 +24,9 @@ std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
   }
   view->placements.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    view->placements[s] = ShardPlacement{primary, uint32_t(s)};
+    // Routing-only views (tests) pass a null primary; no endpoint then.
+    view->placements[s] = ShardPlacement{
+        primary, uint32_t(s), primary ? primary->Endpoint(s) : std::string()};
   }
   return view;  // every placement shares ownership of the primary cell
 }

@@ -10,7 +10,7 @@
 //   item --hash--> slot --slot_to_shard--> shard id --placement--> backend
 //
 // published as an immutable TopologyView that producers, the router, and
-// the query path each read with one atomic shared_ptr acquire. Mutations
+// the query path each read with one cheap shared_ptr copy. Mutations
 // (scale-out, shard handoff) build a NEW view and install it at a batch
 // barrier; readers holding the old view keep getting consistent answers,
 // exactly like the per-shard snapshot epochs one level below.
@@ -45,9 +45,10 @@
 #ifndef WBS_ENGINE_TOPOLOGY_H_
 #define WBS_ENGINE_TOPOLOGY_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -68,6 +69,13 @@ class ShardBackend;
 struct ShardPlacement {
   std::shared_ptr<ShardBackend> backend;
   uint32_t local = 0;
+  /// The backend's network endpoint for this shard ("host:port"), empty for
+  /// shards with no network home (in-process, loopback socketpairs). This is
+  /// the supervision layer's FAILURE DOMAIN key: when one shard on an
+  /// endpoint misses a heartbeat, every healthy placement sharing that
+  /// endpoint goes suspect together — a dead host takes all its shards, not
+  /// one probe victim at a time.
+  std::string endpoint;
 };
 
 /// An immutable routing table. Shared (never mutated) between every thread
@@ -114,11 +122,14 @@ struct TopologyInfo {
   std::vector<size_t> slots_per_shard;  ///< indexed by shard id
 };
 
-/// The mutable holder: one atomically-swappable current view. All
-/// mutations go through Install() at a barrier chosen by the owner (the
-/// ingestor's router); readers call View() from any thread at any time —
-/// a lock-free atomic shared_ptr load, so the hot submit/query paths
-/// never contend on a routing mutex.
+/// The mutable holder: one swappable current view. All mutations go
+/// through Install() at a barrier chosen by the owner (the ingestor's
+/// router); readers call View() from any thread at any time — a mutex
+/// held only for the shared_ptr copy. (Not std::atomic<shared_ptr>:
+/// libstdc++'s _Sp_atomic::load releases its spinlock with a relaxed
+/// RMW, which is a formal data race against a later store's plain
+/// pointer write — TSan rightly flags it. View() runs once per
+/// batch/query, so an uncontended lock is noise.)
 class ShardTopology {
  public:
   /// The initial table: `num_shards` shards over `num_shards *
@@ -142,10 +153,11 @@ class ShardTopology {
   explicit ShardTopology(std::shared_ptr<const TopologyView> initial)
       : view_(std::move(initial)) {}
 
-  /// The current table. Acquire-consistent: a view obtained here is
-  /// immutable and safe to route/fold against for as long as it is held.
+  /// The current table. A view obtained here is immutable and safe to
+  /// route/fold against for as long as it is held.
   std::shared_ptr<const TopologyView> View() const {
-    return view_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(mu_);
+    return view_;
   }
 
   uint64_t generation() const { return View()->generation; }
@@ -153,13 +165,21 @@ class ShardTopology {
   /// Installs a successor view. Caller is responsible for ordering (the
   /// ingestor installs only at router barriers).
   void Install(std::shared_ptr<const TopologyView> next) {
-    view_.store(std::move(next), std::memory_order_release);
+    // Drop the displaced view OUTSIDE the lock: releasing the last ref
+    // can tear down backend cells (threads, fds), which must not run
+    // under the routing mutex.
+    std::shared_ptr<const TopologyView> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = std::exchange(view_, std::move(next));
+    }
   }
 
   TopologyInfo Describe() const;
 
  private:
-  std::atomic<std::shared_ptr<const TopologyView>> view_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const TopologyView> view_;
 };
 
 }  // namespace wbs::engine

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "engine/metrics.h"
@@ -385,6 +386,37 @@ Status DecodeMetricSamples(Reader* r, std::vector<MetricSample>* out) {
 
 namespace {
 
+using WireClock = std::chrono::steady_clock;
+
+/// Polls `fd` for `events`. With a deadline, the wait is bounded by the
+/// time remaining (DeadlineExceeded once it has passed); without one the
+/// wait is unbounded. Returning OK means the fd is ready — for POLLIN that
+/// guarantees the next read() will not block (data, EOF, or an error).
+Status WaitFd(int fd, short events, const WireClock::time_point* deadline) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != nullptr) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*deadline - WireClock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("wire: read timed out");
+      }
+      timeout_ms = int(remaining.count());
+    }
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("wire: poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (rc == 0) return Status::DeadlineExceeded("wire: read timed out");
+    return Status::OK();  // ready, hung up, or errored — the I/O classifies
+  }
+}
+
 Status WriteFull(int fd, const char* data, size_t len) {
   size_t off = 0;
   while (off < len) {
@@ -394,6 +426,13 @@ Status WriteFull(int fd, const char* data, size_t len) {
     ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking fd with a full socket buffer: wait for space. Frame
+        // writes stay all-or-error either way.
+        Status w = WaitFd(fd, POLLOUT, nullptr);
+        if (!w.ok()) return w;
+        continue;
+      }
       return Status::Internal(std::string("wire: write failed: ") +
                               std::strerror(errno));
     }
@@ -403,13 +442,29 @@ Status WriteFull(int fd, const char* data, size_t len) {
 }
 
 /// Reads exactly `len` bytes. `*eof` is set (and OK returned) only when the
-/// peer closed before the FIRST byte — mid-frame EOF is an error.
-Status ReadFull(int fd, char* data, size_t len, bool* eof) {
+/// peer closed before the FIRST byte — mid-frame EOF is an error. With a
+/// deadline the fd is polled before every chunk, so the WHOLE read is
+/// bounded: a peer that stalls mid-frame surfaces DeadlineExceeded instead
+/// of wedging the caller (works on blocking fds too — POLLIN guarantees the
+/// following read() returns without blocking).
+Status ReadFull(int fd, char* data, size_t len, bool* eof,
+                const WireClock::time_point* deadline) {
   size_t off = 0;
   while (off < len) {
+    if (deadline != nullptr) {
+      Status w = WaitFd(fd, POLLIN, deadline);
+      if (!w.ok()) return w;
+    }
     ssize_t n = ::read(fd, data + off, len - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (deadline == nullptr) {
+          Status w = WaitFd(fd, POLLIN, nullptr);
+          if (!w.ok()) return w;
+        }
+        continue;
+      }
       return Status::Internal(std::string("wire: read failed: ") +
                               std::strerror(errno));
     }
@@ -423,6 +478,28 @@ Status ReadFull(int fd, char* data, size_t len, bool* eof) {
     off += size_t(n);
   }
   return Status::OK();
+}
+
+/// Shared body of ReadFrameFd / ReadFrameFdTimeout; `deadline` == nullptr
+/// means wait forever.
+Status ReadFrameFdInternal(int fd, std::string* frame_buf, uint8_t* type,
+                           std::string_view* payload,
+                           const WireClock::time_point* deadline) {
+  char len_bytes[kLenBytes];
+  bool eof = false;
+  Status s = ReadFull(fd, len_bytes, kLenBytes, &eof, deadline);
+  if (!s.ok()) return s;
+  if (eof) return Status::FailedPrecondition("wire: connection closed");
+  const uint32_t body_len = ReadU32Le(len_bytes);
+  if (body_len < kBodyHeaderBytes || body_len > kMaxBodyLen) {
+    return Status::InvalidArgument("wire: frame length mismatch");
+  }
+  frame_buf->resize(kLenBytes + size_t(body_len) + kCrcBytes);
+  std::memcpy(frame_buf->data(), len_bytes, kLenBytes);
+  s = ReadFull(fd, frame_buf->data() + kLenBytes, body_len + kCrcBytes,
+               nullptr, deadline);
+  if (!s.ok()) return s;
+  return DecodeFrame(*frame_buf, type, payload);
 }
 
 }  // namespace
@@ -441,39 +518,17 @@ Status WriteFrameFd(int fd, uint8_t type, std::string_view payload) {
 
 Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
                    std::string_view* payload) {
-  char len_bytes[kLenBytes];
-  bool eof = false;
-  Status s = ReadFull(fd, len_bytes, kLenBytes, &eof);
-  if (!s.ok()) return s;
-  if (eof) return Status::FailedPrecondition("wire: connection closed");
-  const uint32_t body_len = ReadU32Le(len_bytes);
-  if (body_len < kBodyHeaderBytes || body_len > kMaxBodyLen) {
-    return Status::InvalidArgument("wire: frame length mismatch");
-  }
-  frame_buf->resize(kLenBytes + size_t(body_len) + kCrcBytes);
-  std::memcpy(frame_buf->data(), len_bytes, kLenBytes);
-  s = ReadFull(fd, frame_buf->data() + kLenBytes, body_len + kCrcBytes,
-               nullptr);
-  if (!s.ok()) return s;
-  return DecodeFrame(*frame_buf, type, payload);
+  return ReadFrameFdInternal(fd, frame_buf, type, payload, nullptr);
 }
 
 Status ReadFrameFdTimeout(int fd, int timeout_ms, std::string* frame_buf,
                           uint8_t* type, std::string_view* payload) {
-  struct pollfd p;
-  p.fd = fd;
-  p.events = POLLIN;
-  for (;;) {
-    int rc = ::poll(&p, 1, timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;  // full timeout restarts: liveness only
-      return Status::Internal(std::string("wire: poll failed: ") +
-                              std::strerror(errno));
-    }
-    if (rc == 0) return Status::DeadlineExceeded("wire: read timed out");
-    break;  // readable, hung up, or errored — ReadFrameFd classifies which
-  }
-  return ReadFrameFd(fd, frame_buf, type, payload);
+  // One absolute deadline across the whole frame: header and body reads
+  // each poll with whatever budget remains, so a half-open peer that
+  // dribbles a partial frame cannot stretch the wait past `timeout_ms`.
+  const WireClock::time_point deadline =
+      WireClock::now() + std::chrono::milliseconds(timeout_ms);
+  return ReadFrameFdInternal(fd, frame_buf, type, payload, &deadline);
 }
 
 }  // namespace wbs::engine::wire

@@ -63,6 +63,8 @@ enum FrameType : uint8_t {
   kReqImport = 39,    ///< shard handoff: install serialized sketch states
   kReqMetrics = 40,   ///< read the shard's metric samples (observability)
   kReqHeartbeat = 41, ///< liveness probe: responds OK + current epoch
+  kReqHello = 42,     ///< TCP session handshake (tcp_transport.h layout)
+  kReqApplySeq = 43,  ///< kReqApply prefixed with a u64 apply sequence number
 
   kResp = 64,         ///< response: Status followed by request-specific data
 };
@@ -152,22 +154,26 @@ Status DecodeMetricSamples(Reader* r, std::vector<MetricSample>* out);
 
 // ---- framed I/O over a file descriptor ------------------------------------
 
-/// Writes one frame (EncodeFrame layout) to `fd`, handling short writes and
-/// EINTR. Internal on failure (peer gone).
+/// Writes one frame (EncodeFrame layout) to `fd`, handling short writes,
+/// EINTR, and EAGAIN/EWOULDBLOCK (nonblocking fds poll for writability, so
+/// the call behaves like a blocking write either way). Internal on failure
+/// (peer gone).
 Status WriteFrameFd(int fd, uint8_t type, std::string_view payload);
 
 /// Reads one frame from `fd` into `frame_buf` (resized), then decodes it.
-/// A cleanly closed peer (EOF before any byte) returns FailedPrecondition
-/// with "closed" in the message so servers can exit their loop quietly.
+/// Short reads, EINTR, and EAGAIN/EWOULDBLOCK are handled (nonblocking fds
+/// poll for readability between chunks — a TCP segment boundary mid-frame
+/// is invisible to the caller). A cleanly closed peer (EOF before any byte)
+/// returns FailedPrecondition with "closed" in the message so servers can
+/// exit their loop quietly.
 Status ReadFrameFd(int fd, std::string* frame_buf, uint8_t* type,
                    std::string_view* payload);
 
-/// ReadFrameFd with a bound on the time to the frame's FIRST byte: waits up
-/// to `timeout_ms` for the fd to become readable, then reads the frame like
-/// ReadFrameFd. Returns DeadlineExceeded("wire: read timed out") when
-/// nothing arrives in time — the liveness signal heartbeat probes key off.
-/// (Only time-to-first-byte is bounded; a peer that sends a partial frame
-/// and stalls is caught by the next probe's deadline instead.)
+/// ReadFrameFd with a deadline over the WHOLE frame: the fd is polled
+/// before every chunk with the remaining budget, so a half-open peer that
+/// sends a partial frame and stalls is caught by this call's deadline, not
+/// left to wedge the caller. Returns DeadlineExceeded("wire: read timed
+/// out") — the liveness signal heartbeat probes key off.
 Status ReadFrameFdTimeout(int fd, int timeout_ms, std::string* frame_buf,
                           uint8_t* type, std::string_view* payload);
 

@@ -1,0 +1,603 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// The TCP shard transport (src/engine/tcp_transport.h + TcpRemoteBackend):
+//
+//   * cross-backend equivalence — the self-hosted "tcp" backend must be
+//     BIT-IDENTICAL to the in-process backend for all six sketch families
+//     on Zipf / planted / churn / rank workloads, over real sockets;
+//   * the kReqHello handshake — wrong magic, wrong protocol version, and
+//     an unknown session token without a spec are rejected (the last as
+//     NotFound, so a restarted daemon surfaces as a dead peer instead of
+//     silently serving an empty shard);
+//   * exactly-once applies — a replayed kReqApplySeq sequence answers from
+//     the cached status without re-applying (epoch does not advance), and
+//     the hello reply's last_applied_seq reports the resync cursor;
+//   * transient partition — severed connections reconnect and resync with
+//     zero answer divergence, zero accounted loss, and NO topology
+//     generation bump (a partition is not a re-home);
+//   * kill -9 of a standalone engine_shardd — heartbeat supervision (PR 7)
+//     declares the shard dead via fast-failing refused probes, post-kill
+//     batches are dropped with exact accounting, and RecoverShard re-homes
+//     from the pre-kill checkpoint with updates_lost_total equal to
+//     exactly the updates submitted after the kill. Gated on WBS_SHARDD
+//     (CMake points it at the engine_shardd binary).
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/backend.h"
+#include "engine/client.h"
+#include "engine/remote_backend.h"
+#include "engine/tcp_transport.h"
+#include "engine/wire.h"
+#include "stream/workload.h"
+
+#include "engine_test_util.h"
+
+namespace wbs::engine {
+namespace {
+
+SketchConfig TestConfig(uint64_t universe, uint64_t seed) {
+  return SketchConfig{}.WithUniverse(universe).WithSeed(seed);
+}
+
+stream::TurnstileStream ZipfTurnstile(uint64_t universe, size_t n,
+                                      uint64_t seed) {
+  wbs::RandomTape tape(seed);
+  tape.set_logging(false);
+  auto items = stream::ZipfStream(universe, n, 1.2, &tape);
+  stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+  return s;
+}
+
+// ------------------------------------------------- cross-backend equality --
+
+/// Replays `s` through an in-process client and a self-hosted TCP client
+/// (every shard behind a real localhost socket) and requires bit-identical
+/// merged answers, per-shard live summaries, and space accounting.
+void CheckTcpAgreesWithInProcess(const stream::TurnstileStream& s,
+                                 const SketchConfig& cfg,
+                                 const std::vector<std::string>& sketches,
+                                 size_t shards, size_t threads) {
+  auto inprocess =
+      MakeClient(sketches, cfg, shards, threads, InProcessBackendFactory());
+  auto tcp = MakeClient(sketches, cfg, shards, threads, TcpBackendFactory());
+  ASSERT_EQ(tcp->ingestor().backend().name(), "tcp");
+  EXPECT_TRUE(
+      tcp->ingestor().backend().capabilities().crosses_process_boundary);
+  // Self-hosted placements report a dialable failure-domain key.
+  EXPECT_NE(tcp->ingestor().backend().Endpoint(0), "");
+
+  // Env-injected replay ops disabled for the same reason as the loopback
+  // equivalence harness: a crash drill is asymmetric between the two
+  // backends by design, so it would make the replays diverge.
+  ASSERT_TRUE(Replay(inprocess.get(), s, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(Replay(tcp.get(), s, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(inprocess->Finish().ok());
+  ASSERT_TRUE(tcp->Finish().ok());
+
+  for (const std::string& name : sketches) {
+    auto h_in = inprocess->Handle(name);
+    auto h_tc = tcp->Handle(name);
+    ASSERT_TRUE(h_in.ok() && h_tc.ok()) << name;
+    auto want = inprocess->RawSummary(h_in.value());
+    auto got = tcp->RawSummary(h_tc.value());
+    ASSERT_TRUE(want.ok()) << name << ": " << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+    EXPECT_EQ(got.value().has_scalar, want.value().has_scalar) << name;
+    EXPECT_EQ(got.value().updates, want.value().updates) << name;
+    ASSERT_EQ(got.value().items.size(), want.value().items.size()) << name;
+    for (size_t i = 0; i < got.value().items.size(); ++i) {
+      EXPECT_EQ(got.value().items[i].item, want.value().items[i].item)
+          << name;
+      EXPECT_EQ(got.value().items[i].estimate, want.value().items[i].estimate)
+          << name;
+    }
+    for (size_t shard = 0; shard < shards; ++shard) {
+      auto shard_want = inprocess->ingestor().ShardSummary(shard, name);
+      auto shard_got = tcp->ingestor().ShardSummary(shard, name);
+      ASSERT_TRUE(shard_want.ok() && shard_got.ok()) << name << "@" << shard;
+      EXPECT_EQ(shard_got.value().scalar, shard_want.value().scalar)
+          << name << "@" << shard;
+      EXPECT_EQ(shard_got.value().updates, shard_want.value().updates)
+          << name << "@" << shard;
+      ASSERT_EQ(shard_got.value().items.size(),
+                shard_want.value().items.size())
+          << name << "@" << shard;
+      for (size_t i = 0; i < shard_got.value().items.size(); ++i) {
+        EXPECT_EQ(shard_got.value().items[i].item,
+                  shard_want.value().items[i].item);
+        EXPECT_EQ(shard_got.value().items[i].estimate,
+                  shard_want.value().items[i].estimate);
+      }
+    }
+  }
+  EXPECT_EQ(tcp->ingestor().SpaceBits(), inprocess->ingestor().SpaceBits());
+}
+
+TEST(TcpEquivalenceTest, ZipfAllFamilies) {
+  const uint64_t universe = 1 << 12;
+  CheckTcpAgreesWithInProcess(
+      ZipfTurnstile(universe, 30000, 71), TestConfig(universe, 21),
+      {"misra_gries", "ams_f2", "sis_l0", "robust_hh", "crhf_hh"}, 4, 2);
+}
+
+TEST(TcpEquivalenceTest, PlantedHeavyHitters) {
+  const uint64_t universe = 1 << 16;
+  wbs::RandomTape tape(72);
+  tape.set_logging(false);
+  std::vector<uint64_t> planted;
+  auto items = stream::PlantedHeavyHitterStream(universe, 30000, 3, 0.2,
+                                                &tape, &planted);
+  stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+  CheckTcpAgreesWithInProcess(s, TestConfig(universe, 22),
+                              {"misra_gries", "robust_hh", "crhf_hh"}, 4, 2);
+}
+
+TEST(TcpEquivalenceTest, ChurnLinearFamilies) {
+  const uint64_t universe = 1 << 12;
+  wbs::RandomTape tape(73);
+  tape.set_logging(false);
+  auto s = stream::InsertDeleteChurnStream(universe, 120, 2500, &tape);
+  CheckTcpAgreesWithInProcess(s, TestConfig(universe, 23),
+                              {"ams_f2", "sis_l0"}, 4, 2);
+}
+
+TEST(TcpEquivalenceTest, RankDecision) {
+  SketchConfig cfg = TestConfig(1, 24);
+  cfg.rank.n = 32;
+  cfg.rank.k = 8;
+  stream::TurnstileStream diag;
+  for (size_t i = 0; i < 8; ++i) {
+    diag.push_back({uint64_t(i) * cfg.rank.n + i, 1});
+  }
+  CheckTcpAgreesWithInProcess(diag, cfg, {"rank_decision"}, 2, 1);
+}
+
+// ----------------------------------------------------- handshake contract --
+
+/// Builds a raw hello payload field by field (so tests can corrupt any of
+/// them without EncodeHello's help).
+std::string RawHello(uint32_t magic, uint8_t version, uint64_t token,
+                     bool has_spec, const TcpShardSpec* spec = nullptr) {
+  wire::Writer w;
+  w.U32(magic);
+  w.U8(version);
+  w.U8(0);  // data channel
+  w.U64(token);
+  w.U64(0);  // shard id
+  w.U64(0);  // last acked epoch
+  w.U8(has_spec ? 1 : 0);
+  if (has_spec) EncodeShardSpec(*spec, &w);
+  return w.Take();
+}
+
+/// Dials `port`, sends one frame, and decodes the reply's leading Status.
+Status OneShot(uint16_t port, uint8_t type, std::string_view payload) {
+  auto fd = TcpConnectFd("127.0.0.1", port, /*timeout_ms=*/2000);
+  if (!fd.ok()) return fd.status();
+  Status s = wire::WriteFrameFd(fd.value(), type, payload);
+  std::string buf;
+  uint8_t resp_type = 0;
+  std::string_view resp;
+  if (s.ok()) {
+    s = wire::ReadFrameFdTimeout(fd.value(), 5000, &buf, &resp_type, &resp);
+  }
+  Status decoded;
+  if (s.ok()) {
+    wire::Reader r(resp);
+    s = wire::DecodeStatus(&r, &decoded);
+  }
+  close(fd.value());
+  if (!s.ok()) return s;
+  return decoded;
+}
+
+TcpShardSpec OneSketchSpec(uint64_t universe, uint64_t seed) {
+  TcpShardSpec spec;
+  spec.sketches = {"misra_gries"};
+  spec.config = TestConfig(universe, seed);
+  spec.snapshot_min_updates = 0;  // publish every batch: epoch counts applies
+  return spec;
+}
+
+TEST(TcpHandshakeTest, WrongMagicRejected) {
+  auto host = TcpShardHost::Start({});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  Status s = OneShot(host.value()->port(), wire::kReqHello,
+                     RawHello(0xDEADBEEF, kTcpProtocolVersion, 1, false));
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.ToString().find("magic"), std::string::npos) << s.ToString();
+  EXPECT_EQ(host.value()->sessions(), 0u);
+}
+
+TEST(TcpHandshakeTest, WrongProtocolVersionRejected) {
+  auto host = TcpShardHost::Start({});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  Status s = OneShot(host.value()->port(), wire::kReqHello,
+                     RawHello(kTcpMagic, kTcpProtocolVersion + 1, 1, false));
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.ToString().find("version"), std::string::npos) << s.ToString();
+  EXPECT_EQ(host.value()->sessions(), 0u);
+}
+
+TEST(TcpHandshakeTest, UnknownTokenWithoutSpecIsNotFound) {
+  auto host = TcpShardHost::Start({});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  Status s =
+      OneShot(host.value()->port(), wire::kReqHello,
+              RawHello(kTcpMagic, kTcpProtocolVersion, 0x5EED5EED, false));
+  EXPECT_EQ(s.code(), Status::Code::kNotFound) << s.ToString();
+  EXPECT_EQ(host.value()->sessions(), 0u);
+}
+
+TEST(TcpHandshakeTest, RequestBeforeHelloRejected) {
+  auto host = TcpShardHost::Start({});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  Status s = OneShot(host.value()->port(), wire::kReqEpoch, "");
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition) << s.ToString();
+}
+
+TEST(TcpHandshakeTest, RestartedHostRejectsStaleSession) {
+  auto first = TcpShardHost::Start({});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const uint16_t port = first.value()->port();
+  const uint64_t token = 0xABCD1234;
+
+  TcpShardSpec spec = OneSketchSpec(1 << 10, 31);
+  Status s = OneShot(port, wire::kReqHello,
+                     RawHello(kTcpMagic, kTcpProtocolVersion, token, true,
+                              &spec));
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(first.value()->sessions(), 1u);
+
+  // Simulate a daemon restart on the same endpoint: the session table is
+  // gone. A reconnecting dialer never re-sends its spec, so it must get
+  // NotFound (dead peer -> re-home), never a silently empty shard.
+  first.value()->Stop();
+  first.value().reset();
+  auto second = TcpShardHost::Start({.bind_host = "127.0.0.1", .port = port});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  s = OneShot(port, wire::kReqHello,
+              RawHello(kTcpMagic, kTcpProtocolVersion, token, false));
+  EXPECT_EQ(s.code(), Status::Code::kNotFound) << s.ToString();
+}
+
+// ------------------------------------------------------ exactly-once applies
+
+/// One established raw client connection: hello already exchanged.
+struct RawConn {
+  int fd = -1;
+  TcpHelloReply hello;
+
+  ~RawConn() {
+    if (fd >= 0) close(fd);
+  }
+};
+
+Status DialHello(uint16_t port, uint64_t token, bool has_spec,
+                 const TcpShardSpec* spec, RawConn* out) {
+  auto fd = TcpConnectFd("127.0.0.1", port, 2000);
+  if (!fd.ok()) return fd.status();
+  out->fd = fd.value();
+  Status s = wire::WriteFrameFd(
+      out->fd, wire::kReqHello,
+      RawHello(kTcpMagic, kTcpProtocolVersion, token, has_spec, spec));
+  std::string buf;
+  uint8_t type = 0;
+  std::string_view resp;
+  if (s.ok()) s = wire::ReadFrameFdTimeout(out->fd, 5000, &buf, &type, &resp);
+  if (!s.ok()) return s;
+  wire::Reader r(resp);
+  Status remote;
+  if (Status ds = wire::DecodeStatus(&r, &remote); !ds.ok()) return ds;
+  if (!remote.ok()) return remote;
+  if (Status ds = r.U64(&out->hello.epoch); !ds.ok()) return ds;
+  if (Status ds = r.U64(&out->hello.last_applied_seq); !ds.ok()) return ds;
+  return r.ExpectEnd();
+}
+
+/// Sends one kReqApplySeq frame and returns the epoch in the OK reply.
+Result<uint64_t> ApplySeq(int fd, uint64_t seq,
+                          const stream::TurnstileStream& batch) {
+  wire::Writer w;
+  w.U64(seq);
+  wire::EncodeUpdates(batch.data(), batch.size(), &w);
+  Status s = wire::WriteFrameFd(fd, wire::kReqApplySeq, w.Take());
+  std::string buf;
+  uint8_t type = 0;
+  std::string_view resp;
+  if (s.ok()) s = wire::ReadFrameFdTimeout(fd, 5000, &buf, &type, &resp);
+  if (!s.ok()) return s;
+  wire::Reader r(resp);
+  Status remote;
+  if (Status ds = wire::DecodeStatus(&r, &remote); !ds.ok()) return ds;
+  if (!remote.ok()) return remote;
+  uint64_t epoch = 0;
+  if (Status ds = r.U64(&epoch); !ds.ok()) return ds;
+  return epoch;
+}
+
+TEST(TcpExactlyOnceTest, ReplayedSequenceIsNotReapplied) {
+  auto host = TcpShardHost::Start({});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  const uint16_t port = host.value()->port();
+  const uint64_t token = 0x10CA1;
+  TcpShardSpec spec = OneSketchSpec(1 << 10, 33);
+
+  RawConn conn;
+  ASSERT_TRUE(DialHello(port, token, true, &spec, &conn).ok());
+  EXPECT_EQ(conn.hello.epoch, 0u);
+  EXPECT_EQ(conn.hello.last_applied_seq, 0u);
+
+  // With snapshot_min_updates = 0 every applied batch publishes a snapshot,
+  // so the epoch is an exact count of APPLIED batches.
+  stream::TurnstileStream batch = {{5, 3}, {9, 1}};
+  auto e1 = ApplySeq(conn.fd, 1, batch);
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  EXPECT_EQ(e1.value(), 1u);
+
+  // The replayed sequence is ACKed from the cached status without touching
+  // the cell: the epoch must NOT advance (a re-apply would double-count).
+  auto replay = ApplySeq(conn.fd, 1, batch);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay.value(), 1u);
+
+  auto e2 = ApplySeq(conn.fd, 2, batch);
+  ASSERT_TRUE(e2.ok()) << e2.status().ToString();
+  EXPECT_EQ(e2.value(), 2u);
+
+  // A reconnect (same token, NO spec) resyncs: the hello reply reports the
+  // apply cursor so the dialer knows which in-flight batch already landed.
+  RawConn re;
+  ASSERT_TRUE(DialHello(port, token, false, nullptr, &re).ok());
+  EXPECT_EQ(re.hello.last_applied_seq, 2u);
+  EXPECT_EQ(re.hello.epoch, 2u);
+  EXPECT_EQ(host.value()->sessions(), 1u);
+}
+
+// --------------------------------------------------- transient partitions --
+
+std::unique_ptr<Client> MakeTcpClient(std::vector<std::string> sketches,
+                                      const SketchConfig& cfg, size_t shards,
+                                      size_t threads,
+                                      const FailoverOptions& failover = {},
+                                      BackendFactory backend = {}) {
+  ClientOptions opts;
+  opts.ingest.num_shards = shards;
+  opts.ingest.num_threads = threads;
+  opts.ingest.sketches = std::move(sketches);
+  opts.ingest.config = cfg;
+  opts.ingest.backend =
+      backend ? std::move(backend) : TcpBackendFactory();
+  opts.ingest.failover = failover;
+  auto client = Client::Create(opts);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+TEST(TcpPartitionTest, TransientPartitionResyncsWithoutRehome) {
+  const uint64_t universe = 1 << 12;
+  const std::vector<std::string> sketches = {"misra_gries", "ams_f2",
+                                             "sis_l0"};
+  const SketchConfig cfg = TestConfig(universe, 25);
+  const size_t shards = 2;
+  auto s = ZipfTurnstile(universe, 20000, 75);
+  const stream::TurnstileStream head(s.begin(), s.begin() + s.size() / 2);
+  const stream::TurnstileStream tail(s.begin() + s.size() / 2, s.end());
+
+  // Same batch boundaries as the partitioned client: Misra-Gries
+  // pre-aggregates per batch, so boundaries are part of the answer.
+  auto reference =
+      MakeClient(sketches, cfg, shards, 2, InProcessBackendFactory());
+  ASSERT_TRUE(
+      Replay(reference.get(), head, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(
+      Replay(reference.get(), tail, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(reference->Finish().ok());
+
+  auto tcp = MakeTcpClient(sketches, cfg, shards, 2);
+  ASSERT_TRUE(Replay(tcp.get(), head, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(tcp->Flush().ok());
+  const uint64_t gen_before = tcp->Topology().generation;
+
+  // Sever every shard's live connections. Sessions survive on the hosts,
+  // so the dialers must reconnect + resync transparently inside the next
+  // call's deadline — no supervision, no MoveShard, no loss.
+  for (size_t shard = 0; shard < shards; ++shard) {
+    ASSERT_TRUE(tcp->InjectShardPartition(shard).ok()) << shard;
+  }
+  ASSERT_TRUE(Replay(tcp.get(), tail, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(tcp->Finish().ok());
+
+  // A transient partition is not a re-home: the routing table never moved.
+  EXPECT_EQ(tcp->Topology().generation, gen_before);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    ShardHealthInfo h = tcp->Health(shard);
+    EXPECT_EQ(h.health, ShardHealth::kHealthy) << shard;
+    EXPECT_EQ(h.dropped_updates, 0u) << shard;
+    EXPECT_EQ(h.recoveries, 0u) << shard;
+    EXPECT_EQ(h.updates_lost_total, 0u) << shard;
+  }
+
+  // Zero answer divergence from the uncontested in-process replay.
+  for (const std::string& name : sketches) {
+    auto want = reference->RawSummary(reference->Handle(name).value());
+    auto got = tcp->RawSummary(tcp->Handle(name).value());
+    ASSERT_TRUE(want.ok() && got.ok()) << name;
+    EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+    EXPECT_EQ(got.value().updates, want.value().updates) << name;
+    ASSERT_EQ(got.value().items.size(), want.value().items.size()) << name;
+    for (size_t i = 0; i < got.value().items.size(); ++i) {
+      EXPECT_EQ(got.value().items[i].item, want.value().items[i].item);
+      EXPECT_EQ(got.value().items[i].estimate, want.value().items[i].estimate);
+    }
+  }
+
+  // Each shard's dialer redialed at least once, and says so.
+  MetricsSnapshot snap = tcp->Metrics();
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const std::string counter =
+        "engine.shard." + std::to_string(shard) + ".tcp.reconnects_total";
+    EXPECT_GE(snap.Value(counter), 1u) << counter;
+  }
+}
+
+// ------------------------------------------------- kill -9 daemon recovery --
+
+struct DaemonProc {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+/// Spawns `binary --port=0` with stdout piped and blocks on the daemon's
+/// "LISTENING <port>" line.
+bool SpawnDaemon(const char* binary, DaemonProc* out) {
+  int pfd[2];
+  if (pipe(pfd) != 0) return false;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(pfd[0]);
+    close(pfd[1]);
+    return false;
+  }
+  if (pid == 0) {
+    dup2(pfd[1], STDOUT_FILENO);
+    close(pfd[0]);
+    close(pfd[1]);
+    execl(binary, binary, "--port=0", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(pfd[1]);
+  std::string line;
+  char c;
+  while (read(pfd[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+  close(pfd[0]);
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "LISTENING %u", &port) != 1 || port == 0 ||
+      port > 65535) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out->pid = pid;
+  out->port = uint16_t(port);
+  return true;
+}
+
+TEST(TcpDaemonTest, Kill9RecoversFromCheckpointWithExactLoss) {
+  const char* shardd = std::getenv("WBS_SHARDD");
+  if (shardd == nullptr) {
+    GTEST_SKIP() << "WBS_SHARDD not set (ctest sets it to engine_shardd)";
+  }
+  DaemonProc daemon;
+  ASSERT_TRUE(SpawnDaemon(shardd, &daemon)) << "engine_shardd did not start";
+
+  const uint64_t universe = 1 << 10;
+  const std::vector<std::string> sketches = {"misra_gries", "ams_f2"};
+  const SketchConfig cfg = TestConfig(universe, 29);
+  auto s = ZipfTurnstile(universe, 6000, 79);
+  const stream::TurnstileStream prefix(s.begin(), s.begin() + 4096);
+  const stream::TurnstileStream post(s.begin() + 4096, s.end());
+
+  // The reference saw ONLY the checkpointed prefix: recovery must restore
+  // exactly that state, nothing more, nothing less.
+  auto reference =
+      MakeClient(sketches, cfg, /*shards=*/1, /*threads=*/1,
+                 InProcessBackendFactory());
+  ASSERT_TRUE(Replay(reference.get(), prefix, 1024,
+                     ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(reference->Finish().ok());
+
+  auto factory = BackendFactoryByName(
+      "tcp:127.0.0.1:" + std::to_string(daemon.port));
+  ASSERT_TRUE(factory.ok()) << factory.status().ToString();
+  // Heartbeat supervision on, auto-recovery OFF: the kill is detected by
+  // the supervisor, but the re-home happens at a barrier WE choose, so the
+  // post-kill drop count is deterministic. The timeout is generous because
+  // dead-daemon detection does not depend on it — probes against a killed
+  // listener fast-fail with ECONNREFUSED — while a tight timeout could
+  // declare a merely-slow daemon dead on sanitizer builds.
+  FailoverOptions failover;
+  failover.heartbeat_interval_ms = 25;
+  failover.heartbeat_timeout_ms = 2000;
+  failover.auto_recover = false;
+  auto tcp = MakeTcpClient(sketches, cfg, /*shards=*/1, /*threads=*/1,
+                           failover, std::move(factory).value());
+  ASSERT_TRUE(Replay(tcp.get(), prefix, 1024, ReplayChurn::kDisabled).ok());
+  ASSERT_TRUE(tcp->Flush().ok());
+  ASSERT_TRUE(tcp->Checkpoint().ok());
+  const uint64_t gen_before = tcp->Topology().generation;
+  // The exact-loss assertions below are meaningless if the shard degraded
+  // during the prefix (only possible if supervision misfired on a healthy
+  // daemon) — catch that case here, where the diagnosis is unambiguous.
+  ASSERT_EQ(tcp->Health(0).health, ShardHealth::kHealthy);
+  ASSERT_EQ(tcp->Health(0).dropped_updates, 0u);
+
+  ASSERT_EQ(kill(daemon.pid, SIGKILL), 0);
+  ASSERT_EQ(waitpid(daemon.pid, nullptr, 0), daemon.pid);
+
+  // Refused probes fast-fail (the listener died with the process), so the
+  // supervisor converges on kDead in a few heartbeat periods.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tcp->Health(0).health != ShardHealth::kDead &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(tcp->Health(0).health, ShardHealth::kDead);
+
+  // Everything submitted after the kill is dropped — with a receipt.
+  auto ticket = tcp->Submit(post);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_TRUE(tcp->Wait(ticket.value()).ok());
+  EXPECT_EQ(tcp->Health(0).dropped_updates, post.size());
+
+  // Re-home from the pre-kill checkpoint (default in-process placement).
+  ASSERT_TRUE(tcp->RecoverShard(0).ok());
+  ShardHealthInfo h = tcp->Health(0);
+  EXPECT_EQ(h.health, ShardHealth::kHealthy);
+  EXPECT_EQ(h.recoveries, 1u);
+  // EXACT loss accounting: the checkpoint was cut after the full prefix
+  // was acked and nothing else was acked before the kill, so the loss is
+  // precisely the post-kill submissions.
+  EXPECT_EQ(h.updates_lost_total, post.size());
+  EXPECT_GT(tcp->Topology().generation, gen_before);
+
+  ASSERT_TRUE(tcp->Finish().ok());
+  for (const std::string& name : sketches) {
+    auto want = reference->RawSummary(reference->Handle(name).value());
+    auto got = tcp->RawSummary(tcp->Handle(name).value());
+    ASSERT_TRUE(want.ok() && got.ok()) << name;
+    EXPECT_EQ(got.value().scalar, want.value().scalar) << name;
+    EXPECT_EQ(got.value().has_scalar, want.value().has_scalar) << name;
+    EXPECT_EQ(got.value().updates, want.value().updates) << name;
+    ASSERT_EQ(got.value().items.size(), want.value().items.size()) << name;
+    for (size_t i = 0; i < got.value().items.size(); ++i) {
+      EXPECT_EQ(got.value().items[i].item, want.value().items[i].item);
+      EXPECT_EQ(got.value().items[i].estimate, want.value().items[i].estimate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wbs::engine
