@@ -1057,6 +1057,186 @@ void RunEngineFailoverBench(uint64_t num_updates) {
   }
 }
 
+// ------------------------------------------------------------ autoscale --
+//
+// The control plane's reaction as a number. A 2-shard engine with the live
+// controller (tight evaluation period, watermark below the offered load)
+// ingests a full-speed Zipf stream; the rows report how long the engine
+// took to rebalance itself (first topology-generation change after the
+// load began), the p99 per-batch submit latency while the controller was
+// resharding under the stream, how many decisions it took, and that the
+// final answer still equals a static reference (ams_f2 is linear, so
+// equality is exact) with zero lost acked updates. A second row prices the
+// slot-heat sampling the slot-move decisions feed on (contract: <= 2%
+// throughput overhead at shift=6).
+
+double RunEngineSlotSamplingMode(size_t slot_sample_shift,
+                                 const wbs::stream::TurnstileStream& s,
+                                 uint64_t universe) {
+  const size_t shards = 4, threads = 2, batch = 32768, producers = 4;
+  wbs::engine::ClientOptions opts =
+      EngineClientOptions(universe, shards, threads);
+  opts.ingest.slot_sample_shift = slot_sample_shift;
+  auto client = wbs::engine::Client::Create(opts);
+  if (!client.ok()) return 0;
+  std::atomic<uint64_t> submit_errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pthreads;
+  pthreads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    pthreads.emplace_back([&, p] {
+      for (size_t off = p * batch; off < s.size();
+           off += producers * batch) {
+        const size_t n = std::min(batch, s.size() - off);
+        if (!client.value()->Submit(s.data() + off, n).ok()) {
+          ++submit_errors;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pthreads) t.join();
+  wbs::Status st = client.value()->Flush();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (st.ok()) st = client.value()->Finish();
+  if (!st.ok() || submit_errors.load() > 0) return 0;
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return seconds > 0 ? double(s.size()) / seconds : 0;
+}
+
+void RunEngineAutoscaleBench(uint64_t num_updates) {
+  wbs::bench::Banner(
+      "engine_autoscale",
+      "live controller under a full-speed Zipf stream: time to the first "
+      "self-issued rebalance, p99 submit latency during it, and the "
+      "slot-heat sampling overhead (contract: <= 2%)");
+  using clock = std::chrono::steady_clock;
+  const uint64_t universe = 4096;
+  const size_t ingest = size_t(std::min<uint64_t>(num_updates, 500000));
+
+  wbs::RandomTape tape(113);
+  tape.set_logging(false);
+  auto items = wbs::stream::ZipfStream(universe, ingest, 1.2, &tape);
+  wbs::stream::TurnstileStream s;
+  s.reserve(items.size());
+  for (const auto& u : items) s.push_back({u.item, 1});
+
+  // Reference answer: any topology history must reproduce this exactly.
+  double want = 0;
+  {
+    auto ref = wbs::engine::Client::Create(
+        EngineClientOptions(universe, /*shards=*/4, /*threads=*/0));
+    if (!ref.ok()) return;
+    auto handle = ref.value()->Handle("ams_f2");
+    if (!handle.ok() || !ref.value()->Submit(s).ok() ||
+        !ref.value()->Flush().ok()) {
+      return;
+    }
+    auto est = ref.value()->QueryScalar(handle.value());
+    if (!est.ok()) return;
+    want = est.value().value;
+    (void)ref.value()->Finish();
+  }
+
+  {
+    wbs::engine::ClientOptions opts =
+        EngineClientOptions(universe, /*shards=*/2, /*threads=*/2);
+    opts.ingest.slot_sample_shift = 6;
+    opts.ingest.autoscale.enabled = true;
+    opts.ingest.autoscale.evaluation_interval_ms = 2;
+    opts.ingest.autoscale.high_watermark_updates_per_sec = 50'000.0;
+    opts.ingest.autoscale.cooldown_ms = 20;
+    opts.ingest.autoscale.max_shards = 8;
+    opts.ingest.autoscale.scale_step = 2;
+    auto client = wbs::engine::Client::Create(opts);
+    if (!client.ok()) return;
+    auto handle = client.value()->Handle("ams_f2");
+    if (!handle.ok()) return;
+
+    const uint64_t gen0 = client.value()->Topology().generation;
+    const size_t batch = 8192;
+    std::vector<double> submit_us;
+    submit_us.reserve(s.size() / batch + 1);
+    double rebalance_us = 0;
+    bool fed = true;
+    const auto t_start = clock::now();
+    for (size_t off = 0; off < s.size() && fed; off += batch) {
+      const auto t0 = clock::now();
+      fed = client.value()
+                ->Submit(s.data() + off, std::min(batch, s.size() - off))
+                .ok();
+      submit_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - t0)
+              .count());
+      if (rebalance_us == 0 &&
+          client.value()->Topology().generation > gen0) {
+        rebalance_us = std::chrono::duration<double, std::micro>(
+                           clock::now() - t_start)
+                           .count();
+      }
+    }
+    if (!fed || !client.value()->Flush().ok()) return;
+    // A short stream can outrun the controller's first period; give it one
+    // more tick so the row always reports a rebalance.
+    const auto deadline = clock::now() + std::chrono::seconds(5);
+    while (rebalance_us == 0 && clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (client.value()->Topology().generation > gen0) {
+        rebalance_us = std::chrono::duration<double, std::micro>(
+                           clock::now() - t_start)
+                           .count();
+      }
+    }
+    // Finish first: it stops the controller, so the decision counters, the
+    // final topology, and the answer are one consistent cut.
+    (void)client.value()->Finish();
+    wbs::engine::MetricsSnapshot snap = client.value()->Metrics();
+    const auto topo = client.value()->Topology();
+    auto est = client.value()->QueryScalar(handle.value());
+    if (!est.ok()) return;
+    std::sort(submit_us.begin(), submit_us.end());
+    const double p99 =
+        submit_us.empty()
+            ? 0
+            : submit_us[size_t(0.99 * double(submit_us.size() - 1))];
+    wbs::bench::JsonRow()
+        .Field("bench", "engine_autoscale")
+        .Field("mode", "step_scaleout")
+        .Field("ingested_updates", uint64_t(s.size()))
+        .Field("shards_before", uint64_t(2))
+        .Field("shards_after", uint64_t(topo.num_shards))
+        .Field("time_to_rebalance_us", rebalance_us)
+        .Field("p99_submit_us_during_rebalance", p99)
+        .Field("decisions",
+               snap.Value("engine.autoscaler.scaleouts_total") +
+                   snap.Value("engine.autoscaler.slot_moves_total"))
+        .Field("cooldown_suppressed",
+               snap.Value("engine.autoscaler.cooldown_suppressed_total"))
+        .Field("updates_lost",
+               snap.Value("engine.failover.updates_lost_total"))
+        .Field("answer_exact", est.value().value == want ? 1 : 0)
+        .Emit();
+  }
+
+  // Slot-heat sampling overhead: interleaved best-of repetitions, same
+  // damping as the metrics-overhead row.
+  double ups_off = 0, ups_on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    ups_off = std::max(ups_off, RunEngineSlotSamplingMode(0, s, universe));
+    ups_on = std::max(ups_on, RunEngineSlotSamplingMode(6, s, universe));
+  }
+  if (ups_on == 0 || ups_off == 0) return;
+  wbs::bench::JsonRow()
+      .Field("bench", "engine_autoscale")
+      .Field("mode", "slot_sampling_overhead")
+      .Field("slot_sample_shift", uint64_t(6))
+      .Field("updates", uint64_t(s.size()))
+      .Field("updates_per_sec_sampled", ups_on)
+      .Field("updates_per_sec_unsampled", ups_off)
+      .Field("overhead_pct", (ups_off - ups_on) / ups_off * 100.0)
+      .Emit();
+}
+
 // ---------------------------------------------------------- merge cache --
 //
 // Cold rebuild vs cached re-query vs incremental single-shard refold of the
@@ -1394,6 +1574,7 @@ int main(int argc, char** argv) {
     RunEngineTcpBench(engine_updates);
     RunEngineReshardBench(engine_updates);
     RunEngineFailoverBench(engine_updates);
+    RunEngineAutoscaleBench(engine_updates);
     RunWireSerializeBench(engine_updates);
     RunMergeCacheBench(engine_updates);
     RunEngineMetricsOverhead(engine_updates);

@@ -228,6 +228,24 @@ class Client {
     return ingestor_->MoveShard(shard, std::move(factory));
   }
 
+  /// Slot-level migration: re-points the given hash slots (all owned by
+  /// `source`) at shard `dest` without a whole-shard handoff. The source's
+  /// frozen prefix stays merge-visible, so answers remain a merge over all
+  /// substreams ever (bit-identical for the linear families). Fails
+  /// Unavailable when `dest` is not healthy. Emits a "move_slots" span.
+  Status MoveSlots(size_t source, std::vector<uint32_t> slots, size_t dest) {
+    return ingestor_->MoveSlots(source, std::move(slots), dest);
+  }
+
+  /// Estimated per-slot update counts from scatter-path sampling; empty
+  /// when IngestorOptions::slot_sample_shift is 0. Any thread.
+  std::vector<uint64_t> SlotHeat() const { return ingestor_->SlotHeat(); }
+
+  /// The autoscaling controller (nullptr unless autoscale.enabled). In
+  /// manual mode (evaluation_interval_ms == 0) drive it with
+  /// Autoscaler::EvaluateOnce().
+  Autoscaler* autoscaler() const { return ingestor_->autoscaler(); }
+
   /// The current routing table, described (generation, shard count, slot
   /// ownership). Any thread.
   TopologyInfo Topology() const { return ingestor_->Topology(); }

@@ -29,6 +29,11 @@ Result<std::unique_ptr<ShardedIngestor>> ShardedIngestor::Create(
       return Status::NotFound("ShardedIngestor: unknown sketch " + name);
     }
   }
+  if (options.autoscale.enabled && !options.metrics_enabled) {
+    return Status::InvalidArgument(
+        "ShardedIngestor: autoscaling needs metrics_enabled (the controller "
+        "samples per-shard load from the metrics surface)");
+  }
   IngestorOptions opts = options;
   if (opts.num_threads > opts.num_shards) opts.num_threads = opts.num_shards;
   if (opts.slots_per_shard == 0) opts.slots_per_shard = 1;
@@ -76,6 +81,14 @@ Status ShardedIngestor::Init() {
   }
   topology_ = std::make_unique<ShardTopology>(ShardTopology::MakeInitial(
       options_.num_shards, options_.slots_per_shard, backend_));
+  if (options_.slot_sample_shift > 0) {
+    // num_slots is fixed for the engine's lifetime (topology ops only
+    // reassign slot owners), so one flat atomic array suffices forever.
+    slot_heat_slots_ = topology_->View()->num_slots();
+    slot_heat_ = std::make_unique<std::atomic<uint64_t>[]>(slot_heat_slots_);
+    slot_sample_mask_ =
+        (uint64_t{1} << std::min<size_t>(options_.slot_sample_shift, 63)) - 1;
+  }
   caches_.reserve(options_.sketches.size());
   for (size_t i = 0; i < options_.sketches.size(); ++i) {
     caches_.push_back(std::make_unique<MergeCache>());
@@ -97,6 +110,10 @@ Status ShardedIngestor::Init() {
   }
   if (supervision_enabled() || options_.failover.checkpoint_interval_ms > 0) {
     supervisor_ = std::thread([this] { SupervisorLoop(); });
+  }
+  if (options_.autoscale.enabled) {
+    autoscaler_ = std::make_unique<Autoscaler>(this, options_.autoscale);
+    autoscaler_->Start();  // no-op in manual mode (interval 0)
   }
   return Status::OK();
 }
@@ -620,6 +637,7 @@ Result<IngestTicket> ShardedIngestor::SubmitScattered(
     } else {
       for (size_t i = 0; i < count; ++i) {
         scatter_[view->ShardFor(updates[i].item)].push_back(updates[i]);
+        SampleSlotHeat(updates[i].item, view->num_slots());
       }
     }
     return ApplyInline(*view, count);
@@ -637,6 +655,7 @@ Result<IngestTicket> ShardedIngestor::SubmitScattered(
   } else {
     for (size_t i = 0; i < count; ++i) {
       sub[view->ShardFor(updates[i].item)].push_back(updates[i]);
+      SampleSlotHeat(updates[i].item, view->num_slots());
     }
   }
   return EnqueueScattered(session, std::move(sub), count, blocking,
@@ -674,6 +693,7 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
     } else {
       for (size_t i = 0; i < count; ++i) {
         scatter_[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
+        SampleSlotHeat(items[i].item, view->num_slots());
       }
     }
     return ApplyInline(*view, count);
@@ -690,6 +710,7 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
   } else {
     for (size_t i = 0; i < count; ++i) {
       sub[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
+      SampleSlotHeat(items[i].item, view->num_slots());
     }
   }
   return EnqueueScattered(session, std::move(sub), count, /*blocking=*/true,
@@ -773,6 +794,23 @@ Status ShardedIngestor::MoveShard(size_t shard, BackendFactory factory) {
   return RunAtBarrier([this, shard, factory = std::move(factory)] {
     return DoMoveShard(shard, factory);
   });
+}
+
+Status ShardedIngestor::MoveSlots(size_t source, std::vector<uint32_t> slots,
+                                  size_t dest) {
+  return RunAtBarrier([this, source, slots = std::move(slots), dest] {
+    return DoMoveSlots(source, slots, dest);
+  });
+}
+
+std::vector<uint64_t> ShardedIngestor::SlotHeat() const {
+  std::vector<uint64_t> heat(slot_heat_slots_);
+  // Scale sampled counts back to estimated update counts.
+  const size_t shift = std::min<size_t>(options_.slot_sample_shift, 63);
+  for (size_t slot = 0; slot < slot_heat_slots_; ++slot) {
+    heat[slot] = slot_heat_[slot].load(std::memory_order_relaxed) << shift;
+  }
+  return heat;
 }
 
 Status ShardedIngestor::DoAddShards(size_t n, const BackendFactory& factory) {
@@ -869,6 +907,53 @@ Status ShardedIngestor::DoMoveShard(size_t shard,
   topology_->Install(std::move(next).value());
 
   move.Attr("state_bytes", state_bytes);
+  move.Attr("generation", topology_->View()->generation);
+  move.End();
+  return Status::OK();
+}
+
+Status ShardedIngestor::DoMoveSlots(size_t source,
+                                    const std::vector<uint32_t>& slots,
+                                    size_t dest) {
+  std::shared_ptr<const TopologyView> view = topology_->View();
+  if (source >= view->num_shards()) {
+    return Status::OutOfRange("ShardedIngestor: MoveSlots source out of range");
+  }
+  if (dest >= view->num_shards()) {
+    return Status::OutOfRange("ShardedIngestor: MoveSlots dest out of range");
+  }
+  // A migration must never target a shard that cannot serve: the moved
+  // slots' traffic would drop into the hole the supervisor is about to
+  // (or already did) declare dead. The autoscaler filters destinations by
+  // health before deciding; this guard covers direct callers too.
+  if (HealthFor(dest).health.load(std::memory_order_acquire) !=
+      uint8_t(ShardHealth::kHealthy)) {
+    return Status::Unavailable(
+        "ShardedIngestor: MoveSlots destination shard is not healthy");
+  }
+
+  Tracer::Span move = tracer_->StartSpan("move_slots");
+  move.Attr("source", source);
+  move.Attr("dest", dest);
+  move.Attr("slots", slots.size());
+
+  // Publish the source's exact live state before re-pointing: the barrier
+  // already drained its in-flight batches, and the flush pushes its
+  // snapshot (the SerializeState path for remote cells) so the frozen
+  // prefix of the moved slots' substreams is merge-visible from the first
+  // post-move query. No state crosses cells — the source keeps its full
+  // history and the destination accumulates the suffix; the merged answer
+  // covers every update ever, bit-identically for the linear families.
+  const ShardPlacement placement = view->placements[source];
+  Tracer::Span flush = tracer_->StartSpan("move_slots.flush", move.id());
+  Status flushed = placement.backend->Flush(placement.local);
+  if (!flushed.ok()) return flushed;
+  flush.End();
+
+  auto next = ShardTopology::WithMovedSlots(*view, slots, dest);
+  if (!next.ok()) return next.status();
+  topology_->Install(std::move(next).value());
+
   move.Attr("generation", topology_->View()->generation);
   move.End();
   return Status::OK();
@@ -1306,10 +1391,12 @@ Status ShardedIngestor::Finish() {
                                          std::memory_order_acq_rel)) {
     return FirstError();
   }
-  // The supervisor goes first: it must not start new barrier operations
-  // while the pipeline tears down. An in-flight one (auto-recovery or a
-  // periodic checkpoint) drains through the still-running router before
-  // the join returns; one attempted after the CAS fails PreSubmit cleanly.
+  // The control threads go first: they must not start new barrier
+  // operations while the pipeline tears down. An in-flight one (a reshard
+  // decision, auto-recovery, or a periodic checkpoint) drains through the
+  // still-running router before the join returns; one attempted after the
+  // CAS fails PreSubmit cleanly.
+  if (autoscaler_ != nullptr) autoscaler_->Stop();
   StopSupervisor();
   { std::lock_guard<std::mutex> lock(submit_mu_); }
   Status s = Flush();

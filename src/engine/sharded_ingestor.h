@@ -86,6 +86,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "engine/autoscaler.h"
 #include "engine/backend.h"
 #include "engine/metrics.h"
 #include "engine/sketch.h"
@@ -169,6 +170,18 @@ struct IngestorOptions {
   size_t trace_capacity = 256;
   /// Failure handling: supervision off by default (see FailoverOptions).
   FailoverOptions failover;
+  /// Per-slot heat sampling in the scatter path: 0 (default) = off; N >= 1
+  /// counts every 2^N-th scattered update against its hash slot (relaxed
+  /// atomic, thread-local stride), making slot-level hotness visible to
+  /// SlotHeat() and the autoscaler's MoveSlots decisions. Sampled, so the
+  /// hot-path cost is one predicted branch per update plus one hash +
+  /// fetch_add per 2^N updates — within the metrics ≤2% overhead contract.
+  /// Single-shard fast paths skip sampling (nothing to rebalance).
+  size_t slot_sample_shift = 0;
+  /// Autoscaling control plane: off by default (see AutoscaleOptions).
+  /// When enabled, the engine starts an Autoscaler with these targets in
+  /// Init and stops it in Finish. Requires metrics_enabled.
+  AutoscaleOptions autoscale;
 };
 
 /// A sequence-numbered receipt for one asynchronous submission. Tickets are
@@ -308,6 +321,30 @@ class ShardedIngestor {
   /// see TraceSpans()). Custom sketches without a wire format fail with
   /// Unimplemented (and the topology stays as it was).
   Status MoveShard(size_t shard, BackendFactory factory);
+
+  /// SLOT-LEVEL migration: re-points the given hash slots (all currently
+  /// owned by `source`) at shard `dest` — a hot slot peeled off a hot
+  /// shard without a whole-shard handoff. Linearized at a batch barrier;
+  /// the source's snapshot is published (flushed) first, so its frozen
+  /// prefix stays merge-visible and answers remain a merge over all
+  /// substreams ever — bit-identical for the linear families, exactly the
+  /// AddShards slot-stealing argument. No sketch state crosses cells: the
+  /// destination accumulates the slots' suffix substreams. Fails
+  /// Unavailable when `dest` is dead (a migration must never target a
+  /// shard that cannot serve), InvalidArgument/OutOfRange on a bad slot
+  /// set; on failure the topology is unchanged. Emits a "move_slots" span
+  /// with a "move_slots.flush" child.
+  Status MoveSlots(size_t source, std::vector<uint32_t> slots, size_t dest);
+
+  /// Estimated per-slot update counts from scatter-path sampling (counts
+  /// scaled by 2^slot_sample_shift). Empty when sampling is off
+  /// (slot_sample_shift == 0). Approximate by design: sampling strides are
+  /// thread-local. Any thread.
+  std::vector<uint64_t> SlotHeat() const;
+
+  /// The autoscaling controller, or nullptr when autoscale.enabled was
+  /// false. Tests drive it manually via Autoscaler::EvaluateOnce().
+  Autoscaler* autoscaler() const { return autoscaler_.get(); }
 
   /// The current routing table, described (generation, shard count, slot
   /// ownership). Any thread.
@@ -468,6 +505,11 @@ class ShardedIngestor {
   }
 
  private:
+  /// The controller samples load (metrics_, valve turnstile state, worker
+  /// count) and records spans (tracer_) without widening the public
+  /// surface; it acts only through the public topology operations.
+  friend class Autoscaler;
+
   /// Completion state shared between one ticket's scattered sub-batches.
   struct TicketState {
     uint64_t seq = 0;
@@ -614,6 +656,8 @@ class ShardedIngestor {
   /// The barrier bodies (called with workers drained).
   Status DoAddShards(size_t n, const BackendFactory& factory);
   Status DoMoveShard(size_t shard, const BackendFactory& factory);
+  Status DoMoveSlots(size_t source, const std::vector<uint32_t>& slots,
+                     size_t dest);
   Status DoCheckpoint();
   /// Checkpoints one shard against `view` (caller is at a barrier).
   Status DoCheckpointShard(size_t shard, const TopologyView& view);
@@ -650,6 +694,18 @@ class ShardedIngestor {
   static void RecordApply(ShardIngestMetrics* m, size_t count,
                           uint64_t elapsed_us);
 
+  /// Scatter-path slot-heat sampling site: counts every 2^slot_sample_shift
+  /// -th update (per calling thread) against its hash slot. One predicted
+  /// branch per update when sampling is off; the hash is only recomputed on
+  /// the sampled stride, so the cost stays inside the metrics ≤2% contract.
+  void SampleSlotHeat(uint64_t item, size_t num_slots) {
+    if (slot_heat_ == nullptr) return;
+    thread_local uint64_t stride = 0;
+    if (((++stride) & slot_sample_mask_) != 0) return;
+    slot_heat_[TopologyView::SlotOf(item, num_slots)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   IngestorOptions options_;
   /// Observability. metrics_ is null when options_.metrics_enabled is
   /// false — every instrumentation site is behind a null check, so the
@@ -664,6 +720,17 @@ class ShardedIngestor {
   /// retired cell is reclaimed when the last view drops — not kept forever.
   std::shared_ptr<ShardBackend> backend_;
   std::unique_ptr<ShardTopology> topology_;
+  /// Slot-heat sample counters, one per hash slot — null when sampling is
+  /// off. num_slots is FIXED for the engine's lifetime (topology ops only
+  /// reassign owners), so a flat atomic array needs no resizing or locks.
+  std::unique_ptr<std::atomic<uint64_t>[]> slot_heat_;
+  size_t slot_heat_slots_ = 0;
+  uint64_t slot_sample_mask_ = 0;  ///< (1 << slot_sample_shift) - 1
+  /// The autoscaling controller (autoscale.enabled only). Reads load via
+  /// friendship (metrics_/tracer_/valve state) and acts through the public
+  /// topology ops; started after the supervisor in Init, stopped first in
+  /// Finish.
+  std::unique_ptr<Autoscaler> autoscaler_;
   mutable std::vector<std::unique_ptr<MergeCache>> caches_;  // per sketch
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Inline-mode scatter scratch, reused across submissions under

@@ -28,6 +28,8 @@ std::shared_ptr<const TopologyView> ShardTopology::MakeInitial(
     view->placements[s] = ShardPlacement{
         primary, uint32_t(s), primary ? primary->Endpoint(s) : std::string()};
   }
+  view->owned_slots.assign(num_shards, 0);
+  for (uint32_t owner : view->slot_to_shard) ++view->owned_slots[owner];
   return view;  // every placement shares ownership of the primary cell
 }
 
@@ -44,8 +46,8 @@ std::shared_ptr<const TopologyView> ShardTopology::WithAddedShards(
   // currently most-loaded owner (ties: lowest shard id). With more shards
   // than slots the late shards own zero slots; they are still merge-visible
   // and still valid handoff targets.
-  std::vector<size_t> owned(view->placements.size(), 0);
-  for (uint32_t owner : view->slot_to_shard) ++owned[owner];
+  std::vector<uint32_t>& owned = view->owned_slots;
+  owned.resize(view->placements.size(), 0);
   const size_t target = view->num_slots() / view->num_shards();
   for (size_t b = first_new; b < view->placements.size(); ++b) {
     for (size_t take = 0; take < target; ++take) {
@@ -83,14 +85,53 @@ Result<std::shared_ptr<const TopologyView>> ShardTopology::WithMovedShard(
   return Result<std::shared_ptr<const TopologyView>>(std::move(view));
 }
 
+Result<std::shared_ptr<const TopologyView>> ShardTopology::WithMovedSlots(
+    const TopologyView& base, const std::vector<uint32_t>& slots,
+    size_t dest) {
+  if (dest >= base.num_shards()) {
+    return Status::OutOfRange("ShardTopology: dest shard id out of range");
+  }
+  if (slots.empty()) {
+    return Status::InvalidArgument("ShardTopology: no slots to move");
+  }
+  // All slots must share one source owner, distinct from dest — a slot
+  // move is a handoff FROM a shard, not an arbitrary table rewrite.
+  size_t source = base.num_shards();
+  for (uint32_t slot : slots) {
+    if (slot >= base.num_slots()) {
+      return Status::OutOfRange("ShardTopology: slot id out of range");
+    }
+    const size_t owner = base.slot_to_shard[slot];
+    if (source == base.num_shards()) source = owner;
+    if (owner != source) {
+      return Status::InvalidArgument(
+          "ShardTopology: slots span multiple source shards");
+    }
+  }
+  if (source == dest) {
+    return Status::InvalidArgument(
+        "ShardTopology: slot already owned by dest shard");
+  }
+  auto view = std::make_shared<TopologyView>(base);
+  view->generation = base.generation + 1;
+  view->routing_generation = base.routing_generation + 1;  // slots move
+  for (uint32_t slot : slots) {
+    if (view->slot_to_shard[slot] == dest) continue;  // duplicate in `slots`
+    view->slot_to_shard[slot] = uint32_t(dest);
+    --view->owned_slots[source];
+    ++view->owned_slots[dest];
+  }
+  return Result<std::shared_ptr<const TopologyView>>(std::move(view));
+}
+
 TopologyInfo ShardTopology::Describe() const {
   std::shared_ptr<const TopologyView> view = View();
   TopologyInfo info;
   info.generation = view->generation;
   info.num_shards = view->num_shards();
   info.num_slots = view->num_slots();
-  info.slots_per_shard.assign(view->num_shards(), 0);
-  for (uint32_t owner : view->slot_to_shard) ++info.slots_per_shard[owner];
+  info.slots_per_shard.assign(view->owned_slots.begin(),
+                              view->owned_slots.end());
   return info;
 }
 

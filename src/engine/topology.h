@@ -90,6 +90,10 @@ struct TopologyView {
   std::vector<uint32_t> slot_to_shard;
   /// Placement per global shard id; size() is the current shard count.
   std::vector<ShardPlacement> placements;
+  /// owned_slots[shard] counts the slots that shard owns — maintained by
+  /// every view constructor so SlotsOwnedBy is O(1), not an O(num_slots)
+  /// scan (the autoscaler reads it every evaluation cycle).
+  std::vector<uint32_t> owned_slots;
 
   size_t num_slots() const { return slot_to_shard.size(); }
   size_t num_shards() const { return placements.size(); }
@@ -105,11 +109,20 @@ struct TopologyView {
     return slot_to_shard[SlotOf(item, slot_to_shard.size())];
   }
 
-  /// Slots currently owned by `shard` (diagnostics, stealing, tests).
+  /// Slots currently owned by `shard` (diagnostics, stealing, tests,
+  /// autoscaler decisions). O(1): reads the maintained per-shard count.
   size_t SlotsOwnedBy(size_t shard) const {
-    size_t n = 0;
-    for (uint32_t owner : slot_to_shard) n += owner == shard ? 1 : 0;
-    return n;
+    return shard < owned_slots.size() ? owned_slots[shard] : 0;
+  }
+
+  /// The slot ids owned by `shard`, ascending (slot-move planning).
+  std::vector<uint32_t> OwnedSlotIds(size_t shard) const {
+    std::vector<uint32_t> slots;
+    if (shard < owned_slots.size()) slots.reserve(owned_slots[shard]);
+    for (uint32_t slot = 0; slot < slot_to_shard.size(); ++slot) {
+      if (slot_to_shard[slot] == shard) slots.push_back(slot);
+    }
+    return slots;
   }
 };
 
@@ -149,6 +162,18 @@ class ShardTopology {
   /// unchanged — the id keeps its hash range and its derived seed.
   static Result<std::shared_ptr<const TopologyView>> WithMovedShard(
       const TopologyView& base, size_t shard, ShardPlacement target);
+
+  /// A view with the given slots re-pointed from their current owner to
+  /// shard `dest` — SLOT-LEVEL migration (a hot slot peeled off a hot
+  /// shard without moving the whole shard). Every slot must currently
+  /// belong to ONE source shard, which must differ from `dest`. Bumps
+  /// both generations: the slot table changed, so pre-scattered batches
+  /// must re-scatter. No sketch state moves — the source shard's state
+  /// stays merge-visible, so answers remain a merge over all substreams
+  /// ever (the same argument that makes AddShards slot stealing sound).
+  static Result<std::shared_ptr<const TopologyView>> WithMovedSlots(
+      const TopologyView& base, const std::vector<uint32_t>& slots,
+      size_t dest);
 
   explicit ShardTopology(std::shared_ptr<const TopologyView> initial)
       : view_(std::move(initial)) {}
