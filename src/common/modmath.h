@@ -8,9 +8,12 @@
 #ifndef WBS_COMMON_MODMATH_H_
 #define WBS_COMMON_MODMATH_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/status.h"
 
 namespace wbs {
 
@@ -56,12 +59,20 @@ inline uint64_t ReduceSigned(int64_t v, uint64_t m) {
 /// residue in [0, q) — bit-identical to the `% q` path by definition of
 /// division, which tests assert on random operands.
 struct BarrettQ {
+  /// Largest accepted modulus. Reduce() needs 3q < 2^64 to finish with two
+  /// conditional subtractions, and the SIMD kernels additionally rely on
+  /// every intermediate (< 2q) fitting a signed 64-bit lane compare — both
+  /// hold exactly when q < 2^62.
+  static constexpr uint64_t kMaxModulus = (uint64_t{1} << 62) - 1;
+
   uint64_t q = 1;
   uint64_t mu_hi = 0;  ///< high 64 bits of floor(2^128 / q)
   uint64_t mu_lo = 0;  ///< low 64 bits of floor(2^128 / q)
 
   BarrettQ() = default;
   explicit BarrettQ(uint64_t modulus) : q(modulus) {
+    assert(modulus >= 2 && modulus <= kMaxModulus &&
+           "BarrettQ modulus out of range [2, 2^62)");
     // floor(2^128 / q) from floor((2^128 - 1) / q), fixing up the exact-
     // division case. The u128 division only runs once per modulus.
     const u128 all_ones = ~u128{0};
@@ -69,6 +80,17 @@ struct BarrettQ {
     if (all_ones % q == q - 1) ++mu;
     mu_hi = uint64_t(mu >> 64);
     mu_lo = uint64_t(mu);
+  }
+
+  /// Checked construction for moduli that arrive from config or the wire:
+  /// rejects q < 2 and q > kMaxModulus instead of asserting.
+  static Result<BarrettQ> Make(uint64_t modulus) {
+    if (modulus < 2 || modulus > kMaxModulus) {
+      return Status::InvalidArgument(
+          "BarrettQ modulus must be in [2, 2^62), got " +
+          std::to_string(modulus));
+    }
+    return BarrettQ(modulus);
   }
 
   /// x mod q for any 128-bit x. The quotient estimate floor(x * mu / 2^128)
@@ -108,26 +130,17 @@ struct BarrettQ {
 };
 
 /// acc[i] = (acc[i] + add[i]) mod q over n already-reduced entries (< q).
-/// The branchless body matches AddMod(acc[i], add[i], q) bit-for-bit; it is
-/// the shared merge kernel of the Z_q linear sketches (SIS chunk vectors,
-/// rank sketch state).
-inline void AccumulateMod(uint64_t* acc, const uint64_t* add, size_t n,
-                          uint64_t q) {
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t s = acc[i] + add[i];
-    acc[i] = s >= q ? s - q : s;
-  }
-}
+/// Matches AddMod(acc[i], add[i], q) bit-for-bit; it is the shared merge
+/// kernel of the Z_q linear sketches (SIS chunk vectors, rank sketch
+/// state). Routed through the runtime-dispatched SIMD table
+/// (common/simd.h); Debug builds re-check the vector result against the
+/// scalar reference on every call.
+void AccumulateMod(uint64_t* acc, const uint64_t* add, size_t n, uint64_t q);
 
 /// acc[i] = (acc[i] - sub[i]) mod q over n already-reduced entries (< q).
 /// Exact inverse of AccumulateMod — the unmerge kernel behind the engine's
-/// incremental merge cache.
-inline void SubtractMod(uint64_t* acc, const uint64_t* sub, size_t n,
-                        uint64_t q) {
-  for (size_t i = 0; i < n; ++i) {
-    acc[i] = acc[i] >= sub[i] ? acc[i] - sub[i] : acc[i] + (q - sub[i]);
-  }
-}
+/// incremental merge cache. SIMD-dispatched like AccumulateMod.
+void SubtractMod(uint64_t* acc, const uint64_t* sub, size_t n, uint64_t q);
 
 /// (base ^ exp) mod m. PowMod(x, 0, m) == 1 % m.
 uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);

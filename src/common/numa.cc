@@ -1,0 +1,100 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+
+#include "common/numa.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace wbs::numa {
+
+namespace {
+
+// Parses a sysfs cpulist string like "0-3,8,10-11" into CPU ids.
+std::vector<int> ParseCpuList(const char* s) {
+  std::vector<int> cpus;
+  const char* p = s;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    long lo = std::strtol(p, &end, 10);
+    if (end == p) break;
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      hi = std::strtol(p + 1, &end, 10);
+      if (end == p + 1) break;
+      p = end;
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(int(c));
+    if (*p == ',') ++p;
+  }
+  return cpus;
+}
+
+std::vector<Node> DiscoverTopology() {
+  std::vector<Node> nodes;
+#if defined(__linux__)
+  for (int id = 0;; ++id) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(id) + "/cpulist";
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) break;
+    char buf[4096];
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    Node node;
+    node.id = id;
+    node.cpus = ParseCpuList(buf);
+    if (!node.cpus.empty()) nodes.push_back(std::move(node));
+  }
+#endif
+  if (nodes.empty()) {
+    // No sysfs topology: one synthetic node spanning all online CPUs.
+    Node node;
+    node.id = 0;
+#if defined(__linux__)
+    const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+    for (long c = 0; c < (ncpu > 0 ? ncpu : 1); ++c) node.cpus.push_back(int(c));
+#else
+    node.cpus.push_back(0);
+#endif
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+const std::vector<Node>& Topology() {
+  static const std::vector<Node> nodes = DiscoverTopology();
+  return nodes;
+}
+
+size_t NodeCount() { return Topology().size(); }
+
+bool PinSelfToNode(size_t node_index) {
+  const std::vector<Node>& nodes = Topology();
+  if (node_index >= nodes.size() || nodes[node_index].cpus.empty()) {
+    return false;
+  }
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : nodes[node_index].cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace wbs::numa

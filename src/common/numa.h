@@ -1,0 +1,47 @@
+// Copyright (c) wbstream authors. Licensed under the MIT license.
+//
+// Minimal NUMA topology discovery and thread placement, with no libnuma
+// dependency: node CPU lists are parsed from
+// /sys/devices/system/node/node<N>/cpulist and threads are pinned with
+// pthread_setaffinity_np. On single-node machines (and on platforms
+// without the sysfs tree) every call degrades to a no-op, so callers can
+// pin unconditionally.
+//
+// Memory placement rides on the first-touch policy: Linux backs a page on
+// the node of the CPU that first writes it, so pinning a shard worker
+// BEFORE it allocates and warms its sketch state lands that state on the
+// worker's node — which is why ShardedIngestor pins inside the worker
+// thread body rather than after the fact.
+
+#ifndef WBS_COMMON_NUMA_H_
+#define WBS_COMMON_NUMA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wbs::numa {
+
+/// One NUMA node and the CPUs it owns.
+struct Node {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine's node list, parsed from sysfs once and cached. Always
+/// non-empty: when the sysfs tree is missing (non-Linux, containers with
+/// masked /sys) a single synthetic node 0 covering all online CPUs is
+/// returned.
+const std::vector<Node>& Topology();
+
+/// Number of NUMA nodes (1 on non-NUMA machines).
+size_t NodeCount();
+
+/// Pins the calling thread to the CPUs of node `node_index` (an index into
+/// Topology(), not a node id). Returns false (leaving affinity unchanged)
+/// if the index is out of range, the node has no CPUs, or the syscall is
+/// rejected (e.g. a container with a restricted affinity mask).
+bool PinSelfToNode(size_t node_index);
+
+}  // namespace wbs::numa
+
+#endif  // WBS_COMMON_NUMA_H_

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "common/bits.h"
+#include "common/simd.h"
 #include "crypto/sha256.h"
 
 namespace wbs::crypto {
@@ -122,6 +123,18 @@ uint64_t Sha256Crhf::HashU64(uint64_t item) const {
     x >>= 8;
   }
   return Hash(buf, 8);
+}
+
+void Sha256Crhf::HashU64x8(const uint64_t items[8], uint64_t out[8]) const {
+  // The kernel produces the untruncated first-8-digest-bytes word for the
+  // single-block salt||item message; truncation to output_bits_ happens
+  // here, matching Hash() exactly.
+  simd::Kernels().sha256_salted8(salt_, items, out);
+  for (int i = 0; i < 8; ++i) {
+    if (output_bits_ != 64) out[i] >>= 64 - output_bits_;
+    assert(out[i] == HashU64(items[i]) &&
+           "SIMD SHA-256 batch diverged from scalar HashU64");
+  }
 }
 
 int Sha256Crhf::OutputBitsForBudget(uint64_t time_budget_t, uint64_t items,

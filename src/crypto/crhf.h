@@ -154,6 +154,12 @@ class Sha256Crhf {
   /// Hash of a single 64-bit item.
   uint64_t HashU64(uint64_t item) const;
 
+  /// Eight independent HashU64 evaluations in one call, routed through the
+  /// runtime-dispatched multi-lane SHA-256 kernel (common/simd.h): on AVX2
+  /// one message per 32-bit lane, all eight compressions in lock step.
+  /// out[i] == HashU64(items[i]) bit for bit (Debug builds assert it).
+  void HashU64x8(const uint64_t items[8], uint64_t out[8]) const;
+
   int output_bits() const { return output_bits_; }
   uint64_t salt() const { return salt_; }
 

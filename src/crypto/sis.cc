@@ -7,6 +7,7 @@
 
 #include "common/bits.h"
 #include "common/modmath.h"
+#include "common/simd.h"
 
 namespace wbs::crypto {
 
@@ -45,6 +46,13 @@ void SisMatrix::Materialize() {
       row_dest[j * rows] = oracle_->FieldElement(domain_, base + j, params_.q);
     }
   }
+  // Shoup companions: shoup[idx] = floor(entry * 2^64 / q). One u128
+  // division per entry, paid once at materialization; the SIMD column
+  // update kernel then gets exact mod-q products from two multiplies.
+  shoup_.resize(cache_.size());
+  for (size_t idx = 0; idx < cache_.size(); ++idx) {
+    shoup_[idx] = uint64_t((wbs::u128(cache_[idx]) << 64) / params_.q);
+  }
 }
 
 SisSketchVector::SisSketchVector(const SisMatrix* matrix)
@@ -59,13 +67,22 @@ Status SisSketchVector::Update(size_t col, int64_t delta) {
   if (d == 0) return Status::OK();
   const BarrettQ& bq = matrix_->barrett();
   if (matrix_->materialized()) {
-    // Hot path: contiguous column of the materialized A, Barrett-reduced
-    // products, branch-lite add. Same canonical residues as the generic
-    // AddMod/MulMod path below, entry for entry.
+    // Hot path: contiguous column of the materialized A through the
+    // runtime-dispatched SIMD kernel (Shoup products on vector lanes, or
+    // the scalar Barrett loop on the fallback table). Same canonical
+    // residues as the generic AddMod/MulMod path below, entry for entry.
     const uint64_t* column = matrix_->Column(col);
+    const uint64_t* shoup = matrix_->ShoupColumn(col);
+#ifndef NDEBUG
+    // Paranoia half of the bit-identity contract: replay the update on a
+    // copy with the scalar Barrett path and require an exact match.
+    std::vector<uint64_t> want(v_);
     for (size_t i = 0; i < p.rows; ++i) {
-      v_[i] = bq.AddMod(v_[i], bq.MulMod(d, column[i]));
+      want[i] = bq.AddMod(want[i], bq.MulMod(d, column[i]));
     }
+#endif
+    simd::Kernels().sis_column_update(v_.data(), column, shoup, p.rows, d, bq);
+    assert(v_ == want && "SIMD SIS column update diverged from scalar");
   } else {
     for (size_t i = 0; i < p.rows; ++i) {
       v_[i] = bq.AddMod(v_[i], bq.MulMod(d, matrix_->Entry(i, col)));

@@ -69,6 +69,16 @@ class SisMatrix {
     return cache_.data() + j * params_.rows;
   }
 
+  /// Shoup companion of Column(j): shoup[i] = floor(Column(j)[i] * 2^64 / q),
+  /// precomputed by Materialize() so the SIMD column-update kernel can form
+  /// exact mod-q products with two lane multiplies instead of a 128-bit
+  /// Barrett reduction (see common/simd.h). Requires materialized().
+  const uint64_t* ShoupColumn(size_t j) const {
+    assert(materialized());
+    assert(j < params_.cols);
+    return shoup_.data() + j * params_.rows;
+  }
+
   /// Barrett context for this matrix's modulus, shared by every sketch
   /// vector drawn against it.
   const wbs::BarrettQ& barrett() const { return barrett_; }
@@ -86,6 +96,7 @@ class SisMatrix {
   uint64_t domain_;
   wbs::BarrettQ barrett_;
   std::vector<uint64_t> cache_;  // column-major, empty until Materialize()
+  std::vector<uint64_t> shoup_;  // Shoup constants, same layout as cache_
 };
 
 /// The running sketch v = A * f mod q for a turnstile-updated f.

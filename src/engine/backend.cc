@@ -222,12 +222,17 @@ class InProcessBackend final : public ShardBackend {
     // while lock-free epoch loads give cheap dirty checks.
     // updates_since_publish is written only by the applier thread; the
     // atomic exists so the snapshot-lag gauge can read it from any thread.
-    std::atomic<uint64_t> updates_since_publish{0};
+    // Both hot atomics live on their own cache lines: updates_since_publish
+    // is bumped by the applier on every batch while epoch is polled by
+    // reader threads for dirty checks, and letting them (or the cold
+    // members around them) share a line puts the applier's RMW traffic on
+    // the readers' line.
+    alignas(64) std::atomic<uint64_t> updates_since_publish{0};
+    alignas(64) std::atomic<uint64_t> epoch{0};
     mutable Histogram serialize_us;  ///< SnapshotSerialized encode latency
     mutable std::mutex snap_mu;
     std::vector<std::shared_ptr<const Sketch>> snaps;  // per sketch index
     Status snap_error;  // first failed publish, under snap_mu
-    std::atomic<uint64_t> epoch{0};
   };
 
   explicit InProcessBackend(BackendOptions options)

@@ -774,6 +774,46 @@ class CrhfHhEngineSketch final : public SketchBase {
     return Status::OK();
   }
 
+  /// Batches hash 8 distinct entries per multi-lane SHA-256 call and reuse
+  /// each entry's single CRHF image across its whole delta expansion —
+  /// per-unit re-hashing was the dominant cost of the Update() loop. The
+  /// CRHF is pure and stateless, so hashing ahead of the per-entry
+  /// validation cannot change observable behavior; entries are still
+  /// applied (and can still fail) strictly in order, exactly like the
+  /// default Update() loop.
+  Status ApplyBatch(const UpdateBatch& batch) override {
+    uint64_t items[8];
+    uint64_t hashes[8];
+    const crypto::Sha256Crhf& crhf = alg_.crhf();
+    for (size_t base = 0; base < batch.size; base += 8) {
+      const size_t chunk = std::min<size_t>(8, batch.size - base);
+      if (chunk == 8) {
+        for (size_t k = 0; k < 8; ++k) items[k] = batch.data[base + k].item;
+        crhf.HashU64x8(items, hashes);
+      } else {
+        for (size_t k = 0; k < chunk; ++k) {
+          hashes[k] = crhf.HashU64(batch.data[base + k].item);
+        }
+      }
+      for (size_t k = 0; k < chunk; ++k) {
+        const stream::TurnstileUpdate& u = batch.data[base + k];
+        if (u.delta < 0) {
+          return Status::InvalidArgument("crhf_hh is insertion-only");
+        }
+        if (u.delta > kMaxSamplingDeltaExpansion) {
+          return Status::InvalidArgument(
+              "crhf_hh: weighted delta exceeds the unit-expansion cap");
+        }
+        for (int64_t i = 0; i < u.delta; ++i) {
+          Status s = alg_.UpdateHashed(u.item, hashes[k]);
+          if (!s.ok()) return s;
+        }
+        if (u.delta != 0) ++updates_applied_;
+      }
+    }
+    return Status::OK();
+  }
+
   SketchSummary Summary() const override {
     return SamplingSummary(name_, merged_, updates_applied_, alg_.Query());
   }

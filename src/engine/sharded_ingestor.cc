@@ -3,9 +3,13 @@
 #include "engine/sharded_ingestor.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <chrono>
 #include <limits>
 
+#include "common/numa.h"
+#include "common/simd.h"
 #include "engine/backend.h"
 #include "engine/registry.h"
 
@@ -101,9 +105,18 @@ Status ShardedIngestor::Init() {
     workers_.push_back(std::make_unique<Worker>());
     if (metrics_ != nullptr) workers_[w]->metrics = metrics_->worker(w);
   }
+  // Workers pin to NUMA nodes round-robin INSIDE the thread body, before
+  // WorkerLoop allocates or touches any per-worker state, so first-touch
+  // places that state on the worker's node. Single-node machines skip the
+  // syscall entirely.
+  const bool pin_workers =
+      options_.numa_pin_workers && wbs::numa::NodeCount() > 1;
   for (size_t w = 0; w < options_.num_threads; ++w) {
     Worker* worker = workers_[w].get();
-    worker->thread = std::thread([this, worker] { WorkerLoop(worker); });
+    worker->thread = std::thread([this, worker, w, pin_workers] {
+      if (pin_workers) wbs::numa::PinSelfToNode(w % wbs::numa::NodeCount());
+      WorkerLoop(worker);
+    });
   }
   if (!workers_.empty()) {
     router_ = std::thread([this] { RouterLoop(); });
@@ -611,6 +624,58 @@ Result<IngestTicket> ShardedIngestor::TrySubmitAsync(
   return SubmitScattered(session, updates, count, /*blocking=*/false);
 }
 
+void ShardedIngestor::ScatterUpdates(
+    const TopologyView& view, const stream::TurnstileUpdate* updates,
+    size_t count, std::vector<std::vector<stream::TurnstileUpdate>>* out) {
+  std::vector<std::vector<stream::TurnstileUpdate>>& buckets = *out;
+  const size_t num_slots = view.num_slots();
+  const uint32_t* slot_to_shard = view.slot_to_shard.data();
+  const bool pow2 = (num_slots & (num_slots - 1)) == 0;
+  const uint64_t mask = uint64_t(num_slots) - 1;
+  const simd::KernelDispatch& kern = simd::Kernels();
+  uint64_t items8[8];
+  uint64_t hashes8[8];
+  for (size_t base = 0; base < count; base += 8) {
+    const size_t chunk = std::min<size_t>(8, count - base);
+    for (size_t k = 0; k < chunk; ++k) items8[k] = updates[base + k].item;
+    kern.hash_items(items8, chunk, hashes8);
+    for (size_t k = 0; k < chunk; ++k) {
+      const size_t slot = pow2 ? size_t(hashes8[k] & mask)
+                               : size_t(hashes8[k] % num_slots);
+      assert(slot == TopologyView::SlotOf(updates[base + k].item, num_slots) &&
+             "SIMD scatter slot diverged from TopologyView::SlotOf");
+      buckets[slot_to_shard[slot]].push_back(updates[base + k]);
+      SampleSlotHeat(slot);
+    }
+  }
+}
+
+void ShardedIngestor::ScatterItems(
+    const TopologyView& view, const stream::ItemUpdate* items, size_t count,
+    std::vector<std::vector<stream::TurnstileUpdate>>* out) {
+  std::vector<std::vector<stream::TurnstileUpdate>>& buckets = *out;
+  const size_t num_slots = view.num_slots();
+  const uint32_t* slot_to_shard = view.slot_to_shard.data();
+  const bool pow2 = (num_slots & (num_slots - 1)) == 0;
+  const uint64_t mask = uint64_t(num_slots) - 1;
+  const simd::KernelDispatch& kern = simd::Kernels();
+  uint64_t items8[8];
+  uint64_t hashes8[8];
+  for (size_t base = 0; base < count; base += 8) {
+    const size_t chunk = std::min<size_t>(8, count - base);
+    for (size_t k = 0; k < chunk; ++k) items8[k] = items[base + k].item;
+    kern.hash_items(items8, chunk, hashes8);
+    for (size_t k = 0; k < chunk; ++k) {
+      const size_t slot = pow2 ? size_t(hashes8[k] & mask)
+                               : size_t(hashes8[k] % num_slots);
+      assert(slot == TopologyView::SlotOf(items[base + k].item, num_slots) &&
+             "SIMD scatter slot diverged from TopologyView::SlotOf");
+      buckets[slot_to_shard[slot]].push_back({items[base + k].item, 1});
+      SampleSlotHeat(slot);
+    }
+  }
+}
+
 Result<IngestTicket> ShardedIngestor::SubmitScattered(
     const ProducerSession& session, const stream::TurnstileUpdate* updates,
     size_t count, bool blocking) {
@@ -633,12 +698,15 @@ Result<IngestTicket> ShardedIngestor::SubmitScattered(
     scatter_.resize(view->num_shards());
     for (auto& v : scatter_) v.clear();
     if (view->num_shards() == 1) {
+      // Power-of-two capacity rounding keeps steadily growing batch sizes
+      // from reallocating the reused scratch on every submission (assign
+      // grows capacity to exactly n otherwise).
+      if (scatter_[0].capacity() < count) {
+        scatter_[0].reserve(std::bit_ceil(count));
+      }
       scatter_[0].assign(updates, updates + count);
     } else {
-      for (size_t i = 0; i < count; ++i) {
-        scatter_[view->ShardFor(updates[i].item)].push_back(updates[i]);
-        SampleSlotHeat(updates[i].item, view->num_slots());
-      }
+      ScatterUpdates(*view, updates, count, &scatter_);
     }
     return ApplyInline(*view, count);
   }
@@ -653,10 +721,7 @@ Result<IngestTicket> ShardedIngestor::SubmitScattered(
   if (num_shards == 1) {
     sub[0].assign(updates, updates + count);
   } else {
-    for (size_t i = 0; i < count; ++i) {
-      sub[view->ShardFor(updates[i].item)].push_back(updates[i]);
-      SampleSlotHeat(updates[i].item, view->num_slots());
-    }
+    ScatterUpdates(*view, updates, count, &sub);
   }
   return EnqueueScattered(session, std::move(sub), count, blocking,
                           view->routing_generation);
@@ -686,15 +751,14 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
     scatter_.resize(view->num_shards());
     for (auto& v : scatter_) v.clear();
     if (view->num_shards() == 1) {
-      scatter_[0].reserve(count);
+      if (scatter_[0].capacity() < count) {
+        scatter_[0].reserve(std::bit_ceil(count));
+      }
       for (size_t i = 0; i < count; ++i) {
         scatter_[0].push_back({items[i].item, 1});
       }
     } else {
-      for (size_t i = 0; i < count; ++i) {
-        scatter_[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
-        SampleSlotHeat(items[i].item, view->num_slots());
-      }
+      ScatterItems(*view, items, count, &scatter_);
     }
     return ApplyInline(*view, count);
   }
@@ -708,10 +772,7 @@ Result<IngestTicket> ShardedIngestor::SubmitItemsAsync(
       sub[0].push_back({items[i].item, 1});
     }
   } else {
-    for (size_t i = 0; i < count; ++i) {
-      sub[view->ShardFor(items[i].item)].push_back({items[i].item, 1});
-      SampleSlotHeat(items[i].item, view->num_slots());
-    }
+    ScatterItems(*view, items, count, &sub);
   }
   return EnqueueScattered(session, std::move(sub), count, /*blocking=*/true,
                           view->routing_generation);

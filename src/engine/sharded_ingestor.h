@@ -182,6 +182,12 @@ struct IngestorOptions {
   /// When enabled, the engine starts an Autoscaler with these targets in
   /// Init and stops it in Finish. Requires metrics_enabled.
   AutoscaleOptions autoscale;
+  /// NUMA placement: when true (default) and the machine has more than one
+  /// NUMA node, worker threads are pinned round-robin across nodes inside
+  /// the thread body — before any sketch state is allocated — so the
+  /// first-touch policy lands each worker's arena on its own node (see
+  /// common/numa.h). No-op on single-node machines and in inline mode.
+  bool numa_pin_workers = true;
 };
 
 /// A sequence-numbered receipt for one asynchronous submission. Tickets are
@@ -696,15 +702,33 @@ class ShardedIngestor {
 
   /// Scatter-path slot-heat sampling site: counts every 2^slot_sample_shift
   /// -th update (per calling thread) against its hash slot. One predicted
-  /// branch per update when sampling is off; the hash is only recomputed on
-  /// the sampled stride, so the cost stays inside the metrics ≤2% contract.
-  void SampleSlotHeat(uint64_t item, size_t num_slots) {
+  /// branch per update when sampling is off. Takes the slot directly — the
+  /// 8-wide scatter kernel already computed it, so the sampled stride no
+  /// longer pays a second hash; the cost stays inside the metrics ≤2%
+  /// contract.
+  void SampleSlotHeat(size_t slot) {
     if (slot_heat_ == nullptr) return;
     thread_local uint64_t stride = 0;
     if (((++stride) & slot_sample_mask_) != 0) return;
-    slot_heat_[TopologyView::SlotOf(item, num_slots)].fetch_add(
-        1, std::memory_order_relaxed);
+    slot_heat_[slot].fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Hash+bucket scatter of `count` turnstile updates into (*out)[shard]
+  /// through the 8-wide SIMD hash kernel: items are hashed 8 per kernel
+  /// call and bucketed by mask when num_slots is a power of two (modulo
+  /// otherwise). Identical partition to the per-item ShardFor loop
+  /// (Debug-asserted per update). `out` must already have
+  /// view.num_shards() cleared sub-vectors; feeds SampleSlotHeat with the
+  /// computed slot.
+  void ScatterUpdates(const TopologyView& view,
+                      const stream::TurnstileUpdate* updates, size_t count,
+                      std::vector<std::vector<stream::TurnstileUpdate>>* out);
+  /// ScatterUpdates for item streams: each item becomes a delta-1
+  /// turnstile update directly in its shard's sub-batch (fused conversion,
+  /// no intermediate copy).
+  void ScatterItems(const TopologyView& view, const stream::ItemUpdate* items,
+                    size_t count,
+                    std::vector<std::vector<stream::TurnstileUpdate>>* out);
 
   IngestorOptions options_;
   /// Observability. metrics_ is null when options_.metrics_enabled is

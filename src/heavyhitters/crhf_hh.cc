@@ -42,10 +42,18 @@ Status CrhfHeavyHitters::Update(const stream::ItemUpdate& u) {
   if (u.item >= universe_) {
     return Status::OutOfRange("CrhfHeavyHitters: item out of universe");
   }
-  const uint64_t hashed = crhf_.HashU64(u.item);
+  return UpdateHashed(u.item, crhf_.HashU64(u.item));
+}
+
+Status CrhfHeavyHitters::UpdateHashed(uint64_t item, uint64_t hashed) {
+  if (item >= universe_) {
+    return Status::OutOfRange("CrhfHeavyHitters: item out of universe");
+  }
+  assert(hashed == crhf_.HashU64(item) &&
+         "UpdateHashed fed a hash that is not crhf().HashU64(item)");
   Status s = inner_.Update({hashed});
   if (!s.ok()) return s;
-  MaybePromote(u.item, hashed);
+  MaybePromote(item, hashed);
   return Status::OK();
 }
 

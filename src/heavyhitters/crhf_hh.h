@@ -40,6 +40,17 @@ class CrhfHeavyHitters final
 
   Status Update(const stream::ItemUpdate& u) override;
 
+  /// Update with the CRHF image already computed — the batched-ingest path:
+  /// callers hash 8 items at a time via crhf().HashU64x8 and feed each
+  /// result here, so repeated deltas of one item pay for one compression.
+  /// `hashed` MUST equal crhf().HashU64(item) (Debug builds assert it);
+  /// behavior is otherwise identical to Update().
+  Status UpdateHashed(uint64_t item, uint64_t hashed);
+
+  /// The identity-compressing CRHF (public parameters; exposed so batch
+  /// callers can precompute hashes with HashU64x8).
+  const crypto::Sha256Crhf& crhf() const { return crhf_; }
+
   /// All items with f_i >= phi * L1 are reported; no item with
   /// f_j <= (phi - eps) * L1 is reported (with probability >= 3/4).
   HhList Query() const override;

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/bits.h"
+#include "common/simd.h"
 #include "linalg/matrix_zq.h"
 
 namespace wbs::moments {
@@ -42,18 +43,28 @@ Status AmsF2Sketch::ApplyRun(const stream::TurnstileUpdate* data,
     }
   }
   run_mix_.resize(count);
+  run_delta_.resize(count);
   for (size_t t = 0; t < count; ++t) {
     run_mix_[t] = sign_seed_ ^ (data[t].item * 0x9e3779b97f4a7c15ULL);
+    run_delta_[t] = data[t].delta;
   }
-  for (size_t j = 0; j < counters_.size(); ++j) {
+#ifndef NDEBUG
+  // Paranoia half of the bit-identity contract: replay the run with the
+  // original row loop and require the kernel to agree counter for counter.
+  std::vector<int64_t> want(counters_);
+  for (size_t j = 0; j < want.size(); ++j) {
     const uint64_t row_salt = j * 0xd1342543de82ef95ULL;
-    int64_t c = counters_[j];
+    int64_t c = want[j];
     for (size_t t = 0; t < count; ++t) {
       uint64_t s = run_mix_[t] ^ row_salt;
       c += (wbs::SplitMix64(&s) & 1) ? data[t].delta : -data[t].delta;
     }
-    counters_[j] = c;
+    want[j] = c;
   }
+#endif
+  simd::Kernels().ams_row_mix(counters_.data(), counters_.size(),
+                              run_mix_.data(), run_delta_.data(), count);
+  assert(counters_ == want && "SIMD AMS row mix diverged from scalar");
   return Status::OK();
 }
 

@@ -93,7 +93,8 @@ class AmsF2Sketch final
   wbs::RandomTape* tape_;
   uint64_t sign_seed_;
   std::vector<int64_t> counters_;
-  std::vector<uint64_t> run_mix_;  // per-item seed mixes, reused by ApplyRun
+  std::vector<uint64_t> run_mix_;    // per-item seed mixes, reused by ApplyRun
+  std::vector<int64_t> run_delta_;   // contiguous deltas for the SIMD kernel
 };
 
 /// The Theorem 1.9 white-box adversary: computes an integer kernel vector of
